@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) for the graph kernels everything else
+// is built on: canonical coding, subgraph isomorphism, and instance path
+// enumeration over a generated data graph.
+
+#include <benchmark/benchmark.h>
+
+#include "biozon/generator.h"
+#include "common/rng.h"
+#include "graph/canonical.h"
+#include "graph/data_graph.h"
+#include "graph/isomorphism.h"
+#include "graph/path_enum.h"
+
+namespace tsb {
+namespace {
+
+graph::LabeledGraph PathGraph(size_t n) {
+  std::vector<uint32_t> nodes(n);
+  std::vector<uint32_t> edges(n - 1);
+  for (size_t i = 0; i < n; ++i) nodes[i] = static_cast<uint32_t>(i % 3);
+  for (size_t i = 0; i + 1 < n; ++i) edges[i] = static_cast<uint32_t>(i % 2);
+  return graph::MakePathGraph(nodes, edges);
+}
+
+graph::LabeledGraph Fig16Graph() {
+  graph::LabeledGraph g;
+  auto d = g.AddNode(1);
+  auto p1 = g.AddNode(0);
+  auto p2 = g.AddNode(0);
+  auto i = g.AddNode(2);
+  g.AddEdge(p1, d, 0);
+  g.AddEdge(p2, d, 0);
+  g.AddEdge(p1, i, 3);
+  g.AddEdge(p2, i, 3);
+  return g;
+}
+
+void BM_CanonicalCodePath(benchmark::State& state) {
+  graph::LabeledGraph g = PathGraph(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CanonicalCode(g));
+  }
+}
+BENCHMARK(BM_CanonicalCodePath)->Arg(4)->Arg(6)->Arg(9);
+
+void BM_CanonicalCodeFig16(benchmark::State& state) {
+  graph::LabeledGraph g = Fig16Graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CanonicalCode(g));
+  }
+}
+BENCHMARK(BM_CanonicalCodeFig16);
+
+void BM_SymmetricCycleCanonicalization(benchmark::State& state) {
+  // Uniform labels: the permutation search has to work within one cell.
+  graph::LabeledGraph g;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) g.AddNode(1);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(static_cast<graph::LabeledGraph::NodeId>(i),
+              static_cast<graph::LabeledGraph::NodeId>((i + 1) % n), 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CanonicalCode(g));
+  }
+}
+BENCHMARK(BM_SymmetricCycleCanonicalization)->Arg(6)->Arg(8);
+
+void BM_SubgraphIsomorphism(benchmark::State& state) {
+  graph::LabeledGraph motif = Fig16Graph();
+  // A larger host: two fused motifs plus a path.
+  graph::LabeledGraph host = Fig16Graph();
+  auto offset = host.AppendDisjoint(Fig16Graph());
+  host.AddEdge(0, offset, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::IsSubgraphIsomorphic(motif, host));
+  }
+}
+BENCHMARK(BM_SubgraphIsomorphism);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  static storage::Catalog* db = [] {
+    auto* catalog = new storage::Catalog();
+    biozon::GeneratorConfig config;
+    config.scale = 0.3;
+    biozon::GenerateBiozon(config, catalog);
+    return catalog;
+  }();
+  static graph::DataGraphView* view = new graph::DataGraphView(*db);
+  const auto& proteins = view->EntitiesOfType(0);
+  Rng rng(11);
+  for (auto _ : state) {
+    graph::EntityId a = proteins[rng.NextBounded(proteins.size())];
+    graph::EntityId b = proteins[rng.NextBounded(proteins.size())];
+    benchmark::DoNotOptimize(
+        graph::EnumeratePathsBetween(*view, a, b,
+                                     static_cast<size_t>(state.range(0)))
+            .size());
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace tsb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Section 6.2.4's k-sweep: top-k query performance as k grows. The paper
+// reports "a slight degradation in performance with increasing k" for the
+// top-k methods; the ET methods lose their advantage as k approaches the
+// number of matching topologies.
+//
+// Flags: --scale=<f>.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  WorldConfig config;
+  config.scale = FlagValue(argc, argv, "scale", 1.0);
+  config.pairs = {{"Protein", "Interaction"}};
+  std::printf("Building synthetic Biozon (scale=%.2f)...\n\n", config.scale);
+  std::unique_ptr<World> world = MakeWorld(config);
+
+  const engine::MethodKind methods[] = {
+      engine::MethodKind::kFullTopK, engine::MethodKind::kFastTopK,
+      engine::MethodKind::kFullTopKEt, engine::MethodKind::kFastTopKEt,
+      engine::MethodKind::kFastTopKOpt};
+  const size_t ks[] = {1, 5, 10, 25, 50, 100};
+
+  std::vector<std::string> headers = {"method"};
+  for (size_t k : ks) headers.push_back("k=" + std::to_string(k));
+  TablePrinter table(headers);
+
+  for (engine::MethodKind method : methods) {
+    std::vector<std::string> row = {engine::MethodKindToString(method)};
+    for (size_t k : ks) {
+      engine::TopologyQuery q;
+      q.entity_set1 = "Protein";
+      q.pred1 = biozon::SelectivityPredicate(world->db, "Protein", "medium");
+      q.entity_set2 = "Interaction";
+      q.pred2 =
+          biozon::SelectivityPredicate(world->db, "Interaction", "medium");
+      q.scheme = core::RankScheme::kFreq;
+      q.k = k;
+      double seconds = MeasureSeconds([&] {
+        auto result = world->engine->Execute(q, method);
+        TSB_CHECK(result.ok());
+      });
+      row.push_back(TablePrinter::Num(seconds * 1e3, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf("\n(medium/medium predicates, Freq scheme, cells in ms)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) {
+  tsb::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Finds the biologically significant self-regulation topology of Figure 16:
+// two proteins encoded by the same DNA sequence that also interact with
+// each other. The paper highlights this topology as the kind of discovery
+// topology search enables (Section 6.2.1); here the Domain ranking surfaces
+// it from a synthetic database and instance retrieval produces the concrete
+// biological systems (protein/DNA/interaction ids) behind it.
+//
+// Build & run:  ./build/examples/self_regulation [--scale=0.5]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "biozon/domain.h"
+#include "biozon/generator.h"
+#include "core/builder.h"
+#include "core/instance_retrieval.h"
+#include "core/pruner.h"
+#include "engine/engine.h"
+#include "graph/canonical.h"
+#include "graph/data_graph.h"
+#include "graph/isomorphism.h"
+#include "graph/schema_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace tsb;
+
+  double scale = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::stod(argv[i] + 8);
+    }
+  }
+
+  storage::Catalog db;
+  biozon::GeneratorConfig gen;
+  gen.scale = scale;
+  biozon::BiozonSchema ids = biozon::GenerateBiozon(gen, &db);
+  graph::DataGraphView view(db);
+  graph::SchemaGraph schema(db);
+  std::printf("synthetic Biozon: %zu entities, %zu relationships\n",
+              view.num_nodes(), view.num_edges());
+
+  core::TopologyStore store;
+  core::TopologyBuilder builder(&db, &schema, &view);
+  core::BuildConfig build;
+  build.max_path_length = 3;
+  build.max_class_representatives = 8;
+  build.max_union_combinations = 512;
+  TSB_CHECK(builder.BuildPair(ids.protein, ids.protein, build, &store).ok());
+  const core::PairTopologyData& pair =
+      *store.FindPair(ids.protein, ids.protein);
+  std::printf("built Protein-Protein 3-topologies: %zu distinct\n",
+              pair.freq.size());
+
+  // The Figure-16 motif, as a labeled graph.
+  graph::LabeledGraph fig16;
+  auto d = fig16.AddNode(ids.dna);
+  auto p1 = fig16.AddNode(ids.protein);
+  auto p2 = fig16.AddNode(ids.protein);
+  auto i = fig16.AddNode(ids.interaction);
+  fig16.AddEdge(p1, d, ids.encodes);
+  fig16.AddEdge(p2, d, ids.encodes);
+  fig16.AddEdge(p1, i, ids.interacts_p);
+  fig16.AddEdge(p2, i, ids.interacts_p);
+
+  // Rank all observed topologies by Domain score and report where
+  // motif-containing ones land.
+  core::ScoreModel scores(&store.catalog(),
+                          biozon::MakeBiozonDomainKnowledge(ids));
+  auto ranked = scores.RankedTids(core::RankScheme::kDomain, pair);
+  std::printf("\ntop 8 Protein-Protein topologies by Domain score:\n");
+  core::Tid exact_fig16 = core::kNoTid;
+  {
+    auto found = store.catalog().FindByCode(graph::CanonicalCode(fig16));
+    if (found.has_value()) exact_fig16 = *found;
+  }
+  for (size_t r = 0; r < ranked.size() && r < 8; ++r) {
+    const auto& [tid, score] = ranked[r];
+    const core::TopologyInfo& info = store.catalog().Get(tid);
+    bool contains = graph::IsSubgraphIsomorphic(fig16, info.graph);
+    std::printf("  #%zu score=%5.1f freq=%-6zu %s%s\n", r + 1, score,
+                pair.freq.at(tid),
+                store.catalog().Describe(tid, schema).c_str(),
+                contains ? "   <== contains Figure-16 motif" : "");
+  }
+
+  if (exact_fig16 == core::kNoTid) {
+    std::printf("\nexact Figure-16 topology not observed at this scale; try "
+                "a larger --scale\n");
+    return 0;
+  }
+
+  // Retrieve concrete instances: the actual protein/DNA/interaction ids.
+  core::RetrievalLimits limits;
+  limits.max_pairs = 5;
+  limits.max_instances_per_pair = 1;
+  auto instances =
+      core::RetrieveInstances(db, store, schema, view, ids.protein,
+                              ids.protein, exact_fig16, limits);
+  std::printf("\nconcrete self-regulation systems (first %zu):\n",
+              instances.size());
+  for (const auto& instance : instances) {
+    std::printf("  proteins (%lld, %lld):", static_cast<long long>(instance.a),
+                static_cast<long long>(instance.b));
+    for (size_t n = 0; n < instance.node_ids.size(); ++n) {
+      std::printf(" %s=%lld",
+                  schema.entity_name(instance.subgraph.node_label(
+                      static_cast<graph::LabeledGraph::NodeId>(n)))
+                      .c_str(),
+                  static_cast<long long>(instance.node_ids[n]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Explores the weak-relationship problem of Section 6.2.3 / Appendix B:
+// with l = 4, paths like P-D-P-U-D connect mostly unrelated endpoints,
+// inflate the path sets, and dilute meaningful topologies. This example
+// quantifies the dilution on a synthetic database and shows how the Domain
+// ranking (which encodes Table 4's weak motifs) demotes the affected
+// topologies — the paper's proposed use of domain knowledge.
+//
+// Build & run:  ./build/examples/weak_relationships [--scale=0.25]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "biozon/domain.h"
+#include "biozon/generator.h"
+#include "core/builder.h"
+#include "core/pruner.h"
+#include "core/scorer.h"
+#include "core/weak_filter.h"
+#include "graph/data_graph.h"
+#include "graph/isomorphism.h"
+#include "graph/path_enum.h"
+#include "graph/schema_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace tsb;
+
+  double scale = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::stod(argv[i] + 8);
+    }
+  }
+
+  storage::Catalog db;
+  biozon::GeneratorConfig gen;
+  gen.scale = scale;
+  biozon::BiozonSchema ids = biozon::GenerateBiozon(gen, &db);
+  graph::DataGraphView view(db);
+  graph::SchemaGraph schema(db);
+
+  // 1. Weak relationships have enormous instance counts (the paper's
+  //    P-D-P-U-D has ~600M on Biozon).
+  std::printf("schema paths P..D and their instance counts (l <= 4):\n");
+  auto paths = schema.EnumeratePaths(ids.protein, ids.dna, 4);
+  size_t weak_instances = 0;
+  size_t direct_instances = 0;
+  for (const auto& p : paths) {
+    size_t count = graph::CountSchemaPathInstances(view, p);
+    std::string rendered = schema.PathToString(p);
+    if (p.length() == 1) direct_instances = count;
+    if (p.length() == 4 &&
+        rendered.find("Encodes") != std::string::npos &&
+        rendered.find("Uni_contains") != std::string::npos) {
+      weak_instances += count;
+    }
+    if (p.length() <= 2 || count > 10000) {
+      std::printf("  %-70s %zu\n", rendered.c_str(), count);
+    }
+  }
+  std::printf("\nweak 4-step encode/unigene paths: %zu instances vs %zu "
+              "direct encodes edges (dilution factor %.0fx)\n\n",
+              weak_instances, direct_instances,
+              direct_instances == 0
+                  ? 0.0
+                  : static_cast<double>(weak_instances) /
+                        static_cast<double>(direct_instances));
+
+  // 2. Build l=4 topologies and look at how weak motifs infest them.
+  core::TopologyStore store;
+  core::TopologyBuilder builder(&db, &schema, &view);
+  core::BuildConfig build;
+  build.max_path_length = 4;
+  build.max_class_representatives = 6;
+  build.max_union_combinations = 256;
+  build.max_paths_per_source = 100000;
+  TSB_CHECK(builder.BuildPair(ids.protein, ids.dna, build, &store).ok());
+  const core::PairTopologyData& pair = *store.FindPair(ids.protein, ids.dna);
+  std::printf("l=4 build: %zu topologies, truncation counters: pairs=%zu "
+              "reps=%zu (the intrinsic complexity of Section 6.2.3)\n",
+              pair.freq.size(), pair.truncated_pairs,
+              pair.truncated_representatives);
+
+  core::DomainKnowledge knowledge = biozon::MakeBiozonDomainKnowledge(ids);
+  core::ScoreModel scores(&store.catalog(), knowledge);
+
+  core::WeakFilterStats filter_stats =
+      core::AnalyzeWeakTopologies(store.catalog(), pair, knowledge);
+  std::printf("%zu of %zu observed topologies contain a weak motif "
+              "(Table 4), covering %zu of %zu related pairs\n\n",
+              filter_stats.weak_topologies, filter_stats.total_topologies,
+              filter_stats.weak_pairs, filter_stats.total_pairs);
+
+  // 3. Domain ranking pushes weak-motif topologies down.
+  auto ranked = scores.RankedTids(core::RankScheme::kDomain, pair);
+  auto weak_fraction = [&](size_t from, size_t to) {
+    size_t weak = 0;
+    for (size_t r = from; r < to && r < ranked.size(); ++r) {
+      const core::TopologyInfo& info = store.catalog().Get(ranked[r].first);
+      for (const graph::LabeledGraph& motif : knowledge.weak_motifs) {
+        if (graph::IsSubgraphIsomorphic(motif, info.graph)) {
+          ++weak;
+          break;
+        }
+      }
+    }
+    size_t span = std::min(to, ranked.size()) - std::min(from, ranked.size());
+    return span == 0 ? 0.0 : static_cast<double>(weak) / span;
+  };
+  std::printf("weak-motif fraction among top-20 Domain-ranked: %.0f%%\n",
+              100.0 * weak_fraction(0, 20));
+  std::printf("weak-motif fraction among bottom-20: %.0f%%\n",
+              100.0 * weak_fraction(ranked.size() - 20, ranked.size()));
+  std::printf(
+      "\nDomain knowledge (Appendix B) filters the dilution: weak motifs "
+      "sink to the bottom of the ranking.\n");
+  return 0;
+}

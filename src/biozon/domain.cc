@@ -1,0 +1,48 @@
+#include "biozon/domain.h"
+
+#include "graph/labeled_graph.h"
+
+namespace tsb {
+namespace biozon {
+namespace {
+
+/// Builds the 3-node chain motif a -r1- b -r2- c.
+graph::LabeledGraph ChainMotif(uint32_t type_a, uint32_t rel_1,
+                               uint32_t type_b, uint32_t rel_2,
+                               uint32_t type_c) {
+  graph::LabeledGraph g;
+  auto a = g.AddNode(type_a);
+  auto b = g.AddNode(type_b);
+  auto c = g.AddNode(type_c);
+  g.AddEdge(a, b, rel_1);
+  g.AddEdge(b, c, rel_2);
+  return g;
+}
+
+}  // namespace
+
+core::DomainKnowledge MakeBiozonDomainKnowledge(const BiozonSchema& schema) {
+  core::DomainKnowledge k;
+  k.interesting_rel_types = {schema.interacts_p, schema.interacts_d};
+  k.interesting_edge_bonus = 2.0;
+  k.class_bonus = 1.0;
+  k.weak_motif_penalty = 3.0;
+  // Appendix B: relationships that, when repeated, connect remotely related
+  // or unrelated entities.
+  k.weak_motifs.push_back(ChainMotif(schema.protein, schema.encodes,
+                                     schema.dna, schema.encodes,
+                                     schema.protein));  // P-D-P
+  k.weak_motifs.push_back(ChainMotif(schema.protein, schema.uni_encodes,
+                                     schema.unigene, schema.uni_encodes,
+                                     schema.protein));  // P-U-P
+  k.weak_motifs.push_back(ChainMotif(schema.dna, schema.uni_contains,
+                                     schema.unigene, schema.uni_contains,
+                                     schema.dna));  // D-U-D
+  k.weak_motifs.push_back(ChainMotif(schema.family, schema.pathway_member,
+                                     schema.pathway, schema.pathway_member,
+                                     schema.family));  // F-W-F
+  return k;
+}
+
+}  // namespace biozon
+}  // namespace tsb

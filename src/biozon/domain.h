@@ -1,0 +1,24 @@
+#ifndef TSB_BIOZON_DOMAIN_H_
+#define TSB_BIOZON_DOMAIN_H_
+
+#include "biozon/schema.h"
+#include "core/scorer.h"
+
+namespace tsb {
+namespace biozon {
+
+/// Encodes the paper's expert heuristics as core::DomainKnowledge:
+///
+///  * Interaction relationships are rewarded — the biologically significant
+///    Figure-16 topology is defined by proteins that interact (Sec. 6.2.1).
+///  * Multi-class unions are rewarded — a topology combining several
+///    distinct relationships is more informative than a lone path.
+///  * Weak-relationship motifs are penalized — P-D-P (two proteins encoded
+///    by the same DNA), P-U-P (homologs via a Unigene cluster), D-U-D, and
+///    F-W-F (pathway context), per Appendix B / Table 4.
+core::DomainKnowledge MakeBiozonDomainKnowledge(const BiozonSchema& schema);
+
+}  // namespace biozon
+}  // namespace tsb
+
+#endif  // TSB_BIOZON_DOMAIN_H_

@@ -1,0 +1,69 @@
+#include "biozon/fig3.h"
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+namespace tsb {
+namespace biozon {
+namespace {
+
+using storage::Value;
+
+void AddEntity(storage::Catalog* db, const std::string& table, int64_t id,
+               const std::string& desc) {
+  db->GetTable(table)->AppendRowOrDie({Value(id), Value(desc)});
+}
+
+void AddDna(storage::Catalog* db, int64_t id, const std::string& type,
+            const std::string& desc) {
+  db->GetTable("DNA")->AppendRowOrDie({Value(id), Value(type), Value(desc)});
+}
+
+void AddRel(storage::Catalog* db, const std::string& table, int64_t id,
+            int64_t from, int64_t to) {
+  db->GetTable(table)->AppendRowOrDie({Value(id), Value(from), Value(to)});
+}
+
+}  // namespace
+
+BiozonSchema BuildFigure3Database(storage::Catalog* db) {
+  BiozonSchema schema = CreateBiozonSchema(db);
+
+  // Proteins (Figure 3, top-left table).
+  AddEntity(db, "Protein", 32, "Ubiquitin-conjugating enzyme UBCi");
+  AddEntity(db, "Protein", 78, "Ubiquitin-conjugating enzyme variant MMS2");
+  AddEntity(db, "Protein", 34, "vitamin D inducible protein [Homo sapiens]");
+  AddEntity(db, "Protein", 44, "ubiquitin-conjugating enzyme E2B (homolog)");
+
+  // Unigenes.
+  AddEntity(db, "Unigene", 103, "ubiquitin-conjugating enzyme E2");
+  AddEntity(db, "Unigene", 150, "hypothetical protein FLJ13855");
+  AddEntity(db, "Unigene", 188, "ubiquitin-conjugating enzyme E2S");
+  AddEntity(db, "Unigene", 194, "ubiquitin-conjugating enzyme E2S");
+
+  // DNAs (all mRNA, per Figure 3).
+  AddDna(db, 214,
+         "mRNA",
+         "Oryctolagus cuniculus ubiquitin-conjugating enzyme UBCi mRNA");
+  AddDna(db, 215, "mRNA", "Homo sapiens MMS2 (MMS2) mRNA, complete cds.");
+  AddDna(db, 742, "mRNA",
+         "Human ubiquitin carrier protein (E2-EPF) mRNA, complete cds");
+
+  // Relationships (Figure 6 edge ids).
+  AddRel(db, "Encodes", 57, 32, 214);
+  AddRel(db, "Encodes", 44, 34, 215);
+  AddRel(db, "Uni_encodes", 25, 103, 78);
+  AddRel(db, "Uni_encodes", 14, 103, 34);
+  AddRel(db, "Uni_encodes", 31, 150, 78);
+  AddRel(db, "Uni_encodes", 42, 188, 44);
+  AddRel(db, "Uni_encodes", 11, 194, 44);
+  AddRel(db, "Uni_contains", 62, 103, 215);
+  AddRel(db, "Uni_contains", 93, 150, 215);
+  AddRel(db, "Uni_contains", 121, 188, 742);
+  AddRel(db, "Uni_contains", 37, 194, 742);
+
+  return schema;
+}
+
+}  // namespace biozon
+}  // namespace tsb

@@ -1,0 +1,21 @@
+#ifndef TSB_BIOZON_FIG3_H_
+#define TSB_BIOZON_FIG3_H_
+
+#include "biozon/schema.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace biozon {
+
+/// Populates `db` with the literal micro-database of the paper's Figure 3 /
+/// Figure 6: proteins {32, 78, 34, 44}, unigenes {103, 150, 188, 194}, DNAs
+/// {214, 215, 742}, and the eleven relationship rows of Figure 6 (with the
+/// paper's relationship ids). The worked examples of Sections 1-4 (path
+/// sets, equivalence classes, topologies T1-T4, the pruning exception for
+/// pair (78, 215)) are all exactly reproducible on this fixture.
+BiozonSchema BuildFigure3Database(storage::Catalog* db);
+
+}  // namespace biozon
+}  // namespace tsb
+
+#endif  // TSB_BIOZON_FIG3_H_

@@ -1,0 +1,189 @@
+#include "biozon/generator.h"
+
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "common/zipf.h"
+#include "storage/table.h"
+
+namespace tsb {
+namespace biozon {
+namespace {
+
+using storage::Value;
+
+/// Flavor vocabulary for descriptions (beyond the calibrated keywords).
+const char* const kFlavorWords[] = {
+    "ubiquitin", "enzyme",    "conjugating", "variant",  "homolog",
+    "putative",  "receptor",  "transferase", "membrane", "nuclear",
+    "ribosomal", "zinc",      "finger",      "domain",   "transcription",
+    "factor",    "synthase",  "polymerase",  "helicase", "mitochondrial",
+};
+constexpr size_t kNumFlavorWords = sizeof(kFlavorWords) / sizeof(char*);
+
+std::string MakeDescription(Rng* rng, const GeneratorConfig& config) {
+  std::string desc;
+  // Two to four flavor words.
+  size_t words = 2 + rng->NextBounded(3);
+  for (size_t i = 0; i < words; ++i) {
+    if (!desc.empty()) desc += " ";
+    desc += kFlavorWords[rng->NextBounded(kNumFlavorWords)];
+  }
+  // Calibrated keywords, independently.
+  if (rng->NextBool(config.selective_fraction)) {
+    desc += std::string(" ") + kSelectiveKeyword;
+  }
+  if (rng->NextBool(config.medium_fraction)) {
+    desc += std::string(" ") + kMediumKeyword;
+  }
+  if (rng->NextBool(config.unselective_fraction)) {
+    desc += std::string(" ") + kUnselectiveKeyword;
+  }
+  return desc;
+}
+
+size_t Scaled(size_t n, double scale) {
+  size_t scaled = static_cast<size_t>(static_cast<double>(n) * scale);
+  return scaled == 0 ? 1 : scaled;
+}
+
+}  // namespace
+
+BiozonSchema GenerateBiozon(const GeneratorConfig& config,
+                            storage::Catalog* db, GeneratorStats* stats) {
+  BiozonSchema schema = CreateBiozonSchema(db);
+  Rng rng(config.seed);
+  int64_t next_id = 1;
+  GeneratorStats local_stats;
+
+  // --- Entities ---------------------------------------------------------
+  struct EntityPlan {
+    const char* table;
+    size_t count;
+    bool has_type;
+  };
+  const EntityPlan entity_plans[] = {
+      {"Protein", Scaled(config.num_proteins, config.scale), false},
+      {"DNA", Scaled(config.num_dnas, config.scale), true},
+      {"Unigene", Scaled(config.num_unigenes, config.scale), false},
+      {"Interaction", Scaled(config.num_interactions, config.scale), false},
+      {"Family", Scaled(config.num_families, config.scale), false},
+      {"Pathway", Scaled(config.num_pathways, config.scale), false},
+      {"Structure", Scaled(config.num_structures, config.scale), false},
+  };
+  std::vector<std::vector<int64_t>> ids_by_table;
+  for (const EntityPlan& plan : entity_plans) {
+    storage::Table* table = db->GetTable(plan.table);
+    std::vector<int64_t> ids;
+    ids.reserve(plan.count);
+    for (size_t i = 0; i < plan.count; ++i) {
+      int64_t id = next_id++;
+      ids.push_back(id);
+      if (plan.has_type) {
+        // DNA types: mostly mRNA, some genomic sequence, some ESTs.
+        double roll = rng.NextDouble();
+        const char* type =
+            roll < 0.60 ? "mRNA" : (roll < 0.85 ? "genomic" : "EST");
+        table->AppendRowOrDie(
+            {Value(id), Value(type), Value(MakeDescription(&rng, config))});
+      } else {
+        table->AppendRowOrDie(
+            {Value(id), Value(MakeDescription(&rng, config))});
+      }
+      ++local_stats.total_entities;
+    }
+    ids_by_table.push_back(std::move(ids));
+  }
+  const std::vector<int64_t>& proteins = ids_by_table[0];
+  const std::vector<int64_t>& dnas = ids_by_table[1];
+  const std::vector<int64_t>& unigenes = ids_by_table[2];
+  const std::vector<int64_t>& interactions = ids_by_table[3];
+  const std::vector<int64_t>& families = ids_by_table[4];
+  const std::vector<int64_t>& pathways = ids_by_table[5];
+  const std::vector<int64_t>& structures = ids_by_table[6];
+
+  // --- Relationships ----------------------------------------------------
+  // Endpoints are drawn with Zipf-skewed ranks so a few hub entities
+  // accumulate many relationships (the source of frequent topologies and of
+  // weak relationships).
+  auto add_edges = [&](const char* table, const std::vector<int64_t>& from,
+                       const std::vector<int64_t>& to, size_t count) {
+    storage::Table* t = db->GetTable(table);
+    ZipfSampler from_sampler(from.size(), config.zipf_skew);
+    ZipfSampler to_sampler(to.size(), config.zipf_skew);
+    std::set<std::pair<int64_t, int64_t>> seen;
+    size_t attempts = 0;
+    const size_t max_attempts = count * 20 + 100;
+    size_t made = 0;
+    while (made < count && attempts < max_attempts) {
+      ++attempts;
+      int64_t a = from[from_sampler.Sample(&rng)];
+      int64_t b = to[to_sampler.Sample(&rng)];
+      if (!seen.emplace(a, b).second) continue;  // No duplicate edges.
+      t->AppendRowOrDie({Value(next_id++), Value(a), Value(b)});
+      ++made;
+      ++local_stats.total_relationships;
+    }
+  };
+
+  const double s = config.scale;
+  add_edges("Encodes", proteins, dnas, Scaled(config.num_encodes, s));
+  add_edges("Uni_encodes", unigenes, proteins,
+            Scaled(config.num_uni_encodes, s));
+  add_edges("Uni_contains", unigenes, dnas,
+            Scaled(config.num_uni_contains, s));
+  add_edges("Interacts_p", proteins, interactions,
+            Scaled(config.num_interacts_p, s));
+  add_edges("Interacts_d", dnas, interactions,
+            Scaled(config.num_interacts_d, s));
+  add_edges("Belongs", proteins, families, Scaled(config.num_belongs, s));
+  add_edges("Pathway_member", families, pathways,
+            Scaled(config.num_pathway_members, s));
+  add_edges("Manifests", structures, proteins,
+            Scaled(config.num_manifests, s));
+
+  // Plant Figure-16 self-regulation motifs: (P1, P2) both encoded by D and
+  // both participating in interaction I.
+  if (config.num_self_regulation_motifs > 0) {
+    storage::Table* encodes = db->GetTable("Encodes");
+    storage::Table* interacts = db->GetTable("Interacts_p");
+    size_t motifs = Scaled(config.num_self_regulation_motifs, s);
+    for (size_t m = 0; m < motifs; ++m) {
+      int64_t p1 = proteins[rng.NextBounded(proteins.size())];
+      int64_t p2 = proteins[rng.NextBounded(proteins.size())];
+      if (p1 == p2) continue;
+      int64_t d = dnas[rng.NextBounded(dnas.size())];
+      int64_t i = interactions[rng.NextBounded(interactions.size())];
+      encodes->AppendRowOrDie({Value(next_id++), Value(p1), Value(d)});
+      encodes->AppendRowOrDie({Value(next_id++), Value(p2), Value(d)});
+      interacts->AppendRowOrDie({Value(next_id++), Value(p1), Value(i)});
+      interacts->AppendRowOrDie({Value(next_id++), Value(p2), Value(i)});
+      local_stats.total_relationships += 4;
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return schema;
+}
+
+storage::PredicateRef SelectivityPredicate(const storage::Catalog& db,
+                                           const std::string& table,
+                                           const std::string& tier) {
+  const storage::Table* t = db.GetTable(table);
+  const char* keyword = nullptr;
+  if (tier == "selective") {
+    keyword = kSelectiveKeyword;
+  } else if (tier == "medium") {
+    keyword = kMediumKeyword;
+  } else if (tier == "unselective") {
+    keyword = kUnselectiveKeyword;
+  }
+  TSB_CHECK(keyword != nullptr) << "unknown selectivity tier '" << tier << "'";
+  return storage::MakeContainsKeyword(t->schema(), "DESC", keyword);
+}
+
+}  // namespace biozon
+}  // namespace tsb

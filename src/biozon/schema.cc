@@ -1,0 +1,75 @@
+#include "biozon/schema.h"
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace biozon {
+namespace {
+
+using storage::ColumnType;
+using storage::TableSchema;
+
+storage::EntityTypeId MakeEntitySet(storage::Catalog* db,
+                                    const std::string& name,
+                                    bool with_type_column = false) {
+  std::vector<storage::ColumnDef> cols = {{"ID", ColumnType::kInt64}};
+  if (with_type_column) cols.push_back({"TYPE", ColumnType::kString});
+  cols.push_back({"DESC", ColumnType::kString});
+  auto table = db->CreateTable(name, TableSchema(std::move(cols)));
+  TSB_CHECK(table.ok()) << table.status();
+  auto id = db->RegisterEntitySet(name, name, "ID");
+  TSB_CHECK(id.ok()) << id.status();
+  return id.value();
+}
+
+storage::RelTypeId MakeRelationshipSet(storage::Catalog* db,
+                                       const std::string& name,
+                                       const std::string& from_col,
+                                       storage::EntityTypeId from_type,
+                                       const std::string& to_col,
+                                       storage::EntityTypeId to_type) {
+  auto table = db->CreateTable(
+      name, TableSchema({{"ID", ColumnType::kInt64},
+                         {from_col, ColumnType::kInt64},
+                         {to_col, ColumnType::kInt64}}));
+  TSB_CHECK(table.ok()) << table.status();
+  auto id = db->RegisterRelationshipSet(name, name, "ID", from_col, from_type,
+                                        to_col, to_type);
+  TSB_CHECK(id.ok()) << id.status();
+  return id.value();
+}
+
+}  // namespace
+
+BiozonSchema CreateBiozonSchema(storage::Catalog* db) {
+  BiozonSchema s;
+  s.protein = MakeEntitySet(db, "Protein");
+  s.dna = MakeEntitySet(db, "DNA", /*with_type_column=*/true);
+  s.unigene = MakeEntitySet(db, "Unigene");
+  s.interaction = MakeEntitySet(db, "Interaction");
+  s.family = MakeEntitySet(db, "Family");
+  s.pathway = MakeEntitySet(db, "Pathway");
+  s.structure = MakeEntitySet(db, "Structure");
+
+  s.encodes =
+      MakeRelationshipSet(db, "Encodes", "PID", s.protein, "DID", s.dna);
+  s.uni_encodes = MakeRelationshipSet(db, "Uni_encodes", "UID", s.unigene,
+                                      "PID", s.protein);
+  s.uni_contains = MakeRelationshipSet(db, "Uni_contains", "UID", s.unigene,
+                                       "DID", s.dna);
+  s.interacts_p = MakeRelationshipSet(db, "Interacts_p", "PID", s.protein,
+                                      "IID", s.interaction);
+  s.interacts_d =
+      MakeRelationshipSet(db, "Interacts_d", "DID", s.dna, "IID",
+                          s.interaction);
+  s.belongs =
+      MakeRelationshipSet(db, "Belongs", "PID", s.protein, "FID", s.family);
+  s.pathway_member = MakeRelationshipSet(db, "Pathway_member", "FID",
+                                         s.family, "WID", s.pathway);
+  s.manifests = MakeRelationshipSet(db, "Manifests", "SID", s.structure,
+                                    "PID", s.protein);
+  return s;
+}
+
+}  // namespace biozon
+}  // namespace tsb

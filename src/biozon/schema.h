@@ -1,0 +1,42 @@
+#ifndef TSB_BIOZON_SCHEMA_H_
+#define TSB_BIOZON_SCHEMA_H_
+
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace biozon {
+
+/// Handles for the Biozon schema of Figure 1: seven entity sets and eight
+/// binary relationship sets. With this schema there are exactly ten schema
+/// paths of length <= 3 between Protein and DNA, matching the count the
+/// paper reports for the real Biozon (Section 3.1).
+///
+/// Entity tables all carry (ID INT64, DESC STRING); DNA additionally has
+/// TYPE (e.g. 'mRNA'). Relationship tables carry (ID, <from>, <to>).
+struct BiozonSchema {
+  storage::EntityTypeId protein;
+  storage::EntityTypeId dna;
+  storage::EntityTypeId unigene;
+  storage::EntityTypeId interaction;
+  storage::EntityTypeId family;
+  storage::EntityTypeId pathway;
+  storage::EntityTypeId structure;
+
+  storage::RelTypeId encodes;          // Protein - DNA
+  storage::RelTypeId uni_encodes;      // Unigene - Protein
+  storage::RelTypeId uni_contains;     // Unigene - DNA
+  storage::RelTypeId interacts_p;      // Protein - Interaction
+  storage::RelTypeId interacts_d;      // DNA - Interaction
+  storage::RelTypeId belongs;          // Protein - Family
+  storage::RelTypeId pathway_member;   // Family - Pathway
+  storage::RelTypeId manifests;        // Structure - Protein
+};
+
+/// Creates the (empty) Biozon tables in `db` and registers the entity and
+/// relationship sets. Aborts if tables already exist.
+BiozonSchema CreateBiozonSchema(storage::Catalog* db);
+
+}  // namespace biozon
+}  // namespace tsb
+
+#endif  // TSB_BIOZON_SCHEMA_H_

@@ -1,0 +1,46 @@
+#ifndef TSB_COMMON_HASH_H_
+#define TSB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace tsb {
+
+/// FNV-1a over a byte range; the stable string hash used for keyword
+/// dictionaries and canonical-code digests.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes a 64-bit value into a seed (boost::hash_combine style, 64-bit
+/// constants).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ULL;
+  v = (v << 31) | (v >> 33);
+  v *= 0xbf58476d1ce4e5b9ULL;
+  seed ^= v;
+  seed = (seed << 27) | (seed >> 37);
+  return seed * 5 + 0x52dce729ULL;
+}
+
+/// Hash functor for pairs of integral values, for unordered containers keyed
+/// by (entity, entity) or (table, row).
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<size_t>(
+        HashCombine(static_cast<uint64_t>(p.first) + 0x9e3779b9,
+                    static_cast<uint64_t>(p.second)));
+  }
+};
+
+}  // namespace tsb
+
+#endif  // TSB_COMMON_HASH_H_

@@ -1,0 +1,60 @@
+#ifndef TSB_COMMON_LOGGING_H_
+#define TSB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tsb {
+namespace internal {
+
+/// Stream sink that aborts the process when destroyed. Used by TSB_CHECK to
+/// allow `TSB_CHECK(cond) << "context"` syntax without exceptions.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line
+            << " Check failed: " << condition << " ";
+  }
+  ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tsb
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// invariant violations in a database engine must never be silently ignored.
+/// The `while` form makes the macro a single statement that supports
+/// streaming extra context and never actually loops (the sink aborts).
+#define TSB_CHECK(condition)  \
+  while (!(condition))        \
+  ::tsb::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define TSB_CHECK_EQ(a, b) TSB_CHECK((a) == (b))
+#define TSB_CHECK_NE(a, b) TSB_CHECK((a) != (b))
+#define TSB_CHECK_LT(a, b) TSB_CHECK((a) < (b))
+#define TSB_CHECK_LE(a, b) TSB_CHECK((a) <= (b))
+#define TSB_CHECK_GT(a, b) TSB_CHECK((a) > (b))
+#define TSB_CHECK_GE(a, b) TSB_CHECK((a) >= (b))
+
+/// Debug-only check; compiles away in release builds.
+#ifndef NDEBUG
+#define TSB_DCHECK(condition) TSB_CHECK(condition)
+#else
+#define TSB_DCHECK(condition) \
+  while (false) TSB_CHECK(condition)
+#endif
+
+#endif  // TSB_COMMON_LOGGING_H_

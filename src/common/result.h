@@ -1,0 +1,66 @@
+#ifndef TSB_COMMON_RESULT_H_
+#define TSB_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace tsb {
+
+/// Holds either a value of type T or an error Status. The library's
+/// exception-free analogue of absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common, success path).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    TSB_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value. Aborts if the result holds an error.
+  const T& value() const& {
+    TSB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TSB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TSB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns the error.
+#define TSB_ASSIGN_OR_RETURN(lhs, expr)                    \
+  TSB_ASSIGN_OR_RETURN_IMPL_(                              \
+      TSB_RESULT_CONCAT_(_tsb_result, __LINE__), lhs, expr)
+
+#define TSB_RESULT_CONCAT_INNER_(a, b) a##b
+#define TSB_RESULT_CONCAT_(a, b) TSB_RESULT_CONCAT_INNER_(a, b)
+#define TSB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace tsb
+
+#endif  // TSB_COMMON_RESULT_H_

@@ -1,0 +1,59 @@
+#include "common/rng.h"
+
+namespace tsb {
+namespace {
+
+/// SplitMix64 mixer, used for seeding.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  state_ = SplitMix64(&sm);
+  inc_ = SplitMix64(&sm) | 1ULL;  // Stream selector must be odd.
+}
+
+uint64_t Rng::Next64() {
+  // xorshift-multiply over a 64-bit LCG state; the odd increment selects the
+  // stream. This is the pcg_oneseq_64 output function widened to 64 bits.
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint64_t xored = (old ^ (old >> 27)) * 0x2545f4914f6cdd1dULL;
+  return xored ^ (xored >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TSB_CHECK_GT(bound, 0u);
+  // Rejection sampling: discard values in the biased tail.
+  uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  TSB_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next64());  // Full range.
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace tsb

@@ -1,0 +1,63 @@
+#ifndef TSB_COMMON_RNG_H_
+#define TSB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tsb {
+
+/// Deterministic 64-bit PCG-family random number generator
+/// (pcg64-xsl-rr-like mixing over a 128-bit LCG state split into two words).
+/// Deterministic across platforms so that generated databases, workloads and
+/// test sweeps are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator via SplitMix64 so that nearby seeds do not
+  /// produce correlated streams.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform in [0, bound). `bound` must be positive. Uses rejection to
+  /// avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool NextBool(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. The vector must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    TSB_CHECK(!items.empty());
+    return items[NextBounded(items.size())];
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace tsb
+
+#endif  // TSB_COMMON_RNG_H_

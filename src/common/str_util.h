@@ -1,0 +1,41 @@
+#ifndef TSB_COMMON_STR_UTIL_H_
+#define TSB_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsb {
+
+/// Splits `input` on `delim`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// ASCII lower-casing.
+std::string AsciiToLower(std::string_view s);
+
+/// Tokenizes free text into lower-cased alphanumeric keywords; everything
+/// else is a separator. This is the analysis used by the keyword index and
+/// by `contains` predicates (the paper's `desc.ct('enzyme')`).
+std::vector<std::string> TokenizeKeywords(std::string_view text);
+
+/// True if `text` contains `keyword` as a whole token under
+/// TokenizeKeywords' analysis.
+bool ContainsKeyword(std::string_view text, std::string_view keyword);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+/// Lowercase hex encoding of arbitrary bytes (for binary fields in text
+/// formats such as CSV).
+std::string HexEncode(std::string_view bytes);
+
+/// Inverse of HexEncode; returns false on odd length or non-hex digits.
+bool HexDecode(std::string_view hex, std::string* out);
+
+}  // namespace tsb
+
+#endif  // TSB_COMMON_STR_UTIL_H_

@@ -1,0 +1,33 @@
+#ifndef TSB_COMMON_TABLE_PRINTER_H_
+#define TSB_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tsb {
+
+/// Renders aligned plain-text tables; the benchmark harnesses use this to
+/// print the paper's tables (Table 1/2/3) in a comparable layout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// Writes the table with a header underline.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsb
+
+#endif  // TSB_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,43 @@
+#ifndef TSB_COMMON_ZIPF_H_
+#define TSB_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tsb {
+
+/// Samples ranks 0..n-1 with P(rank = k) proportional to 1/(k+1)^s.
+///
+/// The paper's central empirical observation (Section 4.2.1, Figure 11) is
+/// that topology frequency is approximately Zipfian; the synthetic Biozon
+/// generator uses this sampler to reproduce that shape for node degrees and
+/// attachment choices.
+///
+/// Implementation: precomputed inverse-CDF table with binary search, O(log n)
+/// per draw, exact for any n that fits in memory (our use is n <= ~10^6).
+class ZipfSampler {
+ public:
+  /// Builds a sampler over `n` ranks with exponent `s` (s >= 0; s == 0 is
+  /// uniform). `n` must be positive.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  /// Probability mass of a given rank.
+  double Pmf(uint64_t rank) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1.
+};
+
+}  // namespace tsb
+
+#endif  // TSB_COMMON_ZIPF_H_

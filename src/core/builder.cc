@@ -1,0 +1,182 @@
+#include "core/builder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "graph/canonical.h"
+#include "graph/path_enum.h"
+
+namespace tsb {
+namespace core {
+namespace {
+
+using graph::EntityId;
+using graph::PathInstance;
+
+}  // namespace
+
+Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
+                                  storage::EntityTypeId tb,
+                                  const BuildConfig& config,
+                                  TopologyStore* store) {
+  auto [t1, t2] = TopologyStore::NormalizePair(ta, tb);
+  if (store->FindPair(t1, t2) != nullptr) {
+    return Status::AlreadyExists("pair already built");
+  }
+
+  PairTopologyData data;
+  data.t1 = t1;
+  data.t2 = t2;
+  data.pair_name =
+      schema_->entity_name(t1) + "_" + schema_->entity_name(t2);
+  data.max_path_length = config.max_path_length;
+  data.build_max_class_representatives = config.max_class_representatives;
+  data.build_max_union_combinations = config.max_union_combinations;
+  data.alltops_table = "AllTops_" + data.pair_name;
+  data.pairclasses_table = "PairClasses_" + data.pair_name;
+
+  storage::TableSchema alltops_schema({{"E1", storage::ColumnType::kInt64},
+                                       {"E2", storage::ColumnType::kInt64},
+                                       {"TID", storage::ColumnType::kInt64}});
+  storage::TableSchema classes_schema({{"E1", storage::ColumnType::kInt64},
+                                       {"E2", storage::ColumnType::kInt64},
+                                       {"CID", storage::ColumnType::kInt64}});
+  storage::Table* alltops;
+  storage::Table* pairclasses;
+  {
+    auto t = db_->CreateTable(data.alltops_table, std::move(alltops_schema));
+    TSB_RETURN_IF_ERROR(t.status());
+    alltops = t.value();
+  }
+  {
+    auto t =
+        db_->CreateTable(data.pairclasses_table, std::move(classes_schema));
+    TSB_RETURN_IF_ERROR(t.status());
+    pairclasses = t.value();
+  }
+
+  TopologyCatalog* catalog = store->mutable_catalog();
+
+  // Registers (or fetches) a class id from an instance's schema path.
+  auto class_id_for = [&](const PathInstance& p) -> uint32_t {
+    graph::SchemaPath sp = p.ToSchemaPath(*view_);
+    std::string key = schema_->PathClassKey(sp);
+    auto it = data.class_by_key.find(key);
+    if (it != data.class_by_key.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(data.classes.size());
+    ClassInfo info;
+    info.id = id;
+    info.key = key;
+    // Store the canonical-direction representative (the smaller label
+    // sequence, matching ExtractSchemaPath and PathClassKey).
+    graph::SchemaPath rev = sp.Reversed();
+    auto seq = [](const graph::SchemaPath& q) {
+      std::vector<uint32_t> s;
+      for (size_t i = 0; i < q.steps.size(); ++i) {
+        s.push_back(q.node_types[i]);
+        s.push_back(q.steps[i].rel);
+      }
+      s.push_back(q.node_types.back());
+      return s;
+    };
+    info.path = seq(rev) < seq(sp) ? rev : sp;
+    data.classes.push_back(std::move(info));
+    data.class_by_key.emplace(std::move(key), id);
+    return id;
+  };
+
+  const bool self_pair = (t1 == t2);
+
+  SweepLimits sweep_limits;
+  sweep_limits.max_path_length = config.max_path_length;
+  sweep_limits.max_class_representatives = config.max_class_representatives;
+  sweep_limits.max_paths_per_source = config.max_paths_per_source;
+
+  for (EntityId a : view_->EntitiesOfType(t1)) {
+    // Enumerate all simple paths from `a` of length <= l ending at type t2,
+    // grouped by destination and path class. Paths may pass through
+    // t2-typed nodes and keep extending; every prefix landing on a t2 node
+    // is recorded.
+    SourceSweep sweep =
+        SweepFromSource(*view_, *schema_, a, t2, self_pair, sweep_limits);
+    if (sweep.source_truncated) ++data.truncated_pairs;
+    if (sweep.reps_truncated) ++data.truncated_representatives;
+
+    // Fold each destination into topologies and AllTops rows.
+    for (auto& [b, reps_by_key] : sweep.by_dest) {
+      std::vector<std::vector<PathInstance>> class_reps;
+      std::vector<std::string> class_keys;
+      std::vector<uint32_t> class_ids;
+      class_reps.reserve(reps_by_key.size());
+      for (auto& [key, reps] : reps_by_key) {
+        class_ids.push_back(class_id_for(reps.front()));
+        class_keys.push_back(key);
+        class_reps.push_back(std::move(reps));
+      }
+      const size_t s = class_reps.size();
+
+      UnionLimits limits;
+      limits.max_class_representatives = config.max_class_representatives;
+      limits.max_union_combinations = config.max_union_combinations;
+      bool union_truncated = false;
+      std::vector<ComputedTopology> topologies = UnionTopologies(
+          *view_, class_reps, class_keys, limits, &union_truncated);
+      if (union_truncated) ++data.truncated_pairs;
+
+      for (const ComputedTopology& topo : topologies) {
+        Tid tid = catalog->InternWithCode(topo.graph, topo.code, s,
+                                          topo.class_keys);
+        alltops->AppendRowOrDie({storage::Value(a), storage::Value(b),
+                                 storage::Value(tid)});
+        auto [it, inserted] = data.freq.emplace(tid, 1);
+        if (!inserted) ++it->second;
+        // Single-class pairs define the path topology of their class.
+        if (s == 1) {
+          ClassInfo& cls = data.classes[class_ids[0]];
+          if (cls.path_tid == kNoTid) cls.path_tid = tid;
+        }
+      }
+      // Exception bookkeeping: remember the class memberships of pairs
+      // related by more than one class (Section 4.2.2).
+      if (s > 1) {
+        for (uint32_t cid : class_ids) {
+          pairclasses->AppendRowOrDie(
+              {storage::Value(a), storage::Value(b),
+               storage::Value(static_cast<int64_t>(cid))});
+          ++data.classes[cid].instance_pairs;
+        }
+      } else {
+        ++data.classes[class_ids[0]].instance_pairs;
+      }
+      ++data.num_related_pairs;
+    }
+  }
+
+  // Classes observed only inside multi-class pairs keep path_tid == kNoTid:
+  // their path topology is never an observed topology (no pair is related
+  // by it alone), so it must not appear in TopInfo — and it can never be
+  // pruned, so no lookup needs the TID.
+
+  store->AddPair(std::move(data));
+  return Status::OK();
+}
+
+Status TopologyBuilder::BuildAllPairs(const BuildConfig& config,
+                                      TopologyStore* store) {
+  const size_t n = schema_->num_entity_types();
+  for (storage::EntityTypeId t1 = 0; t1 < n; ++t1) {
+    for (storage::EntityTypeId t2 = t1; t2 < n; ++t2) {
+      if (schema_->EnumeratePaths(t1, t2, config.max_path_length).empty()) {
+        continue;
+      }
+      if (store->FindPair(t1, t2) != nullptr) continue;
+      TSB_RETURN_IF_ERROR(BuildPair(t1, t2, config, store));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace tsb

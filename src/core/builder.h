@@ -1,0 +1,62 @@
+#ifndef TSB_CORE_BUILDER_H_
+#define TSB_CORE_BUILDER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/pair_topologies.h"
+#include "core/store.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace core {
+
+/// Offline topology-computation configuration (Section 4.1).
+struct BuildConfig {
+  /// The l of l-topologies: instance paths of length <= l are considered.
+  size_t max_path_length = 3;
+  /// Representatives retained per (pair, class); further instances only
+  /// bump counters. Definition 2 needs one per class, but all *choices* of
+  /// representatives; the cap bounds that product (see UnionLimits).
+  size_t max_class_representatives = 32;
+  /// Union combinations explored per pair.
+  size_t max_union_combinations = 4096;
+  /// Cap on simple paths enumerated per source entity (weak-relationship
+  /// hubs; Section 6.2.3).
+  size_t max_paths_per_source = SIZE_MAX;
+};
+
+/// Computes the AllTops and PairClasses tables for entity-set pairs: the
+/// Topology Computation module of Figure 10. For each source entity it
+/// enumerates all simple paths of length <= l to entities of the partner
+/// type, groups them into path equivalence classes per destination
+/// (Definition 1), unions one representative per class over all choices
+/// (Definition 2), interns the resulting canonical graphs, and appends
+/// (E1, E2, TID) rows.
+class TopologyBuilder {
+ public:
+  TopologyBuilder(storage::Catalog* db, const graph::SchemaGraph* schema,
+                  const graph::DataGraphView* view)
+      : db_(db), schema_(schema), view_(view) {}
+
+  /// Builds one entity-set pair (order-insensitive); registers the result
+  /// in `store`. Fails if the pair was already built.
+  Status BuildPair(storage::EntityTypeId ta, storage::EntityTypeId tb,
+                   const BuildConfig& config, TopologyStore* store);
+
+  /// Convenience: builds every unordered pair of entity types that the
+  /// schema connects with at least one path of length <= l.
+  Status BuildAllPairs(const BuildConfig& config, TopologyStore* store);
+
+ private:
+  storage::Catalog* db_;
+  const graph::SchemaGraph* schema_;
+  const graph::DataGraphView* view_;
+};
+
+}  // namespace core
+}  // namespace tsb
+
+#endif  // TSB_CORE_BUILDER_H_

@@ -1,0 +1,56 @@
+#include "core/instance_retrieval.h"
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace core {
+
+std::vector<TopologyInstance> RetrieveInstances(
+    const storage::Catalog& db, const TopologyStore& store,
+    const graph::SchemaGraph& schema, const graph::DataGraphView& view,
+    storage::EntityTypeId t1, storage::EntityTypeId t2, Tid tid,
+    const RetrievalLimits& limits) {
+  std::vector<TopologyInstance> out;
+  const PairTopologyData* pair = store.FindPair(t1, t2);
+  if (pair == nullptr) return out;
+  const std::string& target_code = store.catalog().Get(tid).code;
+
+  const storage::Table& alltops = *db.GetTable(pair->alltops_table);
+  const auto& e1 = alltops.column(0).ints();
+  const auto& e2 = alltops.column(1).ints();
+  const auto& tids = alltops.column(2).ints();
+
+  PairComputeLimits compute_limits;
+  compute_limits.max_path_length = pair->max_path_length;
+  compute_limits.union_limits = limits.union_limits;
+  compute_limits.path_cap = limits.path_cap;
+
+  size_t pairs_done = 0;
+  for (size_t i = 0; i < alltops.num_rows(); ++i) {
+    if (tids[i] != tid) continue;
+    if (pairs_done >= limits.max_pairs) break;
+    ++pairs_done;
+
+    // Recompute this pair's topology set from the base data and keep the
+    // witnesses whose canonical code matches the requested topology. With
+    // the same limits as the offline build, the target is always found.
+    PairComputation computed =
+        ComputePairTopologies(view, schema, e1[i], e2[i], compute_limits);
+    size_t emitted = 0;
+    for (ComputedTopology& topo : computed.topologies) {
+      if (topo.code != target_code) continue;
+      if (emitted >= limits.max_instances_per_pair) break;
+      ++emitted;
+      TopologyInstance instance;
+      instance.a = e1[i];
+      instance.b = e2[i];
+      instance.subgraph = std::move(topo.witness);
+      instance.node_ids = std::move(topo.witness_ids);
+      out.push_back(std::move(instance));
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace tsb

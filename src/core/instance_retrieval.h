@@ -1,0 +1,45 @@
+#ifndef TSB_CORE_INSTANCE_RETRIEVAL_H_
+#define TSB_CORE_INSTANCE_RETRIEVAL_H_
+
+#include <vector>
+
+#include "core/pair_topologies.h"
+#include "core/store.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace core {
+
+/// One instance-level result for a topology: the concrete subgraph (with
+/// entity ids) adhering to the topology, for a specific entity pair.
+struct TopologyInstance {
+  graph::EntityId a = 0;
+  graph::EntityId b = 0;
+  graph::LabeledGraph subgraph;              // Node labels = entity types.
+  std::vector<graph::EntityId> node_ids;     // Node index -> entity id.
+};
+
+struct RetrievalLimits {
+  size_t max_pairs = SIZE_MAX;                // Pairs materialized.
+  size_t max_instances_per_pair = SIZE_MAX;   // Witnesses per pair.
+  UnionLimits union_limits;                   // Re-computation caps.
+  size_t path_cap = SIZE_MAX;
+};
+
+/// Retrieves instance-level results adhering to topology `tid` for the
+/// entity-set pair (Section 6.2.4: "the cost of retrieving the instances of
+/// a given topology"). Pairs come from the AllTops table; each pair's
+/// witness subgraphs are recomputed from the base data and filtered to the
+/// requested topology.
+std::vector<TopologyInstance> RetrieveInstances(
+    const storage::Catalog& db, const TopologyStore& store,
+    const graph::SchemaGraph& schema, const graph::DataGraphView& view,
+    storage::EntityTypeId t1, storage::EntityTypeId t2, Tid tid,
+    const RetrievalLimits& limits = RetrievalLimits{});
+
+}  // namespace core
+}  // namespace tsb
+
+#endif  // TSB_CORE_INSTANCE_RETRIEVAL_H_

@@ -1,0 +1,180 @@
+#include "core/pair_topologies.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "graph/canonical.h"
+
+namespace tsb {
+namespace core {
+namespace {
+
+/// Unions the chosen paths into an instance-level labeled graph.
+void BuildUnionGraph(const graph::DataGraphView& view,
+                     const std::vector<const graph::PathInstance*>& chosen,
+                     graph::LabeledGraph* out,
+                     std::vector<graph::EntityId>* node_ids) {
+  std::unordered_map<graph::EntityId, graph::LabeledGraph::NodeId> node_of;
+  std::unordered_set<int64_t> edge_seen;
+  for (const graph::PathInstance* path : chosen) {
+    for (graph::EntityId id : path->nodes) {
+      if (node_of.count(id) > 0) continue;
+      graph::LabeledGraph::NodeId nid = out->AddNode(view.NodeType(id));
+      node_of.emplace(id, nid);
+      node_ids->push_back(id);
+    }
+    for (size_t i = 0; i < path->edge_ids.size(); ++i) {
+      if (!edge_seen.insert(path->edge_ids[i]).second) continue;
+      out->AddEdge(node_of[path->nodes[i]], node_of[path->nodes[i + 1]],
+                   path->steps[i].rel);
+    }
+  }
+  // Distinct relationship rows with identical endpoints and type carry no
+  // extra information for topology identity.
+  out->DedupeParallelEdges();
+}
+
+}  // namespace
+
+std::vector<ComputedTopology> UnionTopologies(
+    const graph::DataGraphView& view,
+    const std::vector<std::vector<graph::PathInstance>>& class_reps,
+    const std::vector<std::string>& class_keys, const UnionLimits& limits,
+    bool* truncated) {
+  std::vector<ComputedTopology> out;
+  if (class_reps.empty()) return out;
+  const size_t s = class_reps.size();
+  TSB_CHECK_EQ(class_keys.size(), s);
+  for (const auto& reps : class_reps) {
+    TSB_CHECK(!reps.empty()) << "empty path equivalence class";
+  }
+
+  std::unordered_set<std::string> seen;
+  // Mixed-radix odometer over one representative per class. With a single
+  // class every choice yields the same (path) topology, so one combination
+  // suffices.
+  std::vector<size_t> choice(s, 0);
+  size_t combos = 0;
+  for (;;) {
+    if (combos >= limits.max_union_combinations) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    ++combos;
+    std::vector<const graph::PathInstance*> chosen;
+    chosen.reserve(s);
+    for (size_t c = 0; c < s; ++c) chosen.push_back(&class_reps[c][choice[c]]);
+
+    ComputedTopology topo;
+    topo.num_classes = s;
+    topo.class_keys = class_keys;
+    BuildUnionGraph(view, chosen, &topo.witness, &topo.witness_ids);
+    topo.code = graph::CanonicalCode(topo.witness);
+    if (seen.insert(topo.code).second) {
+      topo.graph = graph::CanonicalForm(topo.witness);
+      out.push_back(std::move(topo));
+    }
+
+    if (s == 1) break;  // All single-class choices are isomorphic.
+    // Advance the odometer.
+    size_t c = 0;
+    for (; c < s; ++c) {
+      if (++choice[c] < class_reps[c].size()) break;
+      choice[c] = 0;
+    }
+    if (c == s) break;
+  }
+  return out;
+}
+
+SourceSweep SweepFromSource(const graph::DataGraphView& view,
+                            const graph::SchemaGraph& schema,
+                            graph::EntityId a,
+                            storage::EntityTypeId partner_type,
+                            bool self_pair, const SweepLimits& limits) {
+  SourceSweep sweep;
+  if (!view.HasNode(a)) return sweep;
+
+  graph::PathInstance current;
+  current.nodes.push_back(a);
+  size_t paths_recorded = 0;
+
+  std::function<void()> dfs = [&]() {
+    if (sweep.source_truncated) return;
+    graph::EntityId at = current.nodes.back();
+    if (at != a && view.NodeType(at) == partner_type &&
+        !current.steps.empty() && (!self_pair || at > a)) {
+      if (paths_recorded >= limits.max_paths_per_source) {
+        sweep.source_truncated = true;
+        return;
+      }
+      ++paths_recorded;
+      std::string key = schema.PathClassKey(current.ToSchemaPath(view));
+      std::vector<graph::PathInstance>& reps = sweep.by_dest[at][key];
+      if (reps.size() >= limits.max_class_representatives) {
+        sweep.reps_truncated = true;
+      } else {
+        reps.push_back(current);
+      }
+    }
+    if (current.steps.size() == limits.max_path_length) return;
+    for (const graph::AdjEntry& adj : view.Neighbors(at)) {
+      if (std::find(current.nodes.begin(), current.nodes.end(),
+                    adj.neighbor) != current.nodes.end()) {
+        continue;  // Simple paths only.
+      }
+      current.nodes.push_back(adj.neighbor);
+      current.edge_ids.push_back(adj.edge_id);
+      current.steps.push_back(graph::SchemaStep{adj.rel, adj.forward});
+      dfs();
+      current.nodes.pop_back();
+      current.edge_ids.pop_back();
+      current.steps.pop_back();
+      if (sweep.source_truncated) return;
+    }
+  };
+  dfs();
+  return sweep;
+}
+
+PairComputation ComputePairTopologies(const graph::DataGraphView& view,
+                                      const graph::SchemaGraph& schema,
+                                      graph::EntityId a, graph::EntityId b,
+                                      const PairComputeLimits& limits) {
+  PairComputation result;
+  bool path_truncated = false;
+  std::vector<graph::PathInstance> paths = graph::EnumeratePathsBetween(
+      view, a, b, limits.max_path_length, limits.path_cap, &path_truncated);
+  if (path_truncated) result.truncated = true;
+
+  for (graph::PathInstance& p : paths) {
+    std::string key = schema.PathClassKey(p.ToSchemaPath(view));
+    std::vector<graph::PathInstance>& reps = result.classes[key];
+    if (reps.size() >= limits.union_limits.max_class_representatives) {
+      result.truncated = true;
+      continue;
+    }
+    reps.push_back(std::move(p));
+  }
+  if (result.classes.empty()) return result;
+
+  std::vector<std::vector<graph::PathInstance>> class_reps;
+  std::vector<std::string> class_keys;
+  class_reps.reserve(result.classes.size());
+  for (const auto& [key, reps] : result.classes) {
+    class_keys.push_back(key);
+    class_reps.push_back(reps);
+  }
+
+  bool union_truncated = false;
+  result.topologies = UnionTopologies(view, class_reps, class_keys,
+                                      limits.union_limits, &union_truncated);
+  if (union_truncated) result.truncated = true;
+  return result;
+}
+
+}  // namespace core
+}  // namespace tsb

@@ -1,0 +1,43 @@
+#ifndef TSB_CORE_PERSISTENCE_H_
+#define TSB_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/store.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace core {
+
+/// Persistence of the offline precomputation. The paper's workflow
+/// (Section 3.2) computes AllTops in bulk "every few weeks"; persisting the
+/// artifacts makes that offline/online split real across process runs: run
+/// TopologyBuilder + PruneFrequentTopologies once, save, and serve queries
+/// from a fresh process after LoadTopologyArtifacts.
+///
+/// Layout under `dir` (created if missing):
+///   topologies.csv            one row per interned topology (graph
+///                             serialized as labels + edge list; binary
+///                             class keys hex-encoded)
+///   pairs.csv                 one row per built entity-set pair
+///   classes_<pair>.csv        the pair's path-class registry
+///   freq_<pair>.csv           topology frequencies
+///   table_<name>.csv          AllTops / PairClasses / LeftTops / ExcpTops
+///
+/// Base entity/relationship tables are NOT persisted (they are the input
+/// database); loading requires a catalog already holding them, and the
+/// loaded artifacts reference entities by the same global ids.
+Status SaveTopologyArtifacts(const storage::Catalog& db,
+                             const TopologyStore& store,
+                             const std::string& dir);
+
+/// Restores topologies, pair registries and precomputed tables into `db`
+/// and `store`. `store` must be empty; table names must not collide.
+Status LoadTopologyArtifacts(storage::Catalog* db, TopologyStore* store,
+                             const std::string& dir);
+
+}  // namespace core
+}  // namespace tsb
+
+#endif  // TSB_CORE_PERSISTENCE_H_

@@ -1,0 +1,103 @@
+#include "core/pruner.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace core {
+
+Result<PruneStats> PruneFrequentTopologies(storage::Catalog* db,
+                                           TopologyStore* store,
+                                           storage::EntityTypeId t1,
+                                           storage::EntityTypeId t2,
+                                           const PruneConfig& config) {
+  PairTopologyData* pair = store->FindPair(t1, t2);
+  if (pair == nullptr) {
+    return Status::NotFound("pair not built; run TopologyBuilder first");
+  }
+  if (pair->pruned) {
+    return Status::FailedPrecondition("pair already pruned");
+  }
+
+  const TopologyCatalog& catalog = store->catalog();
+
+  // Select prunable topologies: path-shaped and more frequent than the
+  // threshold. Their class id is recovered through the class registry.
+  std::unordered_map<Tid, uint32_t> tid_to_class;
+  for (const ClassInfo& cls : pair->classes) {
+    if (cls.path_tid != kNoTid) tid_to_class.emplace(cls.path_tid, cls.id);
+  }
+  std::unordered_set<Tid> pruned;
+  for (const auto& [tid, freq] : pair->freq) {
+    if (freq <= config.frequency_threshold) continue;
+    if (!catalog.Get(tid).is_path) continue;
+    auto it = tid_to_class.find(tid);
+    if (it == tid_to_class.end()) continue;  // Path not of this pair's l-set.
+    pruned.insert(tid);
+  }
+
+  // LeftTops: AllTops rows whose TID survived.
+  const storage::Table& alltops = *db->GetTable(pair->alltops_table);
+  pair->lefttops_table = "LeftTops_" + pair->pair_name;
+  pair->excptops_table = "ExcpTops_" + pair->pair_name;
+  storage::TableSchema row_schema({{"E1", storage::ColumnType::kInt64},
+                                   {"E2", storage::ColumnType::kInt64},
+                                   {"TID", storage::ColumnType::kInt64}});
+  storage::Table* lefttops;
+  storage::Table* excptops;
+  {
+    auto t = db->CreateTable(pair->lefttops_table, row_schema);
+    TSB_RETURN_IF_ERROR(t.status());
+    lefttops = t.value();
+  }
+  {
+    auto t = db->CreateTable(pair->excptops_table, row_schema);
+    TSB_RETURN_IF_ERROR(t.status());
+    excptops = t.value();
+  }
+
+  PruneStats stats;
+  stats.alltops_rows = alltops.num_rows();
+  const auto& e1 = alltops.column(0).ints();
+  const auto& e2 = alltops.column(1).ints();
+  const auto& tid_col = alltops.column(2).ints();
+  for (size_t i = 0; i < alltops.num_rows(); ++i) {
+    if (pruned.count(tid_col[i]) > 0) continue;
+    lefttops->AppendRowOrDie({storage::Value(e1[i]), storage::Value(e2[i]),
+                              storage::Value(tid_col[i])});
+  }
+  stats.lefttops_rows = lefttops->num_rows();
+
+  // ExcpTops: pairs whose class set contains a pruned topology's class but
+  // who are related by more complex topologies (they appear in PairClasses,
+  // which only records multi-class pairs). Keyed by the pruned TID so the
+  // online check can filter per topology.
+  std::unordered_map<uint32_t, Tid> class_to_pruned_tid;
+  for (Tid tid : pruned) class_to_pruned_tid[tid_to_class[tid]] = tid;
+  const storage::Table& pairclasses = *db->GetTable(pair->pairclasses_table);
+  const auto& ce1 = pairclasses.column(0).ints();
+  const auto& ce2 = pairclasses.column(1).ints();
+  const auto& cid_col = pairclasses.column(2).ints();
+  for (size_t i = 0; i < pairclasses.num_rows(); ++i) {
+    auto it = class_to_pruned_tid.find(static_cast<uint32_t>(cid_col[i]));
+    if (it == class_to_pruned_tid.end()) continue;
+    excptops->AppendRowOrDie({storage::Value(ce1[i]), storage::Value(ce2[i]),
+                              storage::Value(it->second)});
+  }
+  stats.excptops_rows = excptops->num_rows();
+  stats.pruned_topologies = pruned.size();
+
+  pair->pruned = true;
+  pair->prune_threshold = config.frequency_threshold;
+  for (Tid tid : pruned) {
+    pair->pruned_tids.push_back(tid);
+    pair->pruned_class_of_tid.emplace(tid, tid_to_class[tid]);
+  }
+  std::sort(pair->pruned_tids.begin(), pair->pruned_tids.end());
+  return stats;
+}
+
+}  // namespace core
+}  // namespace tsb

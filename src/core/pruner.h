@@ -1,0 +1,42 @@
+#ifndef TSB_CORE_PRUNER_H_
+#define TSB_CORE_PRUNER_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/store.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace core {
+
+/// Pruning policy (Section 4.2.2): every *path-shaped* topology whose
+/// frequency exceeds the threshold is pruned. The paper observes (Figure 12)
+/// that frequent topologies are structurally simple; restricting pruning to
+/// path shapes makes the online re-check a single schema-path sweep, which
+/// is exactly the cheap "lower sub-query" of SQL1.
+struct PruneConfig {
+  size_t frequency_threshold = 0;
+};
+
+struct PruneStats {
+  size_t pruned_topologies = 0;
+  size_t alltops_rows = 0;
+  size_t lefttops_rows = 0;
+  size_t excptops_rows = 0;
+};
+
+/// The Topology Pruning module of Figure 10: derives LeftTops_<pair> (the
+/// surviving AllTops rows) and ExcpTops_<pair> (pairs that satisfy a pruned
+/// topology's path condition but are related through a more complex
+/// topology, so the online check must not report them). Records the pruned
+/// TIDs and their classes in the pair data.
+Result<PruneStats> PruneFrequentTopologies(storage::Catalog* db,
+                                           TopologyStore* store,
+                                           storage::EntityTypeId t1,
+                                           storage::EntityTypeId t2,
+                                           const PruneConfig& config);
+
+}  // namespace core
+}  // namespace tsb
+
+#endif  // TSB_CORE_PRUNER_H_

@@ -1,0 +1,91 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/isomorphism.h"
+
+namespace tsb {
+namespace core {
+
+const char* RankSchemeToString(RankScheme scheme) {
+  switch (scheme) {
+    case RankScheme::kFreq:
+      return "Freq";
+    case RankScheme::kRare:
+      return "Rare";
+    case RankScheme::kDomain:
+      return "Domain";
+  }
+  return "?";
+}
+
+ScoreModel::ScoreModel(const TopologyCatalog* catalog,
+                       DomainKnowledge knowledge)
+    : catalog_(catalog), knowledge_(std::move(knowledge)) {}
+
+double ScoreModel::Score(RankScheme scheme, Tid tid,
+                         const PairTopologyData& pair) const {
+  switch (scheme) {
+    case RankScheme::kFreq: {
+      auto it = pair.freq.find(tid);
+      return it == pair.freq.end() ? 0.0 : static_cast<double>(it->second);
+    }
+    case RankScheme::kRare: {
+      auto it = pair.freq.find(tid);
+      if (it == pair.freq.end() || it->second == 0) return 0.0;
+      return 1.0 / static_cast<double>(it->second);
+    }
+    case RankScheme::kDomain:
+      return DomainScore(tid);
+  }
+  return 0.0;
+}
+
+double ScoreModel::DomainScore(Tid tid) const {
+  auto cached = domain_cache_.find(tid);
+  if (cached != domain_cache_.end()) return cached->second;
+
+  const TopologyInfo& info = catalog_->Get(tid);
+  double score = 1.0;
+  // Reward interesting relationship types per edge.
+  for (const graph::LabeledGraph::Edge& e : info.graph.edges()) {
+    for (uint32_t rel : knowledge_.interesting_rel_types) {
+      if (e.label == rel) {
+        score += knowledge_.interesting_edge_bonus;
+        break;
+      }
+    }
+  }
+  // Reward union complexity.
+  if (info.num_classes > 1) {
+    score +=
+        knowledge_.class_bonus * static_cast<double>(info.num_classes - 1);
+  }
+  // Penalize contained weak motifs.
+  for (const graph::LabeledGraph& motif : knowledge_.weak_motifs) {
+    if (graph::IsSubgraphIsomorphic(motif, info.graph)) {
+      score -= knowledge_.weak_motif_penalty;
+    }
+  }
+  domain_cache_.emplace(tid, score);
+  return score;
+}
+
+std::vector<std::pair<Tid, double>> ScoreModel::RankedTids(
+    RankScheme scheme, const PairTopologyData& pair) const {
+  std::vector<std::pair<Tid, double>> ranked;
+  ranked.reserve(pair.freq.size());
+  for (Tid tid : pair.ObservedTids()) {
+    ranked.emplace_back(tid, Score(scheme, tid, pair));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return ranked;
+}
+
+}  // namespace core
+}  // namespace tsb

@@ -1,0 +1,73 @@
+#ifndef TSB_CORE_SCORER_H_
+#define TSB_CORE_SCORER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/store.h"
+#include "core/topology.h"
+#include "graph/labeled_graph.h"
+
+namespace tsb {
+namespace core {
+
+/// The three ranking schemes of Section 6.1.
+enum class RankScheme {
+  kFreq,    // Higher score for more frequent topologies.
+  kRare,    // Higher score for rarer topologies.
+  kDomain,  // Biological-significance heuristic (stand-in for the paper's
+            // domain expert; see DomainKnowledge).
+};
+
+const char* RankSchemeToString(RankScheme scheme);
+
+/// Declarative encoding of the expert heuristics the paper articulates:
+/// interactions are interesting (Section 6.2.1, Figure 16), complexity from
+/// multiple path classes is informative (Definition 2's motivation), and
+/// weak-relationship motifs destroy significance (Section 6.2.3,
+/// Appendix B). Populated by the biozon module; core supplies the scoring
+/// mechanism only.
+struct DomainKnowledge {
+  /// Relationship types whose presence is rewarded per edge.
+  std::vector<uint32_t> interesting_rel_types;
+  double interesting_edge_bonus = 2.0;
+
+  /// Bonus per path class beyond the first (union complexity).
+  double class_bonus = 1.0;
+
+  /// Motifs (small labeled graphs) whose containment is penalized, e.g.
+  /// P-D-P, P-U-P, F-W-F chains (Table 4 of the paper).
+  std::vector<graph::LabeledGraph> weak_motifs;
+  double weak_motif_penalty = 3.0;
+};
+
+/// Computes topology scores per ranking scheme. Scores are deterministic;
+/// ties are broken by ascending TID everywhere.
+class ScoreModel {
+ public:
+  ScoreModel(const TopologyCatalog* catalog, DomainKnowledge knowledge);
+
+  /// Score of `tid` for a pair under `scheme`. Frequency-based schemes use
+  /// the pair's freq map; Domain uses only the topology structure.
+  double Score(RankScheme scheme, Tid tid,
+               const PairTopologyData& pair) const;
+
+  /// All observed TIDs of the pair ranked by (score desc, tid asc).
+  std::vector<std::pair<Tid, double>> RankedTids(
+      RankScheme scheme, const PairTopologyData& pair) const;
+
+  const DomainKnowledge& knowledge() const { return knowledge_; }
+
+ private:
+  double DomainScore(Tid tid) const;
+
+  const TopologyCatalog* catalog_;
+  DomainKnowledge knowledge_;
+  mutable std::unordered_map<Tid, double> domain_cache_;
+};
+
+}  // namespace core
+}  // namespace tsb
+
+#endif  // TSB_CORE_SCORER_H_

@@ -1,0 +1,93 @@
+#include "core/store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/canonical.h"
+
+namespace tsb {
+namespace core {
+
+std::vector<Tid> PairTopologyData::ObservedTids() const {
+  std::vector<Tid> tids;
+  tids.reserve(freq.size());
+  for (const auto& [tid, _] : freq) tids.push_back(tid);
+  std::sort(tids.begin(), tids.end());
+  return tids;
+}
+
+std::vector<Tid> PairTopologyData::UnprunedTids() const {
+  std::vector<Tid> tids = ObservedTids();
+  if (!pruned) return tids;
+  std::vector<Tid> out;
+  out.reserve(tids.size());
+  for (Tid tid : tids) {
+    if (!IsPruned(tid)) out.push_back(tid);
+  }
+  return out;
+}
+
+bool PairTopologyData::IsPruned(Tid tid) const {
+  return pruned && pruned_class_of_tid.count(tid) > 0;
+}
+
+std::pair<storage::EntityTypeId, storage::EntityTypeId>
+TopologyStore::NormalizePair(storage::EntityTypeId a,
+                             storage::EntityTypeId b) {
+  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+PairTopologyData* TopologyStore::AddPair(PairTopologyData data) {
+  auto key = NormalizePair(data.t1, data.t2);
+  TSB_CHECK(data.t1 == key.first && data.t2 == key.second)
+      << "pair data must be registered in canonical order";
+  auto [it, inserted] = pairs_.emplace(key, std::move(data));
+  TSB_CHECK(inserted) << "pair already built: " << it->second.pair_name;
+  return &it->second;
+}
+
+PairTopologyData* TopologyStore::FindPair(storage::EntityTypeId a,
+                                          storage::EntityTypeId b) {
+  auto it = pairs_.find(NormalizePair(a, b));
+  return it == pairs_.end() ? nullptr : &it->second;
+}
+
+const PairTopologyData* TopologyStore::FindPair(
+    storage::EntityTypeId a, storage::EntityTypeId b) const {
+  auto it = pairs_.find(NormalizePair(a, b));
+  return it == pairs_.end() ? nullptr : &it->second;
+}
+
+void TopologyStore::ExportTopInfoTable(storage::Catalog* db,
+                                       const graph::SchemaGraph& schema) const {
+  const std::string name = "TopInfo";
+  if (db->FindTable(name) != nullptr) {
+    TSB_CHECK(db->DropTable(name).ok());
+  }
+  storage::TableSchema table_schema({
+      {"TID", storage::ColumnType::kInt64},
+      {"NUM_NODES", storage::ColumnType::kInt64},
+      {"NUM_EDGES", storage::ColumnType::kInt64},
+      {"NUM_CLASSES", storage::ColumnType::kInt64},
+      {"IS_PATH", storage::ColumnType::kInt64},
+      {"DIGEST", storage::ColumnType::kString},
+      {"DETAILS", storage::ColumnType::kString},
+  });
+  auto table_or = db->CreateTable(name, std::move(table_schema));
+  TSB_CHECK(table_or.ok()) << table_or.status();
+  storage::Table* table = table_or.value();
+  for (const TopologyInfo& info : catalog_.infos()) {
+    table->AppendRowOrDie({
+        storage::Value(info.tid),
+        storage::Value(static_cast<int64_t>(info.graph.num_nodes())),
+        storage::Value(static_cast<int64_t>(info.graph.num_edges())),
+        storage::Value(static_cast<int64_t>(info.num_classes)),
+        storage::Value(static_cast<int64_t>(info.is_path ? 1 : 0)),
+        storage::Value(graph::CodeDigest(info.code)),
+        storage::Value(catalog_.Describe(info.tid, schema)),
+    });
+  }
+}
+
+}  // namespace core
+}  // namespace tsb

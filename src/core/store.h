@@ -1,0 +1,109 @@
+#ifndef TSB_CORE_STORE_H_
+#define TSB_CORE_STORE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/topology.h"
+#include "graph/schema_graph.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace core {
+
+/// One path equivalence class between an entity-set pair.
+struct ClassInfo {
+  uint32_t id = 0;
+  std::string key;               // SchemaGraph::PathClassKey bytes.
+  graph::SchemaPath path;        // Canonical-direction representative.
+  Tid path_tid = kNoTid;         // TID of the single-class path topology,
+                                 // assigned when first observed.
+  size_t instance_pairs = 0;     // Pairs having this class.
+};
+
+/// Per-entity-set-pair precomputation artifacts: the AllTops table, the
+/// class registry, topology frequencies, and (after pruning) the
+/// LeftTops/ExcpTops tables of Fast-Top.
+struct PairTopologyData {
+  storage::EntityTypeId t1 = 0;  // Canonical order: t1 <= t2.
+  storage::EntityTypeId t2 = 0;
+  std::string pair_name;         // E.g. "Protein_DNA".
+  size_t max_path_length = 0;    // The l this pair was built with.
+  /// Build caps, kept so online verification replays the same limits.
+  size_t build_max_class_representatives = 0;
+  size_t build_max_union_combinations = 0;
+
+  std::string alltops_table;     // (E1, E2, TID)
+  std::string pairclasses_table; // (E1, E2, CID), only pairs with >= 2
+                                 // classes (exception bookkeeping).
+
+  std::vector<ClassInfo> classes;
+  std::unordered_map<std::string, uint32_t> class_by_key;
+
+  /// freq(es1, es2, T): number of entity pairs related by T (Section 4.2.1).
+  std::unordered_map<Tid, size_t> freq;
+  size_t num_related_pairs = 0;
+
+  /// Build-time truncation counters (Section 6.2.3's intrinsic complexity).
+  size_t truncated_pairs = 0;
+  size_t truncated_representatives = 0;
+
+  /// Pruning artifacts (empty until PruneFrequentTopologies runs).
+  bool pruned = false;
+  size_t prune_threshold = 0;
+  std::string lefttops_table;    // (E1, E2, TID)
+  std::string excptops_table;    // (E1, E2, TID)
+  std::vector<Tid> pruned_tids;
+  std::unordered_map<Tid, uint32_t> pruned_class_of_tid;
+
+  /// All observed TIDs, ascending (freq keys, materialized for iteration).
+  std::vector<Tid> ObservedTids() const;
+  /// TIDs surviving pruning (all observed when not pruned).
+  std::vector<Tid> UnprunedTids() const;
+  bool IsPruned(Tid tid) const;
+};
+
+/// Owns the topology catalog and the per-pair precomputation registry; the
+/// hub object produced by TopologyBuilder and consumed by the query engine.
+class TopologyStore {
+ public:
+  TopologyCatalog* mutable_catalog() { return &catalog_; }
+  const TopologyCatalog& catalog() const { return catalog_; }
+
+  /// Canonical unordered-pair key.
+  static std::pair<storage::EntityTypeId, storage::EntityTypeId>
+  NormalizePair(storage::EntityTypeId a, storage::EntityTypeId b);
+
+  /// Registers a freshly built pair; aborts on duplicates.
+  PairTopologyData* AddPair(PairTopologyData data);
+
+  /// Lookup in either order; nullptr if the pair was never built.
+  PairTopologyData* FindPair(storage::EntityTypeId a,
+                             storage::EntityTypeId b);
+  const PairTopologyData* FindPair(storage::EntityTypeId a,
+                                   storage::EntityTypeId b) const;
+
+  const std::map<std::pair<storage::EntityTypeId, storage::EntityTypeId>,
+                 PairTopologyData>&
+  pairs() const {
+    return pairs_;
+  }
+
+  /// Writes/refreshes the global TopInfo table (TID, NUM_NODES, NUM_EDGES,
+  /// NUM_CLASSES, IS_PATH, DIGEST, DETAILS) in `db`.
+  void ExportTopInfoTable(storage::Catalog* db,
+                          const graph::SchemaGraph& schema) const;
+
+ private:
+  TopologyCatalog catalog_;
+  std::map<std::pair<storage::EntityTypeId, storage::EntityTypeId>,
+           PairTopologyData>
+      pairs_;
+};
+
+}  // namespace core
+}  // namespace tsb
+
+#endif  // TSB_CORE_STORE_H_

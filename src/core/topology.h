@@ -1,0 +1,78 @@
+#ifndef TSB_CORE_TOPOLOGY_H_
+#define TSB_CORE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "graph/schema_graph.h"
+
+namespace tsb {
+namespace core {
+
+/// Topology identifier (the TID of the paper's TopInfo / AllTops tables).
+using Tid = int64_t;
+constexpr Tid kNoTid = -1;
+
+/// Everything known about one topology: its canonical schema-level graph
+/// and derived structural facts. Topologies are identified purely by the
+/// isomorphism class of their graph (Definition 2 uses [G] with no marked
+/// terminals), so the canonical code is the identity.
+struct TopologyInfo {
+  Tid tid = kNoTid;
+  graph::LabeledGraph graph;  // Canonical form.
+  std::string code;           // CanonicalCode(graph).
+  size_t num_classes = 0;     // Path classes unioned when first observed.
+  bool is_path = false;       // Path-shaped (only these are prunable).
+  /// Path-class keys of the union that first produced this topology. The
+  /// SQL baseline anchors its per-topology existence query on one of these
+  /// (the structure-specific join the paper issues per candidate).
+  std::vector<std::string> class_keys;
+};
+
+/// True if `g` is a connected simple path: exactly two endpoints of degree
+/// 1, all other nodes of degree 2, and no cycles.
+bool IsPathShaped(const graph::LabeledGraph& g);
+
+/// For a path-shaped graph, recovers the schema path (in the canonical
+/// class direction). Returns nullopt for non-paths or when an edge label is
+/// not consistent with the schema's endpoint types.
+std::optional<graph::SchemaPath> ExtractSchemaPath(
+    const graph::LabeledGraph& g, const graph::SchemaGraph& schema);
+
+/// Interns topologies by canonical code and assigns stable TIDs (dense,
+/// starting at 1). The in-memory backing of the paper's TopInfo table.
+class TopologyCatalog {
+ public:
+  /// Returns the TID for `g`, interning it if unseen. `num_classes` records
+  /// how many path equivalence classes were unioned (kept from the first
+  /// observation).
+  Tid Intern(const graph::LabeledGraph& g, size_t num_classes);
+
+  /// Interning by precomputed code; `g` must match the code. `class_keys`
+  /// (optional) records the constituent path classes of the first
+  /// observation.
+  Tid InternWithCode(const graph::LabeledGraph& g, std::string code,
+                     size_t num_classes,
+                     std::vector<std::string> class_keys = {});
+
+  std::optional<Tid> FindByCode(const std::string& code) const;
+  const TopologyInfo& Get(Tid tid) const;
+  size_t size() const { return infos_.size(); }
+  const std::vector<TopologyInfo>& infos() const { return infos_; }
+
+  /// Human-readable structure, e.g. "[P]-(encodes)-[D], [P]-(uni_encodes)-[U]".
+  std::string Describe(Tid tid, const graph::SchemaGraph& schema) const;
+
+ private:
+  std::vector<TopologyInfo> infos_;
+  std::unordered_map<std::string, Tid> by_code_;
+};
+
+}  // namespace core
+}  // namespace tsb
+
+#endif  // TSB_CORE_TOPOLOGY_H_

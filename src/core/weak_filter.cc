@@ -1,0 +1,44 @@
+#include "core/weak_filter.h"
+
+#include "graph/isomorphism.h"
+
+namespace tsb {
+namespace core {
+namespace {
+
+bool IsWeak(const TopologyInfo& info, const DomainKnowledge& knowledge) {
+  for (const graph::LabeledGraph& motif : knowledge.weak_motifs) {
+    if (graph::IsSubgraphIsomorphic(motif, info.graph)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::unordered_set<Tid> FindWeakTopologies(const TopologyCatalog& catalog,
+                                           const PairTopologyData& pair,
+                                           const DomainKnowledge& knowledge) {
+  std::unordered_set<Tid> weak;
+  for (const auto& [tid, freq] : pair.freq) {
+    if (IsWeak(catalog.Get(tid), knowledge)) weak.insert(tid);
+  }
+  return weak;
+}
+
+WeakFilterStats AnalyzeWeakTopologies(const TopologyCatalog& catalog,
+                                      const PairTopologyData& pair,
+                                      const DomainKnowledge& knowledge) {
+  WeakFilterStats stats;
+  for (const auto& [tid, freq] : pair.freq) {
+    ++stats.total_topologies;
+    stats.total_pairs += freq;
+    if (IsWeak(catalog.Get(tid), knowledge)) {
+      ++stats.weak_topologies;
+      stats.weak_pairs += freq;
+    }
+  }
+  return stats;
+}
+
+}  // namespace core
+}  // namespace tsb

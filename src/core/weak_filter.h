@@ -1,0 +1,39 @@
+#ifndef TSB_CORE_WEAK_FILTER_H_
+#define TSB_CORE_WEAK_FILTER_H_
+
+#include <unordered_set>
+
+#include "core/scorer.h"
+#include "core/store.h"
+#include "core/topology.h"
+
+namespace tsb {
+namespace core {
+
+/// Section 6.2.3's proposed solution to weak-relationship dilution: "use
+/// domain knowledge to prune such weak topologies". A topology is *weak*
+/// if it contains any of the domain knowledge's weak motifs (the repeated
+/// indirect relationships of Appendix B / Table 4: P-D-P, P-U-P, D-U-D,
+/// F-W-F, ...) as a subgraph.
+
+/// TIDs observed for `pair` whose topology contains a weak motif.
+std::unordered_set<Tid> FindWeakTopologies(const TopologyCatalog& catalog,
+                                           const PairTopologyData& pair,
+                                           const DomainKnowledge& knowledge);
+
+/// Summary of what weak-topology filtering would remove for a pair.
+struct WeakFilterStats {
+  size_t weak_topologies = 0;   // Distinct weak TIDs.
+  size_t total_topologies = 0;  // Observed TIDs.
+  size_t weak_pairs = 0;        // Sum of weak TIDs' frequencies.
+  size_t total_pairs = 0;       // Sum of all frequencies.
+};
+
+WeakFilterStats AnalyzeWeakTopologies(const TopologyCatalog& catalog,
+                                      const PairTopologyData& pair,
+                                      const DomainKnowledge& knowledge);
+
+}  // namespace core
+}  // namespace tsb
+
+#endif  // TSB_CORE_WEAK_FILTER_H_

@@ -1,0 +1,72 @@
+#include "engine/compare.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+#include "graph/isomorphism.h"
+
+namespace tsb {
+namespace engine {
+
+TopologyComparison CompareResults(const core::TopologyCatalog& catalog,
+                                  const QueryResult& a,
+                                  const QueryResult& b) {
+  std::set<core::Tid> set_a;
+  std::set<core::Tid> set_b;
+  for (const ResultEntry& e : a.entries) set_a.insert(e.tid);
+  for (const ResultEntry& e : b.entries) set_b.insert(e.tid);
+
+  TopologyComparison out;
+  std::set_intersection(set_a.begin(), set_a.end(), set_b.begin(),
+                        set_b.end(), std::back_inserter(out.in_both));
+  std::set_difference(set_a.begin(), set_a.end(), set_b.begin(), set_b.end(),
+                      std::back_inserter(out.only_in_a));
+  std::set_difference(set_b.begin(), set_b.end(), set_a.begin(), set_a.end(),
+                      std::back_inserter(out.only_in_b));
+
+  // Refinements across the exclusive sets, in both directions.
+  for (core::Tid coarse : out.only_in_a) {
+    const graph::LabeledGraph& cg = catalog.Get(coarse).graph;
+    for (core::Tid fine : out.only_in_b) {
+      const graph::LabeledGraph& fg = catalog.Get(fine).graph;
+      if (cg.num_nodes() < fg.num_nodes() &&
+          graph::IsSubgraphIsomorphic(cg, fg)) {
+        out.refinements.emplace_back(coarse, fine);
+      } else if (fg.num_nodes() < cg.num_nodes() &&
+                 graph::IsSubgraphIsomorphic(fg, cg)) {
+        out.refinements.emplace_back(fine, coarse);
+      }
+    }
+  }
+  return out;
+}
+
+std::string DescribeComparison(const TopologyComparison& comparison,
+                               const core::TopologyCatalog& catalog,
+                               const graph::SchemaGraph& schema) {
+  std::string out;
+  out += StrFormat("shared: %zu, only A: %zu, only B: %zu, refinements: %zu\n",
+                   comparison.in_both.size(), comparison.only_in_a.size(),
+                   comparison.only_in_b.size(),
+                   comparison.refinements.size());
+  auto describe = [&](const char* label, const std::vector<core::Tid>& tids) {
+    for (core::Tid tid : tids) {
+      out += StrFormat("  [%s] T%lld: %s\n", label,
+                       static_cast<long long>(tid),
+                       catalog.Describe(tid, schema).c_str());
+    }
+  };
+  describe("both", comparison.in_both);
+  describe("A", comparison.only_in_a);
+  describe("B", comparison.only_in_b);
+  for (const auto& [coarse, fine] : comparison.refinements) {
+    out += StrFormat("  refinement: T%lld embeds into T%lld\n",
+                     static_cast<long long>(coarse),
+                     static_cast<long long>(fine));
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace tsb

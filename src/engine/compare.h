@@ -1,0 +1,42 @@
+#ifndef TSB_ENGINE_COMPARE_H_
+#define TSB_ENGINE_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/topology.h"
+#include "engine/query.h"
+#include "graph/schema_graph.h"
+
+namespace tsb {
+namespace engine {
+
+/// Primitives for comparing topology results across queries — one of the
+/// paper's stated future directions (Section 8: "primitives for comparing
+/// topologies across multiple queries"). Given two result sets (e.g. how
+/// kinases relate to DNA vs. how transcription factors relate to DNA), the
+/// comparison reports the shared and exclusive topologies, plus refinement
+/// edges: topology pairs where one is a subgraph of the other (the finer
+/// one describes a strictly richer relationship).
+struct TopologyComparison {
+  std::vector<core::Tid> only_in_a;
+  std::vector<core::Tid> only_in_b;
+  std::vector<core::Tid> in_both;
+  /// (coarse, fine): `coarse` from one result embeds into `fine` from the
+  /// other (across exclusive sets only; shared topologies trivially embed
+  /// into themselves).
+  std::vector<std::pair<core::Tid, core::Tid>> refinements;
+};
+
+TopologyComparison CompareResults(const core::TopologyCatalog& catalog,
+                                  const QueryResult& a, const QueryResult& b);
+
+/// Human-readable report of a comparison.
+std::string DescribeComparison(const TopologyComparison& comparison,
+                               const core::TopologyCatalog& catalog,
+                               const graph::SchemaGraph& schema);
+
+}  // namespace engine
+}  // namespace tsb
+
+#endif  // TSB_ENGINE_COMPARE_H_

@@ -1,0 +1,110 @@
+#ifndef TSB_ENGINE_ENGINE_H_
+#define TSB_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "core/instance_retrieval.h"
+#include "core/scorer.h"
+#include "core/store.h"
+#include "engine/query.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace engine {
+
+/// Configuration of the SQL baseline (Section 3.1). The baseline issues one
+/// existence query per candidate topology; candidates are the observed
+/// topology catalog (the paper's "restrict to topologies that have at least
+/// some corresponding entities using some a-priori knowledge", close to 200
+/// on Biozon) because unconstrained schema enumeration yields tens of
+/// thousands of candidates (the 88453 of Section 3.1; see
+/// graph::EnumerateCandidateTopologies and bench_fig8_schema_enum for that
+/// explosion).
+struct SqlBaselineOptions {
+  size_t max_candidates = 100000;
+};
+
+/// The Topology Query Engine of Figure 10: evaluates 2-queries over the
+/// precomputed topology artifacts (or, for the SQL baseline, over base data
+/// alone) with any of the nine strategies of Section 6.
+class Engine {
+ public:
+  Engine(storage::Catalog* db, core::TopologyStore* store,
+         const graph::SchemaGraph* schema, const graph::DataGraphView* view,
+         core::ScoreModel score_model,
+         SqlBaselineOptions sql_options = SqlBaselineOptions{});
+
+  /// Evaluates `query` with `method`. All methods return identical result
+  /// *sets* (top-k methods return the k best by score).
+  Result<QueryResult> Execute(const TopologyQuery& query, MethodKind method,
+                              const ExecOptions& options = ExecOptions{});
+
+  /// Builds the hash indexes the plans use (warm cache, as in the paper's
+  /// experimental setup), so timed runs do not pay index construction.
+  void PrepareIndexes(const std::string& entity_set1,
+                      const std::string& entity_set2);
+
+  /// Instance-level results for one topology of a query (the paper's
+  /// Section-2.2 output format: topologies first, then the concrete
+  /// biological systems adhering to each). Only pairs whose endpoints
+  /// satisfy the query's predicates are materialized.
+  Result<std::vector<core::TopologyInstance>> Instances(
+      const TopologyQuery& query, core::Tid tid,
+      const core::RetrievalLimits& limits = core::RetrievalLimits{});
+
+  const core::ScoreModel& score_model() const { return score_model_; }
+
+ private:
+  friend struct MethodContext;
+
+  storage::Catalog* db_;
+  core::TopologyStore* store_;
+  const graph::SchemaGraph* schema_;
+  const graph::DataGraphView* view_;
+  core::ScoreModel score_model_;
+  SqlBaselineOptions sql_options_;
+
+  /// Exception-pair sets per pruned TID, keyed by (pair name, tid).
+  using PairSet =
+      std::unordered_set<std::pair<int64_t, int64_t>, PairHash>;
+  std::unordered_map<std::string, PairSet> excp_cache_;
+
+  const PairSet& ExcpPairs(const core::PairTopologyData& pair,
+                           core::Tid tid);
+
+  /// Weak-topology sets per pair (Section 6.2.3 domain pruning), cached.
+  std::unordered_map<std::string, std::unordered_set<core::Tid>> weak_cache_;
+  const std::unordered_set<core::Tid>& WeakTids(
+      const core::PairTopologyData& pair);
+};
+
+/// Internal: a query resolved against the catalog and topology store.
+/// Shared by the method implementations (methods_basic.cc / methods_topk.cc).
+struct ResolvedQuery {
+  const core::PairTopologyData* pair = nullptr;
+  const storage::Table* table_a = nullptr;  // Query's entity_set1.
+  const storage::Table* table_b = nullptr;
+  storage::PredicateRef pred_a;
+  storage::PredicateRef pred_b;
+  storage::EntityTypeId type_a = 0;
+  storage::EntityTypeId type_b = 0;
+  /// True if entity_set1 maps to the pair's E2 column.
+  bool swapped = false;
+  bool self_pair = false;
+  core::RankScheme scheme = core::RankScheme::kFreq;
+  size_t k = 10;
+};
+
+}  // namespace engine
+}  // namespace tsb
+
+#endif  // TSB_ENGINE_ENGINE_H_

@@ -1,0 +1,156 @@
+// The non-top-k strategies: the SQL baseline (Section 3.1), Full-Top
+// (Section 3.2) and Fast-Top (Section 4.3).
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/pair_topologies.h"
+#include "engine/methods_internal.h"
+#include "graph/path_enum.h"
+
+namespace tsb {
+namespace engine {
+
+QueryResult RunFullTop(MethodContext* ctx) {
+  QueryResult result;
+  result.entries = ctx->RankTids(ctx->JoinTops(ctx->rq.pair->alltops_table));
+  result.stats = ctx->stats;
+  result.stats.plan = "AllTops join (Figure 14 shape)";
+  return result;
+}
+
+QueryResult RunFastTop(MethodContext* ctx) {
+  // Top sub-query of SQL1: the unpruned topologies via LeftTops.
+  std::vector<core::Tid> tids = ctx->JoinTops(ctx->rq.pair->lefttops_table);
+  // Lower sub-queries: one online existence check per pruned topology.
+  for (core::Tid tid : ctx->rq.pair->pruned_tids) {
+    if (ctx->Excluded(tid)) continue;
+    if (ctx->OnlineCheckPruned(tid)) tids.push_back(tid);
+  }
+  QueryResult result;
+  result.entries = ctx->RankTids(tids);
+  result.stats = ctx->stats;
+  result.stats.plan = "LeftTops join + pruned-topology checks (SQL1 shape)";
+  return result;
+}
+
+namespace {
+
+/// One per-candidate existence query of the SQL baseline. The paper issues
+/// a structure-specific SQL query per topology; we anchor on one of the
+/// topology's constituent path classes (the rarest), enumerate its
+/// instances between selected endpoints, and verify each matched pair's
+/// exact topology from base data — the NOT-EXISTS half of the check.
+/// Early-outs on the first verified pair.
+bool SqlCandidateCheck(MethodContext* ctx, const core::TopologyInfo& info,
+                       const core::PairComputeLimits& verify_limits) {
+  const MethodContext::Selected& a = ctx->SelectedA();
+  const MethodContext::Selected& b = ctx->SelectedB();
+
+  // Anchor classes: every constituent class the topology was ever observed
+  // with, cheapest (fewest instance pairs) first. Any qualifying pair has
+  // one of these classes, so sweeping them in turn is a complete check.
+  const core::PairTopologyData& pair = *ctx->rq.pair;
+  std::vector<const core::ClassInfo*> anchors;
+  for (const std::string& key : info.class_keys) {
+    auto it = pair.class_by_key.find(key);
+    if (it == pair.class_by_key.end()) continue;
+    anchors.push_back(&pair.classes[it->second]);
+  }
+  if (anchors.empty()) return false;  // Classes unknown for this pair set.
+  std::sort(anchors.begin(), anchors.end(),
+            [](const core::ClassInfo* x, const core::ClassInfo* y) {
+              return x->instance_pairs < y->instance_pairs;
+            });
+
+  // Sweep the anchor paths from the smaller selected side.
+  const bool from_a = a.ids.size() <= b.ids.size();
+  const MethodContext::Selected& from = from_a ? a : b;
+  const MethodContext::Selected& to = from_a ? b : a;
+  const storage::EntityTypeId from_type =
+      from_a ? ctx->rq.type_a : ctx->rq.type_b;
+
+  // Pairs already verified against the base data (the correlated
+  // sub-query's result is stable per pair, so re-evaluation is redundant).
+  std::unordered_set<std::pair<int64_t, int64_t>, PairHash> checked;
+  bool found = false;
+  for (const core::ClassInfo* anchor : anchors) {
+    std::vector<graph::SchemaPath> orientations;
+    if (anchor->path.start() == from_type) {
+      orientations.push_back(anchor->path);
+    }
+    graph::SchemaPath reversed = anchor->path.Reversed();
+    if (reversed.start() == from_type && !(reversed == anchor->path)) {
+      orientations.push_back(reversed);
+    }
+    for (const graph::SchemaPath& sp : orientations) {
+      for (int64_t src : from.ids) {
+        graph::ForEachSchemaPathInstanceFrom(
+            *ctx->view, sp, src, [&](const graph::PathInstance& p) {
+              ++ctx->stats.probes;
+              int64_t dst = p.b();
+              if (to.set.count(dst) == 0) return true;
+              auto key = std::make_pair(std::min(src, dst),
+                                        std::max(src, dst));
+              if (!checked.insert(key).second) return true;
+              // Verify: is the candidate in l-Top(src, dst)?
+              core::PairComputation computed = core::ComputePairTopologies(
+                  *ctx->view, *ctx->schema, src, dst, verify_limits);
+              for (const auto& topo : computed.topologies) {
+                if (topo.code == info.code) {
+                  found = true;
+                  return false;  // Early-out.
+                }
+              }
+              return true;
+            });
+        if (found) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+QueryResult RunSql(MethodContext* ctx) {
+  // One existence query per candidate topology, evaluated from base data
+  // alone. Candidates are the observed catalog by default (the paper's
+  // a-priori-restricted variant, ~200 topologies instead of 88453).
+  std::vector<core::Tid> candidates = ctx->rq.pair->ObservedTids();
+  // Check frequent topologies first (they find witnesses quickly), as a
+  // cost-ordered batch of queries would.
+  std::sort(candidates.begin(), candidates.end(),
+            [&](core::Tid x, core::Tid y) {
+              return ctx->rq.pair->freq.at(x) > ctx->rq.pair->freq.at(y);
+            });
+  if (candidates.size() > ctx->sql_options->max_candidates) {
+    candidates.resize(ctx->sql_options->max_candidates);
+  }
+
+  core::PairComputeLimits verify_limits;
+  verify_limits.max_path_length = ctx->rq.pair->max_path_length;
+  verify_limits.union_limits.max_class_representatives =
+      ctx->rq.pair->build_max_class_representatives;
+  verify_limits.union_limits.max_union_combinations =
+      ctx->rq.pair->build_max_union_combinations;
+
+  std::vector<core::Tid> found;
+  for (core::Tid tid : candidates) {
+    if (ctx->Excluded(tid)) continue;
+    ++ctx->stats.subqueries;
+    const core::TopologyInfo& info = ctx->store->catalog().Get(tid);
+    if (SqlCandidateCheck(ctx, info, verify_limits)) found.push_back(tid);
+  }
+
+  QueryResult result;
+  result.entries = ctx->RankTids(found);
+  result.stats = ctx->stats;
+  result.stats.plan = "per-topology existence queries over base data";
+  return result;
+}
+
+}  // namespace engine
+}  // namespace tsb

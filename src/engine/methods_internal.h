@@ -1,0 +1,93 @@
+#ifndef TSB_ENGINE_METHODS_INTERNAL_H_
+#define TSB_ENGINE_METHODS_INTERNAL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/pair_topologies.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "exec/dgj.h"
+
+namespace tsb {
+namespace engine {
+
+/// Shared state and primitives for the method implementations. One context
+/// is created per Execute() call.
+struct MethodContext {
+  Engine* engine = nullptr;
+  storage::Catalog* db = nullptr;
+  core::TopologyStore* store = nullptr;
+  const graph::SchemaGraph* schema = nullptr;
+  const graph::DataGraphView* view = nullptr;
+  const core::ScoreModel* scores = nullptr;
+  const SqlBaselineOptions* sql_options = nullptr;
+  ResolvedQuery rq;
+  ExecOptions options;
+  ExecStats stats;
+  /// Non-null when the query excludes weak topologies (Section 6.2.3).
+  const std::unordered_set<core::Tid>* weak_tids = nullptr;
+
+  bool Excluded(core::Tid tid) const {
+    return weak_tids != nullptr && weak_tids->count(tid) > 0;
+  }
+
+  /// Entities of one side satisfying its predicate.
+  struct Selected {
+    std::vector<int64_t> ids;
+    std::unordered_set<int64_t> set;
+  };
+  /// Lazily computed (scans count toward stats).
+  const Selected& SelectedA();
+  const Selected& SelectedB();
+
+  double ScoreOf(core::Tid tid) const;
+  /// Sorts entries by (score desc, tid asc).
+  static void SortEntries(std::vector<ResultEntry>* entries);
+  /// Attaches scores to tids and sorts.
+  std::vector<ResultEntry> RankTids(const std::vector<core::Tid>& tids) const;
+
+  /// Distinct TIDs of `tops_table` rows whose (E1, E2) endpoints satisfy
+  /// the query predicates. Uses an exec hash-join plan for distinct-type
+  /// pairs (the Figure-14 shape) and a direct orientation-aware loop for
+  /// self pairs.
+  std::vector<core::Tid> JoinTops(const std::string& tops_table);
+
+  /// The online existence check for a pruned topology (the lower
+  /// sub-queries of SQL1): does some selected pair satisfy the pruned
+  /// path condition without appearing in ExcpTops?
+  bool OnlineCheckPruned(core::Tid tid);
+
+  /// Builds the Figure-15 DGJ plan over `tops_table` with the given ranked
+  /// group source; returns the grouped root.
+  std::unique_ptr<exec::GroupedOperator> BuildEtPlan(
+      const std::string& tops_table,
+      const std::vector<ResultEntry>& ranked_groups);
+
+  /// Normalized (E1, E2) key for exception lookups.
+  std::pair<int64_t, int64_t> NormalizedPair(int64_t a_side,
+                                             int64_t b_side) const;
+
+ private:
+  std::optional<Selected> selected_a_;
+  std::optional<Selected> selected_b_;
+};
+
+/// Method implementations (methods_basic.cc / methods_topk.cc).
+QueryResult RunSql(MethodContext* ctx);
+QueryResult RunFullTop(MethodContext* ctx);
+QueryResult RunFastTop(MethodContext* ctx);
+QueryResult RunFullTopK(MethodContext* ctx);
+QueryResult RunFastTopK(MethodContext* ctx);
+QueryResult RunFullTopKEt(MethodContext* ctx);
+QueryResult RunFastTopKEt(MethodContext* ctx);
+QueryResult RunFullTopKOpt(MethodContext* ctx);
+QueryResult RunFastTopKOpt(MethodContext* ctx);
+
+}  // namespace engine
+}  // namespace tsb
+
+#endif  // TSB_ENGINE_METHODS_INTERNAL_H_

@@ -1,0 +1,239 @@
+#include "engine/nquery.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/pair_topologies.h"
+#include "graph/canonical.h"
+
+namespace tsb {
+namespace engine {
+namespace {
+
+struct Slot {
+  const storage::EntitySetDef* def = nullptr;
+  std::unordered_set<int64_t> selected;
+};
+
+/// Related (slot_i, slot_j) pairs restricted to the selections, deduplicated
+/// (AllTops holds one row per pair-topology).
+using PairSet = std::set<std::pair<int64_t, int64_t>>;
+
+PairSet RelatedPairs(const storage::Catalog& db,
+                     const core::PairTopologyData& pair, const Slot& lo_slot,
+                     const Slot& hi_slot) {
+  // The pair data is stored with E1 of type pair.t1 (the smaller type id);
+  // callers pass slots already ordered to match.
+  PairSet out;
+  const storage::Table& alltops = *db.GetTable(pair.alltops_table);
+  const auto& e1 = alltops.column(0).ints();
+  const auto& e2 = alltops.column(1).ints();
+  for (size_t i = 0; i < alltops.num_rows(); ++i) {
+    if (lo_slot.selected.count(e1[i]) > 0 &&
+        hi_slot.selected.count(e2[i]) > 0) {
+      out.emplace(e1[i], e2[i]);
+    }
+  }
+  return out;
+}
+
+/// Union of instance-level witnesses (sharing entity ids) into one graph.
+graph::LabeledGraph MergeWitnesses(
+    const std::vector<const core::ComputedTopology*>& witnesses) {
+  graph::LabeledGraph g;
+  std::unordered_map<graph::EntityId, graph::LabeledGraph::NodeId> node_of;
+  for (const core::ComputedTopology* w : witnesses) {
+    std::vector<graph::LabeledGraph::NodeId> remap(w->witness.num_nodes());
+    for (size_t n = 0; n < w->witness.num_nodes(); ++n) {
+      graph::EntityId id = w->witness_ids[n];
+      auto it = node_of.find(id);
+      if (it == node_of.end()) {
+        it = node_of
+                 .emplace(id, g.AddNode(w->witness.node_label(
+                              static_cast<graph::LabeledGraph::NodeId>(n))))
+                 .first;
+      }
+      remap[n] = it->second;
+    }
+    for (const graph::LabeledGraph::Edge& e : w->witness.edges()) {
+      g.AddEdge(remap[e.u], remap[e.v], e.label);
+    }
+  }
+  g.DedupeParallelEdges();
+  return g;
+}
+
+}  // namespace
+
+Result<TripleQueryResult> ExecuteTripleQuery(
+    storage::Catalog* db, core::TopologyStore* store,
+    const graph::SchemaGraph& schema, const graph::DataGraphView& view,
+    const TripleQuery& query) {
+  // Resolve slots.
+  Slot slots[3];
+  const std::string* names[3] = {&query.entity_set1, &query.entity_set2,
+                                 &query.entity_set3};
+  storage::PredicateRef preds[3] = {
+      query.pred1 != nullptr ? query.pred1 : storage::MakeTrue(),
+      query.pred2 != nullptr ? query.pred2 : storage::MakeTrue(),
+      query.pred3 != nullptr ? query.pred3 : storage::MakeTrue()};
+  for (int i = 0; i < 3; ++i) {
+    slots[i].def = db->FindEntitySet(*names[i]);
+    if (slots[i].def == nullptr) {
+      return Status::NotFound("unknown entity set '" + *names[i] + "'");
+    }
+    const storage::Table& table = *db->GetTable(slots[i].def->table_name);
+    size_t id_col = table.schema().ColumnIndexOrDie(slots[i].def->id_column);
+    for (storage::RowIdx row : storage::FilterRows(table, *preds[i])) {
+      slots[i].selected.insert(table.GetInt64(row, id_col));
+    }
+  }
+  if (slots[0].def->id == slots[1].def->id ||
+      slots[0].def->id == slots[2].def->id ||
+      slots[1].def->id == slots[2].def->id) {
+    return Status::Unimplemented(
+        "3-queries require three distinct entity types");
+  }
+
+  // Pair data and related pairs for each of the three slot pairs. Index
+  // pairs by (lo_slot, hi_slot) with slots ordered by entity type id, the
+  // storage orientation.
+  struct SlotPair {
+    int lo = 0;
+    int hi = 0;
+    const core::PairTopologyData* data = nullptr;
+    PairSet related;
+  };
+  SlotPair slot_pairs[3] = {{0, 1}, {0, 2}, {1, 2}};
+  for (SlotPair& sp : slot_pairs) {
+    if (slots[sp.lo].def->id > slots[sp.hi].def->id) std::swap(sp.lo, sp.hi);
+    sp.data = store->FindPair(slots[sp.lo].def->id, slots[sp.hi].def->id);
+    if (sp.data != nullptr) {
+      sp.related = RelatedPairs(*db, *sp.data, slots[sp.lo], slots[sp.hi]);
+    }
+  }
+
+  // Candidate triples: any two related pairs sharing an endpoint slot.
+  // triple[i] = entity bound to slot i (0 = unbound until joined).
+  struct Triple {
+    int64_t ids[3];
+    bool operator<(const Triple& o) const {
+      return std::lexicographical_compare(ids, ids + 3, o.ids, o.ids + 3);
+    }
+  };
+  std::set<Triple> triples;
+  TripleQueryResult result;
+  auto add_triples_from = [&](const SlotPair& x, const SlotPair& y) {
+    if (x.data == nullptr || y.data == nullptr) return;
+    // Shared slot between the two pairs.
+    int shared = -1;
+    for (int s : {x.lo, x.hi}) {
+      if (s == y.lo || s == y.hi) shared = s;
+    }
+    if (shared < 0) return;
+    // Index y's pairs by the shared slot's entity.
+    std::unordered_map<int64_t, std::vector<int64_t>> y_by_shared;
+    for (const auto& [a, b] : y.related) {
+      int64_t shared_id = (shared == y.lo) ? a : b;
+      int64_t other_id = (shared == y.lo) ? b : a;
+      y_by_shared[shared_id].push_back(other_id);
+    }
+    const int x_other = (x.lo == shared) ? x.hi : x.lo;
+    const int y_other = (y.lo == shared) ? y.hi : y.lo;
+    for (const auto& [a, b] : x.related) {
+      int64_t shared_id = (shared == x.lo) ? a : b;
+      int64_t x_other_id = (shared == x.lo) ? b : a;
+      auto it = y_by_shared.find(shared_id);
+      if (it == y_by_shared.end()) continue;
+      for (int64_t y_other_id : it->second) {
+        if (triples.size() >= query.max_triples) {
+          result.truncated = true;
+          return;
+        }
+        Triple t{};
+        t.ids[shared] = shared_id;
+        t.ids[x_other] = x_other_id;
+        t.ids[y_other] = y_other_id;
+        triples.insert(t);
+      }
+    }
+  };
+  add_triples_from(slot_pairs[0], slot_pairs[1]);
+  add_triples_from(slot_pairs[0], slot_pairs[2]);
+  add_triples_from(slot_pairs[1], slot_pairs[2]);
+
+  // Per triple: union one pairwise-topology witness per related pair, over
+  // all (capped) choices; intern the canonical unions.
+  std::unordered_map<core::Tid, size_t> freq;
+  for (const Triple& t : triples) {
+    ++result.triples_examined;
+    std::vector<std::vector<core::ComputedTopology>> per_pair;
+    size_t total_classes = 0;
+    for (const SlotPair& sp : slot_pairs) {
+      if (sp.data == nullptr) continue;
+      auto key = std::make_pair(t.ids[sp.lo], t.ids[sp.hi]);
+      if (sp.related.count(key) == 0) continue;
+      core::PairComputeLimits limits;
+      limits.max_path_length = sp.data->max_path_length;
+      limits.union_limits.max_class_representatives =
+          sp.data->build_max_class_representatives;
+      limits.union_limits.max_union_combinations =
+          sp.data->build_max_union_combinations;
+      core::PairComputation computed = core::ComputePairTopologies(
+          view, schema, key.first, key.second, limits);
+      if (computed.topologies.empty()) continue;
+      total_classes += computed.classes.size();
+      per_pair.push_back(std::move(computed.topologies));
+    }
+    if (per_pair.size() < 2) continue;  // Degenerates to a 2-query result.
+
+    // Mixed-radix odometer over one witness per pair.
+    std::vector<size_t> choice(per_pair.size(), 0);
+    std::unordered_set<std::string> seen;
+    size_t combos = 0;
+    for (;;) {
+      if (combos >= query.max_unions_per_triple) {
+        result.truncated = true;
+        break;
+      }
+      ++combos;
+      std::vector<const core::ComputedTopology*> chosen;
+      for (size_t p = 0; p < per_pair.size(); ++p) {
+        chosen.push_back(&per_pair[p][choice[p]]);
+      }
+      graph::LabeledGraph merged = MergeWitnesses(chosen);
+      std::string code = graph::CanonicalCode(merged);
+      if (seen.insert(code).second) {
+        core::Tid tid = store->mutable_catalog()->InternWithCode(
+            merged, code, total_classes);
+        auto [it, inserted] = freq.emplace(tid, 1);
+        if (!inserted) ++it->second;
+      }
+      size_t p = 0;
+      for (; p < per_pair.size(); ++p) {
+        if (++choice[p] < per_pair[p].size()) break;
+        choice[p] = 0;
+      }
+      if (p == per_pair.size()) break;
+    }
+  }
+
+  result.entries.reserve(freq.size());
+  for (const auto& [tid, count] : freq) {
+    result.entries.push_back(TripleResultEntry{tid, count});
+  }
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const TripleResultEntry& a, const TripleResultEntry& b) {
+              if (a.frequency != b.frequency) return a.frequency > b.frequency;
+              return a.tid < b.tid;
+            });
+  return result;
+}
+
+}  // namespace engine
+}  // namespace tsb

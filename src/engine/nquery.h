@@ -1,0 +1,68 @@
+#ifndef TSB_ENGINE_NQUERY_H_
+#define TSB_ENGINE_NQUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/store.h"
+#include "core/topology.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+
+namespace tsb {
+namespace engine {
+
+/// Multi-endpoint topology search — the paper's first listed future
+/// direction (Section 8: "extensions to support multiple end-points in a
+/// topology"). The paper formalizes only 2-queries; this module implements
+/// the natural generalization to 3-queries:
+///
+///   A triple (a, b, c) with types (t1, t2, t3) is *related* if at least
+///   two of its three pairs are related within l (so the combined graph is
+///   connected through shared endpoints). Its triple topologies are the
+///   equivalence classes of unions of one pairwise topology witness per
+///   related pair, over all choices of witnesses — Definition 2 applied
+///   pairwise, then unioned across pairs.
+///
+/// Evaluation uses the precomputed pair artifacts: candidate triples come
+/// from joining the AllTops tables on shared endpoints, and the witness
+/// unions are recomputed from base data exactly like instance retrieval.
+/// Triples related through only one pair are excluded: their "topology"
+/// degenerates to the 2-query result.
+struct TripleQuery {
+  std::string entity_set1;
+  storage::PredicateRef pred1;
+  std::string entity_set2;
+  storage::PredicateRef pred2;
+  std::string entity_set3;
+  storage::PredicateRef pred3;
+
+  /// Caps: candidate triples examined and union combinations per triple.
+  size_t max_triples = 100000;
+  size_t max_unions_per_triple = 64;
+};
+
+struct TripleResultEntry {
+  core::Tid tid = core::kNoTid;  // Interned in the shared catalog.
+  size_t frequency = 0;          // Number of triples showing this topology.
+};
+
+struct TripleQueryResult {
+  std::vector<TripleResultEntry> entries;  // Frequency-descending.
+  size_t triples_examined = 0;
+  bool truncated = false;
+};
+
+/// Evaluates a 3-query. All three pairwise entity-set pairs that the
+/// schema connects must have been built (TopologyBuilder) in `store`;
+/// pairs the schema does not connect contribute no edges.
+Result<TripleQueryResult> ExecuteTripleQuery(
+    storage::Catalog* db, core::TopologyStore* store,
+    const graph::SchemaGraph& schema, const graph::DataGraphView& view,
+    const TripleQuery& query);
+
+}  // namespace engine
+}  // namespace tsb
+
+#endif  // TSB_ENGINE_NQUERY_H_

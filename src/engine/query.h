@@ -1,0 +1,95 @@
+#ifndef TSB_ENGINE_QUERY_H_
+#define TSB_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scorer.h"
+#include "core/topology.h"
+#include "storage/predicate.h"
+
+namespace tsb {
+namespace engine {
+
+/// A 2-query (Section 2.2): two entity sets with constraints. Constraints
+/// mix keyword-containment clauses and structured predicates, e.g.
+///   { (Protein, desc.ct('enzyme')), (DNA, type = 'mRNA') }.
+struct TopologyQuery {
+  std::string entity_set1;
+  storage::PredicateRef pred1;
+  std::string entity_set2;
+  storage::PredicateRef pred2;
+
+  /// Ranking scheme and result budget for top-k methods; non-top-k methods
+  /// return the full l-topology result (still score-ordered for display).
+  core::RankScheme scheme = core::RankScheme::kFreq;
+  size_t k = 10;
+
+  /// Section 6.2.3's domain-knowledge pruning: drop topologies containing
+  /// a weak motif (core/weak_filter.h) from the result.
+  bool exclude_weak = false;
+};
+
+/// The nine evaluation strategies of Section 6.1.
+enum class MethodKind {
+  kSql,           // Section 3.1 baseline: one query per candidate topology.
+  kFullTop,       // Section 3.2: precomputed AllTops.
+  kFastTop,       // Section 4: LeftTops + online checks of pruned topologies.
+  kFullTopK,      // Top-k over AllTops (sort + fetch-k).
+  kFastTopK,      // Section 5.1: top-k over LeftTops + pruned re-checks.
+  kFullTopKEt,    // Top-k over AllTops with DGJ early termination.
+  kFastTopKEt,    // Section 5.3: DGJ early termination + pruning.
+  kFullTopKOpt,   // Section 5.4: cost-based choice, no pruning.
+  kFastTopKOpt,   // Section 5.4: cost-based choice over pruned tables.
+};
+
+const char* MethodKindToString(MethodKind kind);
+bool MethodIsTopK(MethodKind kind);
+
+/// One result row: a topology and its score under the query's scheme.
+struct ResultEntry {
+  core::Tid tid = core::kNoTid;
+  double score = 0.0;
+
+  bool operator==(const ResultEntry& o) const {
+    return tid == o.tid && score == o.score;
+  }
+};
+
+/// Execution telemetry for the benchmark harnesses.
+struct ExecStats {
+  double seconds = 0.0;
+  uint64_t rows_scanned = 0;
+  uint64_t probes = 0;
+  uint64_t rows_out = 0;
+  uint64_t builds = 0;
+  /// Online existence checks issued for pruned topologies / SQL candidates.
+  uint64_t subqueries = 0;
+  std::string plan;
+};
+
+struct QueryResult {
+  /// Ordered by (score desc, tid asc); truncated to k for top-k methods.
+  std::vector<ResultEntry> entries;
+  ExecStats stats;
+};
+
+/// DGJ implementation choice per join level for ET plans, used by the
+/// optimizer and by the best/worst-plan benchmarks.
+enum class DgjAlg { kIdgj, kHdgj };
+
+struct ExecOptions {
+  /// Per-level DGJ algorithm for ET plans (levels above the group source).
+  /// Defaults to IDGJ everywhere.
+  std::vector<DgjAlg> dgj_algs;
+  /// Join order of the two entity sides in ET plans: side 0 is the E1
+  /// column's table, side 1 is E2's. Defaults to {0, 1}; the cost-based
+  /// optimizer may flip it.
+  std::vector<size_t> et_side_order = {0, 1};
+};
+
+}  // namespace engine
+}  // namespace tsb
+
+#endif  // TSB_ENGINE_QUERY_H_

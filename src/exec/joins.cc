@@ -1,0 +1,206 @@
+#include "exec/joins.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace exec {
+namespace {
+
+OutputSchema TableSchemaWithAlias(const storage::Table& table,
+                                  const std::string& alias) {
+  std::vector<std::string> names;
+  for (const storage::ColumnDef& def : table.schema().columns()) {
+    names.push_back(alias + "." + def.name);
+  }
+  return OutputSchema(std::move(names));
+}
+
+}  // namespace
+
+HashJoinOp::HashJoinOp(std::unique_ptr<Operator> probe,
+                       std::unique_ptr<Operator> build, std::string probe_key,
+                       std::string build_key)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_key_(probe_->schema().IndexOf(probe_key)),
+      build_key_(build_->schema().IndexOf(build_key)),
+      schema_(OutputSchema::Concat(probe_->schema(), build_->schema())) {}
+
+void HashJoinOp::Open() {
+  counters_ = OpCounters{};
+  hash_.clear();
+  matches_ = nullptr;
+  match_pos_ = 0;
+  build_->Open();
+  Tuple t;
+  while (build_->Next(&t)) {
+    hash_[t[build_key_].AsInt64()].push_back(t);
+  }
+  ++counters_.builds;
+  probe_->Open();
+}
+
+bool HashJoinOp::Next(Tuple* out) {
+  for (;;) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      const Tuple& build_tuple = (*matches_)[match_pos_++];
+      *out = current_probe_;
+      out->insert(out->end(), build_tuple.begin(), build_tuple.end());
+      ++counters_.rows_out;
+      return true;
+    }
+    matches_ = nullptr;
+    if (!probe_->Next(&current_probe_)) return false;
+    ++counters_.probes;
+    auto it = hash_.find(current_probe_[probe_key_].AsInt64());
+    if (it != hash_.end()) {
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+  }
+}
+
+OpCounters HashJoinOp::TreeCounters() const {
+  OpCounters c = counters_;
+  c += probe_->TreeCounters();
+  c += build_->TreeCounters();
+  return c;
+}
+
+SortMergeJoinOp::SortMergeJoinOp(std::unique_ptr<Operator> left,
+                                 std::unique_ptr<Operator> right,
+                                 std::string left_key, std::string right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(left_->schema().IndexOf(left_key)),
+      right_key_(right_->schema().IndexOf(right_key)),
+      schema_(OutputSchema::Concat(left_->schema(), right_->schema())) {}
+
+void SortMergeJoinOp::Open() {
+  counters_ = OpCounters{};
+  auto materialize_sorted = [](Operator* op, size_t key,
+                               std::vector<Tuple>* rows) {
+    op->Open();
+    rows->clear();
+    Tuple t;
+    while (op->Next(&t)) rows->push_back(std::move(t));
+    std::stable_sort(rows->begin(), rows->end(),
+                     [key](const Tuple& a, const Tuple& b) {
+                       return a[key].AsInt64() < b[key].AsInt64();
+                     });
+  };
+  materialize_sorted(left_.get(), left_key_, &left_rows_);
+  materialize_sorted(right_.get(), right_key_, &right_rows_);
+  counters_.builds += 2;  // Two sort phases.
+  li_ = ri_ = 0;
+  in_run_ = false;
+}
+
+bool SortMergeJoinOp::Next(Tuple* out) {
+  for (;;) {
+    if (in_run_) {
+      if (emit_r_ == run_right_end_) {
+        ++emit_l_;
+        emit_r_ = ri_;
+      }
+      if (emit_l_ == run_left_end_) {
+        // Run exhausted; advance both sides past it.
+        li_ = run_left_end_;
+        ri_ = run_right_end_;
+        in_run_ = false;
+        continue;
+      }
+      *out = left_rows_[emit_l_];
+      const Tuple& r = right_rows_[emit_r_++];
+      out->insert(out->end(), r.begin(), r.end());
+      ++counters_.rows_out;
+      return true;
+    }
+    if (li_ >= left_rows_.size() || ri_ >= right_rows_.size()) return false;
+    int64_t lk = left_rows_[li_][left_key_].AsInt64();
+    int64_t rk = right_rows_[ri_][right_key_].AsInt64();
+    if (lk < rk) {
+      ++li_;
+    } else if (rk < lk) {
+      ++ri_;
+    } else {
+      run_left_end_ = li_;
+      while (run_left_end_ < left_rows_.size() &&
+             left_rows_[run_left_end_][left_key_].AsInt64() == lk) {
+        ++run_left_end_;
+      }
+      run_right_end_ = ri_;
+      while (run_right_end_ < right_rows_.size() &&
+             right_rows_[run_right_end_][right_key_].AsInt64() == rk) {
+        ++run_right_end_;
+      }
+      emit_l_ = li_;
+      emit_r_ = ri_;
+      in_run_ = true;
+    }
+  }
+}
+
+OpCounters SortMergeJoinOp::TreeCounters() const {
+  OpCounters c = counters_;
+  c += left_->TreeCounters();
+  c += right_->TreeCounters();
+  return c;
+}
+
+IndexNLJoinOp::IndexNLJoinOp(std::unique_ptr<Operator> outer,
+                             const storage::Table* inner,
+                             const storage::HashIndex* index,
+                             std::string inner_alias, std::string outer_key,
+                             storage::PredicateRef inner_predicate)
+    : outer_(std::move(outer)),
+      inner_(inner),
+      index_(index),
+      outer_key_(outer_->schema().IndexOf(outer_key)),
+      inner_predicate_(std::move(inner_predicate)),
+      schema_(OutputSchema::Concat(outer_->schema(),
+                                   TableSchemaWithAlias(*inner, inner_alias))) {
+}
+
+void IndexNLJoinOp::Open() {
+  counters_ = OpCounters{};
+  matches_ = nullptr;
+  match_pos_ = 0;
+  outer_->Open();
+}
+
+bool IndexNLJoinOp::Next(Tuple* out) {
+  for (;;) {
+    if (matches_ != nullptr) {
+      while (match_pos_ < matches_->size()) {
+        storage::RowIdx row = (*matches_)[match_pos_++];
+        ++counters_.rows_scanned;
+        if (inner_predicate_ != nullptr &&
+            !inner_predicate_->Eval(*inner_, row)) {
+          continue;
+        }
+        Tuple inner_tuple = inner_->GetRow(row);
+        *out = current_outer_;
+        out->insert(out->end(), inner_tuple.begin(), inner_tuple.end());
+        ++counters_.rows_out;
+        return true;
+      }
+      matches_ = nullptr;
+    }
+    if (!outer_->Next(&current_outer_)) return false;
+    ++counters_.probes;
+    matches_ = &index_->Lookup(current_outer_[outer_key_].AsInt64());
+    match_pos_ = 0;
+  }
+}
+
+OpCounters IndexNLJoinOp::TreeCounters() const {
+  OpCounters c = counters_;
+  c += outer_->TreeCounters();
+  return c;
+}
+
+}  // namespace exec
+}  // namespace tsb

@@ -1,0 +1,105 @@
+#ifndef TSB_EXEC_JOINS_H_
+#define TSB_EXEC_JOINS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/index.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace tsb {
+namespace exec {
+
+/// Classic hash join on INT64 equi-keys: materializes and hashes the build
+/// side, then streams the probe side. Output = probe tuple ++ build tuple.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::unique_ptr<Operator> probe, std::unique_ptr<Operator> build,
+             std::string probe_key, std::string build_key);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return schema_; }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::unique_ptr<Operator> probe_;
+  std::unique_ptr<Operator> build_;
+  size_t probe_key_;
+  size_t build_key_;
+  OutputSchema schema_;
+
+  std::unordered_map<int64_t, std::vector<Tuple>> hash_;
+  Tuple current_probe_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Sort-merge join on INT64 equi-keys: materializes and sorts both inputs,
+/// then merges, emitting the cross product of each equal-key run. The third
+/// of the System-R join methods the Section-5.4.1 optimizer enumerates.
+class SortMergeJoinOp : public Operator {
+ public:
+  SortMergeJoinOp(std::unique_ptr<Operator> left,
+                  std::unique_ptr<Operator> right, std::string left_key,
+                  std::string right_key);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return schema_; }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  size_t left_key_;
+  size_t right_key_;
+  OutputSchema schema_;
+
+  std::vector<Tuple> left_rows_;
+  std::vector<Tuple> right_rows_;
+  size_t li_ = 0;           // Start of the current left run.
+  size_t ri_ = 0;           // Start of the current right run.
+  size_t run_left_end_ = 0;  // One past the current left run.
+  size_t run_right_end_ = 0;
+  size_t emit_l_ = 0;       // Cross-product cursor within the run.
+  size_t emit_r_ = 0;
+  bool in_run_ = false;
+};
+
+/// Index nested-loops join: for each outer tuple, probes a hash index on the
+/// inner table and emits outer ++ inner-row for rows passing the residual
+/// predicate. This is the DB2-style "idxScan" building block of Figure 14.
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(std::unique_ptr<Operator> outer, const storage::Table* inner,
+                const storage::HashIndex* index, std::string inner_alias,
+                std::string outer_key,
+                storage::PredicateRef inner_predicate = nullptr);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return schema_; }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  const storage::Table* inner_;
+  const storage::HashIndex* index_;
+  size_t outer_key_;
+  storage::PredicateRef inner_predicate_;
+  OutputSchema schema_;
+
+  Tuple current_outer_;
+  const std::vector<storage::RowIdx>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+}  // namespace exec
+}  // namespace tsb
+
+#endif  // TSB_EXEC_JOINS_H_

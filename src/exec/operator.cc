@@ -1,0 +1,32 @@
+#include "exec/operator.h"
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace exec {
+
+size_t OutputSchema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  TSB_CHECK(false) << "no column '" << name << "' in operator schema";
+  return 0;
+}
+
+OutputSchema OutputSchema::Concat(const OutputSchema& a,
+                                  const OutputSchema& b) {
+  std::vector<std::string> names = a.names();
+  names.insert(names.end(), b.names().begin(), b.names().end());
+  return OutputSchema(std::move(names));
+}
+
+std::vector<Tuple> RunToVector(Operator* op) {
+  std::vector<Tuple> out;
+  op->Open();
+  Tuple t;
+  while (op->Next(&t)) out.push_back(t);
+  return out;
+}
+
+}  // namespace exec
+}  // namespace tsb

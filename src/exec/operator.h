@@ -1,0 +1,94 @@
+#ifndef TSB_EXEC_OPERATOR_H_
+#define TSB_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace tsb {
+namespace exec {
+
+using storage::Tuple;
+using storage::Value;
+
+/// Column names of an operator's output tuples, used to bind key and
+/// predicate positions when composing plans ("Protein.ID" style).
+class OutputSchema {
+ public:
+  OutputSchema() = default;
+  explicit OutputSchema(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Position of a column; aborts if absent.
+  size_t IndexOf(const std::string& name) const;
+
+  /// Concatenation (for join outputs).
+  static OutputSchema Concat(const OutputSchema& a, const OutputSchema& b);
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Per-operator execution counters, aggregated into the benchmark reports.
+struct OpCounters {
+  uint64_t rows_out = 0;      // Tuples produced.
+  uint64_t probes = 0;        // Index probes performed.
+  uint64_t rows_scanned = 0;  // Base-table rows visited.
+  uint64_t builds = 0;        // Hash-table (re)builds.
+
+  OpCounters& operator+=(const OpCounters& o) {
+    rows_out += o.rows_out;
+    probes += o.probes;
+    rows_scanned += o.rows_scanned;
+    builds += o.builds;
+    return *this;
+  }
+};
+
+/// Volcano-style pull operator ([17] in the paper). `Open` (re)initializes;
+/// `Next` produces one tuple at a time.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual void Open() = 0;
+  /// Fills `*out` and returns true, or returns false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+  virtual const OutputSchema& schema() const = 0;
+
+  const OpCounters& counters() const { return counters_; }
+  /// Recursively sums counters over this operator and its inputs.
+  virtual OpCounters TreeCounters() const { return counters_; }
+
+ protected:
+  OpCounters counters_;
+};
+
+/// The paper's Distinct Group Join interface (Section 5.3): operators that
+/// understand groups of tuples, preserve the group order of their input, and
+/// support skipping the remainder of the current group.
+///
+/// Protocol: tuples of a group are contiguous in the stream. The "current
+/// group" is the group of the most recently returned tuple (or the first
+/// group before any tuple is returned). `AdvanceToNextGroup` discards the
+/// remainder of the current group so the next `Next` returns the first tuple
+/// of the following group.
+class GroupedOperator : public Operator {
+ public:
+  virtual void AdvanceToNextGroup() = 0;
+};
+
+/// Runs a plan to completion, materializing all output tuples.
+std::vector<Tuple> RunToVector(Operator* op);
+
+}  // namespace exec
+}  // namespace tsb
+
+#endif  // TSB_EXEC_OPERATOR_H_

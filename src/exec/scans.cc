@@ -1,0 +1,84 @@
+#include "exec/scans.h"
+
+namespace tsb {
+namespace exec {
+namespace {
+
+OutputSchema PrefixedSchema(const storage::Table& table,
+                            const std::string& alias) {
+  std::vector<std::string> names;
+  names.reserve(table.schema().num_columns());
+  for (const storage::ColumnDef& def : table.schema().columns()) {
+    names.push_back(alias + "." + def.name);
+  }
+  return OutputSchema(std::move(names));
+}
+
+}  // namespace
+
+SeqScanOp::SeqScanOp(const storage::Table* table, std::string alias,
+                     storage::PredicateRef predicate)
+    : table_(table),
+      predicate_(std::move(predicate)),
+      schema_(PrefixedSchema(*table, alias)) {}
+
+void SeqScanOp::Open() {
+  next_row_ = 0;
+  counters_ = OpCounters{};
+}
+
+bool SeqScanOp::Next(Tuple* out) {
+  const size_t n = table_->num_rows();
+  while (next_row_ < n) {
+    storage::RowIdx row = next_row_++;
+    ++counters_.rows_scanned;
+    if (predicate_ != nullptr && !predicate_->Eval(*table_, row)) continue;
+    *out = table_->GetRow(row);
+    ++counters_.rows_out;
+    return true;
+  }
+  return false;
+}
+
+VectorSourceOp::VectorSourceOp(std::vector<Tuple> tuples, OutputSchema schema)
+    : tuples_(std::move(tuples)), schema_(std::move(schema)) {}
+
+void VectorSourceOp::Open() {
+  next_ = 0;
+  counters_ = OpCounters{};
+}
+
+bool VectorSourceOp::Next(Tuple* out) {
+  if (next_ >= tuples_.size()) return false;
+  *out = tuples_[next_++];
+  ++counters_.rows_out;
+  return true;
+}
+
+FilterOp::FilterOp(std::unique_ptr<Operator> child,
+                   std::function<bool(const Tuple&)> filter)
+    : child_(std::move(child)), filter_(std::move(filter)) {}
+
+void FilterOp::Open() {
+  child_->Open();
+  counters_ = OpCounters{};
+}
+
+bool FilterOp::Next(Tuple* out) {
+  while (child_->Next(out)) {
+    if (filter_(*out)) {
+      ++counters_.rows_out;
+      return true;
+    }
+  }
+  return false;
+}
+
+OpCounters FilterOp::TreeCounters() const {
+  OpCounters c = counters_;
+  c += child_->TreeCounters();
+  return c;
+}
+
+}  // namespace exec
+}  // namespace tsb

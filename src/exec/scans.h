@@ -1,0 +1,69 @@
+#ifndef TSB_EXEC_SCANS_H_
+#define TSB_EXEC_SCANS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace tsb {
+namespace exec {
+
+/// Sequential scan over a table with an optional pushed-down predicate.
+/// Output columns are named "<alias>.<column>".
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const storage::Table* table, std::string alias,
+            storage::PredicateRef predicate = nullptr);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return schema_; }
+
+ private:
+  const storage::Table* table_;
+  storage::PredicateRef predicate_;
+  OutputSchema schema_;
+  storage::RowIdx next_row_ = 0;
+};
+
+/// Emits a pre-materialized vector of tuples (plan inputs, test fixtures,
+/// and the score-ordered TopInfo "index scan" of Figure 15).
+class VectorSourceOp : public Operator {
+ public:
+  VectorSourceOp(std::vector<Tuple> tuples, OutputSchema schema);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return schema_; }
+
+ private:
+  std::vector<Tuple> tuples_;
+  OutputSchema schema_;
+  size_t next_ = 0;
+};
+
+/// Filters tuples with an arbitrary callback (for post-join residuals).
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> child,
+           std::function<bool(const Tuple&)> filter);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return child_->schema(); }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::function<bool(const Tuple&)> filter_;
+};
+
+}  // namespace exec
+}  // namespace tsb
+
+#endif  // TSB_EXEC_SCANS_H_

@@ -1,0 +1,173 @@
+#include "exec/shaping.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tsb {
+namespace exec {
+
+ProjectOp::ProjectOp(std::unique_ptr<Operator> child,
+                     std::vector<std::string> columns)
+    : child_(std::move(child)) {
+  std::vector<std::string> names;
+  for (const std::string& col : columns) {
+    indices_.push_back(child_->schema().IndexOf(col));
+    names.push_back(col);
+  }
+  schema_ = OutputSchema(std::move(names));
+}
+
+void ProjectOp::Open() {
+  child_->Open();
+  counters_ = OpCounters{};
+}
+
+bool ProjectOp::Next(Tuple* out) {
+  if (!child_->Next(&buffer_)) return false;
+  out->clear();
+  out->reserve(indices_.size());
+  for (size_t idx : indices_) out->push_back(buffer_[idx]);
+  ++counters_.rows_out;
+  return true;
+}
+
+OpCounters ProjectOp::TreeCounters() const {
+  OpCounters c = counters_;
+  c += child_->TreeCounters();
+  return c;
+}
+
+DistinctOp::DistinctOp(std::unique_ptr<Operator> child,
+                       std::vector<std::string> keys)
+    : child_(std::move(child)) {
+  for (const std::string& key : keys) {
+    key_indices_.push_back(child_->schema().IndexOf(key));
+  }
+}
+
+void DistinctOp::Open() {
+  child_->Open();
+  seen_.clear();
+  counters_ = OpCounters{};
+}
+
+bool DistinctOp::Next(Tuple* out) {
+  while (child_->Next(out)) {
+    uint64_t h = 0x51ed2701;
+    for (size_t idx : key_indices_) h = HashCombine(h, (*out)[idx].Hash());
+    if (seen_.insert(h).second) {
+      ++counters_.rows_out;
+      return true;
+    }
+  }
+  return false;
+}
+
+OpCounters DistinctOp::TreeCounters() const {
+  OpCounters c = counters_;
+  c += child_->TreeCounters();
+  return c;
+}
+
+SortOp::SortOp(std::unique_ptr<Operator> child, std::string key,
+               bool descending, std::string tie_break_key)
+    : child_(std::move(child)),
+      key_(child_->schema().IndexOf(key)),
+      descending_(descending),
+      has_tie_break_(!tie_break_key.empty()) {
+  if (has_tie_break_) {
+    tie_break_key_ = child_->schema().IndexOf(tie_break_key);
+  }
+}
+
+void SortOp::Open() {
+  counters_ = OpCounters{};
+  child_->Open();
+  sorted_.clear();
+  Tuple t;
+  while (child_->Next(&t)) sorted_.push_back(std::move(t));
+  std::stable_sort(sorted_.begin(), sorted_.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     const Value& ka = a[key_];
+                     const Value& kb = b[key_];
+                     if (!(ka == kb)) return descending_ ? kb < ka : ka < kb;
+                     if (has_tie_break_) {
+                       return a[tie_break_key_] < b[tie_break_key_];
+                     }
+                     return false;
+                   });
+  next_ = 0;
+}
+
+bool SortOp::Next(Tuple* out) {
+  if (next_ >= sorted_.size()) return false;
+  *out = sorted_[next_++];
+  ++counters_.rows_out;
+  return true;
+}
+
+OpCounters SortOp::TreeCounters() const {
+  OpCounters c = counters_;
+  c += child_->TreeCounters();
+  return c;
+}
+
+LimitOp::LimitOp(std::unique_ptr<Operator> child, size_t k)
+    : child_(std::move(child)), k_(k) {}
+
+void LimitOp::Open() {
+  child_->Open();
+  produced_ = 0;
+  counters_ = OpCounters{};
+}
+
+bool LimitOp::Next(Tuple* out) {
+  if (produced_ >= k_) return false;
+  if (!child_->Next(out)) return false;
+  ++produced_;
+  ++counters_.rows_out;
+  return true;
+}
+
+OpCounters LimitOp::TreeCounters() const {
+  OpCounters c = counters_;
+  c += child_->TreeCounters();
+  return c;
+}
+
+UnionAllOp::UnionAllOp(std::vector<std::unique_ptr<Operator>> children)
+    : children_(std::move(children)) {
+  TSB_CHECK(!children_.empty());
+  for (const auto& child : children_) {
+    TSB_CHECK_EQ(child->schema().size(), children_.front()->schema().size())
+        << "UNION ALL children must have matching arity";
+  }
+}
+
+void UnionAllOp::Open() {
+  for (auto& child : children_) child->Open();
+  current_ = 0;
+  counters_ = OpCounters{};
+}
+
+bool UnionAllOp::Next(Tuple* out) {
+  while (current_ < children_.size()) {
+    if (children_[current_]->Next(out)) {
+      ++counters_.rows_out;
+      return true;
+    }
+    ++current_;
+  }
+  return false;
+}
+
+OpCounters UnionAllOp::TreeCounters() const {
+  OpCounters c = counters_;
+  for (const auto& child : children_) c += child->TreeCounters();
+  return c;
+}
+
+}  // namespace exec
+}  // namespace tsb

@@ -1,0 +1,105 @@
+#ifndef TSB_EXEC_SHAPING_H_
+#define TSB_EXEC_SHAPING_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace tsb {
+namespace exec {
+
+/// Column projection by name.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<std::string> columns);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return schema_; }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<size_t> indices_;
+  OutputSchema schema_;
+  Tuple buffer_;
+};
+
+/// Hash-based duplicate elimination over the named key columns (streaming).
+class DistinctOp : public Operator {
+ public:
+  DistinctOp(std::unique_ptr<Operator> child, std::vector<std::string> keys);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return child_->schema(); }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<size_t> key_indices_;
+  std::unordered_set<uint64_t> seen_;
+};
+
+/// Full sort (materializing) by one column, optionally descending, with a
+/// second column as tie-break.
+class SortOp : public Operator {
+ public:
+  SortOp(std::unique_ptr<Operator> child, std::string key, bool descending,
+         std::string tie_break_key = "");
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return child_->schema(); }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  size_t key_;
+  bool descending_;
+  bool has_tie_break_;
+  size_t tie_break_key_ = 0;
+  std::vector<Tuple> sorted_;
+  size_t next_ = 0;
+};
+
+/// FETCH FIRST k ROWS ONLY.
+class LimitOp : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> child, size_t k);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override { return child_->schema(); }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  size_t k_;
+  size_t produced_ = 0;
+};
+
+/// Concatenation of children with identical schemas (SQL UNION ALL).
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<std::unique_ptr<Operator>> children);
+
+  void Open() override;
+  bool Next(Tuple* out) override;
+  const OutputSchema& schema() const override {
+    return children_.front()->schema();
+  }
+  OpCounters TreeCounters() const override;
+
+ private:
+  std::vector<std::unique_ptr<Operator>> children_;
+  size_t current_ = 0;
+};
+
+}  // namespace exec
+}  // namespace tsb
+
+#endif  // TSB_EXEC_SHAPING_H_

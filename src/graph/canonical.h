@@ -1,0 +1,41 @@
+#ifndef TSB_GRAPH_CANONICAL_H_
+#define TSB_GRAPH_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tsb {
+namespace graph {
+
+/// Computes a canonical byte string for a labeled multigraph: two graphs get
+/// the same code iff they are isomorphic under the paper's Section-2.1
+/// definition (label-preserving node bijection inducing a label-preserving
+/// edge bijection).
+///
+/// Topology identity everywhere in the library is "equal canonical code";
+/// the independent VF2 matcher in isomorphism.h cross-checks this in tests.
+///
+/// Implementation: iterative equitable-partition refinement (Weisfeiler–
+/// Leman style with edge labels) followed by exhaustive permutation search
+/// within the remaining color cells, keeping the lexicographically smallest
+/// serialization. Exact, and fast for the <= ~12-node graphs topologies
+/// produce; aborts loudly if a pathological graph exceeds the search budget.
+std::string CanonicalCode(const LabeledGraph& g);
+
+/// Returns the canonical relabeling permutation: `perm[i]` is the canonical
+/// position of input node `i`. Useful for rendering a canonical form.
+std::vector<uint32_t> CanonicalPermutation(const LabeledGraph& g);
+
+/// Rebuilds the graph with nodes in canonical order and edges sorted; two
+/// isomorphic graphs produce structurally identical canonical forms.
+LabeledGraph CanonicalForm(const LabeledGraph& g);
+
+/// Short printable digest of a canonical code (for logs and TopInfo rows).
+std::string CodeDigest(const std::string& code);
+
+}  // namespace graph
+}  // namespace tsb
+
+#endif  // TSB_GRAPH_CANONICAL_H_

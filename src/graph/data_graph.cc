@@ -1,0 +1,58 @@
+#include "graph/data_graph.h"
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace graph {
+
+DataGraphView::DataGraphView(const storage::Catalog& catalog) {
+  entities_by_type_.resize(catalog.entity_sets().size());
+  for (const storage::EntitySetDef& def : catalog.entity_sets()) {
+    const storage::Table& table = *catalog.GetTable(def.table_name);
+    size_t id_col = table.schema().ColumnIndexOrDie(def.id_column);
+    const std::vector<int64_t>& ids = table.column(id_col).ints();
+    entities_by_type_[def.id].reserve(ids.size());
+    for (int64_t id : ids) {
+      auto [it, inserted] = node_types_.emplace(id, def.id);
+      TSB_CHECK(inserted) << "duplicate entity id " << id << " (entity set "
+                          << def.name << ")";
+      entities_by_type_[def.id].push_back(id);
+    }
+  }
+  for (const storage::RelationshipSetDef& def : catalog.relationship_sets()) {
+    const storage::Table& table = *catalog.GetTable(def.table_name);
+    size_t id_col = table.schema().ColumnIndexOrDie(def.id_column);
+    size_t from_col = table.schema().ColumnIndexOrDie(def.from_column);
+    size_t to_col = table.schema().ColumnIndexOrDie(def.to_column);
+    const std::vector<int64_t>& edge_ids = table.column(id_col).ints();
+    const std::vector<int64_t>& froms = table.column(from_col).ints();
+    const std::vector<int64_t>& tos = table.column(to_col).ints();
+    for (size_t i = 0; i < edge_ids.size(); ++i) {
+      EntityId a = froms[i];
+      EntityId b = tos[i];
+      TSB_CHECK(HasNode(a)) << "relationship " << def.name
+                            << " references unknown entity " << a;
+      TSB_CHECK(HasNode(b)) << "relationship " << def.name
+                            << " references unknown entity " << b;
+      // Traversing a -> b follows the rel forward; b -> a backward.
+      adjacency_[a].push_back(AdjEntry{b, edge_ids[i], def.id, true});
+      adjacency_[b].push_back(AdjEntry{a, edge_ids[i], def.id, false});
+      ++num_edges_;
+    }
+  }
+}
+
+storage::EntityTypeId DataGraphView::NodeType(EntityId id) const {
+  auto it = node_types_.find(id);
+  TSB_CHECK(it != node_types_.end()) << "unknown entity id " << id;
+  return it->second;
+}
+
+const std::vector<AdjEntry>& DataGraphView::Neighbors(EntityId id) const {
+  auto it = adjacency_.find(id);
+  if (it == adjacency_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace graph
+}  // namespace tsb

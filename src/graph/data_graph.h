@@ -1,0 +1,57 @@
+#ifndef TSB_GRAPH_DATA_GRAPH_H_
+#define TSB_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace graph {
+
+/// Global entity identifier (primary key; unique across entity sets).
+using EntityId = int64_t;
+
+/// One incident relationship of a node.
+struct AdjEntry {
+  EntityId neighbor;
+  int64_t edge_id;          // Relationship row id.
+  storage::RelTypeId rel;
+  bool forward;             // True if `neighbor` is on the rel's `to` side.
+};
+
+/// The instance-level data graph of Section 2.1, materialized as adjacency
+/// lists over the catalog's entity and relationship tables. Nodes are global
+/// entity ids; edges are relationship rows, traversable in both directions.
+class DataGraphView {
+ public:
+  /// Builds adjacency from every registered entity and relationship set.
+  /// Aborts if a relationship references an unknown entity id (referential
+  /// integrity is an invariant of the generator and fixtures).
+  explicit DataGraphView(const storage::Catalog& catalog);
+
+  bool HasNode(EntityId id) const { return node_types_.count(id) > 0; }
+  storage::EntityTypeId NodeType(EntityId id) const;
+  const std::vector<AdjEntry>& Neighbors(EntityId id) const;
+
+  /// All entity ids of a given type, in table order.
+  const std::vector<EntityId>& EntitiesOfType(storage::EntityTypeId t) const {
+    return entities_by_type_[t];
+  }
+
+  size_t num_nodes() const { return node_types_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  std::unordered_map<EntityId, storage::EntityTypeId> node_types_;
+  std::unordered_map<EntityId, std::vector<AdjEntry>> adjacency_;
+  std::vector<std::vector<EntityId>> entities_by_type_;
+  std::vector<AdjEntry> empty_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace graph
+}  // namespace tsb
+
+#endif  // TSB_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,139 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace graph {
+namespace {
+
+using NodeId = LabeledGraph::NodeId;
+constexpr NodeId kUnmapped = static_cast<NodeId>(-1);
+
+/// Deduplicated adjacency structure used by the matcher.
+struct MatchGraph {
+  std::vector<uint32_t> labels;
+  // Unique (neighbor, edge_label) pairs per node.
+  std::vector<std::vector<std::pair<NodeId, uint32_t>>> adj;
+
+  explicit MatchGraph(const LabeledGraph& g) : labels(g.node_labels()) {
+    adj.resize(g.num_nodes());
+    std::set<std::tuple<NodeId, NodeId, uint32_t>> seen;
+    for (const LabeledGraph::Edge& e : g.edges()) {
+      NodeId lo = std::min(e.u, e.v);
+      NodeId hi = std::max(e.u, e.v);
+      if (!seen.insert({lo, hi, e.label}).second) continue;
+      adj[e.u].emplace_back(e.v, e.label);
+      if (e.u != e.v) adj[e.v].emplace_back(e.u, e.label);
+    }
+  }
+
+  bool HasEdge(NodeId u, NodeId v, uint32_t label) const {
+    for (const auto& [n, l] : adj[u]) {
+      if (n == v && l == label) return true;
+    }
+    return false;
+  }
+};
+
+/// Orders pattern nodes so each node (after the first of its component) is
+/// adjacent to an already-placed node; improves pruning dramatically.
+std::vector<NodeId> ConnectivityOrder(const MatchGraph& p) {
+  const size_t n = p.labels.size();
+  std::vector<NodeId> order;
+  std::vector<bool> placed(n, false);
+  while (order.size() < n) {
+    // Prefer an unplaced node adjacent to a placed one, highest degree first.
+    NodeId best = kUnmapped;
+    bool best_adjacent = false;
+    size_t best_degree = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      bool adjacent = false;
+      for (const auto& [u, _] : p.adj[v]) {
+        if (placed[u]) {
+          adjacent = true;
+          break;
+        }
+      }
+      size_t degree = p.adj[v].size();
+      if (best == kUnmapped || (adjacent && !best_adjacent) ||
+          (adjacent == best_adjacent && degree > best_degree)) {
+        best = v;
+        best_adjacent = adjacent;
+        best_degree = degree;
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+struct Matcher {
+  const MatchGraph& pattern;
+  const MatchGraph& target;
+  std::vector<NodeId> order;
+  std::vector<NodeId> map;          // pattern -> target
+  std::vector<bool> target_used;
+
+  Matcher(const MatchGraph& p, const MatchGraph& t)
+      : pattern(p),
+        target(t),
+        order(ConnectivityOrder(p)),
+        map(p.labels.size(), kUnmapped),
+        target_used(t.labels.size(), false) {}
+
+  bool Feasible(NodeId pv, NodeId tv) const {
+    if (pattern.labels[pv] != target.labels[tv]) return false;
+    if (pattern.adj[pv].size() > target.adj[tv].size()) return false;
+    // All edges from pv to already-mapped neighbors must exist in target.
+    for (const auto& [pu, el] : pattern.adj[pv]) {
+      if (map[pu] == kUnmapped) continue;
+      if (!target.HasEdge(tv, map[pu], el)) return false;
+    }
+    return true;
+  }
+
+  bool Search(size_t depth) {
+    if (depth == order.size()) return true;
+    NodeId pv = order[depth];
+    for (NodeId tv = 0; tv < target.labels.size(); ++tv) {
+      if (target_used[tv] || !Feasible(pv, tv)) continue;
+      map[pv] = tv;
+      target_used[tv] = true;
+      if (Search(depth + 1)) return true;
+      map[pv] = kUnmapped;
+      target_used[tv] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> FindSubgraphIsomorphism(
+    const LabeledGraph& pattern, const LabeledGraph& target) {
+  if (pattern.num_nodes() > target.num_nodes()) return std::nullopt;
+  MatchGraph p(pattern);
+  MatchGraph t(target);
+  Matcher m(p, t);
+  if (!m.Search(0)) return std::nullopt;
+  return m.map;
+}
+
+bool IsSubgraphIsomorphic(const LabeledGraph& pattern,
+                          const LabeledGraph& target) {
+  return FindSubgraphIsomorphism(pattern, target).has_value();
+}
+
+bool IsIsomorphic(const LabeledGraph& a, const LabeledGraph& b) {
+  if (a.num_nodes() != b.num_nodes()) return false;
+  return IsSubgraphIsomorphic(a, b) && IsSubgraphIsomorphic(b, a);
+}
+
+}  // namespace graph
+}  // namespace tsb

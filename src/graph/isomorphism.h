@@ -1,0 +1,36 @@
+#ifndef TSB_GRAPH_ISOMORPHISM_H_
+#define TSB_GRAPH_ISOMORPHISM_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tsb {
+namespace graph {
+
+/// Label-preserving subgraph-isomorphism test (the paper's Section-2.1
+/// definition): is there an injection f from `pattern` nodes to `target`
+/// nodes with matching node labels such that every pattern edge (u,v,l) has
+/// a target edge (f(u),f(v),l)?
+///
+/// Parallel edges with identical (endpoints,label) are collapsed before
+/// matching; they carry no extra information under this definition.
+///
+/// Implemented as a VF2-style backtracking search, fully independent of the
+/// canonical-code machinery so tests can cross-check the two.
+bool IsSubgraphIsomorphic(const LabeledGraph& pattern,
+                          const LabeledGraph& target);
+
+/// Returns a witness mapping (pattern node -> target node) if one exists.
+std::optional<std::vector<LabeledGraph::NodeId>> FindSubgraphIsomorphism(
+    const LabeledGraph& pattern, const LabeledGraph& target);
+
+/// Graph isomorphism: mutual subgraph isomorphism, per the paper's
+/// definition of the equivalence relation behind [G].
+bool IsIsomorphic(const LabeledGraph& a, const LabeledGraph& b);
+
+}  // namespace graph
+}  // namespace tsb
+
+#endif  // TSB_GRAPH_ISOMORPHISM_H_

@@ -1,0 +1,152 @@
+#include "graph/labeled_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace tsb {
+namespace graph {
+
+LabeledGraph::NodeId LabeledGraph::AddNode(uint32_t label) {
+  node_labels_.push_back(label);
+  return static_cast<NodeId>(node_labels_.size() - 1);
+}
+
+void LabeledGraph::AddEdge(NodeId u, NodeId v, uint32_t label) {
+  TSB_CHECK_LT(u, node_labels_.size());
+  TSB_CHECK_LT(v, node_labels_.size());
+  edges_.push_back(Edge{u, v, label});
+}
+
+std::vector<std::pair<LabeledGraph::NodeId, uint32_t>> LabeledGraph::Neighbors(
+    NodeId n) const {
+  std::vector<std::pair<NodeId, uint32_t>> out;
+  for (const Edge& e : edges_) {
+    if (e.u == n) out.emplace_back(e.v, e.label);
+    else if (e.v == n) out.emplace_back(e.u, e.label);
+  }
+  return out;
+}
+
+size_t LabeledGraph::Degree(NodeId n) const {
+  size_t d = 0;
+  for (const Edge& e : edges_) {
+    if (e.u == n || e.v == n) ++d;
+  }
+  return d;
+}
+
+bool LabeledGraph::HasEdge(NodeId u, NodeId v, uint32_t label) const {
+  for (const Edge& e : edges_) {
+    if (e.label != label) continue;
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) return true;
+  }
+  return false;
+}
+
+void LabeledGraph::DedupeParallelEdges() {
+  std::set<std::tuple<NodeId, NodeId, uint32_t>> seen;
+  std::vector<Edge> kept;
+  kept.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    NodeId lo = std::min(e.u, e.v);
+    NodeId hi = std::max(e.u, e.v);
+    if (seen.insert({lo, hi, e.label}).second) kept.push_back(e);
+  }
+  edges_ = std::move(kept);
+}
+
+LabeledGraph::NodeId LabeledGraph::AppendDisjoint(const LabeledGraph& other) {
+  NodeId offset = static_cast<NodeId>(node_labels_.size());
+  node_labels_.insert(node_labels_.end(), other.node_labels_.begin(),
+                      other.node_labels_.end());
+  for (const Edge& e : other.edges_) {
+    edges_.push_back(Edge{static_cast<NodeId>(e.u + offset),
+                          static_cast<NodeId>(e.v + offset), e.label});
+  }
+  return offset;
+}
+
+void LabeledGraph::MergeNodes(NodeId into, NodeId from) {
+  TSB_CHECK_NE(into, from);
+  TSB_CHECK_LT(into, node_labels_.size());
+  TSB_CHECK_LT(from, node_labels_.size());
+  TSB_CHECK_EQ(node_labels_[into], node_labels_[from])
+      << "cannot merge nodes with different labels";
+  for (Edge& e : edges_) {
+    if (e.u == from) e.u = into;
+    if (e.v == from) e.v = into;
+  }
+  // Remove `from` by shifting ids above it down by one.
+  node_labels_.erase(node_labels_.begin() + from);
+  for (Edge& e : edges_) {
+    if (e.u > from) --e.u;
+    if (e.v > from) --e.v;
+  }
+}
+
+bool LabeledGraph::IsConnected() const {
+  if (node_labels_.empty()) return true;
+  std::vector<bool> seen(node_labels_.size(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    for (const Edge& e : edges_) {
+      NodeId other;
+      if (e.u == n) other = e.v;
+      else if (e.v == n) other = e.u;
+      else continue;
+      if (!seen[other]) {
+        seen[other] = true;
+        ++count;
+        stack.push_back(other);
+      }
+    }
+  }
+  return count == node_labels_.size();
+}
+
+std::string LabeledGraph::ToString(
+    const std::function<std::string(uint32_t)>& node_label_name,
+    const std::function<std::string(uint32_t)>& edge_label_name) const {
+  auto nname = [&](uint32_t l) {
+    return node_label_name ? node_label_name(l) : std::to_string(l);
+  };
+  auto ename = [&](uint32_t l) {
+    return edge_label_name ? edge_label_name(l) : std::to_string(l);
+  };
+  std::string out = StrFormat("{%zu nodes: ", node_labels_.size());
+  for (size_t i = 0; i < node_labels_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(i) + ":" + nname(node_labels_[i]);
+  }
+  out += "; edges: ";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%u-(%s)-%u", edges_[i].u, ename(edges_[i].label).c_str(),
+                     edges_[i].v);
+  }
+  out += "}";
+  return out;
+}
+
+LabeledGraph MakePathGraph(const std::vector<uint32_t>& node_labels,
+                           const std::vector<uint32_t>& edge_labels) {
+  TSB_CHECK_EQ(node_labels.size(), edge_labels.size() + 1);
+  LabeledGraph g;
+  for (uint32_t l : node_labels) g.AddNode(l);
+  for (size_t i = 0; i < edge_labels.size(); ++i) {
+    g.AddEdge(static_cast<LabeledGraph::NodeId>(i),
+              static_cast<LabeledGraph::NodeId>(i + 1), edge_labels[i]);
+  }
+  return g;
+}
+
+}  // namespace graph
+}  // namespace tsb

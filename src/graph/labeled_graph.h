@@ -1,0 +1,90 @@
+#ifndef TSB_GRAPH_LABELED_GRAPH_H_
+#define TSB_GRAPH_LABELED_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tsb {
+namespace graph {
+
+/// A small undirected labeled multigraph. Nodes carry a type label (entity
+/// type) and edges carry a type label (relationship type). This is the
+/// representation of both topologies (schema-level summaries) and the
+/// instance subgraphs they summarize.
+///
+/// Parallel edges with *different* labels are meaningful (two different
+/// relationship types between the same pair); parallel edges with the same
+/// label are redundant for topology identity and can be removed with
+/// `DedupeParallelEdges`.
+class LabeledGraph {
+ public:
+  using NodeId = uint32_t;
+
+  struct Edge {
+    NodeId u;
+    NodeId v;
+    uint32_t label;
+  };
+
+  LabeledGraph() = default;
+
+  /// Adds a node with the given type label; returns its id (dense, 0-based).
+  NodeId AddNode(uint32_t label);
+
+  /// Adds an undirected edge; endpoints must exist.
+  void AddEdge(NodeId u, NodeId v, uint32_t label);
+
+  size_t num_nodes() const { return node_labels_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  uint32_t node_label(NodeId n) const { return node_labels_[n]; }
+  const std::vector<uint32_t>& node_labels() const { return node_labels_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// (neighbor, edge label) pairs incident to `n`, in insertion order.
+  /// Self-loops appear once.
+  std::vector<std::pair<NodeId, uint32_t>> Neighbors(NodeId n) const;
+
+  /// Degree counting parallel edges.
+  size_t Degree(NodeId n) const;
+
+  /// True if an edge (u, v) with `label` exists (either orientation).
+  bool HasEdge(NodeId u, NodeId v, uint32_t label) const;
+
+  /// Removes duplicate (u, v, label) edges, treating (u,v) as unordered.
+  void DedupeParallelEdges();
+
+  /// Disjoint union: appends `other`, returning the node-id offset at which
+  /// its nodes were inserted.
+  NodeId AppendDisjoint(const LabeledGraph& other);
+
+  /// Merges node `from` into node `into`: all edges of `from` are re-pointed
+  /// at `into` and `from` is removed (ids above it shift down). Labels must
+  /// match. Used when identifying shared intermediates across paths.
+  void MergeNodes(NodeId into, NodeId from);
+
+  /// True if the graph is connected (empty graph counts as connected).
+  bool IsConnected() const;
+
+  /// Debug rendering: "0:P -(encodes)- 1:D" style, using the provided label
+  /// printers (fall back to numbers when null).
+  std::string ToString(
+      const std::function<std::string(uint32_t)>& node_label_name = nullptr,
+      const std::function<std::string(uint32_t)>& edge_label_name =
+          nullptr) const;
+
+ private:
+  std::vector<uint32_t> node_labels_;
+  std::vector<Edge> edges_;
+};
+
+/// Builds a simple path graph: labels[0] -e[0]- labels[1] ... Useful for
+/// turning schema paths into candidate graphs.
+LabeledGraph MakePathGraph(const std::vector<uint32_t>& node_labels,
+                           const std::vector<uint32_t>& edge_labels);
+
+}  // namespace graph
+}  // namespace tsb
+
+#endif  // TSB_GRAPH_LABELED_GRAPH_H_

@@ -1,0 +1,142 @@
+#include "graph/path_enum.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace graph {
+
+SchemaPath PathInstance::ToSchemaPath(const DataGraphView& view) const {
+  SchemaPath out;
+  out.node_types.reserve(nodes.size());
+  for (EntityId id : nodes) out.node_types.push_back(view.NodeType(id));
+  out.steps = steps;
+  return out;
+}
+
+std::vector<PathInstance> EnumeratePathsBetween(const DataGraphView& view,
+                                                EntityId a, EntityId b,
+                                                size_t max_len, size_t cap,
+                                                bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::vector<PathInstance> out;
+  if (!view.HasNode(a) || !view.HasNode(b) || a == b || max_len == 0) {
+    return out;
+  }
+
+  PathInstance current;
+  current.nodes.push_back(a);
+  std::vector<EntityId> on_path = {a};
+
+  std::function<void()> dfs = [&]() {
+    if (out.size() >= cap) return;
+    EntityId at = current.nodes.back();
+    if (at == b) {
+      out.push_back(current);
+      if (out.size() >= cap && truncated != nullptr) *truncated = true;
+      return;  // Extending past b cannot produce a simple path back to b.
+    }
+    if (current.steps.size() == max_len) return;
+    for (const AdjEntry& adj : view.Neighbors(at)) {
+      if (std::find(on_path.begin(), on_path.end(), adj.neighbor) !=
+          on_path.end()) {
+        continue;  // Simple paths only.
+      }
+      current.nodes.push_back(adj.neighbor);
+      current.edge_ids.push_back(adj.edge_id);
+      current.steps.push_back(SchemaStep{adj.rel, adj.forward});
+      on_path.push_back(adj.neighbor);
+      dfs();
+      current.nodes.pop_back();
+      current.edge_ids.pop_back();
+      current.steps.pop_back();
+      on_path.pop_back();
+      if (out.size() >= cap) return;
+    }
+  };
+  dfs();
+  return out;
+}
+
+namespace {
+
+/// Shared DFS along a fixed schema path starting at `start`.
+void WalkSchemaPathFrom(const DataGraphView& view,
+                        const SchemaPath& schema_path, EntityId start,
+                        const std::function<bool(const PathInstance&)>& fn) {
+  PathInstance current;
+  current.nodes.push_back(start);
+
+  // Returns false to stop the whole enumeration.
+  std::function<bool(size_t)> dfs = [&](size_t depth) -> bool {
+    if (depth == schema_path.steps.size()) {
+      return fn(current);
+    }
+    const SchemaStep& want = schema_path.steps[depth];
+    EntityId at = current.nodes.back();
+    for (const AdjEntry& adj : view.Neighbors(at)) {
+      if (adj.rel != want.rel || adj.forward != want.forward) continue;
+      if (std::find(current.nodes.begin(), current.nodes.end(),
+                    adj.neighbor) != current.nodes.end()) {
+        continue;  // Simple paths only.
+      }
+      current.nodes.push_back(adj.neighbor);
+      current.edge_ids.push_back(adj.edge_id);
+      current.steps.push_back(want);
+      bool keep_going = dfs(depth + 1);
+      current.nodes.pop_back();
+      current.edge_ids.pop_back();
+      current.steps.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  dfs(0);
+}
+
+}  // namespace
+
+void ForEachSchemaPathInstance(
+    const DataGraphView& view, const SchemaPath& schema_path,
+    const std::function<void(const PathInstance&)>& fn) {
+  TSB_CHECK(!schema_path.steps.empty());
+  for (EntityId start : view.EntitiesOfType(schema_path.start())) {
+    WalkSchemaPathFrom(view, schema_path, start,
+                       [&fn](const PathInstance& p) {
+                         fn(p);
+                         return true;
+                       });
+  }
+}
+
+size_t CountSchemaPathInstances(const DataGraphView& view,
+                                const SchemaPath& schema_path) {
+  size_t count = 0;
+  ForEachSchemaPathInstance(view, schema_path,
+                            [&count](const PathInstance&) { ++count; });
+  return count;
+}
+
+std::vector<PathInstance> EnumerateSchemaPathInstancesFrom(
+    const DataGraphView& view, const SchemaPath& schema_path, EntityId a,
+    size_t cap) {
+  std::vector<PathInstance> out;
+  if (!view.HasNode(a) || view.NodeType(a) != schema_path.start()) return out;
+  WalkSchemaPathFrom(view, schema_path, a,
+                     [&out, cap](const PathInstance& p) {
+                       out.push_back(p);
+                       return out.size() < cap;
+                     });
+  return out;
+}
+
+void ForEachSchemaPathInstanceFrom(
+    const DataGraphView& view, const SchemaPath& schema_path, EntityId a,
+    const std::function<bool(const PathInstance&)>& fn) {
+  if (!view.HasNode(a) || view.NodeType(a) != schema_path.start()) return;
+  WalkSchemaPathFrom(view, schema_path, a, fn);
+}
+
+}  // namespace graph
+}  // namespace tsb

@@ -1,0 +1,66 @@
+#ifndef TSB_GRAPH_PATH_ENUM_H_
+#define TSB_GRAPH_PATH_ENUM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+
+namespace tsb {
+namespace graph {
+
+/// A concrete simple path at the instance level.
+struct PathInstance {
+  std::vector<EntityId> nodes;     // length() + 1 entries
+  std::vector<int64_t> edge_ids;   // one per step
+  std::vector<SchemaStep> steps;   // schema labels, aligned with edge_ids
+
+  size_t length() const { return steps.size(); }
+  EntityId a() const { return nodes.front(); }
+  EntityId b() const { return nodes.back(); }
+
+  /// The path's schema path (node types derived via the graph view).
+  SchemaPath ToSchemaPath(const DataGraphView& view) const;
+};
+
+/// Enumerates PS(a, b, max_len): all simple instance paths between `a` and
+/// `b` of length in [1, max_len]. Stops after `cap` paths, setting
+/// `*truncated` (weak relationships can relate a pair by thousands of paths;
+/// see Section 6.2.3).
+std::vector<PathInstance> EnumeratePathsBetween(const DataGraphView& view,
+                                                EntityId a, EntityId b,
+                                                size_t max_len,
+                                                size_t cap = SIZE_MAX,
+                                                bool* truncated = nullptr);
+
+/// Streams every instance of `schema_path` (simple paths only), invoking
+/// `fn` once per instance. Instances are emitted in deterministic order:
+/// start entities in table order, adjacency in insertion order. This is the
+/// offline Topology Computation sweep of Section 4.1.
+void ForEachSchemaPathInstance(
+    const DataGraphView& view, const SchemaPath& schema_path,
+    const std::function<void(const PathInstance&)>& fn);
+
+/// Counts instances of a schema path without materializing them.
+size_t CountSchemaPathInstances(const DataGraphView& view,
+                                const SchemaPath& schema_path);
+
+/// Instances of `schema_path` that start at a fixed entity `a` (used by the
+/// online checks of pruned topologies, SQL2-style).
+std::vector<PathInstance> EnumerateSchemaPathInstancesFrom(
+    const DataGraphView& view, const SchemaPath& schema_path, EntityId a,
+    size_t cap = SIZE_MAX);
+
+/// Streaming variant: invokes `fn` for each instance starting at `a`;
+/// `fn` returning false stops the enumeration (early-out, as in the paper's
+/// existence sub-queries for pruned topologies).
+void ForEachSchemaPathInstanceFrom(
+    const DataGraphView& view, const SchemaPath& schema_path, EntityId a,
+    const std::function<bool(const PathInstance&)>& fn);
+
+}  // namespace graph
+}  // namespace tsb
+
+#endif  // TSB_GRAPH_PATH_ENUM_H_

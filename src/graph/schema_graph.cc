@@ -1,0 +1,130 @@
+#include "graph/schema_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace tsb {
+namespace graph {
+
+SchemaPath SchemaPath::Reversed() const {
+  SchemaPath out;
+  out.node_types.assign(node_types.rbegin(), node_types.rend());
+  out.steps.reserve(steps.size());
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    out.steps.push_back(SchemaStep{it->rel, !it->forward});
+  }
+  return out;
+}
+
+LabeledGraph SchemaPath::ToGraph() const {
+  std::vector<uint32_t> nodes(node_types.begin(), node_types.end());
+  std::vector<uint32_t> edges;
+  edges.reserve(steps.size());
+  for (const SchemaStep& s : steps) edges.push_back(s.rel);
+  return MakePathGraph(nodes, edges);
+}
+
+SchemaGraph::SchemaGraph(const storage::Catalog& catalog) {
+  for (const storage::EntitySetDef& def : catalog.entity_sets()) {
+    entity_names_.push_back(def.name);
+  }
+  for (const storage::RelationshipSetDef& def : catalog.relationship_sets()) {
+    rel_names_.push_back(def.name);
+    rels_.emplace_back(def.from_type, def.to_type);
+  }
+}
+
+namespace {
+
+/// Serialization used both for ordering path directions and as class key
+/// material: t0, r0, t1, r1, ..., tn.
+std::vector<uint32_t> LabelSequence(const SchemaPath& p) {
+  std::vector<uint32_t> seq;
+  seq.reserve(p.node_types.size() + p.steps.size());
+  for (size_t i = 0; i < p.steps.size(); ++i) {
+    seq.push_back(p.node_types[i]);
+    seq.push_back(p.steps[i].rel);
+  }
+  seq.push_back(p.node_types.back());
+  return seq;
+}
+
+}  // namespace
+
+std::vector<SchemaPath> SchemaGraph::EnumeratePaths(storage::EntityTypeId t1,
+                                                    storage::EntityTypeId t2,
+                                                    size_t max_len) const {
+  std::vector<SchemaPath> out;
+  SchemaPath current;
+  current.node_types.push_back(t1);
+
+  // Depth-first over schema walks.
+  std::function<void()> dfs = [&]() {
+    if (!current.steps.empty() && current.end() == t2) {
+      if (t1 != t2) {
+        out.push_back(current);
+      } else {
+        // Self-pair: keep only the canonical direction to avoid listing the
+        // same undirected walk twice.
+        SchemaPath rev = current.Reversed();
+        if (LabelSequence(current) <= LabelSequence(rev)) {
+          out.push_back(current);
+        }
+      }
+    }
+    if (current.steps.size() == max_len) return;
+    storage::EntityTypeId at = current.end();
+    for (storage::RelTypeId r = 0; r < rels_.size(); ++r) {
+      for (bool forward : {true, false}) {
+        SchemaStep step{r, forward};
+        if (StepSource(step) != at) continue;
+        // A non-directional self-loop relationship would be walked twice
+        // (forward and backward are indistinguishable); keep forward only.
+        if (rels_[r].first == rels_[r].second && !forward) continue;
+        current.steps.push_back(step);
+        current.node_types.push_back(StepTarget(step));
+        dfs();
+        current.steps.pop_back();
+        current.node_types.pop_back();
+      }
+    }
+  };
+  dfs();
+
+  // Deterministic order: by length then label sequence.
+  std::sort(out.begin(), out.end(), [](const SchemaPath& a,
+                                       const SchemaPath& b) {
+    if (a.length() != b.length()) return a.length() < b.length();
+    return LabelSequence(a) < LabelSequence(b);
+  });
+  return out;
+}
+
+std::string SchemaGraph::PathToString(const SchemaPath& path) const {
+  std::string out = entity_name(path.node_types[0]);
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    out += "-" + rel_name(path.steps[i].rel) + "-";
+    out += entity_name(path.node_types[i + 1]);
+  }
+  return out;
+}
+
+std::string SchemaGraph::PathClassKey(const SchemaPath& path) const {
+  std::vector<uint32_t> fwd = LabelSequence(path);
+  std::vector<uint32_t> rev = LabelSequence(path.Reversed());
+  const std::vector<uint32_t>& key = std::min(fwd, rev);
+  std::string out;
+  out.reserve(key.size() * 4);
+  for (uint32_t v : key) {
+    out.push_back(static_cast<char>(v >> 24));
+    out.push_back(static_cast<char>(v >> 16));
+    out.push_back(static_cast<char>(v >> 8));
+    out.push_back(static_cast<char>(v));
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace tsb

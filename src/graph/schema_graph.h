@@ -1,0 +1,101 @@
+#ifndef TSB_GRAPH_SCHEMA_GRAPH_H_
+#define TSB_GRAPH_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace graph {
+
+/// One traversal step along a relationship set. `forward` means the step
+/// goes from the relationship's `from_type` to its `to_type`.
+struct SchemaStep {
+  storage::RelTypeId rel;
+  bool forward;
+
+  bool operator==(const SchemaStep& o) const {
+    return rel == o.rel && forward == o.forward;
+  }
+};
+
+/// A schema-level path: a walk in the schema graph. Instance paths are
+/// simple, but the schema walk may revisit entity types (e.g. P-D-P-D).
+struct SchemaPath {
+  std::vector<storage::EntityTypeId> node_types;  // length = steps + 1
+  std::vector<SchemaStep> steps;
+
+  size_t length() const { return steps.size(); }
+  storage::EntityTypeId start() const { return node_types.front(); }
+  storage::EntityTypeId end() const { return node_types.back(); }
+
+  /// The path reversed end-to-start.
+  SchemaPath Reversed() const;
+
+  /// Chain graph with node labels = entity types, edge labels = rel types.
+  LabeledGraph ToGraph() const;
+
+  bool operator==(const SchemaPath& o) const {
+    return node_types == o.node_types && steps == o.steps;
+  }
+};
+
+/// The ER schema viewed as an undirected graph: entity types as nodes,
+/// relationship sets as edges (Figure 1 of the paper). Built from a Catalog's
+/// registered entity/relationship sets.
+class SchemaGraph {
+ public:
+  explicit SchemaGraph(const storage::Catalog& catalog);
+
+  size_t num_entity_types() const { return entity_names_.size(); }
+  size_t num_rel_types() const { return rels_.size(); }
+  const std::string& entity_name(storage::EntityTypeId t) const {
+    return entity_names_[t];
+  }
+  const std::string& rel_name(storage::RelTypeId r) const {
+    return rel_names_[r];
+  }
+
+  storage::EntityTypeId rel_from(storage::RelTypeId r) const {
+    return rels_[r].first;
+  }
+  storage::EntityTypeId rel_to(storage::RelTypeId r) const {
+    return rels_[r].second;
+  }
+
+  /// Entity type reached by taking `step` from `from`.
+  storage::EntityTypeId StepTarget(const SchemaStep& step) const {
+    return step.forward ? rels_[step.rel].second : rels_[step.rel].first;
+  }
+  storage::EntityTypeId StepSource(const SchemaStep& step) const {
+    return step.forward ? rels_[step.rel].first : rels_[step.rel].second;
+  }
+
+  /// All schema walks from `t1` to `t2` with 1 <= length <= max_len.
+  /// When t1 == t2, a path and its reversal are the same relationship
+  /// read in two directions; only the lexicographically smaller of the two
+  /// is returned.
+  std::vector<SchemaPath> EnumeratePaths(storage::EntityTypeId t1,
+                                         storage::EntityTypeId t2,
+                                         size_t max_len) const;
+
+  /// Human-readable rendering: "Protein-encodes-DNA".
+  std::string PathToString(const SchemaPath& path) const;
+
+  /// Class key of a path: the serialization of the smaller of the forward
+  /// and reversed label sequences. Two instance paths are isomorphic iff
+  /// their schema paths share a class key.
+  std::string PathClassKey(const SchemaPath& path) const;
+
+ private:
+  std::vector<std::string> entity_names_;
+  std::vector<std::string> rel_names_;
+  std::vector<std::pair<storage::EntityTypeId, storage::EntityTypeId>> rels_;
+};
+
+}  // namespace graph
+}  // namespace tsb
+
+#endif  // TSB_GRAPH_SCHEMA_GRAPH_H_

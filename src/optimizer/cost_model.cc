@@ -1,0 +1,144 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace tsb {
+namespace optimizer {
+namespace {
+
+/// A(h) = P(first result within h tuples) when each tuple succeeds with
+/// probability p: 1 - (1-p)^h.
+double SuccessWithin(double p, double h) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  return 1.0 - std::pow(1.0 - p, h);
+}
+
+/// B(h) = E[number of *failed* tuples processed before the first success,
+/// counting only runs that succeed within h]:
+///   sum_{j=1..h} p q^{j-1} (j-1),  q = 1-p.
+double ExpectedFailuresBeforeSuccess(double p, double h) {
+  if (p <= 0.0 || h <= 0.0) return 0.0;
+  if (p >= 1.0) return 0.0;
+  const double q = 1.0 - p;
+  // Closed form: q * (1 - h q^{h-1} + (h-1) q^h) / (1 - q).
+  const double qh1 = std::pow(q, h - 1.0);
+  const double qh = qh1 * q;
+  return q * (1.0 - h * qh1 + (h - 1.0) * qh) / (1.0 - q);
+}
+
+}  // namespace
+
+DgjDerived ComputeDerived(const DgjPlanModel& model) {
+  const size_t n = model.levels.size();
+  DgjDerived d;
+  d.x.assign(n + 1, 1.0);      // x[n] = 1: a tuple past every join is a result
+                               // (the paper's Lemma 1 boundary, corrected).
+  d.delta.assign(n + 1, 0.0);  // delta[n] = 0.
+  for (size_t i = n; i-- > 0;) {
+    const DgjLevel& level = model.levels[i];
+    // Lemma 1 with the binomial closed form:
+    //   x_i = sum_j C(f,j) rho^j (1-rho)^(f-j) (1 - (1 - x_{i+1})^j)
+    //       = 1 - (1 - rho * x_{i+1})^f.
+    double rho_x = level.selectivity * d.x[i + 1];
+    d.x[i] = 1.0 - std::pow(std::max(0.0, 1.0 - rho_x),
+                            std::max(0.0, level.fanout));
+    // Lemma 2, same treatment: delta_i = I_i + p_i + f * rho * delta_{i+1},
+    // where p_i is the per-row predicate evaluation the probe triggers.
+    // The bottom level also pays the grouped-tuple fetch.
+    double probe = level.index_probe_cost + level.predicate_eval_cost;
+    if (i == 0) probe += model.tuple_fetch_cost;
+    d.delta[i] =
+        probe + level.fanout * level.selectivity * d.delta[i + 1];
+  }
+  return d;
+}
+
+namespace {
+
+/// EC_{l}(h): Theorem 4's expected cost for the sub-plan rooted at level l
+/// to find its first result among h input tuples.
+double ExpectedFirstResultCost(const DgjPlanModel& model,
+                               const DgjDerived& d, size_t l, double h) {
+  const size_t n = model.levels.size();
+  if (l >= n || h <= 0.0) return 0.0;
+  const DgjLevel& level = model.levels[l];
+  const double p = d.x[l];
+  if (p <= 0.0) return 0.0;
+  double probe = level.index_probe_cost + level.predicate_eval_cost;
+  if (l == 0) probe += model.tuple_fetch_cost;
+  // Surviving children of the successful tuple feed the next level.
+  const double h_next =
+      std::max(1.0, level.fanout * level.selectivity);
+  const double success_cost =
+      probe + ExpectedFirstResultCost(model, d, l + 1, h_next);
+  return ExpectedFailuresBeforeSuccess(p, h) * d.delta[l] +
+         SuccessWithin(p, h) * success_cost;
+}
+
+}  // namespace
+
+double ExpectedDgjCost(const DgjPlanModel& model, size_t k) {
+  const size_t m = model.group_cards.size();
+  if (m == 0 || k == 0) return 0.0;
+  DgjDerived d = ComputeDerived(model);
+  const double x1 = d.x.empty() ? 1.0 : d.x[0];
+  const double delta1 = d.delta.empty() ? 0.0 : d.delta[0];
+
+  // Per-group HDGJ rebuild overhead (inner re-evaluated for each group).
+  double rebuild_per_group = 0.0;
+  for (const DgjLevel& level : model.levels) {
+    if (level.hdgj) rebuild_per_group += level.inner_cardinality;
+  }
+
+  // Theorems 2-4: np_i, nc_i, ec_i per group.
+  std::vector<double> np(m), nc(m), ec(m);
+  for (size_t i = 0; i < m; ++i) {
+    const double card = model.group_cards[i];
+    np[i] = std::pow(std::max(0.0, 1.0 - x1), card);
+    nc[i] = np[i] * (model.group_probe_cost + rebuild_per_group +
+                     card * delta1);
+    ec[i] = model.group_probe_cost + rebuild_per_group +
+            ExpectedFirstResultCost(model, d, 0, card);
+  }
+
+  // Theorem 1: E[Z^k_{l:m}] dynamic program. Row l depends only on l+1.
+  const size_t kk = std::min(k, m);
+  std::vector<double> next(kk + 1, 0.0);  // E[Z^*_{m+1:m}] = 0.
+  std::vector<double> cur(kk + 1, 0.0);
+  for (size_t l = m; l-- > 0;) {
+    cur[0] = 0.0;
+    for (size_t budget = 1; budget <= kk; ++budget) {
+      cur[budget] = ec[l] + (1.0 - np[l]) * next[budget - 1] + nc[l] +
+                    np[l] * next[budget];
+    }
+    std::swap(cur, next);
+  }
+  return next[kk];
+}
+
+double ExpectedRegularCost(const RegularPlanModel& model) {
+  double cost = 0.0;
+  for (double card : model.side_cards) {
+    cost += card * (model.scan_cost_per_row + model.predicate_eval_cost);
+  }
+  cost += model.grouped_rows * model.scan_cost_per_row;
+  cost += model.grouped_rows * model.hash_probe_cost *
+          static_cast<double>(model.side_cards.size());
+  if (model.num_groups > 1.0) {
+    cost += model.num_groups * std::log2(model.num_groups);
+  }
+  return cost;
+}
+
+std::string ExplainChoice(double dgj_cost, double regular_cost) {
+  return StrFormat("cost(ET)=%.1f cost(regular)=%.1f -> %s", dgj_cost,
+                   regular_cost, dgj_cost < regular_cost ? "ET" : "regular");
+}
+
+}  // namespace optimizer
+}  // namespace tsb

@@ -1,0 +1,82 @@
+#ifndef TSB_OPTIMIZER_COST_MODEL_H_
+#define TSB_OPTIMIZER_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsb {
+namespace optimizer {
+
+/// One DGJ join level above the group source (Section 5.4.2/5.4.3):
+/// level i joins the stream against the i-th inner relation.
+struct DgjLevel {
+  /// Expected matching inner tuples per input tuple (s_i * N_i of the
+  /// paper; 1.0 for the PK lookups of topology plans).
+  double fanout = 1.0;
+  /// Selectivity of the local predicate on the inner relation (rho_i).
+  double selectivity = 1.0;
+  /// Cost of one index probe on the inner join column (I_i), in row-ops.
+  double index_probe_cost = 1.5;
+  /// Cost of evaluating the local predicate on a fetched inner row. This is
+  /// what makes early termination lose under selective predicates: the ET
+  /// plan pays it per probed row, while the regular plan pays it once per
+  /// inner-table row during its filtered scan.
+  double predicate_eval_cost = 4.5;
+  /// For HDGJ costing: rows scanned to re-evaluate the inner per group.
+  double inner_cardinality = 0.0;
+  /// True if this level is an HDGJ (re-builds the inner hash per group).
+  bool hdgj = false;
+};
+
+/// Inputs to the DGJ early-termination cost model: the group cardinalities
+/// Card_i in the order groups will be processed (score order), and the join
+/// levels bottom-up.
+struct DgjPlanModel {
+  std::vector<double> group_cards;
+  std::vector<DgjLevel> levels;
+  /// Probe into the grouped table (LeftTops by TID) per group.
+  double group_probe_cost = 1.5;
+  /// Cost of fetching one grouped tuple (row-op).
+  double tuple_fetch_cost = 1.0;
+};
+
+/// Intermediate per-level quantities of Lemmas 1-2.
+struct DgjDerived {
+  std::vector<double> x;      // x[i]: P(an input tuple of level i is a result)
+  std::vector<double> delta;  // delta[i]: E[probe cost | tuple not a result]
+};
+
+/// Computes x_i and delta_i (Lemmas 1 and 2 of the paper, implemented with
+/// the binomial coefficients the paper's exposition elides and with the
+/// boundary fixed to x_{n+1} = 1: a tuple surviving every join and
+/// predicate *is* a result).
+DgjDerived ComputeDerived(const DgjPlanModel& model);
+
+/// Expected cost (in row-ops) of producing the top-k distinct groups using
+/// the early-termination plan: Theorem 1's dynamic program over
+/// E[Z^k_{l:m}], with np_i, nc_i, ec_i from Theorems 2-4.
+double ExpectedDgjCost(const DgjPlanModel& model, size_t k);
+
+/// Cost model for the regular (non-early-terminating) top-k plan of
+/// Fast-Top-k: full scans with predicate evaluation, hash joins over the
+/// grouped table, then sort + fetch-k. Inputs are the table cardinalities
+/// involved.
+struct RegularPlanModel {
+  double grouped_rows = 0.0;       // |LeftTops| (or |AllTops|).
+  std::vector<double> side_cards;  // Entity-table cardinalities (A, B, ...).
+  double num_groups = 0.0;         // m, for the final sort.
+  double scan_cost_per_row = 1.0;
+  double hash_probe_cost = 0.7;
+  double predicate_eval_cost = 1.0;
+};
+
+double ExpectedRegularCost(const RegularPlanModel& model);
+
+/// Human-readable dump of a cost comparison (for -Opt plan explanations).
+std::string ExplainChoice(double dgj_cost, double regular_cost);
+
+}  // namespace optimizer
+}  // namespace tsb
+
+#endif  // TSB_OPTIMIZER_COST_MODEL_H_

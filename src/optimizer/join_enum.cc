@@ -1,0 +1,205 @@
+#include "optimizer/join_enum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace tsb {
+namespace optimizer {
+
+const char* JoinAlgToString(JoinAlg alg) {
+  switch (alg) {
+    case JoinAlg::kHashJoin:
+      return "HashJoin";
+    case JoinAlg::kSortMerge:
+      return "SortMerge";
+    case JoinAlg::kIndexNL:
+      return "IndexNL";
+    case JoinAlg::kIdgj:
+      return "IDGJ";
+    case JoinAlg::kHdgj:
+      return "HDGJ";
+  }
+  return "?";
+}
+
+std::string PlanChoice::ToString(const QuerySpec& spec) const {
+  std::string out = spec.relations[order[0]].name;
+  for (size_t i = 1; i < order.size(); ++i) {
+    out += StrFormat(" -[%s]-> %s", JoinAlgToString(algs[i - 1]),
+                     spec.relations[order[i]].name.c_str());
+  }
+  out += early_termination ? " (ET)" : " (full)";
+  out += StrFormat(" cost=%.1f", cost);
+  return out;
+}
+
+namespace {
+
+bool Joinable(const QuerySpec& spec, uint32_t subset_mask, size_t candidate) {
+  for (const auto& [a, b] : spec.joins) {
+    if (a == candidate && (subset_mask & (1u << b))) return true;
+    if (b == candidate && (subset_mask & (1u << a))) return true;
+  }
+  return false;
+}
+
+/// Cost of a fully regular left-deep plan: each join either hashes the new
+/// relation (scan + build, probe per streamed tuple) or index-probes it per
+/// streamed tuple. Streams start from the driver's total expanded rows.
+double RegularChainCost(const QuerySpec& spec,
+                        const std::vector<size_t>& order,
+                        const std::vector<JoinAlg>& algs) {
+  double total_groups = static_cast<double>(spec.group_cards.size());
+  double stream = 0.0;
+  for (double c : spec.group_cards) stream += c;
+  double cost = total_groups;  // Emit the driver tuples.
+  for (size_t i = 1; i < order.size(); ++i) {
+    const RelationSpec& rel = spec.relations[order[i]];
+    switch (algs[i - 1]) {
+      case JoinAlg::kHashJoin:
+        // Scan+filter+build the new relation, probe per stream tuple.
+        cost += rel.cardinality * 2.0 + stream;
+        break;
+      case JoinAlg::kSortMerge: {
+        // Sort both sides, then a linear merge.
+        double filtered = rel.cardinality * rel.predicate_selectivity;
+        cost += rel.cardinality;  // Scan + filter.
+        if (filtered > 1.0) cost += filtered * std::log2(filtered);
+        if (stream > 1.0) cost += stream * std::log2(stream);
+        cost += stream + filtered;
+        break;
+      }
+      case JoinAlg::kIndexNL:
+        cost += stream * rel.index_probe_cost;
+        break;
+      case JoinAlg::kIdgj:
+      case JoinAlg::kHdgj:
+        // Without early termination DGJ degenerates to its base algorithm
+        // (plus HDGJ's rebuilds); never preferable, cost accordingly.
+        cost += stream * rel.index_probe_cost;
+        if (algs[i - 1] == JoinAlg::kHdgj) {
+          cost += total_groups * rel.cardinality;
+        }
+        break;
+    }
+    stream *= rel.join_fanout * rel.predicate_selectivity;
+  }
+  // DISTINCT + sort + fetch-k over what remains.
+  cost += stream;
+  if (total_groups > 1.0) cost += total_groups * std::log2(total_groups);
+  return cost;
+}
+
+/// Cost of an early-termination plan via the Theorem-1 model.
+double EtChainCost(const QuerySpec& spec, const std::vector<size_t>& order,
+                   const std::vector<JoinAlg>& algs) {
+  DgjPlanModel model;
+  model.group_cards = spec.group_cards;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const RelationSpec& rel = spec.relations[order[i]];
+    DgjLevel level;
+    level.fanout = rel.join_fanout;
+    level.selectivity = rel.predicate_selectivity;
+    level.index_probe_cost = rel.index_probe_cost;
+    level.predicate_eval_cost = rel.predicate_eval_cost;
+    level.inner_cardinality = rel.cardinality;
+    level.hdgj = (algs[i - 1] == JoinAlg::kHdgj);
+    model.levels.push_back(level);
+  }
+  return ExpectedDgjCost(model, spec.k);
+}
+
+struct PartialPlan {
+  std::vector<size_t> order;
+  std::vector<JoinAlg> algs;
+  double cost = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+PlanChoice OptimizeJoinOrder(const QuerySpec& spec,
+                             bool require_early_termination) {
+  const size_t n = spec.relations.size();
+  TSB_CHECK_GE(n, 1u);
+  TSB_CHECK_LE(n, 16u) << "join enumeration supports up to 16 relations";
+
+  // DP state: (subset mask, early-termination property) -> best plan.
+  // Property true means every join so far is a DGJ, so the plan can still
+  // terminate early; final costing differs per property.
+  std::map<std::pair<uint32_t, bool>, PartialPlan> best;
+  PartialPlan seed;
+  seed.order = {0};
+  seed.cost = 0.0;
+  best[{1u, true}] = seed;
+  best[{1u, false}] = seed;
+
+  const JoinAlg kAll[] = {JoinAlg::kHashJoin, JoinAlg::kSortMerge,
+                          JoinAlg::kIndexNL, JoinAlg::kIdgj, JoinAlg::kHdgj};
+
+  for (uint32_t size = 1; size < n; ++size) {
+    // Iterate current frontier (copy keys to avoid iterator invalidation).
+    std::vector<std::pair<uint32_t, bool>> keys;
+    for (const auto& [key, _] : best) {
+      if (static_cast<uint32_t>(__builtin_popcount(key.first)) == size) {
+        keys.push_back(key);
+      }
+    }
+    for (const auto& key : keys) {
+      const PartialPlan plan = best[key];
+      const bool et = key.second;
+      for (size_t cand = 1; cand < n; ++cand) {
+        if (key.first & (1u << cand)) continue;
+        if (!Joinable(spec, key.first, cand)) continue;
+        for (JoinAlg alg : kAll) {
+          const bool is_dgj =
+              (alg == JoinAlg::kIdgj || alg == JoinAlg::kHdgj);
+          if (is_dgj && !et) continue;  // DGJ needs a grouped input.
+          if ((alg == JoinAlg::kIndexNL || alg == JoinAlg::kIdgj) &&
+              !spec.relations[cand].has_index) {
+            continue;
+          }
+          const bool new_et = et && is_dgj;
+          PartialPlan extended = plan;
+          extended.order.push_back(cand);
+          extended.algs.push_back(alg);
+          extended.cost =
+              new_et ? EtChainCost(spec, extended.order, extended.algs)
+                     : RegularChainCost(spec, extended.order, extended.algs);
+          auto new_key = std::make_pair(key.first | (1u << cand), new_et);
+          auto it = best.find(new_key);
+          if (it == best.end() || extended.cost < it->second.cost) {
+            best[new_key] = std::move(extended);
+          }
+        }
+      }
+    }
+  }
+
+  const uint32_t full = (n >= 32 ? ~0u : (1u << n) - 1u);
+  PlanChoice choice;
+  choice.cost = std::numeric_limits<double>::infinity();
+  for (bool et : {true, false}) {
+    if (require_early_termination && !et) continue;
+    auto it = best.find({full, et});
+    if (it == best.end()) continue;
+    if (it->second.cost < choice.cost) {
+      choice.order = it->second.order;
+      choice.algs = it->second.algs;
+      choice.cost = it->second.cost;
+      choice.early_termination = et;
+    }
+  }
+  if (require_early_termination && choice.order.empty()) {
+    return choice;  // No ET plan exists; caller falls back to regular.
+  }
+  TSB_CHECK(!choice.order.empty()) << "join graph is disconnected";
+  return choice;
+}
+
+}  // namespace optimizer
+}  // namespace tsb

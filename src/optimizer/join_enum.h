@@ -1,0 +1,78 @@
+#ifndef TSB_OPTIMIZER_JOIN_ENUM_H_
+#define TSB_OPTIMIZER_JOIN_ENUM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "optimizer/cost_model.h"
+
+namespace tsb {
+namespace optimizer {
+
+/// Join algorithms considered by the extended System-R search
+/// (Section 5.4.1): the regular operators plus the two DGJ implementations.
+enum class JoinAlg {
+  kHashJoin,
+  kSortMerge,
+  kIndexNL,
+  kIdgj,
+  kHdgj,
+};
+
+const char* JoinAlgToString(JoinAlg alg);
+
+/// One relation of a SQL6-class query. Relation 0 is the DISTINCT/ORDER BY
+/// driver (e.g. TopoInfo in score order); the others join to the chain.
+struct RelationSpec {
+  std::string name;
+  double cardinality = 0.0;
+  double predicate_selectivity = 1.0;
+  bool has_index = true;           // Index on its join column.
+  double index_probe_cost = 1.5;
+  double predicate_eval_cost = 4.5;
+  double join_fanout = 1.0;        // Matches per probing tuple.
+};
+
+/// A SQL6-class query: a chain (or star) of equi-joins rooted at the
+/// grouped driver relation, with DISTINCT on the driver and FETCH FIRST k.
+struct QuerySpec {
+  std::vector<RelationSpec> relations;
+  /// Join graph: edges (i, j) meaning relations i and j share a key. The
+  /// driver participates via its group expansion.
+  std::vector<std::pair<size_t, size_t>> joins;
+  size_t k = 10;
+  /// Group cardinalities of the driver (Card_i in result-score order).
+  std::vector<double> group_cards;
+};
+
+/// A chosen left-deep plan: relations in join order (order[0] is always the
+/// driver) and the algorithm joining each subsequent relation.
+struct PlanChoice {
+  std::vector<size_t> order;
+  std::vector<JoinAlg> algs;     // algs[i] joins order[i+1].
+  bool early_termination = false;
+  double cost = 0.0;
+  std::string ToString(const QuerySpec& spec) const;
+};
+
+/// Extended System-R optimization (Section 5.4): bottom-up enumeration of
+/// left-deep join orders, keeping the least-cost plan per (relation set,
+/// interesting property) where the interesting property is "group order
+/// preserved + early-termination capable". DGJ algorithms are admissible
+/// only while that property holds; plans that keep it to the top are costed
+/// with the Theorem-1 early-termination model, all others with the regular
+/// full-evaluation model.
+///
+/// With `require_early_termination`, only plans retaining the ET property
+/// are considered (used to pick the best DGJ order/operators, with the
+/// regular-vs-ET decision made against a separately calibrated model). If
+/// no ET plan exists (e.g. no usable indexes), the returned choice has an
+/// empty `order` and infinite cost.
+PlanChoice OptimizeJoinOrder(const QuerySpec& spec,
+                             bool require_early_termination = false);
+
+}  // namespace optimizer
+}  // namespace tsb
+
+#endif  // TSB_OPTIMIZER_JOIN_ENUM_H_

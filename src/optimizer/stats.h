@@ -1,0 +1,27 @@
+#ifndef TSB_OPTIMIZER_STATS_H_
+#define TSB_OPTIMIZER_STATS_H_
+
+#include <cstdint>
+
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace tsb {
+namespace optimizer {
+
+/// Deterministic sampled selectivity estimate for a predicate over a table:
+/// evaluates the predicate on up to `sample_size` evenly spaced rows. This
+/// plays the role of the paper's "selectivity and join estimation
+/// techniques" (Section 5.4.3, item 5) without histograms.
+double EstimateSelectivity(const storage::Table& table,
+                           const storage::Predicate& pred,
+                           size_t sample_size = 512);
+
+/// Number of distinct keys a PK/FK join would produce per probe; for a
+/// unique key this is exactly 1. Estimated as rows / distinct-keys.
+double EstimateJoinFanout(size_t table_rows, size_t distinct_keys);
+
+}  // namespace optimizer
+}  // namespace tsb
+
+#endif  // TSB_OPTIMIZER_STATS_H_

@@ -1,0 +1,80 @@
+#include "storage/column.h"
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace storage {
+
+size_t Column::size() const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return ints_.size();
+    case ColumnType::kDouble:
+      return doubles_.size();
+    case ColumnType::kString:
+      return strings_.size();
+  }
+  return 0;
+}
+
+void Column::AppendInt64(int64_t v) {
+  TSB_CHECK(type_ == ColumnType::kInt64);
+  ints_.push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  TSB_CHECK(type_ == ColumnType::kDouble);
+  doubles_.push_back(v);
+}
+
+void Column::AppendString(std::string v) {
+  TSB_CHECK(type_ == ColumnType::kString);
+  strings_.push_back(std::move(v));
+}
+
+void Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case ColumnType::kInt64:
+      AppendInt64(v.AsInt64());
+      return;
+    case ColumnType::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case ColumnType::kString:
+      AppendString(v.AsString());
+      return;
+  }
+  TSB_CHECK(false) << "corrupt column type";
+}
+
+Value Column::GetValue(RowIdx row) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return Value(ints_[row]);
+    case ColumnType::kDouble:
+      return Value(doubles_[row]);
+    case ColumnType::kString:
+      return Value(strings_[row]);
+  }
+  return Value::Null();
+}
+
+size_t Column::MemoryBytes() const {
+  // Size-based (not capacity-based) accounting: the space numbers feed the
+  // Table-1 comparison, where growth slack would distort ratios.
+  switch (type_) {
+    case ColumnType::kInt64:
+      return ints_.size() * sizeof(int64_t);
+    case ColumnType::kDouble:
+      return doubles_.size() * sizeof(double);
+    case ColumnType::kString: {
+      size_t total = strings_.size() * sizeof(std::string);
+      for (const std::string& s : strings_) total += s.size();
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace storage
+}  // namespace tsb

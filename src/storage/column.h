@@ -1,0 +1,54 @@
+#ifndef TSB_STORAGE_COLUMN_H_
+#define TSB_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace tsb {
+namespace storage {
+
+/// Row index within a table.
+using RowIdx = uint32_t;
+
+/// A typed column with contiguous storage for its native type. Only the
+/// vector matching `type()` is populated; typed accessors avoid Value
+/// boxing on hot scan paths.
+class Column {
+ public:
+  explicit Column(ColumnType type) : type_(type) {}
+
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  /// Appends a boxed value; the value's type must match the column's.
+  void AppendValue(const Value& v);
+
+  int64_t GetInt64(RowIdx row) const { return ints_[row]; }
+  double GetDouble(RowIdx row) const { return doubles_[row]; }
+  const std::string& GetString(RowIdx row) const { return strings_[row]; }
+  Value GetValue(RowIdx row) const;
+
+  /// Approximate heap footprint in bytes, for the Table-1 space accounting.
+  size_t MemoryBytes() const;
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  ColumnType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace storage
+}  // namespace tsb
+
+#endif  // TSB_STORAGE_COLUMN_H_

@@ -1,0 +1,161 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace tsb {
+namespace storage {
+namespace {
+
+/// Splits one CSV record honouring RFC-4180 quoting. Returns false on
+/// malformed quoting.
+bool SplitCsvRecord(const std::string& line, std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!field.empty()) return false;  // Quote mid-field.
+      in_quotes = true;
+    } else if (c == ',') {
+      out->push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  out->push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void WriteTableCsv(const Table& table, std::ostream& os) {
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (c > 0) os << ",";
+    os << CsvEscape(table.schema().column(c).name);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << ",";
+      os << CsvEscape(
+          table.GetValue(static_cast<RowIdx>(r), c).ToString());
+    }
+    os << "\n";
+  }
+}
+
+Result<Table*> ReadTableCsv(Catalog* db, const std::string& name,
+                            const TableSchema& schema, std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("empty CSV input (missing header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  if (!SplitCsvRecord(line, &fields)) {
+    return Status::InvalidArgument("malformed CSV header");
+  }
+  if (fields.size() != schema.num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "CSV header has %zu columns, schema expects %zu", fields.size(),
+        schema.num_columns()));
+  }
+  for (size_t c = 0; c < fields.size(); ++c) {
+    if (fields[c] != schema.column(c).name) {
+      return Status::InvalidArgument("CSV header column '" + fields[c] +
+                                     "' does not match schema column '" +
+                                     schema.column(c).name + "'");
+    }
+  }
+
+  TSB_ASSIGN_OR_RETURN(Table * table, db->CreateTable(name, schema));
+  size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!SplitCsvRecord(line, &fields)) {
+      return Status::InvalidArgument(
+          StrFormat("malformed CSV record at line %zu", line_number));
+    }
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_number,
+                    fields.size(), schema.num_columns()));
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& field = fields[c];
+      switch (schema.column(c).type) {
+        case ColumnType::kInt64: {
+          int64_t v = 0;
+          auto [ptr, ec] =
+              std::from_chars(field.data(), field.data() + field.size(), v);
+          if (ec != std::errc() || ptr != field.data() + field.size()) {
+            return Status::InvalidArgument(
+                StrFormat("line %zu: '%s' is not an INT64", line_number,
+                          field.c_str()));
+          }
+          row.push_back(Value(v));
+          break;
+        }
+        case ColumnType::kDouble: {
+          double v = 0.0;
+          auto [ptr, ec] =
+              std::from_chars(field.data(), field.data() + field.size(), v);
+          if (ec != std::errc() || ptr != field.data() + field.size()) {
+            return Status::InvalidArgument(
+                StrFormat("line %zu: '%s' is not a DOUBLE", line_number,
+                          field.c_str()));
+          }
+          row.push_back(Value(v));
+          break;
+        }
+        case ColumnType::kString:
+          row.push_back(Value(field));
+          break;
+      }
+    }
+    TSB_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace storage
+}  // namespace tsb

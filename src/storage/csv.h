@@ -1,0 +1,37 @@
+#ifndef TSB_STORAGE_CSV_H_
+#define TSB_STORAGE_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace tsb {
+namespace storage {
+
+/// CSV interchange for catalog tables: export precomputed artifacts
+/// (AllTops, TopInfo, frequency series) for external analysis, and load
+/// small curated datasets. Quoting follows RFC-4180 (fields containing
+/// comma, quote or newline are double-quoted; quotes doubled).
+
+/// Writes `table` with a header row of column names.
+void WriteTableCsv(const Table& table, std::ostream& os);
+
+/// Reads CSV (with header) into a new table `name` in `db` using `schema`.
+/// The header must match the schema's column names in order; INT64 and
+/// DOUBLE columns are parsed, everything else is taken as a string. Fails
+/// on arity mismatch, parse errors, or a pre-existing table name.
+Result<Table*> ReadTableCsv(Catalog* db, const std::string& name,
+                            const TableSchema& schema, std::istream& is);
+
+/// Escapes one field per RFC 4180 (exposed for testing).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace storage
+}  // namespace tsb
+
+#endif  // TSB_STORAGE_CSV_H_

@@ -1,0 +1,198 @@
+#include "storage/predicate.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace tsb {
+namespace storage {
+namespace {
+
+class TruePredicate : public Predicate {
+ public:
+  bool Eval(const Table&, RowIdx) const override { return true; }
+  std::string ToString() const override { return "TRUE"; }
+};
+
+class EqualsPredicate : public Predicate {
+ public:
+  EqualsPredicate(size_t col, std::string col_name, Value value)
+      : col_(col), col_name_(std::move(col_name)), value_(std::move(value)) {}
+
+  bool Eval(const Table& table, RowIdx row) const override {
+    const Column& c = table.column(col_);
+    // Typed fast paths for the common cases.
+    if (value_.is_int64() && c.type() == ColumnType::kInt64) {
+      return c.GetInt64(row) == value_.AsInt64();
+    }
+    if (value_.is_string() && c.type() == ColumnType::kString) {
+      return c.GetString(row) == value_.AsString();
+    }
+    return c.GetValue(row) == value_;
+  }
+
+  std::string ToString() const override {
+    return col_name_ + " = '" + value_.ToString() + "'";
+  }
+
+ private:
+  size_t col_;
+  std::string col_name_;
+  Value value_;
+};
+
+class ContainsKeywordPredicate : public Predicate {
+ public:
+  ContainsKeywordPredicate(size_t col, std::string col_name,
+                           std::string keyword)
+      : col_(col),
+        col_name_(std::move(col_name)),
+        keyword_(AsciiToLower(keyword)) {}
+
+  bool Eval(const Table& table, RowIdx row) const override {
+    return ContainsKeyword(table.column(col_).GetString(row), keyword_);
+  }
+
+  std::string ToString() const override {
+    return col_name_ + ".ct('" + keyword_ + "')";
+  }
+
+ private:
+  size_t col_;
+  std::string col_name_;
+  std::string keyword_;
+};
+
+class Int64BetweenPredicate : public Predicate {
+ public:
+  Int64BetweenPredicate(size_t col, std::string col_name, int64_t lo,
+                        int64_t hi)
+      : col_(col), col_name_(std::move(col_name)), lo_(lo), hi_(hi) {}
+
+  bool Eval(const Table& table, RowIdx row) const override {
+    int64_t v = table.column(col_).GetInt64(row);
+    return v >= lo_ && v <= hi_;
+  }
+
+  std::string ToString() const override {
+    return StrFormat("%s BETWEEN %lld AND %lld", col_name_.c_str(),
+                     static_cast<long long>(lo_), static_cast<long long>(hi_));
+  }
+
+ private:
+  size_t col_;
+  std::string col_name_;
+  int64_t lo_;
+  int64_t hi_;
+};
+
+class AndPredicate : public Predicate {
+ public:
+  AndPredicate(PredicateRef lhs, PredicateRef rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  bool Eval(const Table& t, RowIdx r) const override {
+    return lhs_->Eval(t, r) && rhs_->Eval(t, r);
+  }
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
+  }
+
+ private:
+  PredicateRef lhs_;
+  PredicateRef rhs_;
+};
+
+class OrPredicate : public Predicate {
+ public:
+  OrPredicate(PredicateRef lhs, PredicateRef rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  bool Eval(const Table& t, RowIdx r) const override {
+    return lhs_->Eval(t, r) || rhs_->Eval(t, r);
+  }
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+  }
+
+ private:
+  PredicateRef lhs_;
+  PredicateRef rhs_;
+};
+
+class NotPredicate : public Predicate {
+ public:
+  explicit NotPredicate(PredicateRef inner) : inner_(std::move(inner)) {}
+  bool Eval(const Table& t, RowIdx r) const override {
+    return !inner_->Eval(t, r);
+  }
+  std::string ToString() const override {
+    return "NOT " + inner_->ToString();
+  }
+
+ private:
+  PredicateRef inner_;
+};
+
+}  // namespace
+
+PredicateRef MakeTrue() { return std::make_shared<TruePredicate>(); }
+
+PredicateRef MakeEquals(const TableSchema& schema, const std::string& column,
+                        Value value) {
+  return std::make_shared<EqualsPredicate>(schema.ColumnIndexOrDie(column),
+                                           column, std::move(value));
+}
+
+PredicateRef MakeContainsKeyword(const TableSchema& schema,
+                                 const std::string& column,
+                                 const std::string& keyword) {
+  size_t idx = schema.ColumnIndexOrDie(column);
+  TSB_CHECK(schema.column(idx).type == ColumnType::kString)
+      << "keyword predicate on non-string column " << column;
+  return std::make_shared<ContainsKeywordPredicate>(idx, column, keyword);
+}
+
+PredicateRef MakeInt64Between(const TableSchema& schema,
+                              const std::string& column, int64_t lo,
+                              int64_t hi) {
+  return std::make_shared<Int64BetweenPredicate>(
+      schema.ColumnIndexOrDie(column), column, lo, hi);
+}
+
+PredicateRef MakeAnd(PredicateRef lhs, PredicateRef rhs) {
+  return std::make_shared<AndPredicate>(std::move(lhs), std::move(rhs));
+}
+
+PredicateRef MakeOr(PredicateRef lhs, PredicateRef rhs) {
+  return std::make_shared<OrPredicate>(std::move(lhs), std::move(rhs));
+}
+
+PredicateRef MakeNot(PredicateRef inner) {
+  return std::make_shared<NotPredicate>(std::move(inner));
+}
+
+std::vector<RowIdx> FilterRows(const Table& table, const Predicate& pred) {
+  std::vector<RowIdx> out;
+  const size_t n = table.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    RowIdx row = static_cast<RowIdx>(i);
+    if (pred.Eval(table, row)) out.push_back(row);
+  }
+  return out;
+}
+
+size_t CountRows(const Table& table, const Predicate& pred) {
+  size_t count = 0;
+  const size_t n = table.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    if (pred.Eval(table, static_cast<RowIdx>(i))) ++count;
+  }
+  return count;
+}
+
+double Selectivity(const Table& table, const Predicate& pred) {
+  if (table.num_rows() == 0) return 0.0;
+  return static_cast<double>(CountRows(table, pred)) /
+         static_cast<double>(table.num_rows());
+}
+
+}  // namespace storage
+}  // namespace tsb

@@ -1,0 +1,61 @@
+#ifndef TSB_STORAGE_PREDICATE_H_
+#define TSB_STORAGE_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace tsb {
+namespace storage {
+
+/// A boolean expression over the columns of a single table, evaluated per
+/// row. This models the paper's query constraints (`con_i`): structured
+/// predicates such as `DNA.type = 'mRNA'` and keyword-containment clauses
+/// such as `Protein.desc.ct('enzyme')`, plus boolean combinations.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+  /// Evaluates against row `row` of `table`. The predicate must have been
+  /// created against this table's schema.
+  virtual bool Eval(const Table& table, RowIdx row) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+using PredicateRef = std::shared_ptr<const Predicate>;
+
+/// Always true; the unconstrained query.
+PredicateRef MakeTrue();
+
+/// column = value (any value type; typed fast paths inside).
+PredicateRef MakeEquals(const TableSchema& schema, const std::string& column,
+                        Value value);
+
+/// Whole-token keyword containment on a string column, case-insensitive
+/// (the paper's `.ct(...)` operator).
+PredicateRef MakeContainsKeyword(const TableSchema& schema,
+                                 const std::string& column,
+                                 const std::string& keyword);
+
+/// lo <= column <= hi on an INT64 column.
+PredicateRef MakeInt64Between(const TableSchema& schema,
+                              const std::string& column, int64_t lo,
+                              int64_t hi);
+
+PredicateRef MakeAnd(PredicateRef lhs, PredicateRef rhs);
+PredicateRef MakeOr(PredicateRef lhs, PredicateRef rhs);
+PredicateRef MakeNot(PredicateRef inner);
+
+/// Collects the row indexes of `table` satisfying `pred` (full scan).
+std::vector<RowIdx> FilterRows(const Table& table, const Predicate& pred);
+
+/// Counts satisfying rows; `Selectivity` divides by the table size.
+size_t CountRows(const Table& table, const Predicate& pred);
+double Selectivity(const Table& table, const Predicate& pred);
+
+}  // namespace storage
+}  // namespace tsb
+
+#endif  // TSB_STORAGE_PREDICATE_H_

@@ -1,0 +1,78 @@
+#include "storage/value.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace tsb {
+namespace storage {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Value::AsInt64() const {
+  TSB_CHECK(is_int64()) << "Value is not INT64: " << ToString();
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  TSB_CHECK(is_double()) << "Value is not DOUBLE: " << ToString();
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  TSB_CHECK(is_string()) << "Value is not STRING: " << ToString();
+  return std::get<std::string>(data_);
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  return data_ < other.data_;
+}
+
+uint64_t Value::Hash() const {
+  switch (data_.index()) {
+    case 0:
+      return 0x6eed0e9da4d94a4fULL;  // A fixed tag for NULL.
+    case 1:
+      return HashCombine(1, static_cast<uint64_t>(std::get<int64_t>(data_)));
+    case 2: {
+      double d = std::get<double>(data_);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(2, bits);
+    }
+    case 3:
+      return HashCombine(3, Fnv1a(std::get<std::string>(data_)));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (data_.index()) {
+    case 0:
+      return "NULL";
+    case 1:
+      return std::to_string(std::get<int64_t>(data_));
+    case 2:
+      return StrFormat("%g", std::get<double>(data_));
+    case 3:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+}  // namespace storage
+}  // namespace tsb

@@ -1,0 +1,69 @@
+#ifndef TSB_STORAGE_VALUE_H_
+#define TSB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tsb {
+namespace storage {
+
+/// Column data types supported by the engine. Biozon-style biological
+/// warehouses need integer keys, free-text descriptions and a few numeric
+/// attributes, so the type system is deliberately small.
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// A dynamically-typed cell value. Rows flowing through the Volcano
+/// executor are vectors of Value.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Typed accessors; aborts on type mismatch (schema violations are bugs).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Total ordering across same-typed values; null sorts first. Mixed-type
+  /// comparison orders by type tag (null < int64 < double < string).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator<(const Value& other) const;
+
+  uint64_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// A materialized row.
+using Tuple = std::vector<Value>;
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace storage
+}  // namespace tsb
+
+#endif  // TSB_STORAGE_VALUE_H_

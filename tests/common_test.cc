@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "common/zipf.h"
+
+namespace tsb {
+namespace {
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing table");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    TSB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto provider = [](bool ok) -> Result<int> {
+    if (ok) return 7;
+    return Status::NotFound("no");
+  };
+  auto consumer = [&](bool ok) -> Status {
+    TSB_ASSIGN_OR_RETURN(int v, provider(ok));
+    EXPECT_EQ(v, 7);
+    return Status::OK();
+  };
+  EXPECT_TRUE(consumer(true).ok());
+  EXPECT_EQ(consumer(false).code(), StatusCode::kNotFound);
+}
+
+// --- Rng ---------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit.
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// --- Zipf ----------------------------------------------------------------
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  ZipfSampler z(10, 0.0);
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(z.Pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 1.2);
+  double total = 0;
+  for (uint64_t k = 0; k < 100; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadHeavierThanTail) {
+  ZipfSampler z(1000, 1.0);
+  EXPECT_GT(z.Pmf(0), z.Pmf(10));
+  EXPECT_GT(z.Pmf(10), z.Pmf(500));
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  ZipfSampler z(50, 0.9);
+  Rng rng(3);
+  std::vector<int> counts(50, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  // The head rank should match its mass within a few percent.
+  double head_rate = static_cast<double>(counts[0]) / n;
+  EXPECT_NEAR(head_rate, z.Pmf(0), 0.02);
+}
+
+// --- String utilities -------------------------------------------------------
+
+TEST(StrUtilTest, SplitKeepsEmptyPieces) {
+  std::vector<std::string> parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+}
+
+TEST(StrUtilTest, TokenizeLowercasesAndSplitsOnPunctuation) {
+  auto tokens = TokenizeKeywords("Homo sapiens MMS2 (MMS2) mRNA, complete!");
+  std::vector<std::string> expected = {"homo",  "sapiens", "mms2",    "mms2",
+                                       "mrna", "complete"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(StrUtilTest, ContainsKeywordWholeTokenOnly) {
+  EXPECT_TRUE(ContainsKeyword("ubiquitin-conjugating enzyme UBCi", "enzyme"));
+  EXPECT_TRUE(ContainsKeyword("ubiquitin-conjugating enzyme", "ENZYME"));
+  // Substrings of tokens do not match.
+  EXPECT_FALSE(ContainsKeyword("polymerase", "polymer"));
+  EXPECT_FALSE(ContainsKeyword("", "enzyme"));
+}
+
+TEST(StrUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StrUtilTest, HexEncodeDecodeRoundTrip) {
+  // Binary-safe: embedded NULs and high bytes survive.
+  std::string bytes("\x00\x01\xff\x7f""abc", 7);
+  std::string hex = HexEncode(bytes);
+  EXPECT_EQ(hex, "0001ff7f616263");
+  std::string back;
+  ASSERT_TRUE(HexDecode(hex, &back));
+  EXPECT_EQ(back, bytes);
+}
+
+TEST(StrUtilTest, HexDecodeRejectsMalformedInput) {
+  std::string out;
+  EXPECT_FALSE(HexDecode("abc", &out));   // Odd length.
+  EXPECT_FALSE(HexDecode("zz", &out));    // Non-hex digit.
+  EXPECT_TRUE(HexDecode("", &out));       // Empty is valid.
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(HexDecode("ABCDEF", &out));  // Uppercase accepted.
+  EXPECT_EQ(out, "\xab\xcd\xef");
+}
+
+// --- Hashing ----------------------------------------------------------------
+
+TEST(HashTest, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a(""), Fnv1a("a"));
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashTest, PairHashDistinguishesOrder) {
+  PairHash h;
+  EXPECT_NE(h(std::make_pair(int64_t{1}, int64_t{2})),
+            h(std::make_pair(int64_t{2}, int64_t{1})));
+}
+
+// --- TablePrinter -------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.AddRow({"x", "1"});
+  tp.AddRow({"longer", "2"});
+  std::ostringstream os;
+  tp.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch w;
+  EXPECT_GE(w.ElapsedSeconds(), 0.0);
+  EXPECT_GE(w.ElapsedNanos(), 0);
+}
+
+}  // namespace
+}  // namespace tsb

@@ -1,0 +1,448 @@
+// Builder, store, and scorer behaviour on synthetic databases (beyond the
+// Figure-3 worked example covered in core_fig3_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "biozon/domain.h"
+#include "biozon/generator.h"
+#include "core/builder.h"
+#include "core/pruner.h"
+#include "core/scorer.h"
+#include "core/store.h"
+#include "core/topology.h"
+#include "graph/canonical.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+
+namespace tsb {
+namespace {
+
+biozon::GeneratorConfig SmallConfig(uint64_t seed) {
+  biozon::GeneratorConfig config;
+  config.seed = seed;
+  config.scale = 0.03;  // ~90 proteins, ~70 DNAs, ...
+  return config;
+}
+
+struct BuiltDb {
+  storage::Catalog db;
+  biozon::BiozonSchema ids;
+  std::unique_ptr<graph::DataGraphView> view;
+  std::unique_ptr<graph::SchemaGraph> schema;
+  core::TopologyStore store;
+  const core::PairTopologyData* pair = nullptr;
+};
+
+std::unique_ptr<BuiltDb> BuildSmall(uint64_t seed, size_t l = 3) {
+  auto built = std::make_unique<BuiltDb>();
+  built->ids = biozon::GenerateBiozon(SmallConfig(seed), &built->db);
+  built->view = std::make_unique<graph::DataGraphView>(built->db);
+  built->schema = std::make_unique<graph::SchemaGraph>(built->db);
+  core::TopologyBuilder builder(&built->db, built->schema.get(),
+                                built->view.get());
+  core::BuildConfig config;
+  config.max_path_length = l;
+  TSB_CHECK(builder
+                .BuildPair(built->ids.protein, built->ids.dna, config,
+                           &built->store)
+                .ok());
+  built->pair = built->store.FindPair(built->ids.protein, built->ids.dna);
+  return built;
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  storage::Catalog db1;
+  storage::Catalog db2;
+  biozon::GenerateBiozon(SmallConfig(7), &db1);
+  biozon::GenerateBiozon(SmallConfig(7), &db2);
+  for (const char* table : {"Protein", "DNA", "Encodes", "Uni_contains"}) {
+    const storage::Table* t1 = db1.GetTable(table);
+    const storage::Table* t2 = db2.GetTable(table);
+    ASSERT_EQ(t1->num_rows(), t2->num_rows()) << table;
+    for (size_t i = 0; i < t1->num_rows(); ++i) {
+      EXPECT_EQ(t1->GetRow(i), t2->GetRow(i));
+    }
+  }
+}
+
+TEST(GeneratorTest, KeywordSelectivitiesCalibrated) {
+  storage::Catalog db;
+  biozon::GeneratorConfig config;
+  config.seed = 3;
+  config.scale = 0.5;
+  biozon::GenerateBiozon(config, &db);
+  const storage::Table& proteins = *db.GetTable("Protein");
+  auto check = [&](const char* tier, double expected, double tolerance) {
+    auto pred = biozon::SelectivityPredicate(db, "Protein", tier);
+    EXPECT_NEAR(storage::Selectivity(proteins, *pred), expected, tolerance)
+        << tier;
+  };
+  check("selective", config.selective_fraction, 0.01);
+  check("medium", config.medium_fraction, 0.04);
+  check("unselective", config.unselective_fraction, 0.04);
+}
+
+TEST(GeneratorTest, ReferentialIntegrityHolds) {
+  storage::Catalog db;
+  biozon::GenerateBiozon(SmallConfig(11), &db);
+  // DataGraphView aborts on dangling references; constructing it is the
+  // integrity check.
+  graph::DataGraphView view(db);
+  EXPECT_GT(view.num_nodes(), 0u);
+  EXPECT_GT(view.num_edges(), 0u);
+}
+
+TEST(GeneratorTest, StatsReportTotals) {
+  storage::Catalog db;
+  biozon::GeneratorStats stats;
+  biozon::GenerateBiozon(SmallConfig(5), &db, &stats);
+  EXPECT_GT(stats.total_entities, 0u);
+  EXPECT_GT(stats.total_relationships, 0u);
+  EXPECT_EQ(stats.total_entities, graph::DataGraphView(db).num_nodes());
+}
+
+TEST(BuilderTest, FrequencySumsMatchAllTopsRows) {
+  auto built = BuildSmall(21);
+  const storage::Table& alltops =
+      *built->db.GetTable(built->pair->alltops_table);
+  size_t freq_total = 0;
+  for (const auto& [tid, freq] : built->pair->freq) freq_total += freq;
+  EXPECT_EQ(freq_total, alltops.num_rows());
+  EXPECT_GT(alltops.num_rows(), 0u);
+}
+
+TEST(BuilderTest, ObservedTidsSortedAndValid) {
+  auto built = BuildSmall(22);
+  std::vector<core::Tid> tids = built->pair->ObservedTids();
+  EXPECT_TRUE(std::is_sorted(tids.begin(), tids.end()));
+  for (core::Tid tid : tids) {
+    const core::TopologyInfo& info = built->store.catalog().Get(tid);
+    EXPECT_EQ(info.tid, tid);
+    EXPECT_TRUE(info.graph.IsConnected());
+    EXPECT_GE(info.graph.num_nodes(), 2u);
+  }
+}
+
+TEST(BuilderTest, DeterministicAcrossRuns) {
+  auto b1 = BuildSmall(23);
+  auto b2 = BuildSmall(23);
+  const storage::Table& t1 = *b1->db.GetTable(b1->pair->alltops_table);
+  const storage::Table& t2 = *b2->db.GetTable(b2->pair->alltops_table);
+  ASSERT_EQ(t1.num_rows(), t2.num_rows());
+  for (size_t i = 0; i < t1.num_rows(); ++i) {
+    EXPECT_EQ(t1.GetRow(i), t2.GetRow(i));
+  }
+}
+
+TEST(BuilderTest, CapsTriggerTruncationCounters) {
+  auto built = std::make_unique<BuiltDb>();
+  built->ids = biozon::GenerateBiozon(SmallConfig(29), &built->db);
+  built->view = std::make_unique<graph::DataGraphView>(built->db);
+  built->schema = std::make_unique<graph::SchemaGraph>(built->db);
+  core::TopologyBuilder builder(&built->db, built->schema.get(),
+                                built->view.get());
+  core::BuildConfig config;
+  config.max_path_length = 3;
+  config.max_class_representatives = 1;
+  config.max_paths_per_source = 5;
+  ASSERT_TRUE(builder
+                  .BuildPair(built->ids.protein, built->ids.dna, config,
+                             &built->store)
+                  .ok());
+  const core::PairTopologyData* pair =
+      built->store.FindPair(built->ids.protein, built->ids.dna);
+  EXPECT_GT(pair->truncated_pairs + pair->truncated_representatives, 0u);
+}
+
+TEST(BuilderTest, BuildAllPairsCoversConnectedTypePairs) {
+  auto built = std::make_unique<BuiltDb>();
+  built->ids = biozon::GenerateBiozon(SmallConfig(31), &built->db);
+  built->view = std::make_unique<graph::DataGraphView>(built->db);
+  built->schema = std::make_unique<graph::SchemaGraph>(built->db);
+  core::TopologyBuilder builder(&built->db, built->schema.get(),
+                                built->view.get());
+  core::BuildConfig config;
+  config.max_path_length = 2;
+  ASSERT_TRUE(builder.BuildAllPairs(config, &built->store).ok());
+  // Protein-DNA, Protein-Interaction, Protein-Unigene, DNA-Unigene,
+  // DNA-Interaction, ... every schema-connected unordered type pair.
+  EXPECT_TRUE(
+      built->store.FindPair(built->ids.protein, built->ids.dna) != nullptr);
+  EXPECT_TRUE(built->store.FindPair(built->ids.protein,
+                                    built->ids.interaction) != nullptr);
+  EXPECT_TRUE(built->store.FindPair(built->ids.dna, built->ids.unigene) !=
+              nullptr);
+  EXPECT_TRUE(built->store.FindPair(built->ids.protein, built->ids.protein) !=
+              nullptr);
+  EXPECT_GT(built->store.pairs().size(), 5u);
+}
+
+TEST(StoreTest, PairLookupIsOrderInsensitive) {
+  auto built = BuildSmall(37);
+  EXPECT_EQ(built->store.FindPair(built->ids.protein, built->ids.dna),
+            built->store.FindPair(built->ids.dna, built->ids.protein));
+}
+
+TEST(StoreTest, NormalizePairOrdersTypes) {
+  auto p = core::TopologyStore::NormalizePair(5, 2);
+  EXPECT_EQ(p.first, 2u);
+  EXPECT_EQ(p.second, 5u);
+}
+
+// --- Pruning invariants ---------------------------------------------------------
+
+TEST(PrunerTest, LeftTopsPlusPrunedRowsEqualsAllTops) {
+  auto built = BuildSmall(41);
+  // Median-frequency threshold prunes something but not everything.
+  std::vector<size_t> freqs;
+  for (const auto& [tid, f] : built->pair->freq) freqs.push_back(f);
+  std::sort(freqs.begin(), freqs.end());
+  core::PruneConfig config;
+  config.frequency_threshold = freqs[freqs.size() / 2];
+  auto stats = core::PruneFrequentTopologies(
+      &built->db, &built->store, built->ids.protein, built->ids.dna, config);
+  ASSERT_TRUE(stats.ok());
+
+  const storage::Table& alltops =
+      *built->db.GetTable(built->pair->alltops_table);
+  const storage::Table& lefttops =
+      *built->db.GetTable(built->pair->lefttops_table);
+  std::set<core::Tid> pruned(built->pair->pruned_tids.begin(),
+                             built->pair->pruned_tids.end());
+  size_t pruned_rows = 0;
+  for (size_t i = 0; i < alltops.num_rows(); ++i) {
+    if (pruned.count(alltops.GetInt64(i, 2)) > 0) ++pruned_rows;
+  }
+  EXPECT_EQ(lefttops.num_rows() + pruned_rows, alltops.num_rows());
+}
+
+TEST(PrunerTest, OnlyPathTopologiesArePruned) {
+  auto built = BuildSmall(43);
+  core::PruneConfig config;
+  config.frequency_threshold = 0;
+  ASSERT_TRUE(core::PruneFrequentTopologies(&built->db, &built->store,
+                                            built->ids.protein,
+                                            built->ids.dna, config)
+                  .ok());
+  for (core::Tid tid : built->pair->pruned_tids) {
+    EXPECT_TRUE(built->store.catalog().Get(tid).is_path);
+  }
+  EXPECT_GT(built->pair->pruned_tids.size(), 0u);
+}
+
+TEST(PrunerTest, ExceptionRowsReferencePrunedTids) {
+  auto built = BuildSmall(47);
+  core::PruneConfig config;
+  config.frequency_threshold = 0;
+  ASSERT_TRUE(core::PruneFrequentTopologies(&built->db, &built->store,
+                                            built->ids.protein,
+                                            built->ids.dna, config)
+                  .ok());
+  std::set<core::Tid> pruned(built->pair->pruned_tids.begin(),
+                             built->pair->pruned_tids.end());
+  const storage::Table& excp =
+      *built->db.GetTable(built->pair->excptops_table);
+  for (size_t i = 0; i < excp.num_rows(); ++i) {
+    EXPECT_TRUE(pruned.count(excp.GetInt64(i, 2)) > 0);
+  }
+}
+
+// --- Scoring ---------------------------------------------------------------------
+
+TEST(ScorerTest, FreqAndRareAreInverseOrderings) {
+  auto built = BuildSmall(53);
+  core::ScoreModel model(&built->store.catalog(),
+                         biozon::MakeBiozonDomainKnowledge(built->ids));
+  auto by_freq =
+      model.RankedTids(core::RankScheme::kFreq, *built->pair);
+  auto by_rare =
+      model.RankedTids(core::RankScheme::kRare, *built->pair);
+  ASSERT_GT(by_freq.size(), 2u);
+  // The most frequent topology scores lowest under Rare.
+  core::Tid most_frequent = by_freq.front().first;
+  double rare_score_of_most_frequent = 0;
+  for (const auto& [tid, score] : by_rare) {
+    if (tid == most_frequent) rare_score_of_most_frequent = score;
+  }
+  EXPECT_LE(rare_score_of_most_frequent, by_rare.front().second);
+}
+
+TEST(ScorerTest, RankedTidsSortedDescendingWithTidTieBreak) {
+  auto built = BuildSmall(59);
+  core::ScoreModel model(&built->store.catalog(),
+                         biozon::MakeBiozonDomainKnowledge(built->ids));
+  for (core::RankScheme scheme :
+       {core::RankScheme::kFreq, core::RankScheme::kRare,
+        core::RankScheme::kDomain}) {
+    auto ranked = model.RankedTids(scheme, *built->pair);
+    for (size_t i = 1; i < ranked.size(); ++i) {
+      bool ok = ranked[i - 1].second > ranked[i].second ||
+                (ranked[i - 1].second == ranked[i].second &&
+                 ranked[i - 1].first < ranked[i].first);
+      EXPECT_TRUE(ok) << "at " << i;
+    }
+  }
+}
+
+TEST(ScorerTest, DomainRewardsInteractionsAndPenalizesWeakMotifs) {
+  // Construct the Figure-16 topology (two proteins encoded by one DNA,
+  // interacting through an Interaction node) and a weak P-D-P chain; the
+  // domain scorer must prefer the former.
+  storage::Catalog db;
+  biozon::BiozonSchema ids = biozon::CreateBiozonSchema(&db);
+  core::TopologyCatalog catalog;
+
+  graph::LabeledGraph fig16;
+  auto d = fig16.AddNode(ids.dna);
+  auto p1 = fig16.AddNode(ids.protein);
+  auto p2 = fig16.AddNode(ids.protein);
+  auto i = fig16.AddNode(ids.interaction);
+  fig16.AddEdge(p1, d, ids.encodes);
+  fig16.AddEdge(p2, d, ids.encodes);
+  fig16.AddEdge(p1, i, ids.interacts_p);
+  fig16.AddEdge(p2, i, ids.interacts_p);
+  core::Tid fig16_tid = catalog.Intern(fig16, 2);
+
+  graph::LabeledGraph pdp;
+  auto a = pdp.AddNode(ids.protein);
+  auto b = pdp.AddNode(ids.dna);
+  auto c = pdp.AddNode(ids.protein);
+  pdp.AddEdge(a, b, ids.encodes);
+  pdp.AddEdge(b, c, ids.encodes);
+  core::Tid pdp_tid = catalog.Intern(pdp, 1);
+
+  core::ScoreModel model(&catalog, biozon::MakeBiozonDomainKnowledge(ids));
+  core::PairTopologyData dummy;
+  double fig16_score =
+      model.Score(core::RankScheme::kDomain, fig16_tid, dummy);
+  double pdp_score = model.Score(core::RankScheme::kDomain, pdp_tid, dummy);
+  EXPECT_GT(fig16_score, pdp_score);
+  // P-D-P is a weak motif: penalized below the neutral baseline of 1.0.
+  EXPECT_LT(pdp_score, 1.0);
+}
+
+TEST(ScorerTest, SchemeNamesStable) {
+  EXPECT_STREQ(core::RankSchemeToString(core::RankScheme::kFreq), "Freq");
+  EXPECT_STREQ(core::RankSchemeToString(core::RankScheme::kRare), "Rare");
+  EXPECT_STREQ(core::RankSchemeToString(core::RankScheme::kDomain),
+               "Domain");
+}
+
+// --- Topology shape classification ----------------------------------------------
+
+TEST(TopologyShapeTest, PathShapes) {
+  // Single edge: a path.
+  graph::LabeledGraph edge;
+  auto a = edge.AddNode(0);
+  auto b = edge.AddNode(1);
+  edge.AddEdge(a, b, 0);
+  EXPECT_TRUE(core::IsPathShaped(edge));
+
+  // Triangle: not a path (cycle).
+  graph::LabeledGraph tri = edge;
+  auto c = tri.AddNode(2);
+  tri.AddEdge(b, c, 0);
+  tri.AddEdge(c, a, 0);
+  EXPECT_FALSE(core::IsPathShaped(tri));
+
+  // Star with three leaves: not a path (degree-3 hub).
+  graph::LabeledGraph star;
+  auto hub = star.AddNode(0);
+  for (int i = 0; i < 3; ++i) {
+    auto leaf = star.AddNode(1);
+    star.AddEdge(hub, leaf, 0);
+  }
+  EXPECT_FALSE(core::IsPathShaped(star));
+
+  // Singleton and empty: not paths.
+  graph::LabeledGraph single;
+  single.AddNode(0);
+  EXPECT_FALSE(core::IsPathShaped(single));
+  EXPECT_FALSE(core::IsPathShaped(graph::LabeledGraph()));
+
+  // Disconnected two edges: not a path.
+  graph::LabeledGraph two;
+  auto p = two.AddNode(0);
+  auto q = two.AddNode(1);
+  two.AddEdge(p, q, 0);
+  auto r = two.AddNode(0);
+  auto s = two.AddNode(1);
+  two.AddEdge(r, s, 0);
+  EXPECT_FALSE(core::IsPathShaped(two));
+}
+
+TEST(TopologyShapeTest, ExtractSchemaPathRejectsNonPaths) {
+  storage::Catalog db;
+  biozon::BiozonSchema ids = biozon::CreateBiozonSchema(&db);
+  graph::SchemaGraph schema(db);
+  graph::LabeledGraph tri;
+  auto p = tri.AddNode(ids.protein);
+  auto u = tri.AddNode(ids.unigene);
+  auto d = tri.AddNode(ids.dna);
+  tri.AddEdge(u, p, ids.uni_encodes);
+  tri.AddEdge(u, d, ids.uni_contains);
+  tri.AddEdge(p, d, ids.encodes);
+  EXPECT_FALSE(core::ExtractSchemaPath(tri, schema).has_value());
+}
+
+TEST(TopologyShapeTest, ExtractSchemaPathRejectsInconsistentLabels) {
+  storage::Catalog db;
+  biozon::BiozonSchema ids = biozon::CreateBiozonSchema(&db);
+  graph::SchemaGraph schema(db);
+  // 'encodes' connects Protein and DNA, not Protein and Unigene.
+  graph::LabeledGraph bad;
+  auto p = bad.AddNode(ids.protein);
+  auto u = bad.AddNode(ids.unigene);
+  bad.AddEdge(p, u, ids.encodes);
+  EXPECT_FALSE(core::ExtractSchemaPath(bad, schema).has_value());
+}
+
+// --- TopologyCatalog ---------------------------------------------------------------
+
+TEST(TopologyCatalogTest, InternDeduplicatesByCanonicalCode) {
+  core::TopologyCatalog catalog;
+  graph::LabeledGraph g1 = graph::MakePathGraph({0, 1, 2}, {5, 6});
+  graph::LabeledGraph g2 = graph::MakePathGraph({2, 1, 0}, {6, 5});  // Reversed.
+  core::Tid t1 = catalog.Intern(g1, 1);
+  core::Tid t2 = catalog.Intern(g2, 1);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(TopologyCatalogTest, TidsAreDenseFromOne) {
+  core::TopologyCatalog catalog;
+  core::Tid t1 = catalog.Intern(graph::MakePathGraph({0, 1}, {0}), 1);
+  core::Tid t2 = catalog.Intern(graph::MakePathGraph({0, 2}, {0}), 1);
+  EXPECT_EQ(t1, 1);
+  EXPECT_EQ(t2, 2);
+  EXPECT_EQ(catalog.Get(t1).tid, t1);
+}
+
+TEST(TopologyCatalogTest, ClassKeysMergeAcrossObservations) {
+  core::TopologyCatalog catalog;
+  graph::LabeledGraph g = graph::MakePathGraph({0, 1}, {0});
+  std::string code = graph::CanonicalCode(g);
+  core::Tid tid = catalog.InternWithCode(g, code, 1, {"keyA"});
+  catalog.InternWithCode(g, code, 1, {"keyB", "keyA"});
+  const core::TopologyInfo& info = catalog.Get(tid);
+  ASSERT_EQ(info.class_keys.size(), 2u);
+  EXPECT_EQ(info.class_keys[0], "keyA");
+  EXPECT_EQ(info.class_keys[1], "keyB");
+  // num_classes keeps the first observation.
+  EXPECT_EQ(info.num_classes, 1u);
+}
+
+TEST(TopologyCatalogTest, FindByCodeRoundTrips) {
+  core::TopologyCatalog catalog;
+  graph::LabeledGraph g = graph::MakePathGraph({3, 4, 5}, {1, 2});
+  core::Tid tid = catalog.Intern(g, 1);
+  auto found = catalog.FindByCode(graph::CanonicalCode(g));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, tid);
+  EXPECT_FALSE(catalog.FindByCode("nonsense").has_value());
+}
+
+}  // namespace
+}  // namespace tsb

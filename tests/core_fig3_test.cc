@@ -1,0 +1,361 @@
+// Reproduces the paper's worked examples (Sections 1-4) on the literal
+// Figure-3 database: path sets, equivalence classes, the topologies T1-T4 of
+// Figure 5, the AllTops/LeftTops/ExcpTops contents of Figures 9 and 13, and
+// instance retrieval.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "biozon/fig3.h"
+#include "core/builder.h"
+#include "core/instance_retrieval.h"
+#include "core/pair_topologies.h"
+#include "core/pruner.h"
+#include "core/store.h"
+#include "core/topology.h"
+#include "graph/canonical.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+
+namespace tsb {
+namespace {
+
+using biozon::BiozonSchema;
+using graph::LabeledGraph;
+
+class Fig3CoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = biozon::BuildFigure3Database(&db_);
+    view_ = std::make_unique<graph::DataGraphView>(db_);
+    schema_ = std::make_unique<graph::SchemaGraph>(db_);
+  }
+
+  /// Builds the (Protein, DNA) pair with generous limits.
+  void Build() {
+    core::TopologyBuilder builder(&db_, schema_.get(), view_.get());
+    core::BuildConfig config;
+    config.max_path_length = 3;
+    ASSERT_TRUE(
+        builder.BuildPair(ids_.protein, ids_.dna, config, &store_).ok());
+    pair_ = store_.FindPair(ids_.protein, ids_.dna);
+    ASSERT_NE(pair_, nullptr);
+  }
+
+  // --- Expected topology graphs (Figure 5) -------------------------------
+  LabeledGraph T1() const {  // Protein -encodes- DNA.
+    LabeledGraph g;
+    auto p = g.AddNode(ids_.protein);
+    auto d = g.AddNode(ids_.dna);
+    g.AddEdge(p, d, ids_.encodes);
+    return g;
+  }
+  LabeledGraph T2() const {  // P -uni_encodes- U -uni_contains- D.
+    LabeledGraph g;
+    auto p = g.AddNode(ids_.protein);
+    auto u = g.AddNode(ids_.unigene);
+    auto d = g.AddNode(ids_.dna);
+    g.AddEdge(u, p, ids_.uni_encodes);
+    g.AddEdge(u, d, ids_.uni_contains);
+    return g;
+  }
+  LabeledGraph T3() const {  // l2 and l6 sharing the Unigene.
+    LabeledGraph g;
+    auto p1 = g.AddNode(ids_.protein);
+    auto u = g.AddNode(ids_.unigene);
+    auto d = g.AddNode(ids_.dna);
+    auto p2 = g.AddNode(ids_.protein);
+    g.AddEdge(u, p1, ids_.uni_encodes);
+    g.AddEdge(u, d, ids_.uni_contains);
+    g.AddEdge(u, p2, ids_.uni_encodes);
+    g.AddEdge(p2, d, ids_.encodes);
+    return g;
+  }
+  LabeledGraph T4() const {  // l3 and l6, disjoint intermediates.
+    LabeledGraph g;
+    auto p1 = g.AddNode(ids_.protein);
+    auto u1 = g.AddNode(ids_.unigene);
+    auto d = g.AddNode(ids_.dna);
+    auto u2 = g.AddNode(ids_.unigene);
+    auto p2 = g.AddNode(ids_.protein);
+    g.AddEdge(u1, p1, ids_.uni_encodes);
+    g.AddEdge(u1, d, ids_.uni_contains);
+    g.AddEdge(u2, p1, ids_.uni_encodes);
+    g.AddEdge(u2, p2, ids_.uni_encodes);
+    g.AddEdge(p2, d, ids_.encodes);
+    return g;
+  }
+  /// Pair (34, 215): direct encodes edge plus the Unigene route — the
+  /// triangle topology that exists in AllTops but not in the query result.
+  LabeledGraph Triangle34() const {
+    LabeledGraph g;
+    auto p = g.AddNode(ids_.protein);
+    auto u = g.AddNode(ids_.unigene);
+    auto d = g.AddNode(ids_.dna);
+    g.AddEdge(p, d, ids_.encodes);
+    g.AddEdge(u, p, ids_.uni_encodes);
+    g.AddEdge(u, d, ids_.uni_contains);
+    return g;
+  }
+
+  core::Tid TidOf(const LabeledGraph& g) const {
+    auto tid = store_.catalog().FindByCode(graph::CanonicalCode(g));
+    return tid.has_value() ? *tid : core::kNoTid;
+  }
+
+  storage::Catalog db_;
+  BiozonSchema ids_;
+  std::unique_ptr<graph::DataGraphView> view_;
+  std::unique_ptr<graph::SchemaGraph> schema_;
+  core::TopologyStore store_;
+  const core::PairTopologyData* pair_ = nullptr;
+};
+
+// --- Definitions 1-2 via ComputePairTopologies ------------------------------
+
+TEST_F(Fig3CoreTest, PathEquivalenceClassesOfPair78_215) {
+  core::PairComputeLimits limits;
+  core::PairComputation computed =
+      core::ComputePairTopologies(*view_, *schema_, 78, 215, limits);
+  // Two equivalence classes: {l2, l3} and {l6} (Definition 1 example).
+  ASSERT_EQ(computed.classes.size(), 2u);
+  std::multiset<size_t> class_sizes;
+  for (const auto& [key, reps] : computed.classes) {
+    class_sizes.insert(reps.size());
+  }
+  EXPECT_EQ(class_sizes, (std::multiset<size_t>{1, 2}));
+  EXPECT_FALSE(computed.truncated);
+}
+
+TEST_F(Fig3CoreTest, TopologiesOfPair78_215AreT3AndT4) {
+  core::PairComputeLimits limits;
+  core::PairComputation computed =
+      core::ComputePairTopologies(*view_, *schema_, 78, 215, limits);
+  ASSERT_EQ(computed.topologies.size(), 2u);
+  std::set<std::string> codes;
+  for (const auto& topo : computed.topologies) {
+    codes.insert(topo.code);
+    EXPECT_EQ(topo.num_classes, 2u);
+  }
+  EXPECT_TRUE(codes.count(graph::CanonicalCode(T3())));
+  EXPECT_TRUE(codes.count(graph::CanonicalCode(T4())));
+  // T2 is *not* in 3-Top(78, 215): the pair is related by the more complex
+  // topologies (the subtlety Section 4.2.2 is built around).
+  EXPECT_FALSE(codes.count(graph::CanonicalCode(T2())));
+}
+
+TEST_F(Fig3CoreTest, SingleClassPairsYieldPathTopologies) {
+  core::PairComputeLimits limits;
+  auto c32 = core::ComputePairTopologies(*view_, *schema_, 32, 214, limits);
+  ASSERT_EQ(c32.topologies.size(), 1u);
+  EXPECT_EQ(c32.topologies[0].code, graph::CanonicalCode(T1()));
+
+  auto c44 = core::ComputePairTopologies(*view_, *schema_, 44, 742, limits);
+  ASSERT_EQ(c44.topologies.size(), 1u);
+  EXPECT_EQ(c44.topologies[0].code, graph::CanonicalCode(T2()));
+  // Two isomorphic paths (l4, l5) collapse into one class.
+  ASSERT_EQ(c44.classes.size(), 1u);
+  EXPECT_EQ(c44.classes.begin()->second.size(), 2u);
+}
+
+TEST_F(Fig3CoreTest, UnrelatedPairHasNoTopologies) {
+  core::PairComputeLimits limits;
+  auto c = core::ComputePairTopologies(*view_, *schema_, 32, 742, limits);
+  EXPECT_TRUE(c.topologies.empty());
+  EXPECT_TRUE(c.classes.empty());
+}
+
+// --- The offline build (Section 4.1) -----------------------------------------
+
+TEST_F(Fig3CoreTest, BuildProducesExactlyFiveTopologies) {
+  Build();
+  // T1-T4 of the paper plus the (34, 215) triangle.
+  EXPECT_EQ(store_.catalog().size(), 5u);
+  EXPECT_NE(TidOf(T1()), core::kNoTid);
+  EXPECT_NE(TidOf(T2()), core::kNoTid);
+  EXPECT_NE(TidOf(T3()), core::kNoTid);
+  EXPECT_NE(TidOf(T4()), core::kNoTid);
+  EXPECT_NE(TidOf(Triangle34()), core::kNoTid);
+}
+
+TEST_F(Fig3CoreTest, AllTopsRowsMatchFigure9) {
+  Build();
+  const storage::Table& alltops = *db_.GetTable(pair_->alltops_table);
+  std::set<std::tuple<int64_t, int64_t, core::Tid>> rows;
+  for (size_t i = 0; i < alltops.num_rows(); ++i) {
+    rows.insert({alltops.GetInt64(i, 0), alltops.GetInt64(i, 1),
+                 alltops.GetInt64(i, 2)});
+  }
+  std::set<std::tuple<int64_t, int64_t, core::Tid>> expected = {
+      {32, 214, TidOf(T1())},       {78, 215, TidOf(T3())},
+      {78, 215, TidOf(T4())},       {34, 215, TidOf(Triangle34())},
+      {44, 742, TidOf(T2())},
+  };
+  EXPECT_EQ(rows, expected);
+}
+
+TEST_F(Fig3CoreTest, FrequenciesCountRelatedPairs) {
+  Build();
+  EXPECT_EQ(pair_->freq.at(TidOf(T1())), 1u);
+  EXPECT_EQ(pair_->freq.at(TidOf(T2())), 1u);
+  EXPECT_EQ(pair_->freq.at(TidOf(T3())), 1u);
+  EXPECT_EQ(pair_->freq.at(TidOf(T4())), 1u);
+  EXPECT_EQ(pair_->num_related_pairs, 4u);  // Four connected pairs.
+}
+
+TEST_F(Fig3CoreTest, PairClassesRecordsMultiClassPairsOnly) {
+  Build();
+  const storage::Table& pc = *db_.GetTable(pair_->pairclasses_table);
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (size_t i = 0; i < pc.num_rows(); ++i) {
+    pairs.insert({pc.GetInt64(i, 0), pc.GetInt64(i, 1)});
+  }
+  // (78, 215) and (34, 215) have two classes each; single-class pairs are
+  // not recorded.
+  EXPECT_EQ(pc.num_rows(), 4u);
+  EXPECT_EQ(pairs,
+            (std::set<std::pair<int64_t, int64_t>>{{78, 215}, {34, 215}}));
+}
+
+TEST_F(Fig3CoreTest, PathShapeClassification) {
+  Build();
+  const core::TopologyCatalog& catalog = store_.catalog();
+  EXPECT_TRUE(catalog.Get(TidOf(T1())).is_path);
+  EXPECT_TRUE(catalog.Get(TidOf(T2())).is_path);
+  EXPECT_FALSE(catalog.Get(TidOf(T3())).is_path);
+  EXPECT_FALSE(catalog.Get(TidOf(T4())).is_path);
+  EXPECT_FALSE(catalog.Get(TidOf(Triangle34())).is_path);
+}
+
+TEST_F(Fig3CoreTest, ExtractSchemaPathRecoversT2) {
+  Build();
+  const core::TopologyInfo& info = store_.catalog().Get(TidOf(T2()));
+  auto sp = core::ExtractSchemaPath(info.graph, *schema_);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_EQ(sp->length(), 2u);
+  // Direction-invariant identity via the class key.
+  graph::SchemaPath expected;
+  expected.node_types = {ids_.protein, ids_.unigene, ids_.dna};
+  expected.steps = {{ids_.uni_encodes, false}, {ids_.uni_contains, true}};
+  EXPECT_EQ(schema_->PathClassKey(*sp), schema_->PathClassKey(expected));
+}
+
+TEST_F(Fig3CoreTest, BuilderRejectsDuplicatePair) {
+  Build();
+  core::TopologyBuilder builder(&db_, schema_.get(), view_.get());
+  core::BuildConfig config;
+  EXPECT_EQ(builder.BuildPair(ids_.protein, ids_.dna, config, &store_)
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+// --- Pruning (Section 4.2.2, Figure 13) --------------------------------------
+
+TEST_F(Fig3CoreTest, PruningSplitsLeftAndExceptionTables) {
+  Build();
+  core::PruneConfig config;
+  config.frequency_threshold = 0;  // Prune every path-shaped topology.
+  auto stats =
+      core::PruneFrequentTopologies(&db_, &store_, ids_.protein, ids_.dna,
+                                    config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->pruned_topologies, 2u);  // T1 and T2.
+  EXPECT_EQ(stats->alltops_rows, 5u);
+  EXPECT_EQ(stats->lefttops_rows, 3u);  // T3, T4, triangle rows.
+
+  // Figure 13: (78, 215) satisfies T2's path condition but is related by
+  // the more complex T3/T4, so it must appear in ExcpTops; (44, 742) is
+  // genuinely related by T2 and must not.
+  const storage::Table& excp = *db_.GetTable(pair_->excptops_table);
+  std::set<std::tuple<int64_t, int64_t, core::Tid>> rows;
+  for (size_t i = 0; i < excp.num_rows(); ++i) {
+    rows.insert({excp.GetInt64(i, 0), excp.GetInt64(i, 1),
+                 excp.GetInt64(i, 2)});
+  }
+  EXPECT_TRUE(rows.count({78, 215, TidOf(T2())}));
+  EXPECT_FALSE(rows.count({44, 742, TidOf(T2())}));
+  // The (34, 215) pair also satisfies both pruned path conditions.
+  EXPECT_TRUE(rows.count({34, 215, TidOf(T1())}));
+  EXPECT_TRUE(rows.count({34, 215, TidOf(T2())}));
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(Fig3CoreTest, PruningIsIdempotentGuard) {
+  Build();
+  core::PruneConfig config;
+  ASSERT_TRUE(core::PruneFrequentTopologies(&db_, &store_, ids_.protein,
+                                            ids_.dna, config)
+                  .ok());
+  EXPECT_EQ(core::PruneFrequentTopologies(&db_, &store_, ids_.protein,
+                                          ids_.dna, config)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(Fig3CoreTest, HighThresholdPrunesNothing) {
+  Build();
+  core::PruneConfig config;
+  config.frequency_threshold = 1000;
+  auto stats = core::PruneFrequentTopologies(&db_, &store_, ids_.protein,
+                                             ids_.dna, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->pruned_topologies, 0u);
+  EXPECT_EQ(stats->lefttops_rows, stats->alltops_rows);
+  EXPECT_EQ(stats->excptops_rows, 0u);
+}
+
+// --- Instance retrieval (Section 6.2.4) ---------------------------------------
+
+TEST_F(Fig3CoreTest, RetrieveInstancesOfT3) {
+  Build();
+  auto instances = core::RetrieveInstances(db_, store_, *schema_, *view_,
+                                           ids_.protein, ids_.dna,
+                                           TidOf(T3()));
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].a, 78);
+  EXPECT_EQ(instances[0].b, 215);
+  std::set<graph::EntityId> nodes(instances[0].node_ids.begin(),
+                                  instances[0].node_ids.end());
+  EXPECT_EQ(nodes, (std::set<graph::EntityId>{78, 103, 34, 215}));
+}
+
+TEST_F(Fig3CoreTest, RetrieveInstancesOfPathTopology) {
+  Build();
+  auto instances = core::RetrieveInstances(db_, store_, *schema_, *view_,
+                                           ids_.protein, ids_.dna,
+                                           TidOf(T2()));
+  // Only pair (44, 742) adheres to T2; it has two witnesses (via unigene
+  // 188 and via 194), each a choice of representative.
+  ASSERT_GE(instances.size(), 1u);
+  for (const auto& instance : instances) {
+    EXPECT_EQ(instance.a, 44);
+    EXPECT_EQ(instance.b, 742);
+  }
+}
+
+TEST_F(Fig3CoreTest, CatalogDescribeMentionsRelationshipNames) {
+  Build();
+  std::string desc = store_.catalog().Describe(TidOf(T3()), *schema_);
+  EXPECT_NE(desc.find("Uni_encodes"), std::string::npos);
+  EXPECT_NE(desc.find("Encodes"), std::string::npos);
+}
+
+TEST_F(Fig3CoreTest, ExportTopInfoTable) {
+  Build();
+  store_.ExportTopInfoTable(&db_, *schema_);
+  const storage::Table* info = db_.FindTable("TopInfo");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->num_rows(), 5u);
+  // Path flags match the catalog.
+  size_t path_count = 0;
+  for (size_t i = 0; i < info->num_rows(); ++i) {
+    if (info->GetInt64(i, 4) == 1) ++path_count;
+  }
+  EXPECT_EQ(path_count, 2u);  // T1 and T2.
+}
+
+}  // namespace
+}  // namespace tsb

@@ -1,0 +1,280 @@
+// Tests for the extension features beyond the paper's core evaluation:
+// weak-topology filtering (Section 6.2.3's proposed solution), cross-query
+// topology comparison (Section 8 future work), and CSV interchange.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "biozon/domain.h"
+#include "biozon/generator.h"
+#include "core/builder.h"
+#include "core/pruner.h"
+#include "core/weak_filter.h"
+#include "engine/compare.h"
+#include "engine/engine.h"
+#include "graph/isomorphism.h"
+#include "storage/csv.h"
+
+namespace tsb {
+namespace {
+
+using engine::MethodKind;
+
+// --- Weak-topology filtering ---------------------------------------------------
+
+class WeakFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    biozon::GeneratorConfig config;
+    config.seed = 77;
+    config.scale = 0.08;
+    config.zipf_skew = 0.6;  // Hubs guarantee weak motifs appear.
+    ids_ = biozon::GenerateBiozon(config, &db_);
+    view_ = std::make_unique<graph::DataGraphView>(db_);
+    schema_ = std::make_unique<graph::SchemaGraph>(db_);
+    core::TopologyBuilder builder(&db_, schema_.get(), view_.get());
+    core::BuildConfig build;
+    build.max_path_length = 3;
+    ASSERT_TRUE(
+        builder.BuildPair(ids_.protein, ids_.dna, build, &store_).ok());
+    pair_ = store_.FindPair(ids_.protein, ids_.dna);
+    core::PruneConfig prune;
+    prune.frequency_threshold = pair_->num_related_pairs / 100;
+    ASSERT_TRUE(core::PruneFrequentTopologies(&db_, &store_, ids_.protein,
+                                              ids_.dna, prune)
+                    .ok());
+    knowledge_ = biozon::MakeBiozonDomainKnowledge(ids_);
+    engine_ = std::make_unique<engine::Engine>(
+        &db_, &store_, schema_.get(), view_.get(),
+        core::ScoreModel(&store_.catalog(), knowledge_));
+  }
+
+  engine::TopologyQuery Query(bool exclude_weak) {
+    engine::TopologyQuery q;
+    q.entity_set1 = "Protein";
+    q.entity_set2 = "DNA";
+    q.scheme = core::RankScheme::kFreq;
+    q.k = 1000;
+    q.exclude_weak = exclude_weak;
+    return q;
+  }
+
+  storage::Catalog db_;
+  biozon::BiozonSchema ids_;
+  std::unique_ptr<graph::DataGraphView> view_;
+  std::unique_ptr<graph::SchemaGraph> schema_;
+  core::TopologyStore store_;
+  const core::PairTopologyData* pair_ = nullptr;
+  core::DomainKnowledge knowledge_;
+  std::unique_ptr<engine::Engine> engine_;
+};
+
+TEST_F(WeakFilterTest, FindsWeakTopologies) {
+  auto weak =
+      core::FindWeakTopologies(store_.catalog(), *pair_, knowledge_);
+  EXPECT_GT(weak.size(), 0u);
+  EXPECT_LT(weak.size(), pair_->freq.size());
+  // Every reported TID really contains a motif.
+  for (core::Tid tid : weak) {
+    bool contains = false;
+    for (const graph::LabeledGraph& motif : knowledge_.weak_motifs) {
+      if (graph::IsSubgraphIsomorphic(motif,
+                                      store_.catalog().Get(tid).graph)) {
+        contains = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contains);
+  }
+}
+
+TEST_F(WeakFilterTest, AnalyzeReportsConsistentTotals) {
+  auto stats =
+      core::AnalyzeWeakTopologies(store_.catalog(), *pair_, knowledge_);
+  EXPECT_EQ(stats.total_topologies, pair_->freq.size());
+  EXPECT_LE(stats.weak_topologies, stats.total_topologies);
+  EXPECT_LE(stats.weak_pairs, stats.total_pairs);
+  size_t freq_total = 0;
+  for (const auto& [tid, f] : pair_->freq) freq_total += f;
+  EXPECT_EQ(stats.total_pairs, freq_total);
+}
+
+TEST_F(WeakFilterTest, ExcludeWeakRemovesExactlyTheWeakSet) {
+  auto all = engine_->Execute(Query(false), MethodKind::kFullTop);
+  auto filtered = engine_->Execute(Query(true), MethodKind::kFullTop);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(filtered.ok());
+  auto weak = core::FindWeakTopologies(store_.catalog(), *pair_, knowledge_);
+  std::set<core::Tid> expected;
+  for (const auto& e : all->entries) {
+    if (weak.count(e.tid) == 0) expected.insert(e.tid);
+  }
+  std::set<core::Tid> got;
+  for (const auto& e : filtered->entries) got.insert(e.tid);
+  EXPECT_EQ(got, expected);
+  EXPECT_LT(filtered->entries.size(), all->entries.size());
+}
+
+TEST_F(WeakFilterTest, MethodsAgreeUnderExclusion) {
+  auto baseline = engine_->Execute(Query(true), MethodKind::kFullTop);
+  ASSERT_TRUE(baseline.ok());
+  std::set<core::Tid> expected;
+  for (const auto& e : baseline->entries) expected.insert(e.tid);
+  for (MethodKind method :
+       {MethodKind::kSql, MethodKind::kFastTop, MethodKind::kFastTopK,
+        MethodKind::kFastTopKEt, MethodKind::kFastTopKOpt}) {
+    auto result = engine_->Execute(Query(true), method);
+    ASSERT_TRUE(result.ok()) << engine::MethodKindToString(method);
+    std::set<core::Tid> got;
+    for (const auto& e : result->entries) got.insert(e.tid);
+    EXPECT_EQ(got, expected) << engine::MethodKindToString(method);
+  }
+}
+
+TEST_F(WeakFilterTest, TopKExclusionIsPrefixOfFilteredRanking) {
+  auto full = engine_->Execute(Query(true), MethodKind::kFullTop);
+  ASSERT_TRUE(full.ok());
+  engine::TopologyQuery q = Query(true);
+  q.k = 3;
+  auto topk = engine_->Execute(q, MethodKind::kFastTopKEt);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_LE(topk->entries.size(), 3u);
+  for (size_t i = 0; i < topk->entries.size(); ++i) {
+    EXPECT_EQ(topk->entries[i].tid, full->entries[i].tid);
+  }
+}
+
+// --- Cross-query comparison ------------------------------------------------------
+
+TEST_F(WeakFilterTest, CompareResultsPartitionsTids) {
+  engine::TopologyQuery qa = Query(false);
+  qa.pred1 = biozon::SelectivityPredicate(db_, "Protein", "selective");
+  engine::TopologyQuery qb = Query(false);
+  qb.pred1 = biozon::SelectivityPredicate(db_, "Protein", "unselective");
+  auto ra = engine_->Execute(qa, MethodKind::kFullTop);
+  auto rb = engine_->Execute(qb, MethodKind::kFullTop);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  auto comparison = engine::CompareResults(store_.catalog(), *ra, *rb);
+  EXPECT_EQ(comparison.in_both.size() + comparison.only_in_a.size(),
+            ra->entries.size());
+  EXPECT_EQ(comparison.in_both.size() + comparison.only_in_b.size(),
+            rb->entries.size());
+  // Refinement pairs actually embed.
+  for (const auto& [coarse, fine] : comparison.refinements) {
+    EXPECT_TRUE(graph::IsSubgraphIsomorphic(
+        store_.catalog().Get(coarse).graph,
+        store_.catalog().Get(fine).graph));
+  }
+  std::string report =
+      engine::DescribeComparison(comparison, store_.catalog(), *schema_);
+  EXPECT_NE(report.find("shared:"), std::string::npos);
+}
+
+TEST_F(WeakFilterTest, CompareIdenticalResultsIsAllShared) {
+  auto r = engine_->Execute(Query(false), MethodKind::kFullTop);
+  ASSERT_TRUE(r.ok());
+  auto comparison = engine::CompareResults(store_.catalog(), *r, *r);
+  EXPECT_TRUE(comparison.only_in_a.empty());
+  EXPECT_TRUE(comparison.only_in_b.empty());
+  EXPECT_TRUE(comparison.refinements.empty());
+  EXPECT_EQ(comparison.in_both.size(), r->entries.size());
+}
+
+// --- CSV interchange ---------------------------------------------------------------
+
+TEST(CsvTest, EscapeRules) {
+  EXPECT_EQ(storage::CsvEscape("plain"), "plain");
+  EXPECT_EQ(storage::CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(storage::CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(storage::CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WriteProducesHeaderAndRows) {
+  storage::Table t("T",
+                   storage::TableSchema({{"ID", storage::ColumnType::kInt64},
+                                         {"DESC",
+                                          storage::ColumnType::kString}}));
+  t.AppendRowOrDie({storage::Value(int64_t{1}), storage::Value("alpha")});
+  t.AppendRowOrDie({storage::Value(int64_t{2}), storage::Value("b,eta")});
+  std::ostringstream os;
+  storage::WriteTableCsv(t, os);
+  EXPECT_EQ(os.str(), "ID,DESC\n1,alpha\n2,\"b,eta\"\n");
+}
+
+TEST(CsvTest, RoundTripsThroughReadBack) {
+  storage::TableSchema schema({{"ID", storage::ColumnType::kInt64},
+                               {"SCORE", storage::ColumnType::kDouble},
+                               {"DESC", storage::ColumnType::kString}});
+  storage::Table t("T", schema);
+  t.AppendRowOrDie({storage::Value(int64_t{-5}), storage::Value(1.5),
+                    storage::Value("quote \" and, comma")});
+  t.AppendRowOrDie({storage::Value(int64_t{7}), storage::Value(0.25),
+                    storage::Value("")});
+  std::ostringstream os;
+  storage::WriteTableCsv(t, os);
+
+  storage::Catalog db;
+  std::istringstream is(os.str());
+  auto loaded = storage::ReadTableCsv(&db, "Loaded", schema, is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ((*loaded)->num_rows(), 2u);
+  EXPECT_EQ((*loaded)->GetInt64(0, 0), -5);
+  EXPECT_EQ((*loaded)->GetValue(0, 1).AsDouble(), 1.5);
+  EXPECT_EQ((*loaded)->GetString(0, 2), "quote \" and, comma");
+  EXPECT_EQ((*loaded)->GetString(1, 2), "");
+}
+
+TEST(CsvTest, RejectsBadInput) {
+  storage::TableSchema schema({{"ID", storage::ColumnType::kInt64}});
+  storage::Catalog db;
+  {
+    std::istringstream is("");
+    EXPECT_FALSE(storage::ReadTableCsv(&db, "X", schema, is).ok());
+  }
+  {
+    std::istringstream is("WRONG\n1\n");
+    EXPECT_FALSE(storage::ReadTableCsv(&db, "X", schema, is).ok());
+  }
+  {
+    std::istringstream is("ID\nnotanumber\n");
+    EXPECT_FALSE(storage::ReadTableCsv(&db, "X", schema, is).ok());
+  }
+  {
+    std::istringstream is("ID\n1,2\n");
+    EXPECT_FALSE(storage::ReadTableCsv(&db, "X", schema, is).ok());
+  }
+}
+
+TEST(CsvTest, ExportsBuiltTopologyTables) {
+  // End-to-end: build Figure-3-sized world, export AllTops, read it back.
+  storage::Catalog db;
+  biozon::GeneratorConfig config;
+  config.seed = 9;
+  config.scale = 0.02;
+  biozon::BiozonSchema ids = biozon::GenerateBiozon(config, &db);
+  graph::DataGraphView view(db);
+  graph::SchemaGraph schema(db);
+  core::TopologyStore store;
+  core::TopologyBuilder builder(&db, &schema, &view);
+  core::BuildConfig build;
+  build.max_path_length = 2;
+  ASSERT_TRUE(builder.BuildPair(ids.protein, ids.dna, build, &store).ok());
+  const core::PairTopologyData& pair = *store.FindPair(ids.protein, ids.dna);
+  const storage::Table& alltops = *db.GetTable(pair.alltops_table);
+
+  std::ostringstream os;
+  storage::WriteTableCsv(alltops, os);
+  std::istringstream is(os.str());
+  auto loaded =
+      storage::ReadTableCsv(&db, "AllTops_copy", alltops.schema(), is);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ((*loaded)->num_rows(), alltops.num_rows());
+  for (size_t i = 0; i < alltops.num_rows(); ++i) {
+    EXPECT_EQ((*loaded)->GetRow(i), alltops.GetRow(i));
+  }
+}
+
+}  // namespace
+}  // namespace tsb

@@ -1,0 +1,172 @@
+// Tests for the 3-query (multi-endpoint) extension: the paper's Section-8
+// future-work item, generalized as documented in engine/nquery.h.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "biozon/fig3.h"
+#include "biozon/generator.h"
+#include "core/builder.h"
+#include "engine/nquery.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+
+namespace tsb {
+namespace {
+
+class TripleQueryFig3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = biozon::BuildFigure3Database(&db_);
+    view_ = std::make_unique<graph::DataGraphView>(db_);
+    schema_ = std::make_unique<graph::SchemaGraph>(db_);
+    core::TopologyBuilder builder(&db_, schema_.get(), view_.get());
+    core::BuildConfig build;
+    build.max_path_length = 3;
+    for (auto [a, b] : {std::make_pair(ids_.protein, ids_.dna),
+                        std::make_pair(ids_.protein, ids_.unigene),
+                        std::make_pair(ids_.unigene, ids_.dna)}) {
+      ASSERT_TRUE(builder.BuildPair(a, b, build, &store_).ok());
+    }
+  }
+
+  engine::TripleQuery Query() {
+    engine::TripleQuery q;
+    q.entity_set1 = "Protein";
+    q.entity_set2 = "Unigene";
+    q.entity_set3 = "DNA";
+    return q;
+  }
+
+  storage::Catalog db_;
+  biozon::BiozonSchema ids_;
+  std::unique_ptr<graph::DataGraphView> view_;
+  std::unique_ptr<graph::SchemaGraph> schema_;
+  core::TopologyStore store_;
+};
+
+TEST_F(TripleQueryFig3Test, FindsConnectedTriples) {
+  auto result = engine::ExecuteTripleQuery(&db_, &store_, *schema_, *view_,
+                                           Query());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->triples_examined, 0u);
+  ASSERT_FALSE(result->entries.empty());
+  // Every triple topology is connected and spans all three queried types.
+  for (const auto& entry : result->entries) {
+    const core::TopologyInfo& info = store_.catalog().Get(entry.tid);
+    EXPECT_TRUE(info.graph.IsConnected());
+    std::set<uint32_t> types(info.graph.node_labels().begin(),
+                             info.graph.node_labels().end());
+    EXPECT_TRUE(types.count(ids_.protein));
+    EXPECT_TRUE(types.count(ids_.unigene));
+    EXPECT_TRUE(types.count(ids_.dna));
+    EXPECT_GT(entry.frequency, 0u);
+  }
+}
+
+TEST_F(TripleQueryFig3Test, PredicatesRestrictTriples) {
+  engine::TripleQuery constrained = Query();
+  constrained.pred1 = storage::MakeContainsKeyword(
+      db_.GetTable("Protein")->schema(), "DESC", "enzyme");
+  auto all = engine::ExecuteTripleQuery(&db_, &store_, *schema_, *view_,
+                                        Query());
+  auto some = engine::ExecuteTripleQuery(&db_, &store_, *schema_, *view_,
+                                         constrained);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(some.ok());
+  EXPECT_LE(some->triples_examined, all->triples_examined);
+
+  engine::TripleQuery impossible = Query();
+  impossible.pred1 = storage::MakeContainsKeyword(
+      db_.GetTable("Protein")->schema(), "DESC", "absentkeyword");
+  auto none = engine::ExecuteTripleQuery(&db_, &store_, *schema_, *view_,
+                                         impossible);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->entries.empty());
+  EXPECT_EQ(none->triples_examined, 0u);
+}
+
+TEST_F(TripleQueryFig3Test, Triple_44_188_742_AllThreePairsRelated) {
+  // (44, 188) via uni_encodes, (44, 742) via the Unigene route, (188, 742)
+  // via uni_contains: the merged witness must contain the four entities
+  // 44, 188, 194, 742 in at least one triple topology's instance (the
+  // second P-U path 44-194-742-188 drags 194 in).
+  engine::TripleQuery q = Query();
+  q.pred1 = storage::MakeEquals(db_.GetTable("Protein")->schema(), "ID",
+                                storage::Value(int64_t{44}));
+  q.pred2 = storage::MakeEquals(db_.GetTable("Unigene")->schema(), "ID",
+                                storage::Value(int64_t{188}));
+  q.pred3 = storage::MakeEquals(db_.GetTable("DNA")->schema(), "ID",
+                                storage::Value(int64_t{742}));
+  auto result = engine::ExecuteTripleQuery(&db_, &store_, *schema_, *view_,
+                                           q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->triples_examined, 1u);
+  ASSERT_FALSE(result->entries.empty());
+  for (const auto& entry : result->entries) {
+    const core::TopologyInfo& info = store_.catalog().Get(entry.tid);
+    EXPECT_GE(info.graph.num_nodes(), 3u);
+  }
+}
+
+TEST_F(TripleQueryFig3Test, RejectsDuplicateEntityTypes) {
+  engine::TripleQuery q = Query();
+  q.entity_set2 = "Protein";
+  auto result =
+      engine::ExecuteTripleQuery(&db_, &store_, *schema_, *view_, q);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(TripleQueryFig3Test, RejectsUnknownEntitySet) {
+  engine::TripleQuery q = Query();
+  q.entity_set3 = "Nope";
+  auto result =
+      engine::ExecuteTripleQuery(&db_, &store_, *schema_, *view_, q);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TripleQuerySyntheticTest, InvariantsOnGeneratedDatabase) {
+  storage::Catalog db;
+  biozon::GeneratorConfig config;
+  config.seed = 55;
+  config.scale = 0.04;
+  biozon::BiozonSchema ids = biozon::GenerateBiozon(config, &db);
+  graph::DataGraphView view(db);
+  graph::SchemaGraph schema(db);
+  core::TopologyStore store;
+  core::TopologyBuilder builder(&db, &schema, &view);
+  core::BuildConfig build;
+  build.max_path_length = 2;
+  for (auto [a, b] : {std::make_pair(ids.protein, ids.dna),
+                      std::make_pair(ids.protein, ids.interaction),
+                      std::make_pair(ids.dna, ids.interaction)}) {
+    ASSERT_TRUE(builder.BuildPair(a, b, build, &store).ok());
+  }
+  engine::TripleQuery q;
+  q.entity_set1 = "Protein";
+  q.entity_set2 = "DNA";
+  q.entity_set3 = "Interaction";
+  q.max_triples = 2000;
+  auto result = engine::ExecuteTripleQuery(&db, &store, schema, view, q);
+  ASSERT_TRUE(result.ok());
+  // Frequencies sum to at least the number of entries and no entry exceeds
+  // the number of triples examined.
+  size_t freq_sum = 0;
+  for (const auto& entry : result->entries) {
+    EXPECT_LE(entry.frequency, result->triples_examined);
+    freq_sum += entry.frequency;
+  }
+  EXPECT_GE(freq_sum, result->entries.size());
+  // Entries sorted by frequency desc, tid asc.
+  for (size_t i = 1; i < result->entries.size(); ++i) {
+    bool ordered =
+        result->entries[i - 1].frequency > result->entries[i].frequency ||
+        (result->entries[i - 1].frequency == result->entries[i].frequency &&
+         result->entries[i - 1].tid < result->entries[i].tid);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+}  // namespace
+}  // namespace tsb

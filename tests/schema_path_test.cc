@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "biozon/fig3.h"
+#include "biozon/schema.h"
+#include "graph/data_graph.h"
+#include "graph/path_enum.h"
+#include "graph/schema_graph.h"
+#include "graph/schema_topology_enum.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace {
+
+using biozon::BiozonSchema;
+
+class BiozonSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override { schema_ids_ = biozon::CreateBiozonSchema(&db_); }
+  storage::Catalog db_;
+  BiozonSchema schema_ids_;
+};
+
+TEST_F(BiozonSchemaTest, SevenEntitySetsEightRelationshipSets) {
+  EXPECT_EQ(db_.entity_sets().size(), 7u);
+  EXPECT_EQ(db_.relationship_sets().size(), 8u);
+}
+
+TEST_F(BiozonSchemaTest, ExactlyTenProteinDnaPathsUpToLengthThree) {
+  // Section 3.1: "the ten schema paths of length three or less that connect
+  // proteins and DNAs". Reproducing this count validates the Figure-1
+  // schema reconstruction.
+  graph::SchemaGraph schema(db_);
+  auto paths =
+      schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 3);
+  EXPECT_EQ(paths.size(), 10u);
+  // Spot-check the endpoints and a few shapes.
+  std::set<std::string> rendered;
+  for (const auto& p : paths) rendered.insert(schema.PathToString(p));
+  EXPECT_TRUE(rendered.count("Protein-Encodes-DNA"));
+  EXPECT_TRUE(rendered.count(
+      "Protein-Uni_encodes-Unigene-Uni_contains-DNA"));
+  EXPECT_TRUE(rendered.count(
+      "Protein-Interacts_p-Interaction-Interacts_d-DNA"));
+}
+
+TEST_F(BiozonSchemaTest, LengthBoundsRespected) {
+  graph::SchemaGraph schema(db_);
+  auto paths1 =
+      schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 1);
+  EXPECT_EQ(paths1.size(), 1u);  // Only Protein-Encodes-DNA.
+  auto paths2 =
+      schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 2);
+  EXPECT_EQ(paths2.size(), 3u);  // + via Unigene and via Interaction.
+}
+
+TEST_F(BiozonSchemaTest, SelfPairPathsDeduplicateDirections) {
+  graph::SchemaGraph schema(db_);
+  auto paths =
+      schema.EnumeratePaths(schema_ids_.protein, schema_ids_.protein, 2);
+  // P-D-P (encodes twice), P-U-P, P-I-P, P-F-P, P-S-P: five undirected
+  // walks, each listed once.
+  EXPECT_EQ(paths.size(), 5u);
+  std::set<std::string> keys;
+  for (const auto& p : paths) keys.insert(schema.PathClassKey(p));
+  EXPECT_EQ(keys.size(), paths.size());
+}
+
+TEST_F(BiozonSchemaTest, PathClassKeyDirectionInvariant) {
+  graph::SchemaGraph schema(db_);
+  auto paths =
+      schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 3);
+  for (const auto& p : paths) {
+    EXPECT_EQ(schema.PathClassKey(p), schema.PathClassKey(p.Reversed()));
+  }
+}
+
+TEST_F(BiozonSchemaTest, ReversedPathRoundTrips) {
+  graph::SchemaGraph schema(db_);
+  auto paths =
+      schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 3);
+  for (const auto& p : paths) {
+    graph::SchemaPath rr = p.Reversed().Reversed();
+    EXPECT_TRUE(rr == p);
+  }
+}
+
+TEST_F(BiozonSchemaTest, SchemaPathToGraphShape) {
+  graph::SchemaGraph schema(db_);
+  auto paths =
+      schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 2);
+  for (const auto& p : paths) {
+    graph::LabeledGraph g = p.ToGraph();
+    EXPECT_EQ(g.num_nodes(), p.length() + 1);
+    EXPECT_EQ(g.num_edges(), p.length());
+  }
+}
+
+// --- Data graph over the Figure-3 fixture -----------------------------------
+
+class Fig3GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = biozon::BuildFigure3Database(&db_);
+    view_ = std::make_unique<graph::DataGraphView>(db_);
+    schema_ = std::make_unique<graph::SchemaGraph>(db_);
+  }
+  storage::Catalog db_;
+  BiozonSchema ids_;
+  std::unique_ptr<graph::DataGraphView> view_;
+  std::unique_ptr<graph::SchemaGraph> schema_;
+};
+
+TEST_F(Fig3GraphTest, NodeAndEdgeCounts) {
+  EXPECT_EQ(view_->num_nodes(), 11u);  // 4 proteins + 4 unigenes + 3 DNAs.
+  EXPECT_EQ(view_->num_edges(), 11u);
+  EXPECT_EQ(view_->EntitiesOfType(ids_.protein).size(), 4u);
+  EXPECT_EQ(view_->EntitiesOfType(ids_.pathway).size(), 0u);
+}
+
+TEST_F(Fig3GraphTest, NodeTypesResolve) {
+  EXPECT_EQ(view_->NodeType(78), ids_.protein);
+  EXPECT_EQ(view_->NodeType(215), ids_.dna);
+  EXPECT_EQ(view_->NodeType(103), ids_.unigene);
+  EXPECT_TRUE(view_->HasNode(44));
+  EXPECT_FALSE(view_->HasNode(9999));
+}
+
+TEST_F(Fig3GraphTest, AdjacencyIsBidirectional) {
+  // Protein 78 has uni_encodes edges from unigenes 103 and 150.
+  auto nbrs = view_->Neighbors(78);
+  ASSERT_EQ(nbrs.size(), 2u);
+  std::set<int64_t> ids;
+  for (const auto& adj : nbrs) ids.insert(adj.neighbor);
+  EXPECT_TRUE(ids.count(103));
+  EXPECT_TRUE(ids.count(150));
+  // From protein 78's perspective the uni_encodes edge runs backward.
+  for (const auto& adj : nbrs) EXPECT_FALSE(adj.forward);
+}
+
+TEST_F(Fig3GraphTest, PathSetOfPaperExample) {
+  // PS(78, 215, 3) = {l2, l3, l6} (Example 2.2).
+  auto paths = graph::EnumeratePathsBetween(*view_, 78, 215, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  std::set<std::vector<int64_t>> node_seqs;
+  for (const auto& p : paths) {
+    node_seqs.insert(p.nodes);
+  }
+  EXPECT_TRUE(node_seqs.count({78, 103, 215}));        // l2
+  EXPECT_TRUE(node_seqs.count({78, 150, 215}));        // l3
+  EXPECT_TRUE(node_seqs.count({78, 103, 34, 215}));    // l6
+}
+
+TEST_F(Fig3GraphTest, PathSetRespectsLengthLimit) {
+  auto paths = graph::EnumeratePathsBetween(*view_, 78, 215, 2);
+  EXPECT_EQ(paths.size(), 2u);  // l6 has length 3.
+}
+
+TEST_F(Fig3GraphTest, PathCapTruncates) {
+  bool truncated = false;
+  auto paths = graph::EnumeratePathsBetween(*view_, 78, 215, 3, 1,
+                                            &truncated);
+  EXPECT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(truncated);
+}
+
+TEST_F(Fig3GraphTest, SchemaPathInstanceEnumeration) {
+  // Instances of Protein-Uni_encodes-Unigene-Uni_contains-DNA.
+  graph::SchemaPath pud;
+  pud.node_types = {ids_.protein, ids_.unigene, ids_.dna};
+  pud.steps = {{ids_.uni_encodes, false}, {ids_.uni_contains, true}};
+  size_t count = graph::CountSchemaPathInstances(*view_, pud);
+  // 78-103-215, 78-150-215, 34-103-215, 44-188-742, 44-194-742.
+  EXPECT_EQ(count, 5u);
+}
+
+TEST_F(Fig3GraphTest, SchemaPathInstancesFromAnchor) {
+  graph::SchemaPath pud;
+  pud.node_types = {ids_.protein, ids_.unigene, ids_.dna};
+  pud.steps = {{ids_.uni_encodes, false}, {ids_.uni_contains, true}};
+  auto from78 = graph::EnumerateSchemaPathInstancesFrom(*view_, pud, 78);
+  EXPECT_EQ(from78.size(), 2u);
+  auto from32 = graph::EnumerateSchemaPathInstancesFrom(*view_, pud, 32);
+  EXPECT_TRUE(from32.empty());
+  // Early-out streaming.
+  size_t seen = 0;
+  graph::ForEachSchemaPathInstanceFrom(*view_, pud, 78,
+                                       [&seen](const graph::PathInstance&) {
+                                         ++seen;
+                                         return false;  // Stop immediately.
+                                       });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST_F(Fig3GraphTest, InstanceSchemaPathRoundTrip) {
+  auto paths = graph::EnumeratePathsBetween(*view_, 78, 215, 3);
+  for (const auto& p : paths) {
+    graph::SchemaPath sp = p.ToSchemaPath(*view_);
+    EXPECT_EQ(sp.start(), ids_.protein);
+    EXPECT_EQ(sp.end(), ids_.dna);
+    EXPECT_EQ(sp.length(), p.length());
+  }
+}
+
+// --- Candidate (schema-level) topology enumeration ---------------------------
+
+TEST_F(BiozonSchemaTest, TwoTopologyCandidatesForProteinDna) {
+  // Figure 8: all possible 2-topologies relating Proteins and DNAs. With
+  // three schema paths of length <= 2 and no same-type intermediates to
+  // intermix, candidates are the seven non-empty path subsets.
+  graph::SchemaGraph schema(db_);
+  auto paths = schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 2);
+  auto candidates = graph::EnumerateCandidateTopologies(schema, paths);
+  EXPECT_EQ(candidates.size(), 7u);
+}
+
+TEST_F(BiozonSchemaTest, ThreeTopologyCandidatesExplode) {
+  // Section 3.1 reports 88453 for every combination and intermixing of the
+  // ten l<=3 paths; our enumeration must reach the same order of magnitude.
+  graph::SchemaGraph schema(db_);
+  auto paths = schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 3);
+  ASSERT_EQ(paths.size(), 10u);
+  graph::EnumerateOptions options;
+  options.max_paths_per_topology = 3;  // Keep the test fast.
+  auto candidates =
+      graph::EnumerateCandidateTopologies(schema, paths, options);
+  EXPECT_GT(candidates.size(), 200u);
+  // All candidates are connected and contain the terminals.
+  for (const auto& cand : candidates) {
+    EXPECT_TRUE(cand.graph.IsConnected());
+    EXPECT_GE(cand.graph.num_nodes(), 2u);
+  }
+}
+
+TEST_F(BiozonSchemaTest, CandidateCodesAreUnique) {
+  graph::SchemaGraph schema(db_);
+  auto paths = schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 2);
+  auto candidates = graph::EnumerateCandidateTopologies(schema, paths);
+  std::set<std::string> codes;
+  for (const auto& cand : candidates) codes.insert(cand.code);
+  EXPECT_EQ(codes.size(), candidates.size());
+}
+
+TEST_F(BiozonSchemaTest, CandidateCapTruncates) {
+  graph::SchemaGraph schema(db_);
+  auto paths = schema.EnumeratePaths(schema_ids_.protein, schema_ids_.dna, 3);
+  graph::EnumerateOptions options;
+  options.max_candidates = 5;
+  bool truncated = false;
+  auto candidates =
+      graph::EnumerateCandidateTopologies(schema, paths, options, &truncated);
+  EXPECT_EQ(candidates.size(), 5u);
+  EXPECT_TRUE(truncated);
+}
+
+}  // namespace
+}  // namespace tsb

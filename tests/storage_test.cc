@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/index.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace tsb {
+namespace storage {
+namespace {
+
+TableSchema ProteinSchema() {
+  return TableSchema(
+      {{"ID", ColumnType::kInt64}, {"DESC", ColumnType::kString}});
+}
+
+// --- Value -----------------------------------------------------------------
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+}
+
+TEST(ValueTest, AccessorsRoundTrip) {
+  EXPECT_EQ(Value(int64_t{-7}).AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(Value(1.25).AsDouble(), 1.25);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(int64_t{2}));
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_TRUE(Value("a") < Value("b"));
+  // Null sorts before everything.
+  EXPECT_TRUE(Value() < Value(int64_t{0}));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_NE(Value("abc").Hash(), Value("abd").Hash());
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, ToStringRenders) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value().ToString(), "NULL");
+}
+
+// --- Column ------------------------------------------------------------------
+
+TEST(ColumnTest, TypedAppendAndGet) {
+  Column c(ColumnType::kInt64);
+  c.AppendInt64(10);
+  c.AppendInt64(20);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetInt64(1), 20);
+  EXPECT_EQ(c.GetValue(0).AsInt64(), 10);
+}
+
+TEST(ColumnTest, StringStorage) {
+  Column c(ColumnType::kString);
+  c.AppendString("a");
+  c.AppendValue(Value("b"));
+  EXPECT_EQ(c.GetString(1), "b");
+  EXPECT_GT(c.MemoryBytes(), 0u);
+}
+
+// --- Table ------------------------------------------------------------------
+
+TEST(TableTest, AppendAndRead) {
+  Table t("Protein", ProteinSchema());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("alpha")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{2}), Value("beta")}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetInt64(0, 0), 1);
+  EXPECT_EQ(t.GetString(1, 1), "beta");
+  Tuple row = t.GetRow(1);
+  EXPECT_EQ(row[0].AsInt64(), 2);
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  Table t("Protein", ProteinSchema());
+  EXPECT_EQ(t.AppendRow({Value(int64_t{1})}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsWrongType) {
+  Table t("Protein", ProteinSchema());
+  EXPECT_EQ(t.AppendRow({Value("oops"), Value("alpha")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableSchemaTest, FindColumn) {
+  TableSchema s = ProteinSchema();
+  EXPECT_EQ(s.FindColumn("DESC").value(), 1u);
+  EXPECT_FALSE(s.FindColumn("nope").has_value());
+  EXPECT_EQ(s.ColumnIndexOrDie("ID"), 0u);
+}
+
+// --- Predicates ---------------------------------------------------------------
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>("Protein", ProteinSchema());
+    table_->AppendRowOrDie({Value(int64_t{1}), Value("alpha enzyme")});
+    table_->AppendRowOrDie({Value(int64_t{2}), Value("beta kinase")});
+    table_->AppendRowOrDie({Value(int64_t{3}), Value("gamma enzyme kinase")});
+  }
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(PredicateTest, TrueMatchesAll) {
+  EXPECT_EQ(CountRows(*table_, *MakeTrue()), 3u);
+}
+
+TEST_F(PredicateTest, EqualsInt64) {
+  auto p = MakeEquals(table_->schema(), "ID", Value(int64_t{2}));
+  auto rows = FilterRows(*table_, *p);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 1u);
+}
+
+TEST_F(PredicateTest, ContainsKeyword) {
+  auto p = MakeContainsKeyword(table_->schema(), "DESC", "enzyme");
+  EXPECT_EQ(CountRows(*table_, *p), 2u);
+}
+
+TEST_F(PredicateTest, BooleanCombinators) {
+  auto enzyme = MakeContainsKeyword(table_->schema(), "DESC", "enzyme");
+  auto kinase = MakeContainsKeyword(table_->schema(), "DESC", "kinase");
+  EXPECT_EQ(CountRows(*table_, *MakeAnd(enzyme, kinase)), 1u);
+  EXPECT_EQ(CountRows(*table_, *MakeOr(enzyme, kinase)), 3u);
+  EXPECT_EQ(CountRows(*table_, *MakeNot(enzyme)), 1u);
+}
+
+TEST_F(PredicateTest, Int64Between) {
+  auto p = MakeInt64Between(table_->schema(), "ID", 2, 3);
+  EXPECT_EQ(CountRows(*table_, *p), 2u);
+}
+
+TEST_F(PredicateTest, SelectivityRatio) {
+  auto p = MakeContainsKeyword(table_->schema(), "DESC", "kinase");
+  EXPECT_NEAR(Selectivity(*table_, *p), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(PredicateTest, ToStringDescribes) {
+  auto p = MakeAnd(MakeContainsKeyword(table_->schema(), "DESC", "enzyme"),
+                   MakeEquals(table_->schema(), "ID", Value(int64_t{1})));
+  EXPECT_NE(p->ToString().find("enzyme"), std::string::npos);
+  EXPECT_NE(p->ToString().find("AND"), std::string::npos);
+}
+
+// --- Indexes -------------------------------------------------------------------
+
+TEST(HashIndexTest, LookupByKey) {
+  Table t("Edge", TableSchema({{"ID", ColumnType::kInt64},
+                               {"FK", ColumnType::kInt64}}));
+  t.AppendRowOrDie({Value(int64_t{1}), Value(int64_t{10})});
+  t.AppendRowOrDie({Value(int64_t{2}), Value(int64_t{10})});
+  t.AppendRowOrDie({Value(int64_t{3}), Value(int64_t{20})});
+  HashIndex idx(t, "FK");
+  EXPECT_EQ(idx.Lookup(10).size(), 2u);
+  EXPECT_EQ(idx.Lookup(20).size(), 1u);
+  EXPECT_TRUE(idx.Lookup(99).empty());
+  EXPECT_EQ(idx.DistinctKeys(), 2u);
+}
+
+TEST(KeywordIndexTest, LookupByToken) {
+  Table t("Protein", ProteinSchema());
+  t.AppendRowOrDie({Value(int64_t{1}), Value("alpha enzyme")});
+  t.AppendRowOrDie({Value(int64_t{2}), Value("Enzyme enzyme beta")});
+  KeywordIndex idx(t, "DESC");
+  // Duplicate tokens within a row are deduplicated.
+  EXPECT_EQ(idx.Lookup("enzyme").size(), 2u);
+  EXPECT_EQ(idx.Lookup("ENZYME").size(), 2u);
+  EXPECT_TRUE(idx.Lookup("gamma").empty());
+}
+
+// --- Catalog ------------------------------------------------------------------
+
+TEST(CatalogTest, CreateAndDropTables) {
+  Catalog db;
+  ASSERT_TRUE(db.CreateTable("T", ProteinSchema()).ok());
+  EXPECT_FALSE(db.CreateTable("T", ProteinSchema()).ok());  // Duplicate.
+  EXPECT_NE(db.FindTable("T"), nullptr);
+  ASSERT_TRUE(db.DropTable("T").ok());
+  EXPECT_EQ(db.FindTable("T"), nullptr);
+  EXPECT_FALSE(db.DropTable("T").ok());
+}
+
+TEST(CatalogTest, RegisterEntityAndRelationshipSets) {
+  Catalog db;
+  ASSERT_TRUE(db.CreateTable("Protein", ProteinSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("DNA", ProteinSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("Encodes",
+                             TableSchema({{"ID", ColumnType::kInt64},
+                                          {"PID", ColumnType::kInt64},
+                                          {"DID", ColumnType::kInt64}}))
+                  .ok());
+  auto p = db.RegisterEntitySet("Protein", "Protein", "ID");
+  auto d = db.RegisterEntitySet("DNA", "DNA", "ID");
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(d.ok());
+  auto rel = db.RegisterRelationshipSet("Encodes", "Encodes", "ID", "PID",
+                                        p.value(), "DID", d.value());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(db.entity_sets().size(), 2u);
+  EXPECT_EQ(db.relationship_sets().size(), 1u);
+  EXPECT_EQ(db.FindEntitySet("DNA")->id, d.value());
+  EXPECT_EQ(db.FindRelationshipSet("Encodes")->from_type, p.value());
+}
+
+TEST(CatalogTest, RejectsBadRegistrations) {
+  Catalog db;
+  EXPECT_FALSE(db.RegisterEntitySet("X", "NoTable", "ID").ok());
+  ASSERT_TRUE(db.CreateTable("T", ProteinSchema()).ok());
+  EXPECT_FALSE(db.RegisterEntitySet("X", "T", "NOPE").ok());
+}
+
+TEST(CatalogTest, IndexCachingAndInvalidation) {
+  Catalog db;
+  Table* t = db.CreateTable("T", ProteinSchema()).value();
+  t->AppendRowOrDie({Value(int64_t{1}), Value("x")});
+  const HashIndex& i1 = db.GetOrBuildHashIndex("T", "ID");
+  const HashIndex& i2 = db.GetOrBuildHashIndex("T", "ID");
+  EXPECT_EQ(&i1, &i2);  // Cached.
+  db.InvalidateIndexes("T");
+  const HashIndex& i3 = db.GetOrBuildHashIndex("T", "ID");
+  EXPECT_EQ(i3.num_keys(), 1u);
+}
+
+TEST(CatalogTest, MemoryAccounting) {
+  Catalog db;
+  Table* t = db.CreateTable("AllTops_X", ProteinSchema()).value();
+  t->AppendRowOrDie({Value(int64_t{1}), Value("some description")});
+  EXPECT_GT(db.MemoryBytesWithPrefix("AllTops_"), 0u);
+  EXPECT_EQ(db.MemoryBytesWithPrefix("LeftTops_"), 0u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace tsb
