@@ -1,0 +1,207 @@
+// Aggregate throughput of the concurrent query service (src/service/):
+// sweeps 1 -> 16 client threads over a mixed query workload against
+// (Protein, Interaction), cold (cache disabled) versus warm (cache
+// enabled, pre-warmed), verifying that every concurrent response is
+// identical to sequential Engine::Execute ground truth.
+//
+// This is the serving-layer counterpart of Table 2: the paper measures
+// single-query latency per method; a shared biological-database service
+// lives or dies by queries/second under concurrent load.
+//
+// Flags: --scale=<f>     world scale (default 0.5)
+//        --threads=<n>   max client threads (default 16)
+//        --sweeps=<n>    sweeps of the query set per client (default 2)
+//
+// Expected shape:
+//  * cold throughput rises with clients until cores saturate;
+//  * warm throughput is >= 5x cold at every thread count (cache hits skip
+//    evaluation entirely);
+//  * zero mismatches and zero failures in every cell.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "service/service.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+struct WorkItem {
+  engine::TopologyQuery query;
+  engine::MethodKind method;
+  std::vector<engine::ResultEntry> expected;
+};
+
+std::vector<WorkItem> BuildWorkload(World* world) {
+  const engine::MethodKind methods[] = {
+      engine::MethodKind::kFullTop,    engine::MethodKind::kFastTop,
+      engine::MethodKind::kFullTopK,   engine::MethodKind::kFastTopK,
+      engine::MethodKind::kFullTopKEt, engine::MethodKind::kFastTopKEt,
+  };
+  const core::RankScheme schemes[] = {core::RankScheme::kFreq,
+                                      core::RankScheme::kDomain,
+                                      core::RankScheme::kRare};
+  const char* tiers[] = {"selective", "medium", "unselective"};
+
+  std::vector<WorkItem> workload;
+  size_t method_index = 0;
+  for (const char* protein_tier : tiers) {
+    for (const char* interaction_tier : tiers) {
+      for (core::RankScheme scheme : schemes) {
+        WorkItem item;
+        item.query.entity_set1 = "Protein";
+        item.query.pred1 = biozon::SelectivityPredicate(world->db, "Protein",
+                                                        protein_tier);
+        item.query.entity_set2 = "Interaction";
+        item.query.pred2 = biozon::SelectivityPredicate(
+            world->db, "Interaction", interaction_tier);
+        item.query.scheme = scheme;
+        item.query.k = 10;
+        item.method = methods[method_index++ % (sizeof(methods) /
+                                                sizeof(methods[0]))];
+        workload.push_back(std::move(item));
+      }
+    }
+  }
+  // Sequential ground truth.
+  for (WorkItem& item : workload) {
+    auto result = world->engine->Execute(item.query, item.method);
+    TSB_CHECK(result.ok()) << result.status();
+    item.expected = result->entries;
+  }
+  return workload;
+}
+
+struct PhaseResult {
+  double seconds = 0.0;
+  size_t requests = 0;
+  size_t mismatches = 0;
+  size_t failures = 0;
+  StatsAccumulator engine_stats;
+
+  double Qps() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// Runs `threads` clients, each sweeping the workload `sweeps` times.
+PhaseResult RunPhase(service::TopologyService* svc,
+                     const std::vector<WorkItem>& workload, size_t threads,
+                     size_t sweeps) {
+  PhaseResult phase;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  std::vector<StatsAccumulator> per_client(threads);
+
+  Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t]() {
+      // Stagger starting offsets so clients collide on the cache rather
+      // than marching in lockstep.
+      const size_t offset = (t * 7) % workload.size();
+      for (size_t sweep = 0; sweep < sweeps; ++sweep) {
+        for (size_t i = 0; i < workload.size(); ++i) {
+          const WorkItem& item = workload[(i + offset) % workload.size()];
+          service::ServiceResponse response =
+              svc->Submit(item.query, item.method).get();
+          if (!response.result.ok()) {
+            ++failures;
+            continue;
+          }
+          if (response.result->entries != item.expected) ++mismatches;
+          per_client[t].Add(response.result->stats);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  phase.seconds = watch.ElapsedSeconds();
+  phase.requests = threads * sweeps * workload.size();
+  phase.mismatches = mismatches.load();
+  phase.failures = failures.load();
+  for (const StatsAccumulator& acc : per_client) {
+    phase.engine_stats.total += acc.total;
+    phase.engine_stats.runs += acc.runs;
+  }
+  return phase;
+}
+
+void Run(int argc, char** argv) {
+  WorldConfig config;
+  config.scale = FlagValue(argc, argv, "scale", 0.5);
+  config.pairs = {{"Protein", "Interaction"}};
+  const size_t max_threads = std::max<size_t>(
+      1, static_cast<size_t>(FlagValue(argc, argv, "threads", 16)));
+  const size_t sweeps = static_cast<size_t>(FlagValue(argc, argv, "sweeps", 2));
+
+  std::printf("Building synthetic Biozon (scale=%.2f)...\n", config.scale);
+  std::unique_ptr<World> world = MakeWorld(config);
+  std::vector<WorkItem> workload = BuildWorkload(world.get());
+  std::printf("workload: %zu distinct (query, method) items, %zu sweeps "
+              "per client\n\n",
+              workload.size(), sweeps);
+
+  TablePrinter table({"clients", "cold q/s", "warm q/s", "speedup",
+                      "warm hit%", "bad"});
+  size_t total_bad = 0;
+  double min_speedup = -1.0;
+  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+    // Cold: cache off — every request pays full evaluation.
+    service::ServiceConfig cold_config;
+    cold_config.num_threads = threads;
+    cold_config.max_in_flight = 4096;
+    cold_config.enable_cache = false;
+    service::TopologyService cold_svc(world->engine.get(), &world->db,
+                                      cold_config);
+    PhaseResult cold = RunPhase(&cold_svc, workload, threads, sweeps);
+    cold_svc.Shutdown();
+
+    // Warm: cache on, pre-warmed by one sweep.
+    service::ServiceConfig warm_config;
+    warm_config.num_threads = threads;
+    warm_config.max_in_flight = 4096;
+    service::TopologyService warm_svc(world->engine.get(), &world->db,
+                                      warm_config);
+    RunPhase(&warm_svc, workload, 1, 1);
+    PhaseResult warm = RunPhase(&warm_svc, workload, threads, sweeps);
+    auto cache_stats = warm_svc.CacheStats();
+    warm_svc.Shutdown();
+
+    const double speedup = cold.Qps() > 0.0 ? warm.Qps() / cold.Qps() : 0.0;
+    if (min_speedup < 0.0 || speedup < min_speedup) min_speedup = speedup;
+    const size_t bad =
+        cold.mismatches + cold.failures + warm.mismatches + warm.failures;
+    total_bad += bad;
+    const double hit_rate =
+        100.0 * static_cast<double>(cache_stats.hits) /
+        static_cast<double>(cache_stats.hits + cache_stats.misses);
+    table.AddRow({std::to_string(threads), TablePrinter::Num(cold.Qps(), 1),
+                  TablePrinter::Num(warm.Qps(), 1),
+                  TablePrinter::Num(speedup, 1) + "x",
+                  TablePrinter::Num(hit_rate, 1), std::to_string(bad)});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nresult integrity: %zu bad responses (mismatched or failed; "
+              "must be 0)\n", total_bad);
+  std::printf("minimum warm/cold speedup across thread counts: %.1fx "
+              "(target >= 5x)\n", min_speedup);
+  TSB_CHECK_EQ(total_bad, 0u)
+      << "concurrent results diverged from sequential ground truth";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) { tsb::bench::Run(argc, argv); }

@@ -125,6 +125,23 @@ inline std::unique_ptr<World> MakeWorld(const WorldConfig& config) {
   return world;
 }
 
+/// Accumulates ExecStats across runs (ExecStats::operator+=) with a run
+/// count — the aggregate used by throughput benches and batch reporting
+/// instead of summing fields by hand.
+struct StatsAccumulator {
+  engine::ExecStats total;
+  size_t runs = 0;
+
+  void Add(const engine::ExecStats& stats) {
+    total += stats;
+    ++runs;
+  }
+  double QueriesPerSecond() const {
+    return total.seconds > 0.0 ? static_cast<double>(runs) / total.seconds
+                               : 0.0;
+  }
+};
+
 /// Median-of-`reps` wall time of `fn` after one warm-up run (warm database
 /// cache, as in the paper's setup).
 inline double MeasureSeconds(const std::function<void()>& fn, int reps = 3) {

@@ -41,6 +41,54 @@ struct PairHash {
   }
 };
 
+/// A 128-bit stable digest: a compact identity for query fingerprints
+/// (cache shard selection, logging). The canonical key string stays the
+/// exact cache key; the digest is the well-mixed short form.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Hash128& o) const { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const Hash128& o) const { return !(*this == o); }
+};
+
+/// Incremental, endianness-independent fingerprint builder. Strings are
+/// length-prefixed so Add("ab") + Add("c") differs from Add("a") + Add("bc");
+/// the two lanes run FNV-1a from different seeds and are cross-mixed at
+/// digest time.
+class StableHasher {
+ public:
+  StableHasher& Add(std::string_view bytes) {
+    AddU64(bytes.size());
+    for (unsigned char c : bytes) Mix(c);
+    return *this;
+  }
+
+  StableHasher& AddU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) Mix(static_cast<unsigned char>(v >> (8 * i)));
+    return *this;
+  }
+
+  Hash128 Digest() const {
+    Hash128 h;
+    h.lo = HashCombine(lo_, hi_);
+    h.hi = HashCombine(hi_ ^ 0x6a09e667f3bcc909ULL, lo_);
+    return h;
+  }
+
+ private:
+  void Mix(unsigned char c) {
+    lo_ ^= c;
+    lo_ *= 0x100000001b3ULL;  // FNV prime.
+    hi_ ^= c;
+    hi_ *= 0x9e3779b97f4a7c15ULL;  // Odd (golden-ratio) multiplier, so
+                                   // the low bits keep full entropy.
+  }
+
+  uint64_t lo_ = 0xcbf29ce484222325ULL;
+  uint64_t hi_ = 0x84222325cbf29ce4ULL;
+};
+
 }  // namespace tsb
 
 #endif  // TSB_COMMON_HASH_H_

@@ -24,6 +24,18 @@ ScoreModel::ScoreModel(const TopologyCatalog* catalog,
                        DomainKnowledge knowledge)
     : catalog_(catalog), knowledge_(std::move(knowledge)) {}
 
+ScoreModel::ScoreModel(const ScoreModel& other)
+    : catalog_(other.catalog_), knowledge_(other.knowledge_) {
+  std::shared_lock<std::shared_mutex> lock(other.domain_mu_);
+  domain_cache_ = other.domain_cache_;
+}
+
+ScoreModel::ScoreModel(ScoreModel&& other) noexcept
+    : catalog_(other.catalog_), knowledge_(std::move(other.knowledge_)) {
+  std::unique_lock<std::shared_mutex> lock(other.domain_mu_);
+  domain_cache_ = std::move(other.domain_cache_);
+}
+
 double ScoreModel::Score(RankScheme scheme, Tid tid,
                          const PairTopologyData& pair) const {
   switch (scheme) {
@@ -43,8 +55,11 @@ double ScoreModel::Score(RankScheme scheme, Tid tid,
 }
 
 double ScoreModel::DomainScore(Tid tid) const {
-  auto cached = domain_cache_.find(tid);
-  if (cached != domain_cache_.end()) return cached->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(domain_mu_);
+    auto cached = domain_cache_.find(tid);
+    if (cached != domain_cache_.end()) return cached->second;
+  }
 
   const TopologyInfo& info = catalog_->Get(tid);
   double score = 1.0;
@@ -68,6 +83,7 @@ double ScoreModel::DomainScore(Tid tid) const {
       score -= knowledge_.weak_motif_penalty;
     }
   }
+  std::unique_lock<std::shared_mutex> lock(domain_mu_);
   domain_cache_.emplace(tid, score);
   return score;
 }

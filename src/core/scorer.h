@@ -1,6 +1,8 @@
 #ifndef TSB_CORE_SCORER_H_
 #define TSB_CORE_SCORER_H_
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +50,13 @@ class ScoreModel {
  public:
   ScoreModel(const TopologyCatalog* catalog, DomainKnowledge knowledge);
 
+  /// Copy/move transfer the memoized scores; hand-written because the
+  /// cache's mutex is neither copyable nor movable.
+  ScoreModel(const ScoreModel& other);
+  ScoreModel(ScoreModel&& other) noexcept;
+  ScoreModel& operator=(const ScoreModel&) = delete;
+  ScoreModel& operator=(ScoreModel&&) = delete;
+
   /// Score of `tid` for a pair under `scheme`. Frequency-based schemes use
   /// the pair's freq map; Domain uses only the topology structure.
   double Score(RankScheme scheme, Tid tid,
@@ -64,6 +73,10 @@ class ScoreModel {
 
   const TopologyCatalog* catalog_;
   DomainKnowledge knowledge_;
+  /// Memoized domain scores; reader-writer guarded so concurrent query
+  /// threads share one model without serializing on cache hits (the hot
+  /// path of Domain-scheme scoring).
+  mutable std::shared_mutex domain_mu_;
   mutable std::unordered_map<Tid, double> domain_cache_;
 };
 

@@ -98,7 +98,7 @@ Result<ResolvedQuery> ResolveQuery(const storage::Catalog& db,
 
 Result<QueryResult> Engine::Execute(const TopologyQuery& query,
                                     MethodKind method,
-                                    const ExecOptions& options) {
+                                    const ExecOptions& options) const {
   MethodContext ctx;
   TSB_ASSIGN_OR_RETURN(ctx.rq, ResolveQuery(*db_, *store_, query));
   ctx.engine = this;
@@ -159,7 +159,7 @@ Result<QueryResult> Engine::Execute(const TopologyQuery& query,
 
 Result<std::vector<core::TopologyInstance>> Engine::Instances(
     const TopologyQuery& query, core::Tid tid,
-    const core::RetrievalLimits& limits) {
+    const core::RetrievalLimits& limits) const {
   MethodContext ctx;
   TSB_ASSIGN_OR_RETURN(ctx.rq, ResolveQuery(*db_, *store_, query));
   ctx.engine = this;
@@ -239,10 +239,15 @@ void Engine::PrepareIndexes(const std::string& entity_set1,
 }
 
 const Engine::PairSet& Engine::ExcpPairs(const core::PairTopologyData& pair,
-                                         core::Tid tid) {
+                                         core::Tid tid) const {
   std::string key = pair.pair_name + "#" + std::to_string(tid);
-  auto it = excp_cache_.find(key);
-  if (it != excp_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(excp_mu_);
+    auto it = excp_cache_.find(key);
+    if (it != excp_cache_.end()) return it->second;
+  }
+  // Build outside the lock (an I/O-sized scan); racing builders compute the
+  // same set, and the emplace below keeps whichever landed first.
   PairSet set;
   const storage::Table& excp = *db_->GetTable(pair.excptops_table);
   const auto& e1 = excp.column(0).ints();
@@ -251,18 +256,21 @@ const Engine::PairSet& Engine::ExcpPairs(const core::PairTopologyData& pair,
   for (size_t i = 0; i < excp.num_rows(); ++i) {
     if (tids[i] == tid) set.emplace(e1[i], e2[i]);
   }
+  std::lock_guard<std::mutex> lock(excp_mu_);
   return excp_cache_.emplace(std::move(key), std::move(set)).first->second;
 }
 
 const std::unordered_set<core::Tid>& Engine::WeakTids(
-    const core::PairTopologyData& pair) {
-  auto it = weak_cache_.find(pair.pair_name);
-  if (it != weak_cache_.end()) return it->second;
-  return weak_cache_
-      .emplace(pair.pair_name,
-               core::FindWeakTopologies(store_->catalog(), pair,
-                                        score_model_.knowledge()))
-      .first->second;
+    const core::PairTopologyData& pair) const {
+  {
+    std::lock_guard<std::mutex> lock(weak_mu_);
+    auto it = weak_cache_.find(pair.pair_name);
+    if (it != weak_cache_.end()) return it->second;
+  }
+  std::unordered_set<core::Tid> weak = core::FindWeakTopologies(
+      store_->catalog(), pair, score_model_.knowledge());
+  std::lock_guard<std::mutex> lock(weak_mu_);
+  return weak_cache_.emplace(pair.pair_name, std::move(weak)).first->second;
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 #define TSB_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -45,8 +46,14 @@ class Engine {
 
   /// Evaluates `query` with `method`. All methods return identical result
   /// *sets* (top-k methods return the k best by score).
+  ///
+  /// Thread safety: Execute is safe to call from many threads at once, as
+  /// long as no thread concurrently rebuilds the underlying store or tables
+  /// (the internal per-engine caches and the catalog's lazy index builds
+  /// are internally synchronized). The service layer (src/service/) relies
+  /// on this for its worker pool.
   Result<QueryResult> Execute(const TopologyQuery& query, MethodKind method,
-                              const ExecOptions& options = ExecOptions{});
+                              const ExecOptions& options = ExecOptions{}) const;
 
   /// Builds the hash indexes the plans use (warm cache, as in the paper's
   /// experimental setup), so timed runs do not pay index construction.
@@ -59,7 +66,7 @@ class Engine {
   /// satisfy the query's predicates are materialized.
   Result<std::vector<core::TopologyInstance>> Instances(
       const TopologyQuery& query, core::Tid tid,
-      const core::RetrievalLimits& limits = core::RetrievalLimits{});
+      const core::RetrievalLimits& limits = core::RetrievalLimits{}) const;
 
   const core::ScoreModel& score_model() const { return score_model_; }
 
@@ -74,17 +81,23 @@ class Engine {
   SqlBaselineOptions sql_options_;
 
   /// Exception-pair sets per pruned TID, keyed by (pair name, tid).
+  /// Guarded by excp_mu_; references handed out stay valid because
+  /// unordered_map never relocates mapped values.
   using PairSet =
       std::unordered_set<std::pair<int64_t, int64_t>, PairHash>;
-  std::unordered_map<std::string, PairSet> excp_cache_;
+  mutable std::mutex excp_mu_;
+  mutable std::unordered_map<std::string, PairSet> excp_cache_;
 
   const PairSet& ExcpPairs(const core::PairTopologyData& pair,
-                           core::Tid tid);
+                           core::Tid tid) const;
 
   /// Weak-topology sets per pair (Section 6.2.3 domain pruning), cached.
-  std::unordered_map<std::string, std::unordered_set<core::Tid>> weak_cache_;
+  /// Guarded by weak_mu_ under the same stable-reference argument.
+  mutable std::mutex weak_mu_;
+  mutable std::unordered_map<std::string, std::unordered_set<core::Tid>>
+      weak_cache_;
   const std::unordered_set<core::Tid>& WeakTids(
-      const core::PairTopologyData& pair);
+      const core::PairTopologyData& pair) const;
 };
 
 /// Internal: a query resolved against the catalog and topology store.

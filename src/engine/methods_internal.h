@@ -18,7 +18,7 @@ namespace engine {
 /// Shared state and primitives for the method implementations. One context
 /// is created per Execute() call.
 struct MethodContext {
-  Engine* engine = nullptr;
+  const Engine* engine = nullptr;
   storage::Catalog* db = nullptr;
   core::TopologyStore* store = nullptr;
   const graph::SchemaGraph* schema = nullptr;

@@ -67,6 +67,18 @@ struct ExecStats {
   /// Online existence checks issued for pruned topologies / SQL candidates.
   uint64_t subqueries = 0;
   std::string plan;
+
+  /// Accumulates counters and time across runs (batch totals, per-method
+  /// aggregates in benches). `plan` is per-query and left untouched.
+  ExecStats& operator+=(const ExecStats& o) {
+    seconds += o.seconds;
+    rows_scanned += o.rows_scanned;
+    probes += o.probes;
+    rows_out += o.rows_out;
+    builds += o.builds;
+    subqueries += o.subqueries;
+    return *this;
+  }
 };
 
 struct QueryResult {

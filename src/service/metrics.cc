@@ -1,0 +1,131 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace service {
+
+void LatencyReservoir::Record(double seconds) {
+  ++count_;
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+  if (sample_.size() < kCapacity) {
+    sample_.push_back(seconds);
+    return;
+  }
+  // Algorithm-R style replacement with a deterministic slot draw: the
+  // multiplicative hash spreads the counter uniformly over [0, count_).
+  uint64_t draw = (count_ * 0x9e3779b97f4a7c15ULL) >> 11;
+  uint64_t pos = draw % count_;
+  if (pos < kCapacity) sample_[pos] = seconds;
+}
+
+LatencyReservoir::Summary LatencyReservoir::Summarize() const {
+  Summary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.mean = sum_ / static_cast<double>(count_);
+  s.max = max_;
+  std::vector<double> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  auto percentile = [&sorted](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+    return sorted[std::min(idx, sorted.size() - 1)];
+  };
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  return s;
+}
+
+void LatencyReservoir::Reset() {
+  sample_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+std::string ServiceMetrics::SlotName(size_t slot) {
+  if (slot == kTripleSlot) return "Triple";
+  return engine::MethodKindToString(static_cast<engine::MethodKind>(slot));
+}
+
+void ServiceMetrics::RecordRequest(size_t slot, double seconds,
+                                   bool cache_hit, bool ok) {
+  TSB_CHECK_LT(slot, kNumSlots);
+  Slot& s = slots_[slot];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.requests;
+  if (cache_hit) ++s.cache_hits;
+  if (!ok) ++s.errors;
+  s.latency.Record(seconds);
+}
+
+void ServiceMetrics::RecordRejected() {
+  std::lock_guard<std::mutex> lock(rejected_mu_);
+  ++rejected_;
+}
+
+void ServiceMetrics::Reset() {
+  for (Slot& s : slots_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.requests = 0;
+    s.cache_hits = 0;
+    s.errors = 0;
+    s.latency.Reset();
+  }
+  std::lock_guard<std::mutex> lock(rejected_mu_);
+  rejected_ = 0;
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsSnapshot snap;
+  for (size_t slot = 0; slot < kNumSlots; ++slot) {
+    const Slot& s = slots_[slot];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.requests == 0) continue;
+    MethodStatsSnapshot row;
+    row.method = SlotName(slot);
+    row.requests = s.requests;
+    row.cache_hits = s.cache_hits;
+    row.errors = s.errors;
+    row.latency = s.latency.Summarize();
+    snap.total_requests += row.requests;
+    snap.total_cache_hits += row.cache_hits;
+    snap.total_errors += row.errors;
+    snap.methods.push_back(std::move(row));
+  }
+  std::lock_guard<std::mutex> lock(rejected_mu_);
+  snap.total_rejected = rejected_;
+  return snap;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out =
+      "method              requests   hits  errors    p50(ms)    p95(ms)\n";
+  char line[160];
+  for (const MethodStatsSnapshot& row : methods) {
+    std::snprintf(line, sizeof(line),
+                  "%-18s %9llu %6llu %7llu %10.3f %10.3f\n",
+                  row.method.c_str(),
+                  static_cast<unsigned long long>(row.requests),
+                  static_cast<unsigned long long>(row.cache_hits),
+                  static_cast<unsigned long long>(row.errors),
+                  row.latency.p50 * 1e3, row.latency.p95 * 1e3);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %llu requests, %llu cache hits, %llu errors, "
+                "%llu rejected\n",
+                static_cast<unsigned long long>(total_requests),
+                static_cast<unsigned long long>(total_cache_hits),
+                static_cast<unsigned long long>(total_errors),
+                static_cast<unsigned long long>(total_rejected));
+  out += line;
+  return out;
+}
+
+}  // namespace service
+}  // namespace tsb

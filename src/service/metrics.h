@@ -1,0 +1,102 @@
+#ifndef TSB_SERVICE_METRICS_H_
+#define TSB_SERVICE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+
+namespace tsb {
+namespace service {
+
+/// Fixed-size reservoir sample of latencies with exact count/sum/max.
+/// Replacement uses a deterministic multiplicative hash of the observation
+/// counter — statistically uniform, reproducible, and lock-cheap (callers
+/// hold the owning mutex).
+class LatencyReservoir {
+ public:
+  static constexpr size_t kCapacity = 512;
+
+  void Record(double seconds);
+
+  struct Summary {
+    uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+  };
+  /// Percentiles come from the reservoir sample; count/mean/max are exact.
+  Summary Summarize() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> sample_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Per-method serving counters. One row per engine method plus one for
+/// 3-queries (kTripleSlot).
+struct MethodStatsSnapshot {
+  std::string method;
+  uint64_t requests = 0;     // Admitted requests (hits + executions).
+  uint64_t cache_hits = 0;
+  uint64_t errors = 0;       // Admitted but failed in the engine.
+  LatencyReservoir::Summary latency;  // End-to-end service latency.
+};
+
+struct MetricsSnapshot {
+  std::vector<MethodStatsSnapshot> methods;  // Only methods with traffic.
+  uint64_t total_requests = 0;
+  uint64_t total_cache_hits = 0;
+  uint64_t total_errors = 0;
+  uint64_t total_rejected = 0;  // Bounced by admission control.
+
+  /// Multi-line human-readable table.
+  std::string ToString() const;
+};
+
+/// Thread-safe serving metrics: requests, cache hits, errors, rejections,
+/// and per-method p50/p95 latency via reservoir sampling.
+class ServiceMetrics {
+ public:
+  /// Slot used for TripleQuery traffic (engine methods use their enum
+  /// value as the slot).
+  static constexpr size_t kTripleSlot = 9;
+  static constexpr size_t kNumSlots = 10;
+
+  void RecordRequest(size_t slot, double seconds, bool cache_hit, bool ok);
+  void RecordRejected();
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+  static size_t SlotOf(engine::MethodKind method) {
+    return static_cast<size_t>(method);
+  }
+  static std::string SlotName(size_t slot);
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    uint64_t requests = 0;
+    uint64_t cache_hits = 0;
+    uint64_t errors = 0;
+    LatencyReservoir latency;
+  };
+
+  std::array<Slot, kNumSlots> slots_;
+  mutable std::mutex rejected_mu_;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace service
+}  // namespace tsb
+
+#endif  // TSB_SERVICE_METRICS_H_

@@ -1,0 +1,289 @@
+#include "service/request_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/str_util.h"
+#include "storage/predicate.h"
+
+namespace tsb {
+namespace service {
+
+namespace {
+
+/// Splits a request line into tokens on whitespace, honoring '...' quoting
+/// anywhere inside a token (quotes are kept: the predicate grammar needs
+/// them to distinguish strings from numbers).
+std::vector<std::string> TokenizeLine(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_quote = false;
+  for (char c : line) {
+    if (c == '\'') {
+      in_quote = !in_quote;
+      current += c;
+      continue;
+    }
+    if (!in_quote && std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    current += c;
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+/// Strips one level of '...' quoting if present.
+std::string Unquote(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Result<engine::MethodKind> RequestParser::ParseMethod(
+    const std::string& name) {
+  const std::string m = AsciiToLower(name);
+  if (m == "sql") return engine::MethodKind::kSql;
+  if (m == "full-top") return engine::MethodKind::kFullTop;
+  if (m == "fast-top") return engine::MethodKind::kFastTop;
+  if (m == "full-topk" || m == "full-top-k") {
+    return engine::MethodKind::kFullTopK;
+  }
+  if (m == "fast-topk" || m == "fast-top-k") {
+    return engine::MethodKind::kFastTopK;
+  }
+  if (m == "full-topk-et" || m == "full-top-k-et") {
+    return engine::MethodKind::kFullTopKEt;
+  }
+  if (m == "fast-topk-et" || m == "fast-top-k-et") {
+    return engine::MethodKind::kFastTopKEt;
+  }
+  if (m == "full-topk-opt" || m == "full-top-k-opt") {
+    return engine::MethodKind::kFullTopKOpt;
+  }
+  if (m == "fast-topk-opt" || m == "fast-top-k-opt") {
+    return engine::MethodKind::kFastTopKOpt;
+  }
+  return Status::InvalidArgument("unknown method '" + name + "'");
+}
+
+Result<core::RankScheme> RequestParser::ParseScheme(const std::string& name) {
+  const std::string s = AsciiToLower(name);
+  if (s == "freq") return core::RankScheme::kFreq;
+  if (s == "rare") return core::RankScheme::kRare;
+  if (s == "domain") return core::RankScheme::kDomain;
+  return Status::InvalidArgument("unknown ranking scheme '" + name + "'");
+}
+
+Result<storage::PredicateRef> RequestParser::ParseClause(
+    const storage::TableSchema& schema, const std::string& table_name,
+    const std::string& clause) const {
+  // COL.ct('word')
+  size_t ct_pos = clause.find(".ct(");
+  if (ct_pos != std::string::npos && clause.back() == ')') {
+    std::string column = clause.substr(0, ct_pos);
+    std::string arg = Unquote(
+        clause.substr(ct_pos + 4, clause.size() - ct_pos - 5));
+    if (!schema.FindColumn(column).has_value()) {
+      return Status::InvalidArgument("no column '" + column + "' in table '" +
+                                     table_name + "'");
+    }
+    return storage::MakeContainsKeyword(schema, column, arg);
+  }
+
+  // COL.between(lo,hi)
+  size_t bt_pos = clause.find(".between(");
+  if (bt_pos != std::string::npos && clause.back() == ')') {
+    std::string column = clause.substr(0, bt_pos);
+    std::string args =
+        clause.substr(bt_pos + 9, clause.size() - bt_pos - 10);
+    std::vector<std::string> bounds = StrSplit(args, ',');
+    int64_t lo = 0;
+    int64_t hi = 0;
+    if (bounds.size() != 2 || !ParseInt64(bounds[0], &lo) ||
+        !ParseInt64(bounds[1], &hi)) {
+      return Status::InvalidArgument("bad between() bounds in '" + clause +
+                                     "'");
+    }
+    if (!schema.FindColumn(column).has_value()) {
+      return Status::InvalidArgument("no column '" + column + "' in table '" +
+                                     table_name + "'");
+    }
+    return storage::MakeInt64Between(schema, column, lo, hi);
+  }
+
+  // COL='value' or COL=42 — typed by the column.
+  size_t eq_pos = clause.find('=');
+  if (eq_pos != std::string::npos) {
+    std::string column = clause.substr(0, eq_pos);
+    std::string raw = clause.substr(eq_pos + 1);
+    if (!raw.empty() && raw.front() == '=') {
+      return Status::InvalidArgument("use '=' not '==' in '" + clause + "'");
+    }
+    std::optional<size_t> col_idx = schema.FindColumn(column);
+    if (!col_idx.has_value()) {
+      return Status::InvalidArgument("no column '" + column + "' in table '" +
+                                     table_name + "'");
+    }
+    const storage::ColumnType type = schema.column(*col_idx).type;
+    storage::Value value;
+    switch (type) {
+      case storage::ColumnType::kInt64: {
+        int64_t v = 0;
+        if (!ParseInt64(Unquote(raw), &v)) {
+          return Status::InvalidArgument("expected integer for '" + column +
+                                         "' in '" + clause + "'");
+        }
+        value = storage::Value(v);
+        break;
+      }
+      case storage::ColumnType::kDouble: {
+        const std::string unquoted = Unquote(raw);
+        char* end = nullptr;
+        double v = std::strtod(unquoted.c_str(), &end);
+        if (unquoted.empty() || end != unquoted.c_str() + unquoted.size()) {
+          return Status::InvalidArgument("expected number for '" + column +
+                                         "' in '" + clause + "'");
+        }
+        value = storage::Value(v);
+        break;
+      }
+      case storage::ColumnType::kString:
+        value = storage::Value(Unquote(raw));
+        break;
+    }
+    return storage::MakeEquals(schema, column, std::move(value));
+  }
+
+  return Status::InvalidArgument("cannot parse predicate clause '" + clause +
+                                 "'");
+}
+
+Result<storage::PredicateRef> RequestParser::ParsePredicate(
+    const std::string& entity_set, const std::string& expr) const {
+  const storage::EntitySetDef* def = db_->FindEntitySet(entity_set);
+  if (def == nullptr) {
+    return Status::NotFound("unknown entity set '" + entity_set + "'");
+  }
+  const storage::Table* table = db_->GetTable(def->table_name);
+  const storage::TableSchema& schema = table->schema();
+
+  // '&&'-separated conjunction of clauses.
+  storage::PredicateRef pred;
+  size_t start = 0;
+  while (start <= expr.size()) {
+    size_t split = expr.find("&&", start);
+    std::string clause = expr.substr(
+        start, split == std::string::npos ? std::string::npos
+                                          : split - start);
+    if (clause.empty()) {
+      return Status::InvalidArgument("empty predicate clause in '" + expr +
+                                     "'");
+    }
+    TSB_ASSIGN_OR_RETURN(storage::PredicateRef clause_pred,
+                         ParseClause(schema, def->table_name, clause));
+    pred = pred == nullptr
+               ? clause_pred
+               : storage::MakeAnd(std::move(pred), std::move(clause_pred));
+    if (split == std::string::npos) break;
+    start = split + 2;
+  }
+  return pred;
+}
+
+Result<ParsedRequest> RequestParser::Parse(const std::string& line) const {
+  std::vector<std::string> tokens = TokenizeLine(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+
+  ParsedRequest req;
+  const std::string verb = AsciiToLower(tokens[0]);
+  if (verb == "topk") {
+    req.method = engine::MethodKind::kFastTopKEt;
+  } else if (verb == "top") {
+    req.method = engine::MethodKind::kFastTop;
+  } else {
+    return Status::InvalidArgument("unknown verb '" + tokens[0] +
+                                   "' (expected TOP or TOPK)");
+  }
+
+  std::string pred1_expr;
+  std::string pred2_expr;
+  bool method_given = false;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got '" + token +
+                                     "'");
+    }
+    const std::string key = AsciiToLower(token.substr(0, eq));
+    const std::string value = token.substr(eq + 1);
+    if (key == "set1") {
+      req.query.entity_set1 = Unquote(value);
+    } else if (key == "set2") {
+      req.query.entity_set2 = Unquote(value);
+    } else if (key == "pred1") {
+      pred1_expr = value;
+    } else if (key == "pred2") {
+      pred2_expr = value;
+    } else if (key == "method") {
+      TSB_ASSIGN_OR_RETURN(req.method, ParseMethod(value));
+      method_given = true;
+    } else if (key == "scheme") {
+      TSB_ASSIGN_OR_RETURN(req.query.scheme, ParseScheme(value));
+    } else if (key == "k") {
+      int64_t k = 0;
+      if (!ParseInt64(value, &k) || k < 0) {
+        return Status::InvalidArgument("bad k '" + value + "'");
+      }
+      req.query.k = static_cast<size_t>(k);
+    } else if (key == "exclude_weak") {
+      req.query.exclude_weak = (value == "1" || AsciiToLower(value) == "true");
+    } else {
+      return Status::InvalidArgument("unknown field '" + key + "'");
+    }
+  }
+
+  if (req.query.entity_set1.empty() || req.query.entity_set2.empty()) {
+    return Status::InvalidArgument("set1= and set2= are required");
+  }
+  if (verb == "top" && method_given && engine::MethodIsTopK(req.method)) {
+    return Status::InvalidArgument(
+        "TOP requires a full-result method (sql, full-top, fast-top)");
+  }
+  if (verb == "topk" && method_given && !engine::MethodIsTopK(req.method)) {
+    return Status::InvalidArgument("TOPK requires a top-k method");
+  }
+
+  if (!pred1_expr.empty()) {
+    TSB_ASSIGN_OR_RETURN(req.query.pred1,
+                         ParsePredicate(req.query.entity_set1, pred1_expr));
+  }
+  if (!pred2_expr.empty()) {
+    TSB_ASSIGN_OR_RETURN(req.query.pred2,
+                         ParsePredicate(req.query.entity_set2, pred2_expr));
+  }
+  return req;
+}
+
+}  // namespace service
+}  // namespace tsb

@@ -1,0 +1,70 @@
+#ifndef TSB_SERVICE_REQUEST_PARSER_H_
+#define TSB_SERVICE_REQUEST_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/query.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace service {
+
+/// A parsed text request: the query, the evaluation method, and options.
+struct ParsedRequest {
+  engine::TopologyQuery query;
+  engine::MethodKind method = engine::MethodKind::kFastTopKEt;
+  engine::ExecOptions options;
+};
+
+/// Line-oriented request language so examples, benches, and future network
+/// frontends can drive TopologyService with plain text:
+///
+///   TOPK k=10 method=fast-topk-et scheme=domain
+///        set1=Protein pred1=DESC.ct('enzyme')
+///        set2=DNA pred2=TYPE='mRNA'
+///   TOP method=full-top set1=Protein set2=DNA exclude_weak=1
+///
+/// Grammar: a verb (`TOPK` for top-k evaluation, `TOP` for the full
+/// result) followed by space-separated key=value fields; single quotes
+/// protect spaces inside values. Fields:
+///
+///   set1=, set2=    entity-set names (required)
+///   pred1=, pred2=  predicate clauses over the side's table (optional):
+///                     COL.ct('word')        keyword containment
+///                     COL='value' / COL=42  equality (typed by column)
+///                     COL.between(lo,hi)    inclusive INT64 range
+///                   clauses may be AND-ed with '&&':
+///                     pred1=DESC.ct('enzyme')&&TYPE='mRNA'
+///   method=         sql | full-top | fast-top | full-topk | fast-topk |
+///                   full-topk-et | fast-topk-et | full-topk-opt |
+///                   fast-topk-opt        (default fast-topk-et)
+///   scheme=         freq | rare | domain (default freq)
+///   k=              result budget for TOPK (default 10)
+///   exclude_weak=   0 | 1 (default 0)
+///
+/// The parser resolves column names against the catalog so malformed
+/// requests fail here, with a message, rather than deep in the engine.
+class RequestParser {
+ public:
+  explicit RequestParser(const storage::Catalog* db) : db_(db) {}
+
+  Result<ParsedRequest> Parse(const std::string& line) const;
+
+  static Result<engine::MethodKind> ParseMethod(const std::string& name);
+  static Result<core::RankScheme> ParseScheme(const std::string& name);
+
+ private:
+  Result<storage::PredicateRef> ParsePredicate(
+      const std::string& entity_set, const std::string& expr) const;
+  Result<storage::PredicateRef> ParseClause(
+      const storage::TableSchema& schema, const std::string& table_name,
+      const std::string& clause) const;
+
+  const storage::Catalog* db_;
+};
+
+}  // namespace service
+}  // namespace tsb
+
+#endif  // TSB_SERVICE_REQUEST_PARSER_H_

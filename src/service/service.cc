@@ -1,0 +1,282 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace service {
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 4;
+}
+
+/// The configured budget covers both caches: 2-query results get the
+/// lion's share, 3-query results (rarer, bulkier per entry) an eighth.
+service::QueryCacheConfig MainCacheConfig(service::QueryCacheConfig cache) {
+  cache.max_bytes -= cache.max_bytes / 8;
+  return cache;
+}
+
+service::QueryCacheConfig TripleCacheConfig(service::QueryCacheConfig cache) {
+  cache.max_bytes /= 8;
+  return cache;
+}
+
+}  // namespace
+
+TopologyService::TopologyService(const engine::Engine* engine,
+                                 storage::Catalog* db, ServiceConfig config)
+    : engine_(engine),
+      db_(db),
+      config_(config),
+      parser_(db),
+      cache_(MainCacheConfig(config.cache)),
+      triple_cache_(TripleCacheConfig(config.cache)),
+      pool_(ResolveThreads(config.num_threads)) {
+  TSB_CHECK(engine_ != nullptr);
+  TSB_CHECK(db_ != nullptr);
+}
+
+TopologyService::~TopologyService() { Shutdown(); }
+
+void TopologyService::EnableTripleQueries(core::TopologyStore* store,
+                                          const graph::SchemaGraph* schema,
+                                          const graph::DataGraphView* view) {
+  triple_store_ = store;
+  triple_schema_ = schema;
+  triple_view_ = view;
+}
+
+ServiceResponse TopologyService::RunQuery(
+    const engine::TopologyQuery& query, engine::MethodKind method,
+    const engine::ExecOptions& options,
+    std::shared_ptr<const engine::QueryResult> cached,
+    std::string fingerprint, Stopwatch watch) {
+  if (cached != nullptr) {
+    ServiceResponse response{*cached, /*from_cache=*/true,
+                             watch.ElapsedSeconds()};
+    metrics_.RecordRequest(ServiceMetrics::SlotOf(method),
+                           response.service_seconds, /*cache_hit=*/true,
+                           /*ok=*/true);
+    return response;
+  }
+
+  Result<engine::QueryResult> result = [&]() {
+    // Shared with other 2-queries; excluded only by a running 3-query
+    // (which mutates the topology catalog this evaluation reads).
+    std::shared_lock<std::shared_mutex> lock(exec_mu_);
+    return engine_->Execute(query, method, options);
+  }();
+  const bool ok = result.ok();
+  if (ok && config_.enable_cache) {
+    cache_.Insert(fingerprint,
+                  std::make_shared<engine::QueryResult>(*result));
+  }
+  ServiceResponse response{std::move(result), /*from_cache=*/false,
+                           watch.ElapsedSeconds()};
+  metrics_.RecordRequest(ServiceMetrics::SlotOf(method),
+                         response.service_seconds, /*cache_hit=*/false, ok);
+  return response;
+}
+
+std::future<ServiceResponse> TopologyService::Submit(
+    const engine::TopologyQuery& query, engine::MethodKind method,
+    const engine::ExecOptions& options) {
+  Stopwatch watch;
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Ready(ServiceResponse{
+        Status::FailedPrecondition("service is shut down"), false, 0.0});
+  }
+
+  std::string fingerprint = FingerprintQuery(query, method, options);
+
+  // Fast path: answer hits on the caller's thread, no pool hop, no
+  // admission charge.
+  if (config_.enable_cache) {
+    if (std::shared_ptr<const engine::QueryResult> hit =
+            cache_.Lookup(fingerprint)) {
+      return Ready(RunQuery(query, method, options, std::move(hit),
+                            std::move(fingerprint), watch));
+    }
+  }
+
+  // Admission control: bound queued + executing work.
+  size_t in_flight = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (in_flight >= config_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.RecordRejected();
+    return Ready(ServiceResponse{
+        Status::ResourceExhausted(
+            "service overloaded: " + std::to_string(in_flight) +
+            " requests in flight (max " +
+            std::to_string(config_.max_in_flight) + ")"),
+        false, watch.ElapsedSeconds()});
+  }
+
+  std::future<ServiceResponse> future = pool_.Submit(
+      [this, query, method, options, fingerprint = std::move(fingerprint),
+       watch]() mutable {
+        // Re-check the cache: an identical request may have completed
+        // while this one sat in the queue.
+        std::shared_ptr<const engine::QueryResult> hit;
+        if (config_.enable_cache) hit = cache_.Lookup(fingerprint);
+        ServiceResponse response = RunQuery(
+            query, method, options, std::move(hit), std::move(fingerprint),
+            watch);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        return response;
+      });
+  if (!future.valid()) {
+    // Raced with Shutdown(): the pool dropped the task.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return Ready(ServiceResponse{
+        Status::FailedPrecondition("service is shut down"), false, 0.0});
+  }
+  return future;
+}
+
+std::future<ServiceResponse> TopologyService::SubmitLine(
+    const std::string& line) {
+  Result<ParsedRequest> parsed = parser_.Parse(line);
+  if (!parsed.ok()) {
+    return Ready(ServiceResponse{parsed.status(), false, 0.0});
+  }
+  return Submit(parsed->query, parsed->method, parsed->options);
+}
+
+ServiceResponse TopologyService::Execute(const engine::TopologyQuery& query,
+                                         engine::MethodKind method,
+                                         const engine::ExecOptions& options) {
+  return Submit(query, method, options).get();
+}
+
+BatchOutcome TopologyService::ExecuteBatch(
+    const std::vector<ParsedRequest>& requests) {
+  BatchOutcome outcome;
+  outcome.responses.reserve(requests.size());
+
+  // The batch is one admitted unit: it charges in-flight (so concurrent
+  // single submissions see the load) but is not itself bounced.
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(requests.size());
+  for (const ParsedRequest& req : requests) {
+    Stopwatch watch;
+    std::string fingerprint =
+        FingerprintQuery(req.query, req.method, req.options);
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    std::future<ServiceResponse> future = pool_.Submit(
+        [this, req, fingerprint = std::move(fingerprint), watch]() mutable {
+          std::shared_ptr<const engine::QueryResult> hit;
+          if (config_.enable_cache) hit = cache_.Lookup(fingerprint);
+          ServiceResponse response =
+              RunQuery(req.query, req.method, req.options, std::move(hit),
+                       std::move(fingerprint), watch);
+          in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+          return response;
+        });
+    if (!future.valid()) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      futures.push_back(Ready(ServiceResponse{
+          Status::FailedPrecondition("service is shut down"), false, 0.0}));
+    } else {
+      futures.push_back(std::move(future));
+    }
+  }
+
+  for (std::future<ServiceResponse>& future : futures) {
+    ServiceResponse response = future.get();
+    if (response.result.ok()) {
+      outcome.total += response.result->stats;  // ExecStats::operator+=.
+      if (response.from_cache) ++outcome.cache_hits;
+    } else {
+      ++outcome.failures;
+    }
+    outcome.responses.push_back(std::move(response));
+  }
+  return outcome;
+}
+
+std::future<TripleResponse> TopologyService::SubmitTriple(
+    const engine::TripleQuery& query) {
+  Stopwatch watch;
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Ready(TripleResponse{
+        Status::FailedPrecondition("service is shut down"), false, 0.0});
+  }
+  if (triple_store_ == nullptr) {
+    return Ready(TripleResponse{
+        Status::FailedPrecondition(
+            "3-queries not enabled; call EnableTripleQueries"),
+        false, 0.0});
+  }
+
+  std::string fingerprint = FingerprintTripleQuery(query);
+  if (config_.enable_cache) {
+    if (std::shared_ptr<const engine::TripleQueryResult> hit =
+            triple_cache_.Lookup(fingerprint)) {
+      TripleResponse response{*hit, true, watch.ElapsedSeconds()};
+      metrics_.RecordRequest(ServiceMetrics::kTripleSlot,
+                             response.service_seconds, true, true);
+      return Ready(std::move(response));
+    }
+  }
+
+  size_t in_flight = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (in_flight >= config_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.RecordRejected();
+    return Ready(TripleResponse{
+        Status::ResourceExhausted("service overloaded"), false,
+        watch.ElapsedSeconds()});
+  }
+
+  std::future<TripleResponse> future = pool_.Submit(
+      [this, query, fingerprint = std::move(fingerprint), watch]() mutable {
+        Result<engine::TripleQueryResult> result = [&]() {
+          // ExecuteTripleQuery interns new topologies into the shared
+          // catalog that 2-query readers traverse: take the writer lock.
+          std::unique_lock<std::shared_mutex> lock(exec_mu_);
+          return engine::ExecuteTripleQuery(db_, triple_store_,
+                                            *triple_schema_, *triple_view_,
+                                            query);
+        }();
+        const bool ok = result.ok();
+        if (ok && config_.enable_cache) {
+          triple_cache_.Insert(
+              fingerprint,
+              std::make_shared<engine::TripleQueryResult>(*result));
+        }
+        TripleResponse response{std::move(result), false,
+                                watch.ElapsedSeconds()};
+        metrics_.RecordRequest(ServiceMetrics::kTripleSlot,
+                               response.service_seconds, false, ok);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        return response;
+      });
+  if (!future.valid()) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return Ready(TripleResponse{
+        Status::FailedPrecondition("service is shut down"), false, 0.0});
+  }
+  return future;
+}
+
+void TopologyService::InvalidateCache() {
+  cache_.Clear();
+  triple_cache_.Clear();
+}
+
+void TopologyService::Shutdown() {
+  accepting_.store(false, std::memory_order_release);
+  pool_.Shutdown();
+}
+
+}  // namespace service
+}  // namespace tsb

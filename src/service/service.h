@@ -1,0 +1,172 @@
+#ifndef TSB_SERVICE_SERVICE_H_
+#define TSB_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "engine/engine.h"
+#include "engine/nquery.h"
+#include "engine/query.h"
+#include "service/metrics.h"
+#include "service/query_cache.h"
+#include "service/request_parser.h"
+#include "service/thread_pool.h"
+
+namespace tsb {
+namespace service {
+
+struct ServiceConfig {
+  /// Worker threads; 0 means hardware_concurrency.
+  size_t num_threads = 0;
+  /// Admission bound: requests in flight (queued + executing) beyond this
+  /// are rejected with kResourceExhausted instead of queuing unboundedly.
+  size_t max_in_flight = 256;
+  /// Result cache; set enable_cache=false to serve everything cold.
+  /// `cache.max_bytes` is the service's total result-cache budget: 7/8
+  /// goes to the 2-query cache, 1/8 to the 3-query cache.
+  bool enable_cache = true;
+  QueryCacheConfig cache;
+};
+
+/// One served answer. `result` carries the engine outcome (or the
+/// rejection/shutdown status); `from_cache` is true when the result was a
+/// cache hit; `service_seconds` is end-to-end latency including queue wait.
+struct ServiceResponse {
+  Result<engine::QueryResult> result;
+  bool from_cache = false;
+  double service_seconds = 0.0;
+};
+
+struct TripleResponse {
+  Result<engine::TripleQueryResult> result;
+  bool from_cache = false;
+  double service_seconds = 0.0;
+};
+
+/// Aggregate outcome of a batch: one response per request (input order)
+/// plus ExecStats totals accumulated with ExecStats::operator+=.
+struct BatchOutcome {
+  std::vector<ServiceResponse> responses;
+  engine::ExecStats total;
+  size_t cache_hits = 0;
+  size_t failures = 0;
+};
+
+/// The concurrent query frontend over engine::Engine — the serving layer
+/// that turns the single-caller library into a shared multi-user service:
+///
+///   - requests run on a fixed ThreadPool; Submit returns a future
+///   - a sharded LRU cache returns repeated queries without re-evaluation
+///     (keys are canonical fingerprints; see FingerprintQuery)
+///   - admission control bounds in-flight work and rejects the overflow
+///   - per-method metrics: requests, cache hits, errors, p50/p95 latency
+///   - a text frontend (SubmitLine) driven by RequestParser
+///
+/// The engine must outlive the service. Engine::Execute is concurrency-safe
+/// for readers; whoever rebuilds the store/tables must quiesce the service
+/// and call InvalidateCache() afterwards — cached entries derive from the
+/// precomputed tables.
+///
+/// 3-queries (SubmitTriple) take the service's writer lock:
+/// ExecuteTripleQuery interns newly observed topologies into the shared
+/// TopologyCatalog, which 2-query evaluation reads, so a triple excludes
+/// all other service traffic (2-queries among themselves run fully
+/// concurrently under shared locks); triples still benefit from caching.
+/// Calling Engine::Execute directly while the service runs triples is not
+/// supported.
+class TopologyService {
+ public:
+  TopologyService(const engine::Engine* engine, storage::Catalog* db,
+                  ServiceConfig config = ServiceConfig{});
+  ~TopologyService();
+
+  TopologyService(const TopologyService&) = delete;
+  TopologyService& operator=(const TopologyService&) = delete;
+
+  /// Enables SubmitTriple; the pointers must outlive the service.
+  void EnableTripleQueries(core::TopologyStore* store,
+                           const graph::SchemaGraph* schema,
+                           const graph::DataGraphView* view);
+
+  /// Asynchronous submission. The returned future is always valid: errors
+  /// (rejection, shutdown, engine failure) surface in the response.
+  std::future<ServiceResponse> Submit(
+      const engine::TopologyQuery& query, engine::MethodKind method,
+      const engine::ExecOptions& options = engine::ExecOptions{});
+
+  /// Parses a request line (see RequestParser) and submits it. Parse
+  /// errors come back as an immediately-ready errored response.
+  std::future<ServiceResponse> SubmitLine(const std::string& line);
+
+  /// Synchronous convenience wrapper around Submit.
+  ServiceResponse Execute(
+      const engine::TopologyQuery& query, engine::MethodKind method,
+      const engine::ExecOptions& options = engine::ExecOptions{});
+
+  /// Runs all requests on the pool and waits for completion. The batch is
+  /// admitted as one unit (it bypasses the per-request in-flight bound but
+  /// counts toward it, throttling concurrent singles).
+  BatchOutcome ExecuteBatch(const std::vector<ParsedRequest>& requests);
+
+  /// 3-query submission (requires EnableTripleQueries).
+  std::future<TripleResponse> SubmitTriple(const engine::TripleQuery& query);
+
+  /// Drops all cached results. Call after any store/table rebuild.
+  void InvalidateCache();
+
+  /// Stops accepting work, drains queued requests, joins workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  QueryCache::Stats CacheStats() const { return cache_.GetStats(); }
+  const RequestParser& parser() const { return parser_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+  size_t InFlight() const { return in_flight_.load(); }
+
+ private:
+  ServiceResponse RunQuery(const engine::TopologyQuery& query,
+                           engine::MethodKind method,
+                           const engine::ExecOptions& options,
+                           std::shared_ptr<const engine::QueryResult> cached,
+                           std::string fingerprint, Stopwatch watch);
+
+  template <typename Response>
+  static std::future<Response> Ready(Response response) {
+    std::promise<Response> promise;
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
+
+  const engine::Engine* engine_;
+  storage::Catalog* db_;
+  ServiceConfig config_;
+  RequestParser parser_;
+  QueryCache cache_;
+  TripleQueryCache triple_cache_;
+  ServiceMetrics metrics_;
+  ThreadPool pool_;
+
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> accepting_{true};
+
+  /// Triple-query backend (null until EnableTripleQueries).
+  core::TopologyStore* triple_store_ = nullptr;
+  const graph::SchemaGraph* triple_schema_ = nullptr;
+  const graph::DataGraphView* triple_view_ = nullptr;
+  /// Readers (2-query Execute) vs. writer (ExecuteTripleQuery, which
+  /// interns into the shared TopologyCatalog that readers traverse).
+  std::shared_mutex exec_mu_;
+};
+
+}  // namespace service
+}  // namespace tsb
+
+#endif  // TSB_SERVICE_SERVICE_H_

@@ -1,0 +1,62 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace service {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+  started_ = workers_.size();
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stopping_ = true;
+  cv_.notify_all();
+  if (!workers_.empty()) {
+    // First caller: take ownership of the threads and join them outside
+    // the lock. Later callers find workers_ empty and wait below, so a
+    // concurrent Shutdown (e.g. explicit call racing the destructor)
+    // neither double-joins nor returns before the pool is quiesced.
+    std::vector<std::thread> workers = std::move(workers_);
+    workers_.clear();
+    lock.unlock();
+    for (std::thread& worker : workers) worker.join();
+    lock.lock();
+    joined_ = true;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [this]() { return joined_; });
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace service
+}  // namespace tsb

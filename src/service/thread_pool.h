@@ -1,0 +1,83 @@
+#ifndef TSB_SERVICE_THREAD_POOL_H_
+#define TSB_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tsb {
+namespace service {
+
+/// A fixed-size worker pool with a FIFO task queue. Tasks are arbitrary
+/// callables; Submit returns a std::future for the callable's result.
+///
+/// This is the general-purpose execution substrate of the service layer:
+/// TopologyService runs queries on it, and later PRs reuse it for parallel
+/// precomputation (building many pairs at once) and background maintenance.
+///
+/// Semantics:
+///  - The queue is unbounded here; admission control (bounded depth,
+///    rejection) is the caller's policy — see TopologyService.
+///  - Shutdown() drains tasks already queued, then joins the workers.
+///    Submitting after Shutdown() throws no exception and runs nothing;
+///    the returned future is invalid. Callers gate submissions themselves.
+///  - The destructor calls Shutdown().
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. Safe to call from
+  /// any thread, including from inside a pool task (but beware of waiting
+  /// on a future whose task is behind you in the queue).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return std::future<R>();
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Drains queued tasks and joins all workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return started_; }
+
+  /// Tasks queued but not yet picked up (racy snapshot, for metrics).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  bool joined_ = false;
+  /// Workers ever started; lets num_threads() stay stable after Shutdown
+  /// moves workers_ out for joining.
+  size_t started_ = 0;
+};
+
+}  // namespace service
+}  // namespace tsb
+
+#endif  // TSB_SERVICE_THREAD_POOL_H_

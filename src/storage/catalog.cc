@@ -141,6 +141,7 @@ std::string IndexKey(const std::string& table, const std::string& column) {
 const HashIndex& Catalog::GetOrBuildHashIndex(const std::string& table_name,
                                               const std::string& column) {
   std::string key = IndexKey(table_name, column);
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = hash_indexes_.find(key);
   if (it == hash_indexes_.end()) {
     const Table* table = GetTable(table_name);
@@ -154,6 +155,7 @@ const HashIndex& Catalog::GetOrBuildHashIndex(const std::string& table_name,
 const KeywordIndex& Catalog::GetOrBuildKeywordIndex(
     const std::string& table_name, const std::string& column) {
   std::string key = IndexKey(table_name, column);
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = keyword_indexes_.find(key);
   if (it == keyword_indexes_.end()) {
     const Table* table = GetTable(table_name);
@@ -165,6 +167,7 @@ const KeywordIndex& Catalog::GetOrBuildKeywordIndex(
 }
 
 void Catalog::InvalidateIndexes(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(index_mu_);
   std::string prefix = table_name + ".";
   for (auto it = hash_indexes_.begin(); it != hash_indexes_.end();) {
     if (it->first.rfind(prefix, 0) == 0) {

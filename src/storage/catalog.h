@@ -2,6 +2,7 @@
 #define TSB_STORAGE_CATALOG_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,9 +96,13 @@ class Catalog {
 
   /// --- Indexes ---------------------------------------------------------
   /// Builds (or returns the cached) hash index on `table.column`.
+  /// Safe to call from concurrent query threads: the index registry is
+  /// guarded by a mutex, and returned references stay valid until
+  /// InvalidateIndexes / DropTable (which must not race with queries).
   const HashIndex& GetOrBuildHashIndex(const std::string& table_name,
                                        const std::string& column);
   /// Builds (or returns the cached) keyword index on `table.column`.
+  /// Same synchronization contract as GetOrBuildHashIndex.
   const KeywordIndex& GetOrBuildKeywordIndex(const std::string& table_name,
                                              const std::string& column);
   /// Drops cached indexes for a table (after bulk appends).
@@ -110,6 +115,8 @@ class Catalog {
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<EntitySetDef> entity_sets_;
   std::vector<RelationshipSetDef> relationship_sets_;
+  /// Guards the two index registries (lazy builds happen on query threads).
+  std::mutex index_mu_;
   std::unordered_map<std::string, std::unique_ptr<HashIndex>> hash_indexes_;
   std::unordered_map<std::string, std::unique_ptr<KeywordIndex>>
       keyword_indexes_;
