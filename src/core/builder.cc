@@ -1,7 +1,10 @@
 #include "core/builder.h"
 
 #include <algorithm>
+#include <deque>
+#include <future>
 #include <map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -17,16 +20,37 @@ using graph::PathInstance;
 
 }  // namespace
 
-Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
-                                  storage::EntityTypeId tb,
-                                  const BuildConfig& config,
-                                  TopologyStore* store) {
-  auto [t1, t2] = TopologyStore::NormalizePair(ta, tb);
-  if (store->FindPair(t1, t2) != nullptr) {
-    return Status::AlreadyExists("pair already built");
+Status ValidateBuildConfig(const BuildConfig& config) {
+  if (config.max_path_length == 0) {
+    return Status::InvalidArgument(
+        "BuildConfig.max_path_length must be >= 1 (no path fits length 0)");
   }
+  if (config.max_class_representatives == 0) {
+    return Status::InvalidArgument(
+        "BuildConfig.max_class_representatives must be >= 1 (Definition 2 "
+        "needs one representative per class)");
+  }
+  if (config.max_union_combinations == 0) {
+    return Status::InvalidArgument(
+        "BuildConfig.max_union_combinations must be >= 1 (no union would "
+        "ever be explored)");
+  }
+  if (config.max_paths_per_source == 0) {
+    return Status::InvalidArgument(
+        "BuildConfig.max_paths_per_source must be >= 1 (every sweep would "
+        "be empty)");
+  }
+  return Status::OK();
+}
 
-  PairTopologyData data;
+Result<PairBuildStaging> TopologyBuilder::StagePair(
+    storage::EntityTypeId ta, storage::EntityTypeId tb,
+    const BuildConfig& config) const {
+  TSB_RETURN_IF_ERROR(ValidateBuildConfig(config));
+  auto [t1, t2] = TopologyStore::NormalizePair(ta, tb);
+
+  PairBuildStaging staging;
+  PairTopologyData& data = staging.data;
   data.t1 = t1;
   data.t2 = t2;
   data.pair_name =
@@ -34,30 +58,10 @@ Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
   data.max_path_length = config.max_path_length;
   data.build_max_class_representatives = config.max_class_representatives;
   data.build_max_union_combinations = config.max_union_combinations;
-  data.alltops_table = "AllTops_" + data.pair_name;
-  data.pairclasses_table = "PairClasses_" + data.pair_name;
-
-  storage::TableSchema alltops_schema({{"E1", storage::ColumnType::kInt64},
-                                       {"E2", storage::ColumnType::kInt64},
-                                       {"TID", storage::ColumnType::kInt64}});
-  storage::TableSchema classes_schema({{"E1", storage::ColumnType::kInt64},
-                                       {"E2", storage::ColumnType::kInt64},
-                                       {"CID", storage::ColumnType::kInt64}});
-  storage::Table* alltops;
-  storage::Table* pairclasses;
-  {
-    auto t = db_->CreateTable(data.alltops_table, std::move(alltops_schema));
-    TSB_RETURN_IF_ERROR(t.status());
-    alltops = t.value();
-  }
-  {
-    auto t =
-        db_->CreateTable(data.pairclasses_table, std::move(classes_schema));
-    TSB_RETURN_IF_ERROR(t.status());
-    pairclasses = t.value();
-  }
-
-  TopologyCatalog* catalog = store->mutable_catalog();
+  data.table_namespace = config.table_namespace;
+  data.alltops_table = config.table_namespace + "AllTops_" + data.pair_name;
+  data.pairclasses_table =
+      config.table_namespace + "PairClasses_" + data.pair_name;
 
   // Registers (or fetches) a class id from an instance's schema path.
   auto class_id_for = [&](const PathInstance& p) -> uint32_t {
@@ -84,7 +88,34 @@ Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
     info.path = seq(rev) < seq(sp) ? rev : sp;
     data.classes.push_back(std::move(info));
     data.class_by_key.emplace(std::move(key), id);
+    staging.class_path_local_tid.push_back(kNoTid);
     return id;
+  };
+
+  // Stages one observation of a topology, merging class keys on local
+  // re-observation exactly like the catalog's intern merge path.
+  auto stage_topology = [&](ComputedTopology& topo, size_t s) -> size_t {
+    auto it = staging.local_by_code.find(topo.code);
+    if (it != staging.local_by_code.end()) {
+      PairBuildStaging::StagedTopology& existing =
+          staging.topologies[it->second];
+      for (std::string& key : topo.class_keys) {
+        if (std::find(existing.class_keys.begin(), existing.class_keys.end(),
+                      key) == existing.class_keys.end()) {
+          existing.class_keys.push_back(std::move(key));
+        }
+      }
+      return it->second;
+    }
+    size_t local = staging.topologies.size();
+    PairBuildStaging::StagedTopology staged;
+    staged.graph = std::move(topo.graph);
+    staged.code = topo.code;
+    staged.num_classes = s;
+    staged.class_keys = std::move(topo.class_keys);
+    staging.topologies.push_back(std::move(staged));
+    staging.local_by_code.emplace(std::move(topo.code), local);
+    return local;
   };
 
   const bool self_pair = (t1 == t2);
@@ -125,26 +156,24 @@ Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
           *view_, class_reps, class_keys, limits, &union_truncated);
       if (union_truncated) ++data.truncated_pairs;
 
-      for (const ComputedTopology& topo : topologies) {
-        Tid tid = catalog->InternWithCode(topo.graph, topo.code, s,
-                                          topo.class_keys);
-        alltops->AppendRowOrDie({storage::Value(a), storage::Value(b),
-                                 storage::Value(tid)});
-        auto [it, inserted] = data.freq.emplace(tid, 1);
-        if (!inserted) ++it->second;
+      for (ComputedTopology& topo : topologies) {
+        size_t local = stage_topology(topo, s);
+        staging.alltops_rows.push_back(
+            {a, b, static_cast<int64_t>(local)});
+        ++staging.topologies[local].frequency;
         // Single-class pairs define the path topology of their class.
-        if (s == 1) {
-          ClassInfo& cls = data.classes[class_ids[0]];
-          if (cls.path_tid == kNoTid) cls.path_tid = tid;
+        if (s == 1 &&
+            staging.class_path_local_tid[class_ids[0]] == kNoTid) {
+          staging.class_path_local_tid[class_ids[0]] =
+              static_cast<Tid>(local);
         }
       }
       // Exception bookkeeping: remember the class memberships of pairs
       // related by more than one class (Section 4.2.2).
       if (s > 1) {
         for (uint32_t cid : class_ids) {
-          pairclasses->AppendRowOrDie(
-              {storage::Value(a), storage::Value(b),
-               storage::Value(static_cast<int64_t>(cid))});
+          staging.pairclasses_rows.push_back(
+              {a, b, static_cast<int64_t>(cid)});
           ++data.classes[cid].instance_pairs;
         }
       } else {
@@ -159,12 +188,99 @@ Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
   // by it alone), so it must not appear in TopInfo — and it can never be
   // pruned, so no lookup needs the TID.
 
-  store->AddPair(std::move(data));
+  return staging;
+}
+
+Status TopologyBuilder::CommitStaged(PairBuildStaging staging,
+                                     TopologyStore* store) {
+  PairTopologyData& data = staging.data;
+  if (store->FindPair(data.t1, data.t2) != nullptr) {
+    return Status::AlreadyExists("pair already built");
+  }
+
+  storage::TableSchema alltops_schema({{"E1", storage::ColumnType::kInt64},
+                                       {"E2", storage::ColumnType::kInt64},
+                                       {"TID", storage::ColumnType::kInt64}});
+  storage::TableSchema classes_schema({{"E1", storage::ColumnType::kInt64},
+                                       {"E2", storage::ColumnType::kInt64},
+                                       {"CID", storage::ColumnType::kInt64}});
+  storage::Table* alltops;
+  storage::Table* pairclasses;
+  {
+    auto t = db_->CreateTable(data.alltops_table, std::move(alltops_schema));
+    TSB_RETURN_IF_ERROR(t.status());
+    alltops = t.value();
+  }
+  {
+    auto t =
+        db_->CreateTable(data.pairclasses_table, std::move(classes_schema));
+    if (!t.ok()) {
+      (void)db_->DropTable(data.alltops_table);
+      return t.status();
+    }
+    pairclasses = t.value();
+  }
+
+  // Intern staged topologies in first-encounter order — the exact order a
+  // sequential build would have hit the catalog — and remap local TIDs.
+  TopologyCatalog* catalog = store->mutable_catalog();
+  std::vector<Tid> global_tid(staging.topologies.size(), kNoTid);
+  for (size_t local = 0; local < staging.topologies.size(); ++local) {
+    PairBuildStaging::StagedTopology& staged = staging.topologies[local];
+    global_tid[local] =
+        catalog->InternWithCode(staged.graph, std::move(staged.code),
+                                staged.num_classes,
+                                std::move(staged.class_keys));
+    data.freq.emplace(global_tid[local], staged.frequency);
+  }
+  for (size_t c = 0; c < staging.class_path_local_tid.size(); ++c) {
+    Tid local = staging.class_path_local_tid[c];
+    if (local != kNoTid) {
+      data.classes[c].path_tid = global_tid[static_cast<size_t>(local)];
+    }
+  }
+
+  for (const PairBuildStaging::Row& row : staging.alltops_rows) {
+    alltops->AppendRowOrDie(
+        {storage::Value(row.e1), storage::Value(row.e2),
+         storage::Value(global_tid[static_cast<size_t>(row.v)])});
+  }
+  for (const PairBuildStaging::Row& row : staging.pairclasses_rows) {
+    pairclasses->AppendRowOrDie({storage::Value(row.e1),
+                                 storage::Value(row.e2),
+                                 storage::Value(row.v)});
+  }
+
+  Result<PairTopologyData*> added = store->AddPair(std::move(data));
+  if (!added.ok()) {
+    (void)db_->DropTable(alltops->name());
+    (void)db_->DropTable(pairclasses->name());
+    return added.status();
+  }
   return Status::OK();
 }
 
+Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
+                                  storage::EntityTypeId tb,
+                                  const BuildConfig& config,
+                                  TopologyStore* store) {
+  TSB_RETURN_IF_ERROR(ValidateBuildConfig(config));
+  auto [t1, t2] = TopologyStore::NormalizePair(ta, tb);
+  if (store->FindPair(t1, t2) != nullptr) {
+    return Status::AlreadyExists("pair already built");
+  }
+  TSB_ASSIGN_OR_RETURN(PairBuildStaging staging, StagePair(ta, tb, config));
+  return CommitStaged(std::move(staging), store);
+}
+
 Status TopologyBuilder::BuildAllPairs(const BuildConfig& config,
-                                      TopologyStore* store) {
+                                      TopologyStore* store,
+                                      service::ThreadPool* pool) {
+  TSB_RETURN_IF_ERROR(ValidateBuildConfig(config));
+
+  // Canonical pair order: commits (and hence TID assignment) follow it in
+  // both the sequential and the parallel path.
+  std::vector<std::pair<storage::EntityTypeId, storage::EntityTypeId>> todo;
   const size_t n = schema_->num_entity_types();
   for (storage::EntityTypeId t1 = 0; t1 < n; ++t1) {
     for (storage::EntityTypeId t2 = t1; t2 < n; ++t2) {
@@ -172,10 +288,54 @@ Status TopologyBuilder::BuildAllPairs(const BuildConfig& config,
         continue;
       }
       if (store->FindPair(t1, t2) != nullptr) continue;
-      TSB_RETURN_IF_ERROR(BuildPair(t1, t2, config, store));
+      todo.emplace_back(t1, t2);
     }
   }
-  return Status::OK();
+
+  if (pool == nullptr || pool->num_threads() <= 1 || todo.size() <= 1) {
+    for (const auto& [t1, t2] : todo) {
+      TSB_RETURN_IF_ERROR(BuildPair(t1, t2, config, store));
+    }
+    return Status::OK();
+  }
+
+  // Fan the pure stage steps out over the pool; commit in canonical order
+  // on this thread as each stage completes. Submission is windowed (a
+  // couple of pairs per worker ahead of the commit cursor) so completed
+  // out-of-order stagings never pile up: peak staging memory is O(window),
+  // not O(all pairs).
+  const size_t window = std::max<size_t>(2 * pool->num_threads(), 2);
+  auto submit_stage = [&](size_t index) {
+    auto [t1, t2] = todo[index];
+    std::future<Result<PairBuildStaging>> future = pool->Submit(
+        [this, t1, t2, config]() { return StagePair(t1, t2, config); });
+    if (!future.valid()) {
+      // Pool shut down under us: stage inline so the build still finishes.
+      std::promise<Result<PairBuildStaging>> ready;
+      ready.set_value(StagePair(t1, t2, config));
+      future = ready.get_future();
+    }
+    return future;
+  };
+
+  std::deque<std::future<Result<PairBuildStaging>>> in_flight;
+  size_t next = 0;
+  Status status = Status::OK();
+  while (next < todo.size() || !in_flight.empty()) {
+    while (next < todo.size() && in_flight.size() < window) {
+      in_flight.push_back(submit_stage(next++));
+    }
+    Result<PairBuildStaging> staged =
+        in_flight.front().get();  // Drain even on error.
+    in_flight.pop_front();
+    if (!status.ok()) continue;
+    if (!staged.ok()) {
+      status = staged.status();
+      continue;
+    }
+    status = CommitStaged(std::move(staged).value(), store);
+  }
+  return status;
 }
 
 }  // namespace core

@@ -1,13 +1,18 @@
 #ifndef TSB_CORE_BUILDER_H_
 #define TSB_CORE_BUILDER_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "core/pair_topologies.h"
 #include "core/store.h"
 #include "graph/data_graph.h"
 #include "graph/schema_graph.h"
+#include "service/thread_pool.h"
 #include "storage/catalog.h"
 
 namespace tsb {
@@ -26,6 +31,52 @@ struct BuildConfig {
   /// Cap on simple paths enumerated per source entity (weak-relationship
   /// hubs; Section 6.2.3).
   size_t max_paths_per_source = SIZE_MAX;
+  /// Prefix for every precompute table name this build creates (AllTops_*,
+  /// PairClasses_*, and the pruner's LeftTops_*/ExcpTops_*). Live rebuilds
+  /// stage each epoch under a distinct namespace (e.g. "e1.") so old and
+  /// new tables coexist until the old epoch drains.
+  std::string table_namespace;
+};
+
+/// InvalidArgument for configurations that would silently produce empty
+/// pairs (zero path length or zero representative/union caps).
+Status ValidateBuildConfig(const BuildConfig& config);
+
+/// The privately staged result of one pair's sweep — everything BuildPair
+/// used to write into shared state, buffered instead. Topologies are kept
+/// in first-encounter order and addressed by a pair-local TID (the vector
+/// index); the commit step interns them into the shared catalog and remaps
+/// local to global ids. Staging touches no shared mutable state, so many
+/// pairs stage concurrently.
+struct PairBuildStaging {
+  /// Pair metadata, class registry, and truncation counters; freq and
+  /// ClassInfo::path_tid stay in local TID space until commit.
+  PairTopologyData data;
+
+  struct StagedTopology {
+    graph::LabeledGraph graph;
+    std::string code;
+    size_t num_classes = 0;
+    /// Constituent class keys, merged across local re-observations exactly
+    /// like TopologyCatalog::InternWithCode merges them (unseen keys
+    /// appended in order), so staged+committed equals direct interning.
+    std::vector<std::string> class_keys;
+    size_t frequency = 0;  // Staged AllTops rows carrying this topology.
+  };
+  std::vector<StagedTopology> topologies;  // Index == local TID.
+  std::unordered_map<std::string, size_t> local_by_code;
+
+  struct Row {
+    int64_t e1 = 0;
+    int64_t e2 = 0;
+    int64_t v = 0;  // Local TID (AllTops) or class id (PairClasses).
+  };
+  std::vector<Row> alltops_rows;
+  std::vector<Row> pairclasses_rows;
+
+  /// Per class id: local TID of its single-class path topology (kNoTid
+  /// when unobserved); remapped into ClassInfo::path_tid at commit.
+  std::vector<Tid> class_path_local_tid;
 };
 
 /// Computes the AllTops and PairClasses tables for entity-set pairs: the
@@ -35,20 +86,46 @@ struct BuildConfig {
 /// (Definition 1), unions one representative per class over all choices
 /// (Definition 2), interns the resulting canonical graphs, and appends
 /// (E1, E2, TID) rows.
+///
+/// The build is a staged pipeline: StagePair is a pure function of the
+/// data graph (no shared-state writes, safe to fan out over a thread
+/// pool), and CommitStaged interns staged topologies in deterministic
+/// order, remaps local to global TIDs, and registers the tables. Because
+/// commits always happen in canonical pair order, a parallel BuildAllPairs
+/// produces a store byte-identical (TIDs, class ids, table contents,
+/// frequency maps) to the sequential build.
 class TopologyBuilder {
  public:
   TopologyBuilder(storage::Catalog* db, const graph::SchemaGraph* schema,
                   const graph::DataGraphView* view)
       : db_(db), schema_(schema), view_(view) {}
 
-  /// Builds one entity-set pair (order-insensitive); registers the result
-  /// in `store`. Fails if the pair was already built.
+  /// Stage step: sweeps one entity-set pair (order-insensitive) into a
+  /// private staging buffer. Reads only the immutable data-graph and
+  /// schema views — safe to run concurrently for different pairs.
+  Result<PairBuildStaging> StagePair(storage::EntityTypeId ta,
+                                     storage::EntityTypeId tb,
+                                     const BuildConfig& config) const;
+
+  /// Commit step: interns staged topologies (first-encounter order),
+  /// remaps local TIDs, creates and fills the pair's tables in the storage
+  /// catalog, and registers the pair in `store`. Single-threaded by
+  /// contract; callers serialize commits (canonical pair order for
+  /// determinism). Fails without side effects if the pair already exists;
+  /// created tables are dropped again on downstream failure.
+  Status CommitStaged(PairBuildStaging staging, TopologyStore* store);
+
+  /// Stage + commit of one pair. Fails if the pair was already built.
   Status BuildPair(storage::EntityTypeId ta, storage::EntityTypeId tb,
                    const BuildConfig& config, TopologyStore* store);
 
-  /// Convenience: builds every unordered pair of entity types that the
-  /// schema connects with at least one path of length <= l.
-  Status BuildAllPairs(const BuildConfig& config, TopologyStore* store);
+  /// Builds every unordered pair of entity types that the schema connects
+  /// with at least one path of length <= l. With a pool, stage steps fan
+  /// out over its workers while this thread commits results in canonical
+  /// pair order; without one (or with a single-threaded pool) the build
+  /// runs sequentially. Both paths produce byte-identical stores.
+  Status BuildAllPairs(const BuildConfig& config, TopologyStore* store,
+                       service::ThreadPool* pool = nullptr);
 
  private:
   storage::Catalog* db_;

@@ -37,7 +37,16 @@ TableSchema PairsSchema() {
                       {"TRUNCATED_REPS", ColumnType::kInt64},
                       {"PRUNED", ColumnType::kInt64},
                       {"PRUNE_THRESHOLD", ColumnType::kInt64},
-                      {"PRUNED_TIDS", ColumnType::kString}});
+                      {"PRUNED_TIDS", ColumnType::kString},
+                      {"TABLE_NS", ColumnType::kString}});
+}
+
+/// Snapshots written before table namespaces existed lack the TABLE_NS
+/// column; they load with an empty namespace.
+TableSchema LegacyPairsSchema() {
+  std::vector<storage::ColumnDef> columns = PairsSchema().columns();
+  columns.pop_back();
+  return TableSchema(std::move(columns));
 }
 
 TableSchema ClassesSchema() {
@@ -191,7 +200,8 @@ Status SaveTopologyArtifacts(const storage::Catalog& db,
                Value(static_cast<int64_t>(pair.truncated_representatives)),
                Value(static_cast<int64_t>(pair.pruned ? 1 : 0)),
                Value(static_cast<int64_t>(pair.prune_threshold)),
-               Value(StrJoin(pruned_tids, ";"))});
+               Value(StrJoin(pruned_tids, ";")),
+               Value(pair.table_namespace)});
         }
       },
       root / "pairs.csv"));
@@ -296,10 +306,18 @@ Status LoadTopologyArtifacts(storage::Catalog* db, TopologyStore* store,
     }
   }
 
-  // Pairs.
-  TSB_ASSIGN_OR_RETURN(storage::Table * pairs_table,
-                       ReadCsvFile(&scratch, "pairs", PairsSchema(),
-                                   root / "pairs.csv"));
+  // Pairs. Current snapshots carry TABLE_NS; pre-namespace ones fall back
+  // to the legacy 12-column layout (empty namespace).
+  bool has_table_ns = true;
+  Result<storage::Table*> pairs_or =
+      ReadCsvFile(&scratch, "pairs", PairsSchema(), root / "pairs.csv");
+  if (!pairs_or.ok()) {
+    has_table_ns = false;
+    pairs_or = ReadCsvFile(&scratch, "pairs_legacy", LegacyPairsSchema(),
+                           root / "pairs.csv");
+  }
+  TSB_RETURN_IF_ERROR(pairs_or.status());
+  storage::Table* pairs_table = pairs_or.value();
   for (size_t i = 0; i < pairs_table->num_rows(); ++i) {
     PairTopologyData pair;
     pair.t1 = static_cast<storage::EntityTypeId>(pairs_table->GetInt64(i, 0));
@@ -319,8 +337,12 @@ Status LoadTopologyArtifacts(storage::Catalog* db, TopologyStore* store,
     pair.pruned = pairs_table->GetInt64(i, 9) != 0;
     pair.prune_threshold =
         static_cast<size_t>(pairs_table->GetInt64(i, 10));
-    pair.alltops_table = "AllTops_" + pair.pair_name;
-    pair.pairclasses_table = "PairClasses_" + pair.pair_name;
+    pair.table_namespace =
+        has_table_ns ? pairs_table->GetString(i, 12) : "";
+    pair.alltops_table =
+        pair.table_namespace + "AllTops_" + pair.pair_name;
+    pair.pairclasses_table =
+        pair.table_namespace + "PairClasses_" + pair.pair_name;
 
     // Classes.
     TSB_ASSIGN_OR_RETURN(
@@ -398,8 +420,10 @@ Status LoadTopologyArtifacts(storage::Catalog* db, TopologyStore* store,
     std::vector<std::pair<std::string, std::string>> tables = {
         {pair.alltops_table, "TID"}, {pair.pairclasses_table, "CID"}};
     if (pair.pruned) {
-      pair.lefttops_table = "LeftTops_" + pair.pair_name;
-      pair.excptops_table = "ExcpTops_" + pair.pair_name;
+      pair.lefttops_table =
+          pair.table_namespace + "LeftTops_" + pair.pair_name;
+      pair.excptops_table =
+          pair.table_namespace + "ExcpTops_" + pair.pair_name;
       tables.push_back({pair.lefttops_table, "TID"});
       tables.push_back({pair.excptops_table, "TID"});
     }
@@ -408,7 +432,7 @@ Status LoadTopologyArtifacts(storage::Catalog* db, TopologyStore* store,
                                       root / ("table_" + name + ".csv"))
                               .status());
     }
-    store->AddPair(std::move(pair));
+    TSB_RETURN_IF_ERROR(store->AddPair(std::move(pair)).status());
   }
   return Status::OK();
 }

@@ -40,8 +40,10 @@ Result<PruneStats> PruneFrequentTopologies(storage::Catalog* db,
 
   // LeftTops: AllTops rows whose TID survived.
   const storage::Table& alltops = *db->GetTable(pair->alltops_table);
-  pair->lefttops_table = "LeftTops_" + pair->pair_name;
-  pair->excptops_table = "ExcpTops_" + pair->pair_name;
+  pair->lefttops_table =
+      pair->table_namespace + "LeftTops_" + pair->pair_name;
+  pair->excptops_table =
+      pair->table_namespace + "ExcpTops_" + pair->pair_name;
   storage::TableSchema row_schema({{"E1", storage::ColumnType::kInt64},
                                    {"E2", storage::ColumnType::kInt64},
                                    {"TID", storage::ColumnType::kInt64}});

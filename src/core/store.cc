@@ -31,18 +31,27 @@ bool PairTopologyData::IsPruned(Tid tid) const {
   return pruned && pruned_class_of_tid.count(tid) > 0;
 }
 
+TopologyStore::~TopologyStore() {
+  if (cleanup_) cleanup_();
+}
+
 std::pair<storage::EntityTypeId, storage::EntityTypeId>
 TopologyStore::NormalizePair(storage::EntityTypeId a,
                              storage::EntityTypeId b) {
   return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 
-PairTopologyData* TopologyStore::AddPair(PairTopologyData data) {
+Result<PairTopologyData*> TopologyStore::AddPair(PairTopologyData data) {
   auto key = NormalizePair(data.t1, data.t2);
-  TSB_CHECK(data.t1 == key.first && data.t2 == key.second)
-      << "pair data must be registered in canonical order";
+  if (data.t1 != key.first || data.t2 != key.second) {
+    return Status::InvalidArgument(
+        "pair data must be registered in canonical order");
+  }
   auto [it, inserted] = pairs_.emplace(key, std::move(data));
-  TSB_CHECK(inserted) << "pair already built: " << it->second.pair_name;
+  if (!inserted) {
+    return Status::AlreadyExists("pair already built: " +
+                                 it->second.pair_name);
+  }
   return &it->second;
 }
 
@@ -56,6 +65,19 @@ const PairTopologyData* TopologyStore::FindPair(
     storage::EntityTypeId a, storage::EntityTypeId b) const {
   auto it = pairs_.find(NormalizePair(a, b));
   return it == pairs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TopologyStore::PrecomputeTableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, pair] : pairs_) {
+    names.push_back(pair.alltops_table);
+    names.push_back(pair.pairclasses_table);
+    if (pair.pruned) {
+      names.push_back(pair.lefttops_table);
+      names.push_back(pair.excptops_table);
+    }
+  }
+  return names;
 }
 
 void TopologyStore::ExportTopInfoTable(storage::Catalog* db,
@@ -87,6 +109,32 @@ void TopologyStore::ExportTopInfoTable(storage::Catalog* db,
         storage::Value(catalog_.Describe(info.tid, schema)),
     });
   }
+}
+
+StoreHandle::StoreHandle(std::shared_ptr<TopologyStore> initial)
+    : current_(std::move(initial)) {
+  TSB_CHECK(current_ != nullptr);
+}
+
+std::shared_ptr<TopologyStore> StoreHandle::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::pair<std::shared_ptr<TopologyStore>, uint64_t>
+StoreHandle::SnapshotWithEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {current_, epoch_.load(std::memory_order_relaxed)};
+}
+
+std::shared_ptr<TopologyStore> StoreHandle::Swap(
+    std::shared_ptr<TopologyStore> next) {
+  TSB_CHECK(next != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<TopologyStore> old = std::move(current_);
+  current_ = std::move(next);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return old;
 }
 
 }  // namespace core

@@ -1,11 +1,17 @@
 #ifndef TSB_CORE_STORE_H_
 #define TSB_CORE_STORE_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "core/topology.h"
 #include "graph/schema_graph.h"
 #include "storage/catalog.h"
@@ -34,6 +40,12 @@ struct PairTopologyData {
   /// Build caps, kept so online verification replays the same limits.
   size_t build_max_class_representatives = 0;
   size_t build_max_union_combinations = 0;
+
+  /// Namespace prefixed to every precompute table of this pair (from
+  /// BuildConfig::table_namespace). Live rebuilds stage each epoch under a
+  /// distinct namespace so old and new tables coexist in storage::Catalog
+  /// until the old epoch's last reader releases it.
+  std::string table_namespace;
 
   std::string alltops_table;     // (E1, E2, TID)
   std::string pairclasses_table; // (E1, E2, CID), only pairs with >= 2
@@ -67,8 +79,20 @@ struct PairTopologyData {
 
 /// Owns the topology catalog and the per-pair precomputation registry; the
 /// hub object produced by TopologyBuilder and consumed by the query engine.
+///
+/// Thread safety: the catalog is internally synchronized (3-queries intern
+/// while 2-queries read). The pair registry is not — it is written during
+/// the single-threaded build commit and must be immutable once the store
+/// serves queries; a live rebuild therefore stages a fresh store and swaps
+/// it in through a StoreHandle rather than mutating this one.
 class TopologyStore {
  public:
+  TopologyStore() = default;
+  ~TopologyStore();
+
+  TopologyStore(const TopologyStore&) = delete;
+  TopologyStore& operator=(const TopologyStore&) = delete;
+
   TopologyCatalog* mutable_catalog() { return &catalog_; }
   const TopologyCatalog& catalog() const { return catalog_; }
 
@@ -76,8 +100,10 @@ class TopologyStore {
   static std::pair<storage::EntityTypeId, storage::EntityTypeId>
   NormalizePair(storage::EntityTypeId a, storage::EntityTypeId b);
 
-  /// Registers a freshly built pair; aborts on duplicates.
-  PairTopologyData* AddPair(PairTopologyData data);
+  /// Registers a freshly built pair. Fails with AlreadyExists on duplicates
+  /// and InvalidArgument when the data is not in canonical (t1 <= t2)
+  /// order, so a failed build attempt is recoverable by the caller.
+  Result<PairTopologyData*> AddPair(PairTopologyData data);
 
   /// Lookup in either order; nullptr if the pair was never built.
   PairTopologyData* FindPair(storage::EntityTypeId a,
@@ -91,6 +117,18 @@ class TopologyStore {
     return pairs_;
   }
 
+  /// Names of every precompute table this store registered in the storage
+  /// catalog (AllTops/PairClasses and, when pruned, LeftTops/ExcpTops).
+  std::vector<std::string> PrecomputeTableNames() const;
+
+  /// Hook run by the destructor. The service points a retired epoch's hook
+  /// at dropping its precompute tables, so they disappear exactly when the
+  /// last snapshot referencing them is released (the captured catalog must
+  /// outlive the store).
+  void set_cleanup(std::function<void()> cleanup) {
+    cleanup_ = std::move(cleanup);
+  }
+
   /// Writes/refreshes the global TopInfo table (TID, NUM_NODES, NUM_EDGES,
   /// NUM_CLASSES, IS_PATH, DIGEST, DETAILS) in `db`.
   void ExportTopInfoTable(storage::Catalog* db,
@@ -101,6 +139,38 @@ class TopologyStore {
   std::map<std::pair<storage::EntityTypeId, storage::EntityTypeId>,
            PairTopologyData>
       pairs_;
+  std::function<void()> cleanup_;
+};
+
+/// Epoch-style holder of the live TopologyStore — the snapshot read path
+/// that lets a rebuild happen behind live traffic. Readers (Engine, the
+/// service's 3-query path) take a shared_ptr snapshot per operation and
+/// keep using it for the operation's duration; a rebuild stages a complete
+/// replacement store and Swap()s it in, after which new operations see the
+/// new epoch while in-flight ones finish consistently on the old.
+class StoreHandle {
+ public:
+  explicit StoreHandle(std::shared_ptr<TopologyStore> initial);
+
+  /// The current epoch's store.
+  std::shared_ptr<TopologyStore> Snapshot() const;
+
+  /// Store and epoch counter read atomically together.
+  std::pair<std::shared_ptr<TopologyStore>, uint64_t> SnapshotWithEpoch()
+      const;
+
+  /// Monotonic swap counter (0 until the first Swap). Cheap to poll:
+  /// readers use it to detect that a cached per-epoch state is stale.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Publishes `next` and returns the retired store (whose tables stay
+  /// alive until every outstanding snapshot releases it).
+  std::shared_ptr<TopologyStore> Swap(std::shared_ptr<TopologyStore> next);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<TopologyStore> current_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace core

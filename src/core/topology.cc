@@ -1,6 +1,7 @@
 #include "core/topology.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -95,6 +96,7 @@ Tid TopologyCatalog::Intern(const graph::LabeledGraph& g, size_t num_classes) {
 Tid TopologyCatalog::InternWithCode(const graph::LabeledGraph& g,
                                     std::string code, size_t num_classes,
                                     std::vector<std::string> class_keys) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_code_.find(code);
   if (it != by_code_.end()) {
     // The same topology can arise from different class sets (graph identity
@@ -123,15 +125,31 @@ Tid TopologyCatalog::InternWithCode(const graph::LabeledGraph& g,
 }
 
 std::optional<Tid> TopologyCatalog::FindByCode(const std::string& code) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = by_code_.find(code);
   if (it == by_code_.end()) return std::nullopt;
   return it->second;
 }
 
-const TopologyInfo& TopologyCatalog::Get(Tid tid) const {
+const TopologyInfo& TopologyCatalog::GetLocked(Tid tid) const {
   TSB_CHECK(tid >= 1 && static_cast<size_t>(tid) <= infos_.size())
       << "unknown TID " << tid;
   return infos_[static_cast<size_t>(tid) - 1];
+}
+
+const TopologyInfo& TopologyCatalog::Get(Tid tid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetLocked(tid);
+}
+
+std::vector<std::string> TopologyCatalog::ClassKeysOf(Tid tid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetLocked(tid).class_keys;
+}
+
+size_t TopologyCatalog::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return infos_.size();
 }
 
 std::string TopologyCatalog::Describe(Tid tid,

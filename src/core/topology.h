@@ -2,7 +2,9 @@
 #define TSB_CORE_TOPOLOGY_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +32,11 @@ struct TopologyInfo {
   /// Path-class keys of the union that first produced this topology. The
   /// SQL baseline anchors its per-topology existence query on one of these
   /// (the structure-specific join the paper issues per candidate).
+  ///
+  /// Unlike every other field, class_keys keeps accumulating after
+  /// publication (the same topology can arise from different class sets).
+  /// Concurrent readers must go through TopologyCatalog::ClassKeysOf; the
+  /// reference returned by Get only covers the immutable fields.
   std::vector<std::string> class_keys;
 };
 
@@ -45,6 +52,15 @@ std::optional<graph::SchemaPath> ExtractSchemaPath(
 
 /// Interns topologies by canonical code and assigns stable TIDs (dense,
 /// starting at 1). The in-memory backing of the paper's TopInfo table.
+///
+/// Thread safety: Intern/InternWithCode/FindByCode/Get/size/ClassKeysOf/
+/// Describe are safe to call concurrently from any mix of threads (the
+/// intern map is mutex-guarded and entries live in a deque, so published
+/// TopologyInfo references never relocate). This is what lets 3-queries
+/// intern new topologies while 2-query readers traverse the catalog, and
+/// lets the parallel build commit without quiescing the service. infos()
+/// is the one exception: it exposes the underlying container for offline
+/// iteration (export, persistence) and must not race with interning.
 class TopologyCatalog {
  public:
   /// Returns the TID for `g`, interning it if unseen. `num_classes` records
@@ -54,21 +70,37 @@ class TopologyCatalog {
 
   /// Interning by precomputed code; `g` must match the code. `class_keys`
   /// (optional) records the constituent path classes of the first
-  /// observation.
+  /// observation; on re-observation, unseen keys are appended in order.
   Tid InternWithCode(const graph::LabeledGraph& g, std::string code,
                      size_t num_classes,
                      std::vector<std::string> class_keys = {});
 
   std::optional<Tid> FindByCode(const std::string& code) const;
+
+  /// The reference stays valid for the catalog's lifetime; its immutable
+  /// fields (tid, graph, code, num_classes, is_path) may be read without
+  /// synchronization. For class_keys use ClassKeysOf.
   const TopologyInfo& Get(Tid tid) const;
-  size_t size() const { return infos_.size(); }
-  const std::vector<TopologyInfo>& infos() const { return infos_; }
+
+  /// Snapshot copy of the (concurrently growing) class-key list of `tid`.
+  std::vector<std::string> ClassKeysOf(Tid tid) const;
+
+  size_t size() const;
+
+  /// Offline-only iteration (see class comment).
+  const std::deque<TopologyInfo>& infos() const { return infos_; }
 
   /// Human-readable structure, e.g. "[P]-(encodes)-[D], [P]-(uni_encodes)-[U]".
   std::string Describe(Tid tid, const graph::SchemaGraph& schema) const;
 
  private:
-  std::vector<TopologyInfo> infos_;
+  const TopologyInfo& GetLocked(Tid tid) const;
+
+  /// Guards by_code_, growth of infos_, and every class_keys vector.
+  mutable std::shared_mutex mu_;
+  /// Deque, not vector: published entries must not relocate while readers
+  /// hold references across interning.
+  std::deque<TopologyInfo> infos_;
   std::unordered_map<std::string, Tid> by_code_;
 };
 

@@ -54,12 +54,53 @@ Engine::Engine(storage::Catalog* db, core::TopologyStore* store,
                const graph::SchemaGraph* schema,
                const graph::DataGraphView* view,
                core::ScoreModel score_model, SqlBaselineOptions sql_options)
+    : Engine(db,
+             std::make_shared<core::StoreHandle>(
+                 // Non-owning: the caller keeps ownership of `store`.
+                 std::shared_ptr<core::TopologyStore>(
+                     store, [](core::TopologyStore*) {})),
+             schema, view, std::move(score_model), sql_options) {
+  swappable_store_ = false;
+}
+
+Engine::Engine(storage::Catalog* db,
+               std::shared_ptr<core::StoreHandle> store,
+               const graph::SchemaGraph* schema,
+               const graph::DataGraphView* view,
+               core::ScoreModel score_model, SqlBaselineOptions sql_options)
     : db_(db),
-      store_(store),
+      store_handle_(std::move(store)),
       schema_(schema),
       view_(view),
-      score_model_(std::move(score_model)),
-      sql_options_(sql_options) {}
+      knowledge_(score_model.knowledge()),
+      sql_options_(sql_options) {
+  // Seed the epoch-0 snapshot with the passed model (it is already bound
+  // to the initial store's catalog by every construction site).
+  auto [initial, epoch] = store_handle_->SnapshotWithEpoch();
+  snapshot_ = std::shared_ptr<const ServingSnapshot>(new ServingSnapshot{
+      epoch, std::move(initial), std::move(score_model)});
+}
+
+std::shared_ptr<const Engine::ServingSnapshot> Engine::AcquireSnapshot()
+    const {
+  const uint64_t current = store_handle_->epoch();
+  {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    if (snapshot_ != nullptr && snapshot_->epoch == current) {
+      return snapshot_;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  auto [store, epoch] = store_handle_->SnapshotWithEpoch();
+  if (snapshot_ != nullptr && snapshot_->epoch == epoch) return snapshot_;
+  // New epoch: rebind the score model to the new store's catalog. Domain
+  // scores memoize from scratch (TIDs are epoch-local).
+  core::ScoreModel scores(&store->catalog(), knowledge_);
+  auto snapshot = std::shared_ptr<const ServingSnapshot>(new ServingSnapshot{
+      epoch, std::move(store), std::move(scores)});
+  snapshot_ = snapshot;
+  return snapshot;
+}
 
 namespace {
 
@@ -99,18 +140,21 @@ Result<ResolvedQuery> ResolveQuery(const storage::Catalog& db,
 Result<QueryResult> Engine::Execute(const TopologyQuery& query,
                                     MethodKind method,
                                     const ExecOptions& options) const {
+  // Pin one store epoch for the whole evaluation; a concurrent rebuild
+  // swap cannot pull tables or the score model out from under us.
+  std::shared_ptr<const ServingSnapshot> snapshot = AcquireSnapshot();
   MethodContext ctx;
-  TSB_ASSIGN_OR_RETURN(ctx.rq, ResolveQuery(*db_, *store_, query));
+  TSB_ASSIGN_OR_RETURN(ctx.rq, ResolveQuery(*db_, *snapshot->store, query));
   ctx.engine = this;
   ctx.db = db_;
-  ctx.store = store_;
+  ctx.store = snapshot->store.get();
   ctx.schema = schema_;
   ctx.view = view_;
-  ctx.scores = &score_model_;
+  ctx.scores = &snapshot->scores;
   ctx.sql_options = &sql_options_;
   ctx.options = options;
   if (query.exclude_weak) {
-    ctx.weak_tids = &WeakTids(*ctx.rq.pair);
+    ctx.weak_tids = &WeakTids(snapshot->store->catalog(), *ctx.rq.pair);
   }
 
   const bool needs_pruned_tables =
@@ -160,18 +204,20 @@ Result<QueryResult> Engine::Execute(const TopologyQuery& query,
 Result<std::vector<core::TopologyInstance>> Engine::Instances(
     const TopologyQuery& query, core::Tid tid,
     const core::RetrievalLimits& limits) const {
+  std::shared_ptr<const ServingSnapshot> snapshot = AcquireSnapshot();
   MethodContext ctx;
-  TSB_ASSIGN_OR_RETURN(ctx.rq, ResolveQuery(*db_, *store_, query));
+  TSB_ASSIGN_OR_RETURN(ctx.rq, ResolveQuery(*db_, *snapshot->store, query));
   ctx.engine = this;
   ctx.db = db_;
-  ctx.store = store_;
+  ctx.store = snapshot->store.get();
   ctx.schema = schema_;
   ctx.view = view_;
-  ctx.scores = &score_model_;
+  ctx.scores = &snapshot->scores;
   ctx.sql_options = &sql_options_;
 
   const core::PairTopologyData& pair = *ctx.rq.pair;
-  const std::string& target_code = store_->catalog().Get(tid).code;
+  const std::string& target_code =
+      snapshot->store->catalog().Get(tid).code;
   const MethodContext::Selected& a = ctx.SelectedA();
   const MethodContext::Selected& b = ctx.SelectedB();
 
@@ -224,10 +270,12 @@ Result<std::vector<core::TopologyInstance>> Engine::Instances(
 
 void Engine::PrepareIndexes(const std::string& entity_set1,
                             const std::string& entity_set2) {
+  std::shared_ptr<const ServingSnapshot> snapshot = AcquireSnapshot();
   const storage::EntitySetDef* es1 = db_->FindEntitySet(entity_set1);
   const storage::EntitySetDef* es2 = db_->FindEntitySet(entity_set2);
   TSB_CHECK(es1 != nullptr && es2 != nullptr);
-  const core::PairTopologyData* pair = store_->FindPair(es1->id, es2->id);
+  const core::PairTopologyData* pair =
+      snapshot->store->FindPair(es1->id, es2->id);
   TSB_CHECK(pair != nullptr);
   db_->GetOrBuildHashIndex(es1->table_name, "ID");
   db_->GetOrBuildHashIndex(es2->table_name, "ID");
@@ -240,7 +288,9 @@ void Engine::PrepareIndexes(const std::string& entity_set1,
 
 const Engine::PairSet& Engine::ExcpPairs(const core::PairTopologyData& pair,
                                          core::Tid tid) const {
-  std::string key = pair.pair_name + "#" + std::to_string(tid);
+  // The table name (namespace-prefixed) is unique per store epoch, so a
+  // rebuilt pair never hits a stale entry.
+  std::string key = pair.excptops_table + "#" + std::to_string(tid);
   {
     std::lock_guard<std::mutex> lock(excp_mu_);
     auto it = excp_cache_.find(key);
@@ -261,16 +311,19 @@ const Engine::PairSet& Engine::ExcpPairs(const core::PairTopologyData& pair,
 }
 
 const std::unordered_set<core::Tid>& Engine::WeakTids(
+    const core::TopologyCatalog& catalog,
     const core::PairTopologyData& pair) const {
+  // Keyed by the epoch-unique AllTops table name (see header).
   {
     std::lock_guard<std::mutex> lock(weak_mu_);
-    auto it = weak_cache_.find(pair.pair_name);
+    auto it = weak_cache_.find(pair.alltops_table);
     if (it != weak_cache_.end()) return it->second;
   }
-  std::unordered_set<core::Tid> weak = core::FindWeakTopologies(
-      store_->catalog(), pair, score_model_.knowledge());
+  std::unordered_set<core::Tid> weak =
+      core::FindWeakTopologies(catalog, pair, knowledge_);
   std::lock_guard<std::mutex> lock(weak_mu_);
-  return weak_cache_.emplace(pair.pair_name, std::move(weak)).first->second;
+  return weak_cache_.emplace(pair.alltops_table, std::move(weak))
+      .first->second;
 }
 
 // ---------------------------------------------------------------------------

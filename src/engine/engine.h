@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -39,7 +40,20 @@ struct SqlBaselineOptions {
 /// alone) with any of the nine strategies of Section 6.
 class Engine {
  public:
+  /// Single-epoch construction over a caller-owned store (the store must
+  /// outlive the engine). Equivalent to wrapping `store` in a StoreHandle
+  /// that is never swapped.
   Engine(storage::Catalog* db, core::TopologyStore* store,
+         const graph::SchemaGraph* schema, const graph::DataGraphView* view,
+         core::ScoreModel score_model,
+         SqlBaselineOptions sql_options = SqlBaselineOptions{});
+
+  /// Epoch-aware construction: every Execute acquires the handle's current
+  /// store snapshot, so a rebuild can StoreHandle::Swap a fresh store in
+  /// behind live queries. In-flight queries finish on the snapshot they
+  /// started with; the per-epoch score model is rebuilt lazily on the
+  /// first query that observes the new epoch.
+  Engine(storage::Catalog* db, std::shared_ptr<core::StoreHandle> store,
          const graph::SchemaGraph* schema, const graph::DataGraphView* view,
          core::ScoreModel score_model,
          SqlBaselineOptions sql_options = SqlBaselineOptions{});
@@ -47,11 +61,11 @@ class Engine {
   /// Evaluates `query` with `method`. All methods return identical result
   /// *sets* (top-k methods return the k best by score).
   ///
-  /// Thread safety: Execute is safe to call from many threads at once, as
-  /// long as no thread concurrently rebuilds the underlying store or tables
-  /// (the internal per-engine caches and the catalog's lazy index builds
-  /// are internally synchronized). The service layer (src/service/) relies
-  /// on this for its worker pool.
+  /// Thread safety: Execute is safe to call from many threads at once and
+  /// runs entirely against one store snapshot; store swaps through the
+  /// StoreHandle and catalog interning by concurrent 3-queries are safe.
+  /// Only dropping tables of the epoch a query runs on is not — the
+  /// retired-store cleanup hook takes care of that ordering.
   Result<QueryResult> Execute(const TopologyQuery& query, MethodKind method,
                               const ExecOptions& options = ExecOptions{}) const;
 
@@ -68,21 +82,49 @@ class Engine {
       const TopologyQuery& query, core::Tid tid,
       const core::RetrievalLimits& limits = core::RetrievalLimits{}) const;
 
-  const core::ScoreModel& score_model() const { return score_model_; }
+  /// The handle every query reads through; the service swaps rebuilt
+  /// stores via this handle so engine and service stay in lockstep.
+  const std::shared_ptr<core::StoreHandle>& store_handle() const {
+    return store_handle_;
+  }
+
+  /// True when the engine was constructed over a shared_ptr StoreHandle
+  /// (heap-owned stores). False for the legacy raw-pointer constructor,
+  /// whose non-owning wrapper cannot honor the retired-epoch cleanup
+  /// contract — the service refuses live rebuilds on such engines.
+  bool store_is_swappable() const { return swappable_store_; }
+
+  const core::DomainKnowledge& knowledge() const { return knowledge_; }
 
  private:
   friend struct MethodContext;
 
+  /// Immutable per-epoch serving state: the store snapshot plus the score
+  /// model bound to its catalog. Queries pin one snapshot for their whole
+  /// execution.
+  struct ServingSnapshot {
+    uint64_t epoch;
+    std::shared_ptr<core::TopologyStore> store;
+    core::ScoreModel scores;
+  };
+  std::shared_ptr<const ServingSnapshot> AcquireSnapshot() const;
+
   storage::Catalog* db_;
-  core::TopologyStore* store_;
+  std::shared_ptr<core::StoreHandle> store_handle_;
   const graph::SchemaGraph* schema_;
   const graph::DataGraphView* view_;
-  core::ScoreModel score_model_;
+  core::DomainKnowledge knowledge_;
   SqlBaselineOptions sql_options_;
+  bool swappable_store_ = true;
 
-  /// Exception-pair sets per pruned TID, keyed by (pair name, tid).
-  /// Guarded by excp_mu_; references handed out stay valid because
-  /// unordered_map never relocates mapped values.
+  /// Cached snapshot for the current epoch, rebuilt lazily after a swap.
+  mutable std::shared_mutex snapshot_mu_;
+  mutable std::shared_ptr<const ServingSnapshot> snapshot_;
+
+  /// Exception-pair sets per pruned TID, keyed by (ExcpTops table name,
+  /// tid) — table names are epoch-unique, so entries never alias across
+  /// store swaps. Guarded by excp_mu_; references handed out stay valid
+  /// because unordered_map never relocates mapped values.
   using PairSet =
       std::unordered_set<std::pair<int64_t, int64_t>, PairHash>;
   mutable std::mutex excp_mu_;
@@ -91,12 +133,15 @@ class Engine {
   const PairSet& ExcpPairs(const core::PairTopologyData& pair,
                            core::Tid tid) const;
 
-  /// Weak-topology sets per pair (Section 6.2.3 domain pruning), cached.
-  /// Guarded by weak_mu_ under the same stable-reference argument.
+  /// Weak-topology sets per pair (Section 6.2.3 domain pruning), keyed by
+  /// the epoch-unique AllTops table name. Guarded by weak_mu_ under the
+  /// same stable-reference argument. Entries of retired epochs linger
+  /// until engine destruction (bounded by rebuild count).
   mutable std::mutex weak_mu_;
   mutable std::unordered_map<std::string, std::unordered_set<core::Tid>>
       weak_cache_;
   const std::unordered_set<core::Tid>& WeakTids(
+      const core::TopologyCatalog& catalog,
       const core::PairTopologyData& pair) const;
 };
 

@@ -45,6 +45,7 @@ namespace {
 /// exact topology from base data — the NOT-EXISTS half of the check.
 /// Early-outs on the first verified pair.
 bool SqlCandidateCheck(MethodContext* ctx, const core::TopologyInfo& info,
+                       const std::vector<std::string>& class_keys,
                        const core::PairComputeLimits& verify_limits) {
   const MethodContext::Selected& a = ctx->SelectedA();
   const MethodContext::Selected& b = ctx->SelectedB();
@@ -54,7 +55,7 @@ bool SqlCandidateCheck(MethodContext* ctx, const core::TopologyInfo& info,
   // one of these classes, so sweeping them in turn is a complete check.
   const core::PairTopologyData& pair = *ctx->rq.pair;
   std::vector<const core::ClassInfo*> anchors;
-  for (const std::string& key : info.class_keys) {
+  for (const std::string& key : class_keys) {
     auto it = pair.class_by_key.find(key);
     if (it == pair.class_by_key.end()) continue;
     anchors.push_back(&pair.classes[it->second]);
@@ -142,7 +143,13 @@ QueryResult RunSql(MethodContext* ctx) {
     if (ctx->Excluded(tid)) continue;
     ++ctx->stats.subqueries;
     const core::TopologyInfo& info = ctx->store->catalog().Get(tid);
-    if (SqlCandidateCheck(ctx, info, verify_limits)) found.push_back(tid);
+    // Copy the class keys under the catalog lock: concurrent 3-queries may
+    // be appending to them while this baseline runs.
+    std::vector<std::string> class_keys =
+        ctx->store->catalog().ClassKeysOf(tid);
+    if (SqlCandidateCheck(ctx, info, class_keys, verify_limits)) {
+      found.push_back(tid);
+    }
   }
 
   QueryResult result;

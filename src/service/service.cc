@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/pruner.h"
 
 namespace tsb {
 namespace service {
@@ -54,6 +55,113 @@ void TopologyService::EnableTripleQueries(core::TopologyStore* store,
   triple_view_ = view;
 }
 
+Status TopologyService::AttachLiveStore(const graph::SchemaGraph* schema,
+                                        const graph::DataGraphView* view) {
+  if (!engine_->store_is_swappable()) {
+    return Status::FailedPrecondition(
+        "live rebuilds need an engine constructed over a shared_ptr "
+        "StoreHandle; the raw-pointer Engine constructor wraps a "
+        "caller-owned store that cannot be retired safely");
+  }
+  live_handle_ = engine_->store_handle();
+  TSB_CHECK(live_handle_ != nullptr);
+  triple_schema_ = schema;
+  triple_view_ = view;
+  return Status::OK();
+}
+
+std::string TopologyService::EpochFingerprint(std::string fingerprint) const {
+  return "e" + std::to_string(engine_->store_handle()->epoch()) + "|" +
+         std::move(fingerprint);
+}
+
+std::shared_ptr<core::TopologyStore> TopologyService::TripleBackend() const {
+  if (live_handle_ != nullptr) return live_handle_->Snapshot();
+  if (triple_store_ != nullptr) {
+    // Fixed backend: non-owning, the caller guarantees lifetime.
+    return std::shared_ptr<core::TopologyStore>(triple_store_,
+                                                [](core::TopologyStore*) {});
+  }
+  return nullptr;
+}
+
+Result<RebuildStats> TopologyService::Rebuild(const RebuildOptions& options) {
+  if (live_handle_ == nullptr) {
+    return Status::FailedPrecondition(
+        "live rebuild needs a StoreHandle-backed engine; call "
+        "AttachLiveStore first");
+  }
+  std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
+
+  RebuildStats stats;
+  stats.epoch = live_handle_->epoch() + 1;
+  stats.table_namespace = "e" + std::to_string(stats.epoch) + ".";
+
+  core::BuildConfig build = options.build;
+  build.table_namespace = stats.table_namespace;
+
+  // Stage the new epoch on the worker pool, behind live traffic. Stage
+  // tasks share the pool with queries; commits run on this thread.
+  auto next = std::make_shared<core::TopologyStore>();
+  core::TopologyBuilder builder(db_, triple_schema_, triple_view_);
+  auto drop_staged_tables = [&]() {
+    for (const std::string& name : next->PrecomputeTableNames()) {
+      (void)db_->DropTable(name);
+    }
+  };
+  Stopwatch build_watch;
+  Status built = builder.BuildAllPairs(build, next.get(), &pool_);
+  stats.build_seconds = build_watch.ElapsedSeconds();
+  if (!built.ok()) {
+    drop_staged_tables();
+    return built;
+  }
+
+  if (options.prune_threshold.has_value()) {
+    Stopwatch prune_watch;
+    core::PruneConfig prune;
+    prune.frequency_threshold = *options.prune_threshold;
+    std::vector<std::pair<storage::EntityTypeId, storage::EntityTypeId>>
+        keys;
+    for (const auto& [key, pair] : next->pairs()) keys.push_back(key);
+    for (const auto& [t1, t2] : keys) {
+      Result<core::PruneStats> pruned =
+          core::PruneFrequentTopologies(db_, next.get(), t1, t2, prune);
+      if (!pruned.ok()) {
+        drop_staged_tables();
+        return pruned.status();
+      }
+    }
+    stats.prune_seconds = prune_watch.ElapsedSeconds();
+  }
+
+  stats.pairs_built = next->pairs().size();
+  stats.catalog_topologies = next->catalog().size();
+
+  // Export before the swap, while `next` is still private: once it is
+  // live, concurrent 3-queries intern into its catalog, and
+  // ExportTopInfoTable's infos() iteration must not race that.
+  if (options.export_topinfo) {
+    next->ExportTopInfoTable(db_, *triple_schema_);
+  }
+
+  // Publish the new epoch, then drop the caches in the same step (cached
+  // entries derive from the retired epoch's tables). The retired store
+  // keeps its tables alive until the last in-flight snapshot releases it;
+  // its destructor then drops them from the storage catalog.
+  std::shared_ptr<core::TopologyStore> retired = live_handle_->Swap(next);
+  std::vector<std::string> retired_tables = retired->PrecomputeTableNames();
+  storage::Catalog* db = db_;
+  retired->set_cleanup([db, retired_tables]() {
+    for (const std::string& name : retired_tables) {
+      (void)db->DropTable(name);
+    }
+  });
+  retired.reset();
+  InvalidateCache();
+  return stats;
+}
+
 ServiceResponse TopologyService::RunQuery(
     const engine::TopologyQuery& query, engine::MethodKind method,
     const engine::ExecOptions& options,
@@ -68,12 +176,10 @@ ServiceResponse TopologyService::RunQuery(
     return response;
   }
 
-  Result<engine::QueryResult> result = [&]() {
-    // Shared with other 2-queries; excluded only by a running 3-query
-    // (which mutates the topology catalog this evaluation reads).
-    std::shared_lock<std::shared_mutex> lock(exec_mu_);
-    return engine_->Execute(query, method, options);
-  }();
+  // No service-level lock: Execute pins a store snapshot and the catalog
+  // interns under its own mutex, so 2-queries, 3-queries, and rebuild
+  // staging coexist freely.
+  Result<engine::QueryResult> result = engine_->Execute(query, method, options);
   const bool ok = result.ok();
   if (ok && config_.enable_cache) {
     cache_.Insert(fingerprint,
@@ -95,7 +201,8 @@ std::future<ServiceResponse> TopologyService::Submit(
         Status::FailedPrecondition("service is shut down"), false, 0.0});
   }
 
-  std::string fingerprint = FingerprintQuery(query, method, options);
+  std::string fingerprint =
+      EpochFingerprint(FingerprintQuery(query, method, options));
 
   // Fast path: answer hits on the caller's thread, no pool hop, no
   // admission charge.
@@ -169,7 +276,7 @@ BatchOutcome TopologyService::ExecuteBatch(
   for (const ParsedRequest& req : requests) {
     Stopwatch watch;
     std::string fingerprint =
-        FingerprintQuery(req.query, req.method, req.options);
+        EpochFingerprint(FingerprintQuery(req.query, req.method, req.options));
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
     std::future<ServiceResponse> future = pool_.Submit(
         [this, req, fingerprint = std::move(fingerprint), watch]() mutable {
@@ -210,14 +317,15 @@ std::future<TripleResponse> TopologyService::SubmitTriple(
     return Ready(TripleResponse{
         Status::FailedPrecondition("service is shut down"), false, 0.0});
   }
-  if (triple_store_ == nullptr) {
+  if (triple_store_ == nullptr && live_handle_ == nullptr) {
     return Ready(TripleResponse{
         Status::FailedPrecondition(
-            "3-queries not enabled; call EnableTripleQueries"),
+            "3-queries not enabled; call EnableTripleQueries or "
+            "AttachLiveStore"),
         false, 0.0});
   }
 
-  std::string fingerprint = FingerprintTripleQuery(query);
+  std::string fingerprint = EpochFingerprint(FingerprintTripleQuery(query));
   if (config_.enable_cache) {
     if (std::shared_ptr<const engine::TripleQueryResult> hit =
             triple_cache_.Lookup(fingerprint)) {
@@ -239,14 +347,12 @@ std::future<TripleResponse> TopologyService::SubmitTriple(
 
   std::future<TripleResponse> future = pool_.Submit(
       [this, query, fingerprint = std::move(fingerprint), watch]() mutable {
-        Result<engine::TripleQueryResult> result = [&]() {
-          // ExecuteTripleQuery interns new topologies into the shared
-          // catalog that 2-query readers traverse: take the writer lock.
-          std::unique_lock<std::shared_mutex> lock(exec_mu_);
-          return engine::ExecuteTripleQuery(db_, triple_store_,
-                                            *triple_schema_, *triple_view_,
-                                            query);
-        }();
+        // Pin the triple backend for this evaluation: the live epoch when
+        // attached, else the fixed store. Interning into the shared
+        // catalog is thread-safe, so no lock excludes 2-query traffic.
+        std::shared_ptr<core::TopologyStore> backend = TripleBackend();
+        Result<engine::TripleQueryResult> result = engine::ExecuteTripleQuery(
+            db_, backend.get(), *triple_schema_, *triple_view_, query);
         const bool ok = result.ok();
         if (ok && config_.enable_cache) {
           triple_cache_.Insert(

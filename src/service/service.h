@@ -5,12 +5,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/stopwatch.h"
+#include "core/builder.h"
 #include "engine/engine.h"
 #include "engine/nquery.h"
 #include "engine/query.h"
@@ -59,6 +60,27 @@ struct BatchOutcome {
   size_t failures = 0;
 };
 
+/// Configuration of a live store rebuild (see TopologyService::Rebuild).
+struct RebuildOptions {
+  /// Build configuration for the new epoch. table_namespace is overridden
+  /// with an epoch-unique prefix ("e<N>.") by the service.
+  core::BuildConfig build;
+  /// When set, PruneFrequentTopologies runs for every rebuilt pair at this
+  /// frequency threshold (Fast-Top methods need pruned tables).
+  std::optional<size_t> prune_threshold;
+  /// Refresh the global TopInfo table from the new catalog after the swap.
+  bool export_topinfo = false;
+};
+
+struct RebuildStats {
+  uint64_t epoch = 0;             // StoreHandle epoch after the swap.
+  std::string table_namespace;    // Namespace the new tables live under.
+  size_t pairs_built = 0;
+  size_t catalog_topologies = 0;
+  double build_seconds = 0.0;     // Stage+commit (parallel, on the pool).
+  double prune_seconds = 0.0;
+};
+
 /// The concurrent query frontend over engine::Engine — the serving layer
 /// that turns the single-caller library into a shared multi-user service:
 ///
@@ -68,19 +90,22 @@ struct BatchOutcome {
 ///   - admission control bounds in-flight work and rejects the overflow
 ///   - per-method metrics: requests, cache hits, errors, p50/p95 latency
 ///   - a text frontend (SubmitLine) driven by RequestParser
+///   - live store rebuilds: Rebuild() stages a fresh epoch on the same
+///     pool and swaps it in behind traffic (see AttachLiveStore)
 ///
 /// The engine must outlive the service. Engine::Execute is concurrency-safe
-/// for readers; whoever rebuilds the store/tables must quiesce the service
-/// and call InvalidateCache() afterwards — cached entries derive from the
-/// precomputed tables.
+/// and pins a store snapshot per query, and TopologyCatalog interning is
+/// thread-safe, so 2-queries, 3-queries, and rebuild staging all run
+/// concurrently — no service-level reader/writer lock remains.
 ///
-/// 3-queries (SubmitTriple) take the service's writer lock:
-/// ExecuteTripleQuery interns newly observed topologies into the shared
-/// TopologyCatalog, which 2-query evaluation reads, so a triple excludes
-/// all other service traffic (2-queries among themselves run fully
-/// concurrently under shared locks); triples still benefit from caching.
-/// Calling Engine::Execute directly while the service runs triples is not
-/// supported.
+/// Rebuild flow: construct the engine with a core::StoreHandle, call
+/// AttachLiveStore(schema, view), then Rebuild(options) at any time.
+/// Rebuild builds a complete new store (parallel BuildAllPairs over the
+/// worker pool, competing fairly with live queries), prunes it, swaps the
+/// handle, and drops the result caches in the same step. In-flight queries
+/// finish on the epoch they started with; the retired epoch's tables are
+/// dropped when its last snapshot is released. Do not call Rebuild from a
+/// pool worker (it waits on staging futures executed by that pool).
 class TopologyService {
  public:
   TopologyService(const engine::Engine* engine, storage::Catalog* db,
@@ -90,10 +115,26 @@ class TopologyService {
   TopologyService(const TopologyService&) = delete;
   TopologyService& operator=(const TopologyService&) = delete;
 
-  /// Enables SubmitTriple; the pointers must outlive the service.
+  /// Enables SubmitTriple against a fixed store; the pointers must outlive
+  /// the service. Prefer AttachLiveStore when rebuilds are needed — a
+  /// store enabled this way never follows epoch swaps.
   void EnableTripleQueries(core::TopologyStore* store,
                            const graph::SchemaGraph* schema,
                            const graph::DataGraphView* view);
+
+  /// Enables Rebuild() and SubmitTriple through the engine's StoreHandle,
+  /// so 3-queries and rebuilds always target the live epoch. Fails with
+  /// FailedPrecondition when the engine was built with the legacy
+  /// raw-pointer constructor: its non-owning store wrapper cannot honor
+  /// the retired-epoch table cleanup (tables would leak, and the cleanup
+  /// could fire after the database catalog is gone). Handle stores must be
+  /// heap-owned and must not outlive `db`.
+  Status AttachLiveStore(const graph::SchemaGraph* schema,
+                         const graph::DataGraphView* view);
+
+  /// Rebuilds the topology store behind live traffic (see class comment).
+  /// Serialized against itself; queries keep flowing throughout.
+  Result<RebuildStats> Rebuild(const RebuildOptions& options);
 
   /// Asynchronous submission. The returned future is always valid: errors
   /// (rejection, shutdown, engine failure) surface in the response.
@@ -115,10 +156,13 @@ class TopologyService {
   /// counts toward it, throttling concurrent singles).
   BatchOutcome ExecuteBatch(const std::vector<ParsedRequest>& requests);
 
-  /// 3-query submission (requires EnableTripleQueries).
+  /// 3-query submission (requires EnableTripleQueries or AttachLiveStore).
+  /// Runs concurrently with 2-queries: interning into the shared catalog
+  /// is thread-safe, so triples no longer exclude other traffic.
   std::future<TripleResponse> SubmitTriple(const engine::TripleQuery& query);
 
-  /// Drops all cached results. Call after any store/table rebuild.
+  /// Drops all cached results. Rebuild() folds this into its swap; call it
+  /// manually only after out-of-band table mutations.
   void InvalidateCache();
 
   /// Stops accepting work, drains queued requests, joins workers.
@@ -137,6 +181,17 @@ class TopologyService {
                            const engine::ExecOptions& options,
                            std::shared_ptr<const engine::QueryResult> cached,
                            std::string fingerprint, Stopwatch watch);
+
+  /// Cache keys carry the store epoch: a query that pinned a pre-swap
+  /// snapshot can finish (and Insert) after Rebuild's cache clear, but its
+  /// stale result lands under the retired epoch's key, which no post-swap
+  /// lookup ever reads.
+  std::string EpochFingerprint(std::string fingerprint) const;
+
+  /// The store 3-queries run against: the live epoch when attached via
+  /// AttachLiveStore, else the fixed EnableTripleQueries store (wrapped
+  /// non-owning). Null when neither was called.
+  std::shared_ptr<core::TopologyStore> TripleBackend() const;
 
   template <typename Response>
   static std::future<Response> Ready(Response response) {
@@ -157,13 +212,15 @@ class TopologyService {
   std::atomic<size_t> in_flight_{0};
   std::atomic<bool> accepting_{true};
 
-  /// Triple-query backend (null until EnableTripleQueries).
+  /// Triple-query backend (null until EnableTripleQueries/AttachLiveStore).
   core::TopologyStore* triple_store_ = nullptr;
   const graph::SchemaGraph* triple_schema_ = nullptr;
   const graph::DataGraphView* triple_view_ = nullptr;
-  /// Readers (2-query Execute) vs. writer (ExecuteTripleQuery, which
-  /// interns into the shared TopologyCatalog that readers traverse).
-  std::shared_mutex exec_mu_;
+
+  /// Live-rebuild state (null until AttachLiveStore).
+  std::shared_ptr<core::StoreHandle> live_handle_;
+  /// Serializes Rebuild() calls; never taken on the query path.
+  std::mutex rebuild_mu_;
 };
 
 }  // namespace service

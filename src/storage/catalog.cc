@@ -8,6 +8,7 @@ namespace storage {
 
 Result<Table*> Catalog::CreateTable(const std::string& name,
                                     TableSchema schema) {
+  std::unique_lock<std::shared_mutex> lock(tables_mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -18,21 +19,28 @@ Result<Table*> Catalog::CreateTable(const std::string& name,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("table '" + name + "' does not exist");
+  {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    tables_.erase(it);
   }
+  // Outside tables_mu_: index registries have their own lock, and the two
+  // are never nested (see header).
   InvalidateIndexes(name);
-  tables_.erase(it);
   return Status::OK();
 }
 
 Table* Catalog::FindTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 const Table* Catalog::FindTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -50,6 +58,7 @@ const Table* Catalog::GetTable(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
@@ -141,10 +150,11 @@ std::string IndexKey(const std::string& table, const std::string& column) {
 const HashIndex& Catalog::GetOrBuildHashIndex(const std::string& table_name,
                                               const std::string& column) {
   std::string key = IndexKey(table_name, column);
+  // Resolve the table before taking index_mu_ so the two locks never nest.
+  const Table* table = GetTable(table_name);
   std::lock_guard<std::mutex> lock(index_mu_);
   auto it = hash_indexes_.find(key);
   if (it == hash_indexes_.end()) {
-    const Table* table = GetTable(table_name);
     it = hash_indexes_
              .emplace(key, std::make_unique<HashIndex>(*table, column))
              .first;
@@ -155,10 +165,10 @@ const HashIndex& Catalog::GetOrBuildHashIndex(const std::string& table_name,
 const KeywordIndex& Catalog::GetOrBuildKeywordIndex(
     const std::string& table_name, const std::string& column) {
   std::string key = IndexKey(table_name, column);
+  const Table* table = GetTable(table_name);
   std::lock_guard<std::mutex> lock(index_mu_);
   auto it = keyword_indexes_.find(key);
   if (it == keyword_indexes_.end()) {
-    const Table* table = GetTable(table_name);
     it = keyword_indexes_
              .emplace(key, std::make_unique<KeywordIndex>(*table, column))
              .first;
@@ -186,6 +196,7 @@ void Catalog::InvalidateIndexes(const std::string& table_name) {
 }
 
 size_t Catalog::MemoryBytesWithPrefix(const std::string& prefix) const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
   size_t total = 0;
   for (const auto& [name, table] : tables_) {
     if (name.rfind(prefix, 0) == 0) total += table->MemoryBytes();

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +45,13 @@ struct RelationshipSetDef {
 
 /// Owns tables and their indexes, and the ER-level metadata that maps the
 /// relational database onto the data-graph model of Section 2.1.
+///
+/// Thread safety: the table registry is reader/writer-guarded, so a live
+/// store rebuild can CreateTable/DropTable while query threads look tables
+/// up. A Table* stays valid until DropTable for that name; the epoch
+/// mechanism in the service guarantees queries never touch a dropped
+/// epoch's tables. Entity/relationship-set registration is setup-time only
+/// and not synchronized against itself.
 class Catalog {
  public:
   Catalog() = default;
@@ -54,7 +62,8 @@ class Catalog {
   /// Creates an empty table; fails if the name exists.
   Result<Table*> CreateTable(const std::string& name, TableSchema schema);
   /// Removes a table and its indexes (used when replacing AllTops with the
-  /// pruned LeftTops/ExcpTops pair).
+  /// pruned LeftTops/ExcpTops pair, and when a retired store epoch drops
+  /// its precompute tables).
   Status DropTable(const std::string& name);
   /// Lookup; nullptr if absent.
   Table* FindTable(const std::string& name);
@@ -112,6 +121,9 @@ class Catalog {
   size_t MemoryBytesWithPrefix(const std::string& prefix) const;
 
  private:
+  /// Guards tables_ (lookups on query threads vs. create/drop during live
+  /// rebuilds). Never held while index_mu_ is taken, and vice versa.
+  mutable std::shared_mutex tables_mu_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<EntitySetDef> entity_sets_;
   std::vector<RelationshipSetDef> relationship_sets_;

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "biozon/domain.h"
 #include "biozon/generator.h"
@@ -15,6 +17,7 @@
 #include "graph/canonical.h"
 #include "graph/data_graph.h"
 #include "graph/schema_graph.h"
+#include "service/thread_pool.h"
 
 namespace tsb {
 namespace {
@@ -177,6 +180,207 @@ TEST(BuilderTest, BuildAllPairsCoversConnectedTypePairs) {
   EXPECT_TRUE(built->store.FindPair(built->ids.protein, built->ids.protein) !=
               nullptr);
   EXPECT_GT(built->store.pairs().size(), 5u);
+}
+
+// --- Config validation ------------------------------------------------------
+
+TEST(BuilderTest, RejectsDegenerateConfigs) {
+  auto built = std::make_unique<BuiltDb>();
+  built->ids = biozon::GenerateBiozon(SmallConfig(61), &built->db);
+  built->view = std::make_unique<graph::DataGraphView>(built->db);
+  built->schema = std::make_unique<graph::SchemaGraph>(built->db);
+  core::TopologyBuilder builder(&built->db, built->schema.get(),
+                                built->view.get());
+
+  auto expect_invalid = [&](core::BuildConfig config) {
+    Status pair_status = builder.BuildPair(built->ids.protein,
+                                           built->ids.dna, config,
+                                           &built->store);
+    EXPECT_EQ(pair_status.code(), StatusCode::kInvalidArgument)
+        << pair_status;
+    Status all_status = builder.BuildAllPairs(config, &built->store);
+    EXPECT_EQ(all_status.code(), StatusCode::kInvalidArgument) << all_status;
+    EXPECT_TRUE(built->store.pairs().empty());
+  };
+
+  core::BuildConfig zero_length;
+  zero_length.max_path_length = 0;
+  expect_invalid(zero_length);
+
+  core::BuildConfig zero_reps;
+  zero_reps.max_class_representatives = 0;
+  expect_invalid(zero_reps);
+
+  core::BuildConfig zero_combos;
+  zero_combos.max_union_combinations = 0;
+  expect_invalid(zero_combos);
+
+  core::BuildConfig zero_paths;
+  zero_paths.max_paths_per_source = 0;
+  expect_invalid(zero_paths);
+}
+
+TEST(BuilderTest, DuplicateBuildReturnsAlreadyExists) {
+  auto built = BuildSmall(67);
+  core::TopologyBuilder builder(&built->db, built->schema.get(),
+                                built->view.get());
+  core::BuildConfig config;
+  Status dup = builder.BuildPair(built->ids.protein, built->ids.dna, config,
+                                 &built->store);
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+// --- Staged build determinism ----------------------------------------------
+
+/// Asserts b's store/catalog/tables are byte-identical to a's.
+void ExpectIdenticalStores(const BuiltDb& a, const BuiltDb& b) {
+  // Catalog: same TIDs, codes, structure facts, and class keys.
+  ASSERT_EQ(a.store.catalog().size(), b.store.catalog().size());
+  for (core::Tid tid = 1;
+       tid <= static_cast<core::Tid>(a.store.catalog().size()); ++tid) {
+    const core::TopologyInfo& ia = a.store.catalog().Get(tid);
+    const core::TopologyInfo& ib = b.store.catalog().Get(tid);
+    EXPECT_EQ(ia.code, ib.code) << "TID " << tid;
+    EXPECT_EQ(ia.num_classes, ib.num_classes) << "TID " << tid;
+    EXPECT_EQ(ia.is_path, ib.is_path) << "TID " << tid;
+    EXPECT_EQ(a.store.catalog().ClassKeysOf(tid),
+              b.store.catalog().ClassKeysOf(tid))
+        << "TID " << tid;
+  }
+
+  // Pair registry: same pairs, frequencies, classes, and table contents.
+  ASSERT_EQ(a.store.pairs().size(), b.store.pairs().size());
+  auto ita = a.store.pairs().begin();
+  auto itb = b.store.pairs().begin();
+  for (; ita != a.store.pairs().end(); ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first);
+    const core::PairTopologyData& pa = ita->second;
+    const core::PairTopologyData& pb = itb->second;
+    EXPECT_EQ(pa.pair_name, pb.pair_name);
+    EXPECT_EQ(pa.freq, pb.freq) << pa.pair_name;
+    EXPECT_EQ(pa.num_related_pairs, pb.num_related_pairs) << pa.pair_name;
+    ASSERT_EQ(pa.classes.size(), pb.classes.size()) << pa.pair_name;
+    for (size_t c = 0; c < pa.classes.size(); ++c) {
+      EXPECT_EQ(pa.classes[c].key, pb.classes[c].key);
+      EXPECT_EQ(pa.classes[c].path_tid, pb.classes[c].path_tid);
+      EXPECT_EQ(pa.classes[c].instance_pairs, pb.classes[c].instance_pairs);
+    }
+    for (const std::string* name :
+         {&pa.alltops_table, &pa.pairclasses_table}) {
+      const storage::Table& ta = *a.db.GetTable(*name);
+      const storage::Table& tb = *b.db.GetTable(*name);
+      ASSERT_EQ(ta.num_rows(), tb.num_rows()) << *name;
+      for (size_t i = 0; i < ta.num_rows(); ++i) {
+        ASSERT_EQ(ta.GetRow(i), tb.GetRow(i)) << *name << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(BuilderTest, ParallelBuildAllPairsMatchesSequentialByteForByte) {
+  // The tentpole contract: fanning stage steps over N workers and
+  // committing in canonical pair order yields the exact store (TIDs, class
+  // ids, table rows, freq maps) of the sequential build.
+  core::BuildConfig config;
+  config.max_path_length = 2;
+
+  auto sequential = std::make_unique<BuiltDb>();
+  sequential->ids = biozon::GenerateBiozon(SmallConfig(71), &sequential->db);
+  sequential->view = std::make_unique<graph::DataGraphView>(sequential->db);
+  sequential->schema = std::make_unique<graph::SchemaGraph>(sequential->db);
+  core::TopologyBuilder seq_builder(&sequential->db, sequential->schema.get(),
+                                    sequential->view.get());
+  ASSERT_TRUE(seq_builder.BuildAllPairs(config, &sequential->store).ok());
+  ASSERT_GT(sequential->store.pairs().size(), 3u);
+
+  for (size_t threads : {1u, 4u, 8u}) {
+    auto parallel = std::make_unique<BuiltDb>();
+    parallel->ids = biozon::GenerateBiozon(SmallConfig(71), &parallel->db);
+    parallel->view = std::make_unique<graph::DataGraphView>(parallel->db);
+    parallel->schema = std::make_unique<graph::SchemaGraph>(parallel->db);
+    core::TopologyBuilder par_builder(&parallel->db, parallel->schema.get(),
+                                      parallel->view.get());
+    service::ThreadPool pool(threads);
+    ASSERT_TRUE(
+        par_builder.BuildAllPairs(config, &parallel->store, &pool).ok())
+        << threads << " threads";
+    ExpectIdenticalStores(*sequential, *parallel);
+  }
+}
+
+TEST(BuilderTest, StagePlusCommitEqualsBuildPair) {
+  auto direct = BuildSmall(73);
+
+  auto staged = std::make_unique<BuiltDb>();
+  staged->ids = biozon::GenerateBiozon(SmallConfig(73), &staged->db);
+  staged->view = std::make_unique<graph::DataGraphView>(staged->db);
+  staged->schema = std::make_unique<graph::SchemaGraph>(staged->db);
+  core::TopologyBuilder builder(&staged->db, staged->schema.get(),
+                                staged->view.get());
+  core::BuildConfig config;
+  auto staging =
+      builder.StagePair(staged->ids.protein, staged->ids.dna, config);
+  ASSERT_TRUE(staging.ok()) << staging.status();
+  ASSERT_TRUE(
+      builder.CommitStaged(std::move(*staging), &staged->store).ok());
+  ExpectIdenticalStores(*direct, *staged);
+}
+
+TEST(BuilderTest, TableNamespacePrefixesAllPrecomputeTables) {
+  auto built = std::make_unique<BuiltDb>();
+  built->ids = biozon::GenerateBiozon(SmallConfig(79), &built->db);
+  built->view = std::make_unique<graph::DataGraphView>(built->db);
+  built->schema = std::make_unique<graph::SchemaGraph>(built->db);
+  core::TopologyBuilder builder(&built->db, built->schema.get(),
+                                built->view.get());
+  core::BuildConfig config;
+  config.table_namespace = "e1.";
+  ASSERT_TRUE(builder
+                  .BuildPair(built->ids.protein, built->ids.dna, config,
+                             &built->store)
+                  .ok());
+  const core::PairTopologyData* pair =
+      built->store.FindPair(built->ids.protein, built->ids.dna);
+  ASSERT_NE(pair, nullptr);
+  EXPECT_EQ(pair->table_namespace, "e1.");
+  EXPECT_EQ(pair->alltops_table.rfind("e1.AllTops_", 0), 0u);
+  EXPECT_NE(built->db.FindTable(pair->alltops_table), nullptr);
+
+  core::PruneConfig prune;
+  prune.frequency_threshold = 0;
+  ASSERT_TRUE(core::PruneFrequentTopologies(&built->db, &built->store,
+                                            built->ids.protein,
+                                            built->ids.dna, prune)
+                  .ok());
+  EXPECT_EQ(pair->lefttops_table.rfind("e1.LeftTops_", 0), 0u);
+  EXPECT_EQ(pair->excptops_table.rfind("e1.ExcpTops_", 0), 0u);
+  EXPECT_NE(built->db.FindTable(pair->lefttops_table), nullptr);
+
+  EXPECT_EQ(built->store.PrecomputeTableNames().size(), 4u);
+}
+
+TEST(StoreTest, AddPairReportsDuplicatesAndBadOrderAsStatus) {
+  core::TopologyStore store;
+  core::PairTopologyData wrong_order;
+  wrong_order.t1 = 5;
+  wrong_order.t2 = 2;
+  EXPECT_EQ(store.AddPair(std::move(wrong_order)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  core::PairTopologyData first;
+  first.t1 = 2;
+  first.t2 = 5;
+  first.pair_name = "A_B";
+  ASSERT_TRUE(store.AddPair(std::move(first)).ok());
+
+  core::PairTopologyData duplicate;
+  duplicate.t1 = 2;
+  duplicate.t2 = 5;
+  duplicate.pair_name = "A_B";
+  EXPECT_EQ(store.AddPair(std::move(duplicate)).status().code(),
+            StatusCode::kAlreadyExists);
+  // The store is still usable after the failed registration.
+  EXPECT_NE(store.FindPair(2, 5), nullptr);
 }
 
 TEST(StoreTest, PairLookupIsOrderInsensitive) {
@@ -432,6 +636,59 @@ TEST(TopologyCatalogTest, ClassKeysMergeAcrossObservations) {
   EXPECT_EQ(info.class_keys[1], "keyB");
   // num_classes keeps the first observation.
   EXPECT_EQ(info.num_classes, 1u);
+}
+
+TEST(TopologyCatalogTest, ConcurrentInternAssignsConsistentTids) {
+  // N threads intern the same graph universe in rotated orders while also
+  // reading published entries; every thread must observe the same
+  // code->TID mapping (this is the TSan target for catalog interning).
+  const size_t kThreads = 8;
+  const size_t kGraphs = 64;
+  std::vector<graph::LabeledGraph> graphs;
+  std::vector<std::string> codes;
+  for (size_t i = 0; i < kGraphs; ++i) {
+    graphs.push_back(graph::MakePathGraph(
+        {static_cast<uint32_t>(i % 7), static_cast<uint32_t>(i % 5) + 7,
+         static_cast<uint32_t>(i % 3) + 13},
+        {static_cast<uint32_t>(i % 4), static_cast<uint32_t>(i % 6)}));
+    codes.push_back(graph::CanonicalCode(graphs.back()));
+  }
+  size_t distinct = std::set<std::string>(codes.begin(), codes.end()).size();
+
+  core::TopologyCatalog catalog;
+  std::vector<std::vector<core::Tid>> seen(kThreads,
+                                           std::vector<core::Tid>(kGraphs));
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (size_t i = 0; i < kGraphs; ++i) {
+        size_t g = (i + t * 11) % kGraphs;  // Rotated interleaving.
+        core::Tid tid = catalog.InternWithCode(
+            graphs[g], codes[g], 1, {"key" + std::to_string(t % 3)});
+        seen[t][g] = tid;
+        // Concurrent reads of published entries.
+        EXPECT_EQ(catalog.Get(tid).code, codes[g]);
+        EXPECT_FALSE(catalog.ClassKeysOf(tid).empty());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(catalog.size(), distinct);
+  for (size_t g = 0; g < kGraphs; ++g) {
+    auto found = catalog.FindByCode(codes[g]);
+    ASSERT_TRUE(found.has_value());
+    for (size_t t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][g], *found) << "thread " << t << " graph " << g;
+    }
+  }
+  // Every thread's key tag got merged exactly once.
+  for (core::Tid tid = 1; tid <= static_cast<core::Tid>(catalog.size());
+       ++tid) {
+    std::vector<std::string> keys = catalog.ClassKeysOf(tid);
+    std::set<std::string> unique(keys.begin(), keys.end());
+    EXPECT_EQ(unique.size(), keys.size()) << "TID " << tid;
+  }
 }
 
 TEST(TopologyCatalogTest, FindByCodeRoundTrips) {

@@ -579,9 +579,10 @@ TEST_F(ServiceFig3Test, TripleQueriesAreServedAndCached) {
 }
 
 TEST_F(ServiceFig3Test, TriplesAndTwoQueriesRunConcurrently) {
-  // 3-queries intern into the shared catalog that 2-queries read; the
-  // service's reader-writer lock must keep a mixed workload safe (this is
-  // the TSAN target for that path). Cache off so everything executes.
+  // 3-queries intern into the shared catalog that 2-queries read; with
+  // thread-safe interning they run fully concurrently — no writer lock
+  // serializes them (this is the TSAN target for that path). Cache off so
+  // everything executes.
   service::ServiceConfig config;
   config.num_threads = 4;
   config.enable_cache = false;
@@ -616,6 +617,17 @@ TEST_F(ServiceFig3Test, TriplesAndTwoQueriesRunConcurrently) {
   EXPECT_EQ(failures.load(), 0u);
 }
 
+TEST_F(ServiceFig3Test, AttachLiveStoreRejectsLegacyEngines) {
+  // The raw-pointer Engine constructor wraps a caller-owned store; a live
+  // rebuild could never retire it safely, so attaching must fail (and
+  // Rebuild stays unavailable).
+  service::TopologyService svc(engine_.get(), &db_, service::ServiceConfig{});
+  Status attached = svc.AttachLiveStore(schema_.get(), view_.get());
+  EXPECT_EQ(attached.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(svc.Rebuild(service::RebuildOptions{}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST_F(ServiceFig3Test, TripleQueriesWithoutBackendFail) {
   service::TopologyService svc(engine_.get(), &db_, service::ServiceConfig{});
   engine::TripleQuery q;
@@ -626,6 +638,229 @@ TEST_F(ServiceFig3Test, TripleQueriesWithoutBackendFail) {
   EXPECT_FALSE(response.result.ok());
   EXPECT_EQ(response.result.status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Live store rebuild (epoch swap behind traffic)
+// ---------------------------------------------------------------------------
+
+class LiveRebuildTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = biozon::BuildFigure3Database(&db_);
+    view_ = std::make_unique<graph::DataGraphView>(db_);
+    schema_ = std::make_unique<graph::SchemaGraph>(db_);
+    // The initial store lives only in the handle: once a rebuild retires
+    // it and the last snapshot drops, its destructor cleans its tables up.
+    auto store = std::make_shared<core::TopologyStore>();
+    core::TopologyBuilder builder(&db_, schema_.get(), view_.get());
+    core::BuildConfig config;
+    config.max_path_length = 2;
+    ASSERT_TRUE(builder.BuildAllPairs(config, store.get()).ok());
+    core::PruneConfig prune;
+    prune.frequency_threshold = 0;
+    for (const auto& [key, pair] : store->pairs()) {
+      ASSERT_TRUE(core::PruneFrequentTopologies(&db_, store.get(),
+                                                key.first, key.second, prune)
+                      .ok());
+    }
+    handle_ = std::make_shared<core::StoreHandle>(store);
+    engine_ = std::make_unique<engine::Engine>(
+        &db_, handle_, schema_.get(), view_.get(),
+        core::ScoreModel(&store->catalog(),
+                         biozon::MakeBiozonDomainKnowledge(ids_)));
+  }
+
+  engine::TopologyQuery ProteinDnaQuery() const {
+    engine::TopologyQuery q;
+    q.entity_set1 = "Protein";
+    q.pred1 = storage::MakeContainsKeyword(db_.GetTable("Protein")->schema(),
+                                           "DESC", "enzyme");
+    q.entity_set2 = "DNA";
+    q.scheme = core::RankScheme::kFreq;
+    q.k = 20;
+    return q;
+  }
+
+  /// Ground truth for max_path_length = l on an identical fresh database.
+  std::vector<engine::ResultEntry> GroundTruth(size_t l,
+                                               MethodKind method) const {
+    storage::Catalog db;
+    biozon::BiozonSchema ids = biozon::BuildFigure3Database(&db);
+    graph::DataGraphView view(db);
+    graph::SchemaGraph schema(db);
+    core::TopologyStore store;
+    core::TopologyBuilder builder(&db, &schema, &view);
+    core::BuildConfig config;
+    config.max_path_length = l;
+    TSB_CHECK(builder.BuildAllPairs(config, &store).ok());
+    core::PruneConfig prune;
+    prune.frequency_threshold = 0;
+    std::vector<std::pair<storage::EntityTypeId, storage::EntityTypeId>>
+        keys;
+    for (const auto& [key, pair] : store.pairs()) keys.push_back(key);
+    for (const auto& [t1, t2] : keys) {
+      TSB_CHECK(
+          core::PruneFrequentTopologies(&db, &store, t1, t2, prune).ok());
+    }
+    engine::Engine engine(&db, &store, &schema, &view,
+                          core::ScoreModel(
+                              &store.catalog(),
+                              biozon::MakeBiozonDomainKnowledge(ids)));
+    engine::TopologyQuery q;
+    q.entity_set1 = "Protein";
+    q.pred1 = storage::MakeContainsKeyword(db.GetTable("Protein")->schema(),
+                                           "DESC", "enzyme");
+    q.entity_set2 = "DNA";
+    q.scheme = core::RankScheme::kFreq;
+    q.k = 20;
+    auto result = engine.Execute(q, method);
+    TSB_CHECK(result.ok()) << result.status();
+    return result->entries;
+  }
+
+  // Declaration order matters for teardown: retired stores drop their
+  // tables from db_ when destroyed, so db_ must outlive engine_ (which
+  // holds the last snapshot) — members are destroyed in reverse order.
+  storage::Catalog db_;
+  biozon::BiozonSchema ids_;
+  std::unique_ptr<graph::DataGraphView> view_;
+  std::unique_ptr<graph::SchemaGraph> schema_;
+  std::shared_ptr<core::StoreHandle> handle_;
+  std::unique_ptr<engine::Engine> engine_;
+};
+
+TEST_F(LiveRebuildTest, RebuildRequiresAttachedLiveStore) {
+  service::TopologyService svc(engine_.get(), &db_, service::ServiceConfig{});
+  service::RebuildOptions options;
+  auto result = svc.Rebuild(options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LiveRebuildTest, RebuildSwapsEpochBehindLiveTrafficZeroFailures) {
+  const std::vector<engine::ResultEntry> pre =
+      GroundTruth(2, MethodKind::kFullTop);
+  const std::vector<engine::ResultEntry> post =
+      GroundTruth(3, MethodKind::kFullTop);
+  ASSERT_NE(pre, post) << "the rebuild must be observable";
+
+  service::ServiceConfig config;
+  config.num_threads = 4;
+  service::TopologyService svc(engine_.get(), &db_, config);
+  ASSERT_TRUE(svc.AttachLiveStore(schema_.get(), view_.get()).ok());
+
+  // Sustained concurrent load across the swap: every response must be
+  // pre- or post-epoch consistent, never an error, never a mixture.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> inconsistent{0};
+  std::atomic<size_t> served{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto response =
+            svc.Submit(ProteinDnaQuery(), MethodKind::kFullTop).get();
+        if (!response.result.ok()) {
+          ++failures;
+        } else if (response.result->entries != pre &&
+                   response.result->entries != post) {
+          ++inconsistent;
+        }
+        ++served;
+      }
+    });
+  }
+
+  // Ensure the swap really happens behind traffic: clients must be
+  // serving before the rebuild starts and keep serving after the swap.
+  while (served.load() < 8) std::this_thread::yield();
+
+  service::RebuildOptions options;
+  options.build.max_path_length = 3;
+  options.prune_threshold = 0;
+  options.export_topinfo = true;
+  auto stats = svc.Rebuild(options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->epoch, 1u);
+  EXPECT_EQ(stats->table_namespace, "e1.");
+  EXPECT_GT(stats->pairs_built, 3u);
+
+  const size_t at_swap = served.load();
+  while (served.load() < at_swap + 8) std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(inconsistent.load(), 0u);
+
+  // Post-swap requests serve the new epoch (cache was folded into the
+  // swap, so no stale entry survives).
+  auto after = svc.Execute(ProteinDnaQuery(), MethodKind::kFullTop);
+  ASSERT_TRUE(after.result.ok());
+  EXPECT_EQ(after.result->entries, post);
+
+  // Fast-Top paths work on the rebuilt epoch (it was pruned).
+  auto fast = svc.Execute(ProteinDnaQuery(), MethodKind::kFastTopKEt);
+  ASSERT_TRUE(fast.result.ok()) << fast.result.status();
+
+  // New-epoch tables are namespaced; the retired epoch's tables were
+  // dropped once its last snapshot was released.
+  EXPECT_NE(db_.FindTable("e1.AllTops_Protein_DNA"), nullptr);
+  EXPECT_EQ(db_.FindTable("AllTops_Protein_DNA"), nullptr);
+  EXPECT_NE(db_.FindTable("TopInfo"), nullptr);
+  EXPECT_EQ(svc.Metrics().total_errors, 0u);
+}
+
+TEST_F(LiveRebuildTest, TriplesFollowTheLiveEpoch) {
+  service::ServiceConfig config;
+  config.num_threads = 2;
+  service::TopologyService svc(engine_.get(), &db_, config);
+  ASSERT_TRUE(svc.AttachLiveStore(schema_.get(), view_.get()).ok());
+
+  engine::TripleQuery q;
+  q.entity_set1 = "Protein";
+  q.entity_set2 = "Unigene";
+  q.entity_set3 = "DNA";
+  auto before = svc.SubmitTriple(q).get();
+  ASSERT_TRUE(before.result.ok()) << before.result.status();
+
+  service::RebuildOptions options;
+  options.build.max_path_length = 3;
+  auto stats = svc.Rebuild(options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  // The triple cache was invalidated with the swap; the re-run executes
+  // against the new epoch and interns into the new catalog.
+  auto after = svc.SubmitTriple(q).get();
+  ASSERT_TRUE(after.result.ok()) << after.result.status();
+  EXPECT_FALSE(after.from_cache);
+  for (const auto& entry : after.result->entries) {
+    EXPECT_LE(entry.tid,
+              static_cast<core::Tid>(
+                  handle_->Snapshot()->catalog().size()));
+  }
+}
+
+TEST_F(LiveRebuildTest, BackToBackRebuildsAdvanceEpochsAndDropOldTables) {
+  service::TopologyService svc(engine_.get(), &db_, service::ServiceConfig{});
+  ASSERT_TRUE(svc.AttachLiveStore(schema_.get(), view_.get()).ok());
+
+  for (uint64_t round = 1; round <= 3; ++round) {
+    service::RebuildOptions options;
+    options.build.max_path_length = 2 + (round % 2);
+    auto stats = svc.Rebuild(options);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats->epoch, round);
+    // A query both validates the epoch and releases the previous snapshot.
+    auto response = svc.Execute(ProteinDnaQuery(), MethodKind::kFullTop);
+    ASSERT_TRUE(response.result.ok());
+  }
+  // Only the newest epoch's tables remain.
+  EXPECT_EQ(db_.FindTable("AllTops_Protein_DNA"), nullptr);
+  EXPECT_EQ(db_.FindTable("e1.AllTops_Protein_DNA"), nullptr);
+  EXPECT_EQ(db_.FindTable("e2.AllTops_Protein_DNA"), nullptr);
+  EXPECT_NE(db_.FindTable("e3.AllTops_Protein_DNA"), nullptr);
 }
 
 // ---------------------------------------------------------------------------
