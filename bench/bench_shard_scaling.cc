@@ -1,0 +1,184 @@
+// Sharded scatter-gather scaling: per-query latency, per-shard fan-out,
+// and merge overhead of the ShardedTopologyStore as the shard count grows
+// 1 -> max-shards, with every sharded result verified byte-identical to
+// the single-store engine (the tentpole contract of the shard subsystem).
+//
+// On a single box shards compete for the same cores, so the interesting
+// numbers are the *overheads* of distribution — scatter fan-out, duplicate
+// per-shard work, and the k-way merge — which is exactly what must stay
+// small for multi-node sharding to pay off.
+//
+// Flags: --scale=<f> (default 0.25), --max-shards=<n> (default 8),
+// --l=<n> (default 3), --reps=<n> (default 5).
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "shard/scatter_gather.h"
+#include "shard/sharded_store.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+struct QueryCase {
+  engine::TopologyQuery query;
+  engine::MethodKind method;
+};
+
+std::vector<QueryCase> MakeQuerySet(const World& world) {
+  std::vector<QueryCase> cases;
+  const std::vector<engine::MethodKind> methods = {
+      engine::MethodKind::kFullTop,    engine::MethodKind::kFastTop,
+      engine::MethodKind::kFullTopK,   engine::MethodKind::kFastTopK,
+      engine::MethodKind::kFullTopKEt, engine::MethodKind::kFastTopKEt,
+  };
+  for (const char* set2 : {"DNA", "Unigene"}) {
+    for (const char* tier : {"selective", "medium"}) {
+      engine::TopologyQuery q;
+      q.entity_set1 = "Protein";
+      q.pred1 = biozon::SelectivityPredicate(world.db, "Protein", tier);
+      q.entity_set2 = set2;
+      q.scheme = core::RankScheme::kFreq;
+      q.k = 10;
+      for (engine::MethodKind method : methods) {
+        cases.push_back({q, method});
+      }
+    }
+  }
+  return cases;
+}
+
+void Run(int argc, char** argv) {
+  const double scale = FlagValue(argc, argv, "scale", 0.25);
+  const size_t l = static_cast<size_t>(FlagValue(argc, argv, "l", 3));
+  const size_t max_shards =
+      static_cast<size_t>(FlagValue(argc, argv, "max-shards", 8));
+  const int reps = static_cast<int>(FlagValue(argc, argv, "reps", 5));
+
+  WorldConfig config;
+  config.scale = scale;
+  config.max_path_length = l;
+  config.pairs = {{"Protein", "DNA"}, {"Protein", "Unigene"}};
+  std::unique_ptr<World> world = MakeWorld(config);
+  std::printf(
+      "Shard scaling: synthetic Biozon scale=%.2f, l=%zu, %zu catalog "
+      "topologies; query set = 24 (methods x selectivity x pair)\n\n",
+      scale, l, world->store.catalog().size());
+
+  std::vector<QueryCase> cases = MakeQuerySet(*world);
+
+  // Single-store ground truth (entries must match on every shard count).
+  std::vector<std::vector<engine::ResultEntry>> expected;
+  expected.reserve(cases.size());
+  for (const QueryCase& c : cases) {
+    auto result = world->engine->Execute(c.query, c.method);
+    TSB_CHECK(result.ok()) << result.status();
+    expected.push_back(result->entries);
+  }
+
+  TablePrinter table({"shards", "query set", "vs 1 shard", "fan-out",
+                      "subq time", "merge", "identical"});
+  double base_seconds = 0.0;
+  for (size_t n = 1; n <= max_shards; n *= 2) {
+    // Build + prune this shard count under its own namespace — the same
+    // pair subset as the reference world, so catalogs (and TIDs) align.
+    auto sharded = std::make_shared<shard::ShardedTopologyStore>(n);
+    {
+      core::TopologyBuilder builder(&world->db, world->schema.get(),
+                                    world->view.get());
+      core::BuildConfig build;
+      build.max_path_length = config.max_path_length;
+      build.max_class_representatives = config.max_class_representatives;
+      build.max_union_combinations = config.max_union_combinations;
+      build.max_paths_per_source = config.max_paths_per_source;
+      build.table_namespace = "n" + std::to_string(n) + ".";
+      std::vector<core::TopologyStore*> raw;
+      std::vector<std::shared_ptr<core::TopologyStore>> pinned;
+      for (size_t i = 0; i < n; ++i) {
+        pinned.push_back(sharded->Snapshot(i));
+        raw.push_back(pinned.back().get());
+      }
+      for (const auto& [a, b] : config.pairs) {
+        TSB_CHECK(builder
+                      .BuildPair(world->Type(a), world->Type(b), build, raw)
+                      .ok());
+      }
+      for (size_t i = 0; i < n; ++i) {
+        std::shared_ptr<core::TopologyStore> snapshot = sharded->Snapshot(i);
+        for (const auto& [key, pair] : world->store.pairs()) {
+          core::PruneConfig prune;
+          prune.frequency_threshold = pair.prune_threshold;
+          TSB_CHECK(core::PruneFrequentTopologies(&world->db, snapshot.get(),
+                                                  key.first, key.second,
+                                                  prune)
+                        .ok());
+        }
+      }
+    }
+    engine::SqlBaselineOptions sql_options;
+    sql_options.max_candidates = config.sql_max_candidates;
+    shard::ScatterGatherExecutor executor(
+        &world->db, sharded, world->schema.get(), world->view.get(),
+        biozon::MakeBiozonDomainKnowledge(world->ids), sql_options);
+    executor.PrepareIndexes("Protein", "DNA");
+    executor.PrepareIndexes("Protein", "Unigene");
+
+    // Verify byte identity once per shard count.
+    bool identical = true;
+    for (size_t i = 0; i < cases.size(); ++i) {
+      auto result = executor.Execute(cases[i].query, cases[i].method);
+      TSB_CHECK(result.ok()) << result.status();
+      if (result->entries != expected[i]) identical = false;
+    }
+    TSB_CHECK(identical) << "sharded results diverged at " << n << " shards";
+
+    shard::ScatterStats before = executor.GetScatterStats();
+    const double seconds = MeasureSeconds(
+        [&]() {
+          for (const QueryCase& c : cases) {
+            auto result = executor.Execute(c.query, c.method);
+            TSB_CHECK(result.ok());
+          }
+        },
+        reps);
+    shard::ScatterStats after = executor.GetScatterStats();
+    if (n == 1) base_seconds = seconds;
+
+    const double queries =
+        static_cast<double>(after.queries - before.queries);
+    const double fan_out =
+        static_cast<double>(after.subqueries - before.subqueries) / queries;
+    const double subq_ms =
+        1e3 * (after.subquery_seconds - before.subquery_seconds) / queries;
+    const double merge_pct =
+        100.0 * (after.merge_seconds - before.merge_seconds) /
+        (after.subquery_seconds - before.subquery_seconds +
+         after.merge_seconds - before.merge_seconds);
+    table.AddRow({std::to_string(n), TablePrinter::Num(1e3 * seconds, 1) + "ms",
+                  TablePrinter::Num(base_seconds / seconds, 2) + "x",
+                  TablePrinter::Num(fan_out, 2) + " shards/q",
+                  TablePrinter::Num(subq_ms, 3) + "ms/q",
+                  TablePrinter::Num(merge_pct, 2) + "%", "yes"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\n(fan-out = sub-queries per query after routing skips empty "
+      "slices; merge = share of scatter time spent in the k-way heap "
+      "merge; every sharded result verified byte-identical to the "
+      "single-store engine)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) {
+  tsb::bench::Run(argc, argv);
+  return 0;
+}

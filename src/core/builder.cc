@@ -273,9 +273,51 @@ Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
   return CommitStaged(std::move(staging), store);
 }
 
-Status TopologyBuilder::BuildAllPairs(const BuildConfig& config,
-                                      TopologyStore* store,
-                                      service::ThreadPool* pool) {
+namespace {
+
+Status ValidateShards(const std::vector<TopologyStore*>& shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("sharded build needs at least one shard");
+  }
+  for (TopologyStore* shard : shards) {
+    if (shard == nullptr) {
+      return Status::InvalidArgument("sharded build got a null shard store");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TopologyBuilder::CommitStagingToShards(
+    PairBuildStaging staging, const std::vector<TopologyStore*>& shards) {
+  std::vector<PairBuildStaging> slices =
+      SplitStagingForShards(staging, shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    TSB_RETURN_IF_ERROR(CommitStaged(std::move(slices[i]), shards[i]));
+  }
+  return Status::OK();
+}
+
+Status TopologyBuilder::BuildPair(storage::EntityTypeId ta,
+                                  storage::EntityTypeId tb,
+                                  const BuildConfig& config,
+                                  const std::vector<TopologyStore*>& shards) {
+  TSB_RETURN_IF_ERROR(ValidateBuildConfig(config));
+  TSB_RETURN_IF_ERROR(ValidateShards(shards));
+  auto [t1, t2] = TopologyStore::NormalizePair(ta, tb);
+  if (shards[0]->FindPair(t1, t2) != nullptr) {
+    return Status::AlreadyExists("pair already built");
+  }
+  TSB_ASSIGN_OR_RETURN(PairBuildStaging staging, StagePair(ta, tb, config));
+  return CommitStagingToShards(std::move(staging), shards);
+}
+
+Status TopologyBuilder::StageAndCommitAll(
+    const BuildConfig& config, service::ThreadPool* pool,
+    const std::function<bool(storage::EntityTypeId, storage::EntityTypeId)>&
+        built,
+    const std::function<Status(PairBuildStaging)>& commit) {
   TSB_RETURN_IF_ERROR(ValidateBuildConfig(config));
 
   // Canonical pair order: commits (and hence TID assignment) follow it in
@@ -287,14 +329,16 @@ Status TopologyBuilder::BuildAllPairs(const BuildConfig& config,
       if (schema_->EnumeratePaths(t1, t2, config.max_path_length).empty()) {
         continue;
       }
-      if (store->FindPair(t1, t2) != nullptr) continue;
+      if (built(t1, t2)) continue;
       todo.emplace_back(t1, t2);
     }
   }
 
   if (pool == nullptr || pool->num_threads() <= 1 || todo.size() <= 1) {
     for (const auto& [t1, t2] : todo) {
-      TSB_RETURN_IF_ERROR(BuildPair(t1, t2, config, store));
+      TSB_ASSIGN_OR_RETURN(PairBuildStaging staging,
+                           StagePair(t1, t2, config));
+      TSB_RETURN_IF_ERROR(commit(std::move(staging)));
     }
     return Status::OK();
   }
@@ -333,9 +377,67 @@ Status TopologyBuilder::BuildAllPairs(const BuildConfig& config,
       status = staged.status();
       continue;
     }
-    status = CommitStaged(std::move(staged).value(), store);
+    status = commit(std::move(staged).value());
   }
   return status;
+}
+
+Status TopologyBuilder::BuildAllPairs(const BuildConfig& config,
+                                      TopologyStore* store,
+                                      service::ThreadPool* pool) {
+  return StageAndCommitAll(
+      config, pool,
+      [store](storage::EntityTypeId t1, storage::EntityTypeId t2) {
+        return store->FindPair(t1, t2) != nullptr;
+      },
+      [this, store](PairBuildStaging staging) {
+        return CommitStaged(std::move(staging), store);
+      });
+}
+
+Status TopologyBuilder::BuildAllPairs(const BuildConfig& config,
+                                      const std::vector<TopologyStore*>& shards,
+                                      service::ThreadPool* pool) {
+  TSB_RETURN_IF_ERROR(ValidateShards(shards));
+  return StageAndCommitAll(
+      config, pool,
+      // Shards are always built in lockstep; shard 0 is the bellwether.
+      [&shards](storage::EntityTypeId t1, storage::EntityTypeId t2) {
+        return shards[0]->FindPair(t1, t2) != nullptr;
+      },
+      [this, &shards](PairBuildStaging staging) {
+        return CommitStagingToShards(std::move(staging), shards);
+      });
+}
+
+std::vector<PairBuildStaging> SplitStagingForShards(
+    const PairBuildStaging& staging, size_t num_shards) {
+  TSB_CHECK_GE(num_shards, 1u);
+  // One row-less template per shard: replicate the pair metadata, global
+  // freq counters, the full topology list, class registry, and PairClasses
+  // rows, and re-namespace the tables. The AllTops rows — the dominant
+  // structure — are partitioned below in a single pass, never copied
+  // wholesale.
+  PairBuildStaging replicated = staging;
+  replicated.alltops_rows.clear();
+
+  std::vector<PairBuildStaging> slices;
+  slices.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    PairBuildStaging slice = replicated;
+    PairTopologyData& data = slice.data;
+    data.table_namespace =
+        storage::ShardNamespace(staging.data.table_namespace, i);
+    data.alltops_table = data.table_namespace + "AllTops_" + data.pair_name;
+    data.pairclasses_table =
+        data.table_namespace + "PairClasses_" + data.pair_name;
+    slices.push_back(std::move(slice));
+  }
+  for (const PairBuildStaging::Row& row : staging.alltops_rows) {
+    slices[ShardOfEntityPair(row.e1, row.e2, num_shards)]
+        .alltops_rows.push_back(row);
+  }
+  return slices;
 }
 
 }  // namespace core

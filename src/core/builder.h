@@ -2,6 +2,7 @@
 #define TSB_CORE_BUILDER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -119,6 +120,13 @@ class TopologyBuilder {
   Status BuildPair(storage::EntityTypeId ta, storage::EntityTypeId tb,
                    const BuildConfig& config, TopologyStore* store);
 
+  /// Sharded stage + commit of one pair: one staged sweep, split with
+  /// SplitStagingForShards, one commit per shard (see the sharded
+  /// BuildAllPairs for the replication contract).
+  Status BuildPair(storage::EntityTypeId ta, storage::EntityTypeId tb,
+                   const BuildConfig& config,
+                   const std::vector<TopologyStore*>& shards);
+
   /// Builds every unordered pair of entity types that the schema connects
   /// with at least one path of length <= l. With a pool, stage steps fan
   /// out over its workers while this thread commits results in canonical
@@ -127,11 +135,54 @@ class TopologyBuilder {
   Status BuildAllPairs(const BuildConfig& config, TopologyStore* store,
                        service::ThreadPool* pool = nullptr);
 
+  /// Shard-aware overload: stages each pair exactly once, splits the staged
+  /// result with SplitStagingForShards, and routes each slice's
+  /// CommitStaged to its owning shard store (slice i's AllTops rows are the
+  /// rows ShardOfEntityPair assigns to shard i). Every shard interns every
+  /// topology in the same first-encounter order, so the N shard catalogs
+  /// are identical to each other and to an unsharded build's catalog —
+  /// TIDs are globally consistent, and per-shard freq maps stay *global*
+  /// (scores must not depend on which shard scores them). Tables land
+  /// under storage::ShardNamespace(config.table_namespace, i).
+  Status BuildAllPairs(const BuildConfig& config,
+                       const std::vector<TopologyStore*>& shards,
+                       service::ThreadPool* pool = nullptr);
+
  private:
+  /// Splits `staging` with SplitStagingForShards and commits slice i to
+  /// shards[i]; the shared commit step of the sharded build flavors.
+  Status CommitStagingToShards(PairBuildStaging staging,
+                               const std::vector<TopologyStore*>& shards);
+
+  /// Shared staged pipeline of the two BuildAllPairs flavors: enumerates
+  /// buildable pairs (skipping ones `built` says exist), stages over the
+  /// pool (windowed), and hands each staging to `commit` in canonical pair
+  /// order on this thread.
+  Status StageAndCommitAll(
+      const BuildConfig& config, service::ThreadPool* pool,
+      const std::function<bool(storage::EntityTypeId, storage::EntityTypeId)>&
+          built,
+      const std::function<Status(PairBuildStaging)>& commit);
+
   storage::Catalog* db_;
   const graph::SchemaGraph* schema_;
   const graph::DataGraphView* view_;
 };
+
+/// Splits one pair's staging into `num_shards` per-shard slices. AllTops
+/// rows are partitioned by ShardOfEntityPair; everything rankings and
+/// online checks depend on is *replicated* so every shard answers exactly
+/// like the whole store would:
+///   - the staged topology list (slice catalogs intern all of it, keeping
+///     TID assignment identical across shards),
+///   - per-topology frequencies (committed freq maps stay global),
+///   - the class registry with global instance_pairs / num_related_pairs,
+///   - PairClasses rows (so per-shard pruning derives the *complete*
+///     exception table — the online pruned check consults it against the
+///     shared data graph, which is not sharded).
+/// Slice i's tables are renamed under ShardNamespace(base namespace, i).
+std::vector<PairBuildStaging> SplitStagingForShards(
+    const PairBuildStaging& staging, size_t num_shards);
 
 }  // namespace core
 }  // namespace tsb

@@ -2,11 +2,20 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "graph/canonical.h"
 
 namespace tsb {
 namespace core {
+
+size_t ShardOfEntityPair(int64_t e1, int64_t e2, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  const uint64_t lo = static_cast<uint64_t>(std::min(e1, e2));
+  const uint64_t hi = static_cast<uint64_t>(std::max(e1, e2));
+  uint64_t mixed = HashCombine(HashCombine(0x7370616972ULL, lo), hi);
+  return static_cast<size_t>(mixed % num_shards);
+}
 
 std::vector<Tid> PairTopologyData::ObservedTids() const {
   std::vector<Tid> tids;

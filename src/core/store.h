@@ -77,6 +77,14 @@ struct PairTopologyData {
   bool IsPruned(Tid tid) const;
 };
 
+/// Owning shard of a canonical entity pair under `num_shards` hash shards —
+/// THE partitioning function of the sharded topology store. Builder commit
+/// routing, the shard router, and the equivalence tests must all agree on
+/// it. Orientation-insensitive: (a, b) and (b, a) land on the same shard
+/// (self-pair AllTops rows may be swept in either direction). Stable across
+/// platforms (pure 64-bit arithmetic, no size_t/std::hash dependence).
+size_t ShardOfEntityPair(int64_t e1, int64_t e2, size_t num_shards);
+
 /// Owns the topology catalog and the per-pair precomputation registry; the
 /// hub object produced by TopologyBuilder and consumed by the query engine.
 ///

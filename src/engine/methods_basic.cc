@@ -24,10 +24,13 @@ QueryResult RunFullTop(MethodContext* ctx) {
 QueryResult RunFastTop(MethodContext* ctx) {
   // Top sub-query of SQL1: the unpruned topologies via LeftTops.
   std::vector<core::Tid> tids = ctx->JoinTops(ctx->rq.pair->lefttops_table);
-  // Lower sub-queries: one online existence check per pruned topology.
-  for (core::Tid tid : ctx->rq.pair->pruned_tids) {
-    if (ctx->Excluded(tid)) continue;
-    if (ctx->OnlineCheckPruned(tid)) tids.push_back(tid);
+  // Lower sub-queries: one online existence check per pruned topology
+  // (the designated shard's job under scatter-gather).
+  if (!ctx->options.skip_pruned_checks) {
+    for (core::Tid tid : ctx->rq.pair->pruned_tids) {
+      if (ctx->Excluded(tid)) continue;
+      if (ctx->OnlineCheckPruned(tid)) tids.push_back(tid);
+    }
   }
   QueryResult result;
   result.entries = ctx->RankTids(tids);

@@ -30,6 +30,9 @@ std::vector<ResultEntry> RankedCandidates(MethodContext* ctx, bool unpruned) {
 }
 
 std::vector<ResultEntry> RankedPruned(MethodContext* ctx) {
+  // Under scatter-gather, only the designated shard interleaves pruned
+  // candidates (their online checks are shard-independent; see ExecOptions).
+  if (ctx->options.skip_pruned_checks) return {};
   return ctx->RankTids(ctx->rq.pair->pruned_tids);
 }
 

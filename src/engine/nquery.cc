@@ -15,33 +15,6 @@ namespace tsb {
 namespace engine {
 namespace {
 
-struct Slot {
-  const storage::EntitySetDef* def = nullptr;
-  std::unordered_set<int64_t> selected;
-};
-
-/// Related (slot_i, slot_j) pairs restricted to the selections, deduplicated
-/// (AllTops holds one row per pair-topology).
-using PairSet = std::set<std::pair<int64_t, int64_t>>;
-
-PairSet RelatedPairs(const storage::Catalog& db,
-                     const core::PairTopologyData& pair, const Slot& lo_slot,
-                     const Slot& hi_slot) {
-  // The pair data is stored with E1 of type pair.t1 (the smaller type id);
-  // callers pass slots already ordered to match.
-  PairSet out;
-  const storage::Table& alltops = *db.GetTable(pair.alltops_table);
-  const auto& e1 = alltops.column(0).ints();
-  const auto& e2 = alltops.column(1).ints();
-  for (size_t i = 0; i < alltops.num_rows(); ++i) {
-    if (lo_slot.selected.count(e1[i]) > 0 &&
-        hi_slot.selected.count(e2[i]) > 0) {
-      out.emplace(e1[i], e2[i]);
-    }
-  }
-  return out;
-}
-
 /// Union of instance-level witnesses (sharing entity ids) into one graph.
 graph::LabeledGraph MergeWitnesses(
     const std::vector<const core::ComputedTopology*>& witnesses) {
@@ -70,12 +43,9 @@ graph::LabeledGraph MergeWitnesses(
 
 }  // namespace
 
-Result<TripleQueryResult> ExecuteTripleQuery(
-    storage::Catalog* db, core::TopologyStore* store,
-    const graph::SchemaGraph& schema, const graph::DataGraphView& view,
-    const TripleQuery& query) {
-  // Resolve slots.
-  Slot slots[3];
+Result<TripleSelection> ResolveTripleSelection(storage::Catalog* db,
+                                               const TripleQuery& query) {
+  TripleSelection selection;
   const std::string* names[3] = {&query.entity_set1, &query.entity_set2,
                                  &query.entity_set3};
   storage::PredicateRef preds[3] = {
@@ -83,39 +53,76 @@ Result<TripleQueryResult> ExecuteTripleQuery(
       query.pred2 != nullptr ? query.pred2 : storage::MakeTrue(),
       query.pred3 != nullptr ? query.pred3 : storage::MakeTrue()};
   for (int i = 0; i < 3; ++i) {
-    slots[i].def = db->FindEntitySet(*names[i]);
-    if (slots[i].def == nullptr) {
+    TripleSelection::Slot& slot = selection.slots[i];
+    slot.def = db->FindEntitySet(*names[i]);
+    if (slot.def == nullptr) {
       return Status::NotFound("unknown entity set '" + *names[i] + "'");
     }
-    const storage::Table& table = *db->GetTable(slots[i].def->table_name);
-    size_t id_col = table.schema().ColumnIndexOrDie(slots[i].def->id_column);
+    const storage::Table& table = *db->GetTable(slot.def->table_name);
+    size_t id_col = table.schema().ColumnIndexOrDie(slot.def->id_column);
     for (storage::RowIdx row : storage::FilterRows(table, *preds[i])) {
-      slots[i].selected.insert(table.GetInt64(row, id_col));
+      slot.selected.insert(table.GetInt64(row, id_col));
     }
   }
-  if (slots[0].def->id == slots[1].def->id ||
-      slots[0].def->id == slots[2].def->id ||
-      slots[1].def->id == slots[2].def->id) {
+  if (selection.slots[0].def->id == selection.slots[1].def->id ||
+      selection.slots[0].def->id == selection.slots[2].def->id ||
+      selection.slots[1].def->id == selection.slots[2].def->id) {
     return Status::Unimplemented(
         "3-queries require three distinct entity types");
   }
 
-  // Pair data and related pairs for each of the three slot pairs. Index
-  // pairs by (lo_slot, hi_slot) with slots ordered by entity type id, the
-  // storage orientation.
-  struct SlotPair {
-    int lo = 0;
-    int hi = 0;
-    const core::PairTopologyData* data = nullptr;
-    PairSet related;
-  };
-  SlotPair slot_pairs[3] = {{0, 1}, {0, 2}, {1, 2}};
-  for (SlotPair& sp : slot_pairs) {
-    if (slots[sp.lo].def->id > slots[sp.hi].def->id) std::swap(sp.lo, sp.hi);
-    sp.data = store->FindPair(slots[sp.lo].def->id, slots[sp.hi].def->id);
-    if (sp.data != nullptr) {
-      sp.related = RelatedPairs(*db, *sp.data, slots[sp.lo], slots[sp.hi]);
+  // Slot pairs in storage orientation (E1 of the smaller entity type id).
+  selection.slot_pairs[0] = {0, 1};
+  selection.slot_pairs[1] = {0, 2};
+  selection.slot_pairs[2] = {1, 2};
+  for (TripleSelection::SlotPair& sp : selection.slot_pairs) {
+    if (selection.slots[sp.lo].def->id > selection.slots[sp.hi].def->id) {
+      std::swap(sp.lo, sp.hi);
     }
+  }
+  return selection;
+}
+
+TripleRelatedSets CollectTripleRelated(const storage::Catalog& db,
+                                       const core::TopologyStore& store,
+                                       const TripleSelection& selection) {
+  TripleRelatedSets related;
+  for (int p = 0; p < 3; ++p) {
+    const TripleSelection::SlotPair& sp = selection.slot_pairs[p];
+    const TripleSelection::Slot& lo_slot = selection.slots[sp.lo];
+    const TripleSelection::Slot& hi_slot = selection.slots[sp.hi];
+    const core::PairTopologyData* data =
+        store.FindPair(lo_slot.def->id, hi_slot.def->id);
+    if (data == nullptr) continue;
+    // AllTops holds one row per related pair and topology, with E1 of type
+    // data->t1; deduplicate into the ordered set.
+    const storage::Table& alltops = *db.GetTable(data->alltops_table);
+    const auto& e1 = alltops.column(0).ints();
+    const auto& e2 = alltops.column(1).ints();
+    for (size_t i = 0; i < alltops.num_rows(); ++i) {
+      if (lo_slot.selected.count(e1[i]) > 0 &&
+          hi_slot.selected.count(e2[i]) > 0) {
+        related[p].emplace(e1[i], e2[i]);
+      }
+    }
+  }
+  return related;
+}
+
+Result<TripleQueryResult> FinishTripleQuery(storage::Catalog* db,
+                                            core::TopologyStore* store,
+                                            const graph::SchemaGraph& schema,
+                                            const graph::DataGraphView& view,
+                                            const TripleQuery& query,
+                                            const TripleSelection& selection,
+                                            const TripleRelatedSets& related) {
+  (void)db;
+  // Pair metadata (build caps) per slot pair; null when never built.
+  const core::PairTopologyData* pair_data[3];
+  for (int p = 0; p < 3; ++p) {
+    const TripleSelection::SlotPair& sp = selection.slot_pairs[p];
+    pair_data[p] = store->FindPair(selection.slots[sp.lo].def->id,
+                                   selection.slots[sp.hi].def->id);
   }
 
   // Candidate triples: any two related pairs sharing an endpoint slot.
@@ -128,8 +135,10 @@ Result<TripleQueryResult> ExecuteTripleQuery(
   };
   std::set<Triple> triples;
   TripleQueryResult result;
-  auto add_triples_from = [&](const SlotPair& x, const SlotPair& y) {
-    if (x.data == nullptr || y.data == nullptr) return;
+  auto add_triples_from = [&](int xi, int yi) {
+    if (pair_data[xi] == nullptr || pair_data[yi] == nullptr) return;
+    const TripleSelection::SlotPair& x = selection.slot_pairs[xi];
+    const TripleSelection::SlotPair& y = selection.slot_pairs[yi];
     // Shared slot between the two pairs.
     int shared = -1;
     for (int s : {x.lo, x.hi}) {
@@ -138,14 +147,14 @@ Result<TripleQueryResult> ExecuteTripleQuery(
     if (shared < 0) return;
     // Index y's pairs by the shared slot's entity.
     std::unordered_map<int64_t, std::vector<int64_t>> y_by_shared;
-    for (const auto& [a, b] : y.related) {
+    for (const auto& [a, b] : related[yi]) {
       int64_t shared_id = (shared == y.lo) ? a : b;
       int64_t other_id = (shared == y.lo) ? b : a;
       y_by_shared[shared_id].push_back(other_id);
     }
     const int x_other = (x.lo == shared) ? x.hi : x.lo;
     const int y_other = (y.lo == shared) ? y.hi : y.lo;
-    for (const auto& [a, b] : x.related) {
+    for (const auto& [a, b] : related[xi]) {
       int64_t shared_id = (shared == x.lo) ? a : b;
       int64_t x_other_id = (shared == x.lo) ? b : a;
       auto it = y_by_shared.find(shared_id);
@@ -163,9 +172,9 @@ Result<TripleQueryResult> ExecuteTripleQuery(
       }
     }
   };
-  add_triples_from(slot_pairs[0], slot_pairs[1]);
-  add_triples_from(slot_pairs[0], slot_pairs[2]);
-  add_triples_from(slot_pairs[1], slot_pairs[2]);
+  add_triples_from(0, 1);
+  add_triples_from(0, 2);
+  add_triples_from(1, 2);
 
   // Per triple: union one pairwise-topology witness per related pair, over
   // all (capped) choices; intern the canonical unions.
@@ -174,16 +183,17 @@ Result<TripleQueryResult> ExecuteTripleQuery(
     ++result.triples_examined;
     std::vector<std::vector<core::ComputedTopology>> per_pair;
     size_t total_classes = 0;
-    for (const SlotPair& sp : slot_pairs) {
-      if (sp.data == nullptr) continue;
+    for (int p = 0; p < 3; ++p) {
+      if (pair_data[p] == nullptr) continue;
+      const TripleSelection::SlotPair& sp = selection.slot_pairs[p];
       auto key = std::make_pair(t.ids[sp.lo], t.ids[sp.hi]);
-      if (sp.related.count(key) == 0) continue;
+      if (related[p].count(key) == 0) continue;
       core::PairComputeLimits limits;
-      limits.max_path_length = sp.data->max_path_length;
+      limits.max_path_length = pair_data[p]->max_path_length;
       limits.union_limits.max_class_representatives =
-          sp.data->build_max_class_representatives;
+          pair_data[p]->build_max_class_representatives;
       limits.union_limits.max_union_combinations =
-          sp.data->build_max_union_combinations;
+          pair_data[p]->build_max_union_combinations;
       core::PairComputation computed = core::ComputePairTopologies(
           view, schema, key.first, key.second, limits);
       if (computed.topologies.empty()) continue;
@@ -233,6 +243,17 @@ Result<TripleQueryResult> ExecuteTripleQuery(
               return a.tid < b.tid;
             });
   return result;
+}
+
+Result<TripleQueryResult> ExecuteTripleQuery(
+    storage::Catalog* db, core::TopologyStore* store,
+    const graph::SchemaGraph& schema, const graph::DataGraphView& view,
+    const TripleQuery& query) {
+  TSB_ASSIGN_OR_RETURN(TripleSelection selection,
+                       ResolveTripleSelection(db, query));
+  TripleRelatedSets related = CollectTripleRelated(*db, *store, selection);
+  return FinishTripleQuery(db, store, schema, view, query, selection,
+                           related);
 }
 
 }  // namespace engine

@@ -1,7 +1,11 @@
 #ifndef TSB_ENGINE_NQUERY_H_
 #define TSB_ENGINE_NQUERY_H_
 
+#include <array>
+#include <set>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -61,6 +65,61 @@ Result<TripleQueryResult> ExecuteTripleQuery(
     storage::Catalog* db, core::TopologyStore* store,
     const graph::SchemaGraph& schema, const graph::DataGraphView& view,
     const TripleQuery& query);
+
+/// --- Phase decomposition (the sharded scatter path) ------------------------
+///
+/// A 3-query factors into (1) resolving the slot selections, (2) scanning
+/// AllTops for the related (E1, E2) pairs of each slot pair, and (3) the
+/// candidate join + witness-union + interning phase. Only phase 2 touches
+/// the partitioned tables, and each AllTops row lives on exactly one shard,
+/// so a sharded executor runs CollectTripleRelated per shard, unions the
+/// sets, and hands the merged relation to FinishTripleQuery — byte-identical
+/// to the single-store path (the sets are ordered, so the union erases any
+/// trace of which shard contributed which row). ExecuteTripleQuery is
+/// exactly these three phases over one store.
+
+/// Resolved slot selections of a 3-query plus the slot-pair orientation
+/// bookkeeping shared by phases 2 and 3.
+struct TripleSelection {
+  struct Slot {
+    const storage::EntitySetDef* def = nullptr;
+    std::unordered_set<int64_t> selected;
+  };
+  Slot slots[3];
+  /// The three slot pairs (0,1), (0,2), (1,2), each with lo/hi already
+  /// swapped into storage orientation (entity type of lo <= type of hi).
+  struct SlotPair {
+    int lo = 0;
+    int hi = 0;
+  };
+  SlotPair slot_pairs[3];
+};
+
+Result<TripleSelection> ResolveTripleSelection(storage::Catalog* db,
+                                               const TripleQuery& query);
+
+/// Related (E1, E2) pairs per slot pair, restricted to the selections.
+/// Ordered sets: unions across shards are deterministic.
+using TripleRelatedSets = std::array<std::set<std::pair<int64_t, int64_t>>, 3>;
+
+/// Phase 2: scans `store`'s AllTops slices for the related pairs of each
+/// slot pair. Pairs the store never built contribute empty sets.
+TripleRelatedSets CollectTripleRelated(const storage::Catalog& db,
+                                       const core::TopologyStore& store,
+                                       const TripleSelection& selection);
+
+/// Phase 3: joins the related sets into candidate triples, unions witness
+/// topologies per triple, and interns them into `store`'s (thread-safe)
+/// catalog. `store` supplies pair metadata (build caps) only — its tables
+/// are not read, so any shard replica works; the sharded executor passes
+/// its primary shard.
+Result<TripleQueryResult> FinishTripleQuery(storage::Catalog* db,
+                                            core::TopologyStore* store,
+                                            const graph::SchemaGraph& schema,
+                                            const graph::DataGraphView& view,
+                                            const TripleQuery& query,
+                                            const TripleSelection& selection,
+                                            const TripleRelatedSets& related);
 
 }  // namespace engine
 }  // namespace tsb

@@ -99,6 +99,13 @@ struct ExecOptions {
   /// column's table, side 1 is E2's. Defaults to {0, 1}; the cost-based
   /// optimizer may flip it.
   std::vector<size_t> et_side_order = {0, 1};
+  /// Scatter-gather sub-queries: skip the online existence checks for
+  /// pruned topologies. A pruned check runs against the shared data graph
+  /// and the (replicated) exception table, so its verdict is identical on
+  /// every shard; the scatter executor sets this on all but one designated
+  /// shard rather than pay the check N times. Never set on a full query —
+  /// pruned topologies would silently vanish from Fast-* results.
+  bool skip_pruned_checks = false;
 };
 
 }  // namespace engine

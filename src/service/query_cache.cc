@@ -53,6 +53,9 @@ std::string FingerprintQuery(const engine::TopologyQuery& query,
   for (size_t side : options.et_side_order) {
     key += std::to_string(side);
   }
+  // Sub-query-only flag; participates so a (hypothetical) cached partial
+  // can never satisfy a full query or vice versa.
+  if (options.skip_pruned_checks) key += ";nopruned=1";
   return key;
 }
 

@@ -45,11 +45,34 @@ TopologyService::TopologyService(const engine::Engine* engine,
   TSB_CHECK(db_ != nullptr);
 }
 
+TopologyService::TopologyService(shard::ScatterGatherExecutor* executor,
+                                 storage::Catalog* db, ServiceConfig config)
+    : engine_(nullptr),
+      sharded_exec_(executor),
+      db_(db),
+      config_(config),
+      parser_(db),
+      cache_(MainCacheConfig(config.cache)),
+      triple_cache_(TripleCacheConfig(config.cache)),
+      pool_(ResolveThreads(config.num_threads)) {
+  TSB_CHECK(sharded_exec_ != nullptr);
+  TSB_CHECK(db_ != nullptr);
+  // 3-queries and rebuilds flow through the executor's shard handles.
+  triple_schema_ = sharded_exec_->schema();
+  triple_view_ = sharded_exec_->view();
+}
+
 TopologyService::~TopologyService() { Shutdown(); }
 
 void TopologyService::EnableTripleQueries(core::TopologyStore* store,
                                           const graph::SchemaGraph* schema,
                                           const graph::DataGraphView* view) {
+  // Sharded services already route 3-queries (and rebuilds) through the
+  // executor's shard handles; overriding the schema/view here would stage
+  // rebuilds from a different graph than the engines query.
+  TSB_CHECK(!sharded())
+      << "EnableTripleQueries is for unsharded services; the sharded "
+         "constructor wires 3-queries through the scatter executor";
   triple_store_ = store;
   triple_schema_ = schema;
   triple_view_ = view;
@@ -57,6 +80,11 @@ void TopologyService::EnableTripleQueries(core::TopologyStore* store,
 
 Status TopologyService::AttachLiveStore(const graph::SchemaGraph* schema,
                                         const graph::DataGraphView* view) {
+  if (sharded()) {
+    return Status::FailedPrecondition(
+        "sharded services are live already: the scatter executor's shard "
+        "handles serve 3-queries and rebuilds");
+  }
   if (!engine_->store_is_swappable()) {
     return Status::FailedPrecondition(
         "live rebuilds need an engine constructed over a shared_ptr "
@@ -71,8 +99,23 @@ Status TopologyService::AttachLiveStore(const graph::SchemaGraph* schema,
 }
 
 std::string TopologyService::EpochFingerprint(std::string fingerprint) const {
+  // Shard-aware keys: the per-shard epoch stamp replaces the single epoch,
+  // so rolling any one shard forward orphans cached results derived from
+  // its retired slice (a late Insert from an in-flight pre-roll query
+  // lands under the old stamp, which no post-roll lookup reads).
+  if (sharded()) {
+    return sharded_exec_->store().EpochStamp() + "|" +
+           std::move(fingerprint);
+  }
   return "e" + std::to_string(engine_->store_handle()->epoch()) + "|" +
          std::move(fingerprint);
+}
+
+Result<engine::QueryResult> TopologyService::Evaluate(
+    const engine::TopologyQuery& query, engine::MethodKind method,
+    const engine::ExecOptions& options) const {
+  if (sharded()) return sharded_exec_->Execute(query, method, options);
+  return engine_->Execute(query, method, options);
 }
 
 std::shared_ptr<core::TopologyStore> TopologyService::TripleBackend() const {
@@ -85,7 +128,77 @@ std::shared_ptr<core::TopologyStore> TopologyService::TripleBackend() const {
   return nullptr;
 }
 
+Status TopologyService::ParallelPrune(
+    const std::vector<core::TopologyStore*>& stores, size_t threshold,
+    double* seconds) {
+  Stopwatch watch;
+  core::PruneConfig prune;
+  prune.frequency_threshold = threshold;
+
+  // Per-pair scans are independent (distinct PairTopologyData, distinct
+  // created tables, read-only store registry), so they fan out over the
+  // pool instead of serializing on the commit thread. The stores are still
+  // private to the rebuild — no query can observe a half-pruned pair.
+  std::vector<std::future<Status>> futures;
+  for (core::TopologyStore* store : stores) {
+    for (const auto& [key, pair] : store->pairs()) {
+      const auto [t1, t2] = key;
+      storage::Catalog* db = db_;
+      auto task = [db, store, t1, t2, prune]() {
+        return core::PruneFrequentTopologies(db, store, t1, t2, prune)
+            .status();
+      };
+      std::future<Status> future = pool_.Submit(task);
+      if (!future.valid()) {
+        // Pool raced with shutdown: prune inline so the rebuild finishes.
+        std::promise<Status> ready;
+        ready.set_value(task());
+        future = ready.get_future();
+      }
+      futures.push_back(std::move(future));
+    }
+  }
+  Status status = Status::OK();
+  for (std::future<Status>& future : futures) {
+    Status pruned = future.get();  // Drain all even on error.
+    if (status.ok() && !pruned.ok()) status = pruned;
+  }
+  *seconds += watch.ElapsedSeconds();
+  return status;
+}
+
+void TopologyService::WarmIndexes(
+    const std::vector<core::TopologyStore*>& stores, double* seconds) {
+  Stopwatch watch;
+  // The plans probe the TID indexes of the topology tables (entity-table
+  // ID indexes survive epochs — those are already warm). Building them
+  // here, before the swap, means the first post-swap query pays nothing.
+  std::vector<std::future<void>> futures;
+  auto warm_table = [this, &futures](const std::string& table) {
+    storage::Catalog* db = db_;
+    auto task = [db, table]() { db->GetOrBuildHashIndex(table, "TID"); };
+    std::future<void> future = pool_.Submit(task);
+    if (future.valid()) {
+      futures.push_back(std::move(future));
+    } else {
+      task();
+    }
+  };
+  for (core::TopologyStore* store : stores) {
+    for (const auto& [key, pair] : store->pairs()) {
+      warm_table(pair.alltops_table);
+      if (pair.pruned) {
+        warm_table(pair.lefttops_table);
+        warm_table(pair.excptops_table);
+      }
+    }
+  }
+  for (std::future<void>& future : futures) future.get();
+  *seconds += watch.ElapsedSeconds();
+}
+
 Result<RebuildStats> TopologyService::Rebuild(const RebuildOptions& options) {
+  if (sharded()) return RebuildSharded(options);
   if (live_handle_ == nullptr) {
     return Status::FailedPrecondition(
         "live rebuild needs a StoreHandle-backed engine; call "
@@ -118,22 +231,14 @@ Result<RebuildStats> TopologyService::Rebuild(const RebuildOptions& options) {
   }
 
   if (options.prune_threshold.has_value()) {
-    Stopwatch prune_watch;
-    core::PruneConfig prune;
-    prune.frequency_threshold = *options.prune_threshold;
-    std::vector<std::pair<storage::EntityTypeId, storage::EntityTypeId>>
-        keys;
-    for (const auto& [key, pair] : next->pairs()) keys.push_back(key);
-    for (const auto& [t1, t2] : keys) {
-      Result<core::PruneStats> pruned =
-          core::PruneFrequentTopologies(db_, next.get(), t1, t2, prune);
-      if (!pruned.ok()) {
-        drop_staged_tables();
-        return pruned.status();
-      }
+    Status pruned = ParallelPrune({next.get()}, *options.prune_threshold,
+                                  &stats.prune_seconds);
+    if (!pruned.ok()) {
+      drop_staged_tables();
+      return pruned;
     }
-    stats.prune_seconds = prune_watch.ElapsedSeconds();
   }
+  WarmIndexes({next.get()}, &stats.index_seconds);
 
   stats.pairs_built = next->pairs().size();
   stats.catalog_topologies = next->catalog().size();
@@ -162,6 +267,91 @@ Result<RebuildStats> TopologyService::Rebuild(const RebuildOptions& options) {
   return stats;
 }
 
+Result<RebuildStats> TopologyService::RebuildSharded(
+    const RebuildOptions& options) {
+  std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
+  shard::ShardedTopologyStore* sstore = sharded_exec_->mutable_store();
+  const size_t num_shards = sstore->num_shards();
+
+  RebuildStats stats;
+  stats.epoch = sstore->handle(0)->epoch() + 1;
+  stats.table_namespace = "e" + std::to_string(stats.epoch) + ".";
+
+  core::BuildConfig build = options.build;
+  build.table_namespace = stats.table_namespace;
+
+  // Stage a complete replacement shard set, privately, on the worker pool
+  // (tables land under "e<N>.s<i>." per shard — next to, never touching,
+  // the serving epoch's).
+  std::vector<std::shared_ptr<core::TopologyStore>> next(num_shards);
+  std::vector<core::TopologyStore*> raw(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    next[i] = std::make_shared<core::TopologyStore>();
+    raw[i] = next[i].get();
+  }
+  // Stage from the same schema/view the executor's engines query.
+  core::TopologyBuilder builder(db_, sharded_exec_->schema(),
+                                sharded_exec_->view());
+  auto drop_staged_tables = [&]() {
+    for (const std::shared_ptr<core::TopologyStore>& store : next) {
+      for (const std::string& name : store->PrecomputeTableNames()) {
+        (void)db_->DropTable(name);
+      }
+    }
+  };
+  Stopwatch build_watch;
+  Status built = builder.BuildAllPairs(build, raw, &pool_);
+  stats.build_seconds = build_watch.ElapsedSeconds();
+  if (!built.ok()) {
+    drop_staged_tables();
+    return built;
+  }
+
+  if (options.prune_threshold.has_value()) {
+    Status pruned =
+        ParallelPrune(raw, *options.prune_threshold, &stats.prune_seconds);
+    if (!pruned.ok()) {
+      drop_staged_tables();
+      return pruned;
+    }
+  }
+  WarmIndexes(raw, &stats.index_seconds);
+
+  stats.pairs_built = next[0]->pairs().size();
+  stats.catalog_topologies = next[0]->catalog().size();
+
+  // Primary replica feeds the export, pre-swap (see unsharded comment).
+  if (options.export_topinfo) {
+    next[0]->ExportTopInfoTable(db_, *sharded_exec_->schema());
+  }
+
+  // Roll the shards independently: one epoch swap per shard, each retiring
+  // its predecessor when the last in-flight sub-query releases it. Queries
+  // scattering mid-roll mix old and new shard snapshots: with unchanged
+  // build options both epochs rank identically, so merged results stay
+  // byte-identical throughout; if the rebuild changed scoring-relevant
+  // options (deeper l, different prune threshold), mid-roll rankings may
+  // transiently mix epochs — the merge's TID-keyed collapse still returns
+  // each topology exactly once, and the next scatter after the roll
+  // completes is fully on the new epoch.
+  for (size_t i = 0; i < num_shards; ++i) {
+    std::shared_ptr<core::TopologyStore> retired =
+        sstore->SwapShard(i, next[i]);
+    std::vector<std::string> retired_tables =
+        retired->PrecomputeTableNames();
+    storage::Catalog* db = db_;
+    retired->set_cleanup([db, retired_tables]() {
+      for (const std::string& name : retired_tables) {
+        (void)db->DropTable(name);
+      }
+    });
+    retired.reset();
+    ++stats.shards_swapped;
+  }
+  InvalidateCache();
+  return stats;
+}
+
 ServiceResponse TopologyService::RunQuery(
     const engine::TopologyQuery& query, engine::MethodKind method,
     const engine::ExecOptions& options,
@@ -176,10 +366,10 @@ ServiceResponse TopologyService::RunQuery(
     return response;
   }
 
-  // No service-level lock: Execute pins a store snapshot and the catalog
-  // interns under its own mutex, so 2-queries, 3-queries, and rebuild
-  // staging coexist freely.
-  Result<engine::QueryResult> result = engine_->Execute(query, method, options);
+  // No service-level lock: Execute pins store snapshots (one per routed
+  // shard when sharded) and the catalog interns under its own mutex, so
+  // 2-queries, 3-queries, and rebuild staging coexist freely.
+  Result<engine::QueryResult> result = Evaluate(query, method, options);
   const bool ok = result.ok();
   if (ok && config_.enable_cache) {
     cache_.Insert(fingerprint,
@@ -264,50 +454,96 @@ ServiceResponse TopologyService::Execute(const engine::TopologyQuery& query,
   return Submit(query, method, options).get();
 }
 
-BatchOutcome TopologyService::ExecuteBatch(
-    const std::vector<ParsedRequest>& requests) {
-  BatchOutcome outcome;
-  outcome.responses.reserve(requests.size());
+namespace {
+
+/// Shared completion state of one asynchronous batch. Each request task
+/// writes its slot; whoever finishes last assembles the outcome and fires
+/// the callback exactly once.
+struct BatchState {
+  std::vector<ServiceResponse> responses;
+  std::atomic<size_t> remaining{0};
+  BatchCallback callback;
+
+  void Finish(size_t slot, ServiceResponse response) {
+    responses[slot] = std::move(response);
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      BatchOutcome outcome;
+      for (ServiceResponse& r : responses) {
+        if (r.result.ok()) {
+          outcome.total += r.result->stats;  // ExecStats::operator+=.
+          if (r.from_cache) ++outcome.cache_hits;
+        } else {
+          ++outcome.failures;
+        }
+        outcome.responses.push_back(std::move(r));
+      }
+      callback(std::move(outcome));
+    }
+  }
+};
+
+}  // namespace
+
+void TopologyService::ExecuteBatchAsync(std::vector<ParsedRequest> requests,
+                                        BatchCallback callback) {
+  TSB_CHECK(callback != nullptr);
+  if (requests.empty()) {
+    callback(BatchOutcome{});
+    return;
+  }
+
+  auto state = std::make_shared<BatchState>();
+  // Placeholder-filled (ServiceResponse has no default state); every slot
+  // is overwritten exactly once before the callback fires.
+  state->responses.assign(
+      requests.size(),
+      ServiceResponse{Status::Internal("batch slot never completed"), false,
+                      0.0});
+  state->remaining.store(requests.size(), std::memory_order_relaxed);
+  state->callback = std::move(callback);
 
   // The batch is one admitted unit: it charges in-flight (so concurrent
   // single submissions see the load) but is not itself bounced.
-  std::vector<std::future<ServiceResponse>> futures;
-  futures.reserve(requests.size());
-  for (const ParsedRequest& req : requests) {
+  for (size_t slot = 0; slot < requests.size(); ++slot) {
+    ParsedRequest req = std::move(requests[slot]);
     Stopwatch watch;
     std::string fingerprint =
         EpochFingerprint(FingerprintQuery(req.query, req.method, req.options));
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    std::future<ServiceResponse> future = pool_.Submit(
-        [this, req, fingerprint = std::move(fingerprint), watch]() mutable {
+    std::future<void> submitted = pool_.Submit(
+        [this, state, slot, req = std::move(req),
+         fingerprint = std::move(fingerprint), watch]() mutable {
           std::shared_ptr<const engine::QueryResult> hit;
           if (config_.enable_cache) hit = cache_.Lookup(fingerprint);
           ServiceResponse response =
               RunQuery(req.query, req.method, req.options, std::move(hit),
                        std::move(fingerprint), watch);
           in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-          return response;
+          state->Finish(slot, std::move(response));
         });
-    if (!future.valid()) {
+    if (!submitted.valid()) {
+      // Raced with Shutdown(): complete this slot inline. If it is the
+      // batch's last open slot, the callback fires on this thread.
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      futures.push_back(Ready(ServiceResponse{
-          Status::FailedPrecondition("service is shut down"), false, 0.0}));
-    } else {
-      futures.push_back(std::move(future));
+      state->Finish(slot,
+                    ServiceResponse{
+                        Status::FailedPrecondition("service is shut down"),
+                        false, 0.0});
     }
   }
+}
 
-  for (std::future<ServiceResponse>& future : futures) {
-    ServiceResponse response = future.get();
-    if (response.result.ok()) {
-      outcome.total += response.result->stats;  // ExecStats::operator+=.
-      if (response.from_cache) ++outcome.cache_hits;
-    } else {
-      ++outcome.failures;
-    }
-    outcome.responses.push_back(std::move(response));
-  }
-  return outcome;
+BatchOutcome TopologyService::ExecuteBatch(
+    const std::vector<ParsedRequest>& requests) {
+  // Blocking flavor: delegate to the asynchronous path and wait. Safe to
+  // call from any non-pool thread (a pool worker would deadlock the last
+  // batch task behind itself — same contract as Rebuild).
+  std::promise<BatchOutcome> done;
+  std::future<BatchOutcome> future = done.get_future();
+  ExecuteBatchAsync(requests, [&done](BatchOutcome outcome) {
+    done.set_value(std::move(outcome));
+  });
+  return future.get();
 }
 
 std::future<TripleResponse> TopologyService::SubmitTriple(
@@ -317,7 +553,7 @@ std::future<TripleResponse> TopologyService::SubmitTriple(
     return Ready(TripleResponse{
         Status::FailedPrecondition("service is shut down"), false, 0.0});
   }
-  if (triple_store_ == nullptr && live_handle_ == nullptr) {
+  if (!sharded() && triple_store_ == nullptr && live_handle_ == nullptr) {
     return Ready(TripleResponse{
         Status::FailedPrecondition(
             "3-queries not enabled; call EnableTripleQueries or "
@@ -347,12 +583,16 @@ std::future<TripleResponse> TopologyService::SubmitTriple(
 
   std::future<TripleResponse> future = pool_.Submit(
       [this, query, fingerprint = std::move(fingerprint), watch]() mutable {
-        // Pin the triple backend for this evaluation: the live epoch when
-        // attached, else the fixed store. Interning into the shared
-        // catalog is thread-safe, so no lock excludes 2-query traffic.
-        std::shared_ptr<core::TopologyStore> backend = TripleBackend();
-        Result<engine::TripleQueryResult> result = engine::ExecuteTripleQuery(
-            db_, backend.get(), *triple_schema_, *triple_view_, query);
+        // Pin the triple backend for this evaluation: the shard set when
+        // sharded, the live epoch when attached, else the fixed store.
+        // Interning into the shared catalog is thread-safe, so no lock
+        // excludes 2-query traffic.
+        Result<engine::TripleQueryResult> result = [&]() {
+          if (sharded()) return sharded_exec_->ExecuteTriple(query);
+          std::shared_ptr<core::TopologyStore> backend = TripleBackend();
+          return engine::ExecuteTripleQuery(
+              db_, backend.get(), *triple_schema_, *triple_view_, query);
+        }();
         const bool ok = result.ok();
         if (ok && config_.enable_cache) {
           triple_cache_.Insert(

@@ -2,6 +2,7 @@
 #define TSB_SERVICE_SERVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -19,6 +20,7 @@
 #include "service/query_cache.h"
 #include "service/request_parser.h"
 #include "service/thread_pool.h"
+#include "shard/scatter_gather.h"
 
 namespace tsb {
 namespace service {
@@ -77,9 +79,16 @@ struct RebuildStats {
   std::string table_namespace;    // Namespace the new tables live under.
   size_t pairs_built = 0;
   size_t catalog_topologies = 0;
+  size_t shards_swapped = 0;      // 0 for unsharded rebuilds.
   double build_seconds = 0.0;     // Stage+commit (parallel, on the pool).
-  double prune_seconds = 0.0;
+  double prune_seconds = 0.0;     // Per-pair prunes, fanned over the pool.
+  double index_seconds = 0.0;     // Warm-index pre-build before the swap.
 };
+
+/// Completion hook of ExecuteBatchAsync: invoked exactly once, on the pool
+/// worker that finishes the batch's last request (or on the submitting
+/// thread when every request completes inline, e.g. after shutdown).
+using BatchCallback = std::function<void(BatchOutcome)>;
 
 /// The concurrent query frontend over engine::Engine — the serving layer
 /// that turns the single-caller library into a shared multi-user service:
@@ -110,6 +119,17 @@ class TopologyService {
  public:
   TopologyService(const engine::Engine* engine, storage::Catalog* db,
                   ServiceConfig config = ServiceConfig{});
+
+  /// Sharded construction: queries scatter-gather over `executor`'s shard
+  /// set instead of a single engine; 3-queries and Rebuild() are wired
+  /// through the executor's shard handles automatically (no AttachLiveStore
+  /// needed). Cache fingerprints carry the per-shard epoch stamp, so a
+  /// shard rolling forward orphans exactly the entries derived from it.
+  /// The executor must outlive the service.
+  TopologyService(shard::ScatterGatherExecutor* executor,
+                  storage::Catalog* db,
+                  ServiceConfig config = ServiceConfig{});
+
   ~TopologyService();
 
   TopologyService(const TopologyService&) = delete;
@@ -134,6 +154,19 @@ class TopologyService {
 
   /// Rebuilds the topology store behind live traffic (see class comment).
   /// Serialized against itself; queries keep flowing throughout.
+  ///
+  /// Sharded services stage a complete new shard set ("e<N>.s<i>." table
+  /// namespaces), prune and warm-index it off the critical path, then roll
+  /// the shards independently — one per-shard epoch swap at a time, each
+  /// retiring its predecessor when the last in-flight sub-query releases
+  /// it. Queries scattering mid-roll see a mix of old and new shard
+  /// epochs; both partition the same pair set, so merged results stay
+  /// correct throughout.
+  ///
+  /// Unsharded and sharded alike: per-pair PruneFrequentTopologies scans
+  /// fan out over the worker pool (they are independent per pair), and the
+  /// new epoch's TID hash indexes are pre-built before the swap so the
+  /// first post-swap queries pay nothing.
   Result<RebuildStats> Rebuild(const RebuildOptions& options);
 
   /// Asynchronous submission. The returned future is always valid: errors
@@ -153,8 +186,17 @@ class TopologyService {
 
   /// Runs all requests on the pool and waits for completion. The batch is
   /// admitted as one unit (it bypasses the per-request in-flight bound but
-  /// counts toward it, throttling concurrent singles).
+  /// counts toward it, throttling concurrent singles). Delegates to
+  /// ExecuteBatchAsync.
   BatchOutcome ExecuteBatch(const std::vector<ParsedRequest>& requests);
+
+  /// Asynchronous batch: returns immediately; `callback` fires once with
+  /// the complete outcome (responses in input order) when the last request
+  /// finishes. Same admission semantics as ExecuteBatch. The callback runs
+  /// on a pool worker — keep it light and never call blocking service
+  /// methods from it.
+  void ExecuteBatchAsync(std::vector<ParsedRequest> requests,
+                         BatchCallback callback);
 
   /// 3-query submission (requires EnableTripleQueries or AttachLiveStore).
   /// Runs concurrently with 2-queries: interning into the shared catalog
@@ -175,12 +217,32 @@ class TopologyService {
   size_t num_threads() const { return pool_.num_threads(); }
   size_t InFlight() const { return in_flight_.load(); }
 
+  /// True when this service scatter-gathers over a sharded store.
+  bool sharded() const { return sharded_exec_ != nullptr; }
+
  private:
   ServiceResponse RunQuery(const engine::TopologyQuery& query,
                            engine::MethodKind method,
                            const engine::ExecOptions& options,
                            std::shared_ptr<const engine::QueryResult> cached,
                            std::string fingerprint, Stopwatch watch);
+
+  /// Engine dispatch: scatter-gather when sharded, else the single engine.
+  Result<engine::QueryResult> Evaluate(
+      const engine::TopologyQuery& query, engine::MethodKind method,
+      const engine::ExecOptions& options) const;
+
+  Result<RebuildStats> RebuildSharded(const RebuildOptions& options);
+
+  /// Fans per-pair PruneFrequentTopologies over the pool for every store
+  /// in `stores` (all still private to the rebuild). Adds to *seconds.
+  Status ParallelPrune(const std::vector<core::TopologyStore*>& stores,
+                       size_t threshold, double* seconds);
+
+  /// Pre-builds the TID hash indexes of every precompute table in `stores`
+  /// on the pool, so the first post-swap queries find them warm.
+  void WarmIndexes(const std::vector<core::TopologyStore*>& stores,
+                   double* seconds);
 
   /// Cache keys carry the store epoch: a query that pinned a pre-swap
   /// snapshot can finish (and Insert) after Rebuild's cache clear, but its
@@ -200,7 +262,9 @@ class TopologyService {
     return promise.get_future();
   }
 
+  /// Exactly one of engine_ / sharded_exec_ is set (by the two ctors).
   const engine::Engine* engine_;
+  shard::ScatterGatherExecutor* sharded_exec_ = nullptr;
   storage::Catalog* db_;
   ServiceConfig config_;
   RequestParser parser_;

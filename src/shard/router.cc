@@ -1,0 +1,50 @@
+#include "shard/router.h"
+
+namespace tsb {
+namespace shard {
+
+std::vector<size_t> ShardRouter::ShardsWithRows(
+    const storage::Catalog& db,
+    const std::vector<std::shared_ptr<core::TopologyStore>>& snapshots,
+    storage::EntityTypeId t1, storage::EntityTypeId t2) {
+  std::vector<size_t> shards;
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    const core::PairTopologyData* pair = snapshots[i]->FindPair(t1, t2);
+    if (pair == nullptr) continue;
+    const storage::Table* alltops = db.FindTable(pair->alltops_table);
+    if (alltops != nullptr && alltops->num_rows() > 0) shards.push_back(i);
+  }
+  return shards;
+}
+
+ShardRoute ShardRouter::Route(
+    const storage::Catalog& db,
+    const std::vector<std::shared_ptr<core::TopologyStore>>& snapshots,
+    storage::EntityTypeId t1, storage::EntityTypeId t2,
+    engine::MethodKind method) const {
+  ShardRoute route;
+  std::vector<size_t> with_rows = ShardsWithRows(db, snapshots, t1, t2);
+
+  // The SQL baseline reads base data plus replicated metadata only — any
+  // shard's answer is the global one, so never scatter it.
+  if (method == engine::MethodKind::kSql) {
+    route.shards = {with_rows.empty() ? size_t{0} : with_rows.front()};
+    route.designated = route.shards.front();
+    return route;
+  }
+
+  if (with_rows.empty()) {
+    // No rows anywhere (or pair unbuilt — the engine surfaces that error).
+    // One shard still answers: pruned topologies verify against the shared
+    // data graph, and resolution errors must come back to the caller.
+    route.shards = {0};
+    route.designated = 0;
+    return route;
+  }
+  route.shards = std::move(with_rows);
+  route.designated = route.shards.front();
+  return route;
+}
+
+}  // namespace shard
+}  // namespace tsb

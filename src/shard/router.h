@@ -1,0 +1,57 @@
+#ifndef TSB_SHARD_ROUTER_H_
+#define TSB_SHARD_ROUTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/store.h"
+#include "engine/query.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace shard {
+
+/// Where a query's sub-queries go. `shards` is ascending and never empty;
+/// `designated` (always a member of `shards`) is the one shard that also
+/// runs the shard-independent work — the online existence checks for
+/// pruned topologies, and the whole query for methods that never read the
+/// partitioned tables (the SQL baseline evaluates from base data alone, so
+/// one shard's answer is the global answer).
+struct ShardRoute {
+  std::vector<size_t> shards;
+  size_t designated = 0;
+
+  bool single_shard() const { return shards.size() == 1; }
+};
+
+/// Maps a query's entity-pair set to the owning shards. With entity-pair
+/// hash partitioning every shard registers every entity-type pair, but a
+/// given *query pair*'s rows live only on shards whose slice is non-empty;
+/// routing skips shards that cannot contribute (empty slice for the pair).
+/// Degenerate layouts fall out naturally: a pair whose rows all hash to
+/// one shard gets a single-shard route (no scatter, no merge), and a pair
+/// with no rows anywhere routes to the lowest shard so the query still
+/// resolves (and still reports pruned topologies, whose verification never
+/// touches the partitioned tables).
+class ShardRouter {
+ public:
+  /// Route a 2-query on entity types (t1, t2) against one consistent
+  /// snapshot set. `snapshots` must have one entry per shard.
+  ShardRoute Route(
+      const storage::Catalog& db,
+      const std::vector<std::shared_ptr<core::TopologyStore>>& snapshots,
+      storage::EntityTypeId t1, storage::EntityTypeId t2,
+      engine::MethodKind method) const;
+
+  /// Shards whose slice of the pair is non-empty (ascending). Empty when
+  /// no shard holds rows (or no shard built the pair).
+  static std::vector<size_t> ShardsWithRows(
+      const storage::Catalog& db,
+      const std::vector<std::shared_ptr<core::TopologyStore>>& snapshots,
+      storage::EntityTypeId t1, storage::EntityTypeId t2);
+};
+
+}  // namespace shard
+}  // namespace tsb
+
+#endif  // TSB_SHARD_ROUTER_H_

@@ -1,0 +1,269 @@
+#include "shard/scatter_gather.h"
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace tsb {
+namespace shard {
+
+namespace {
+
+size_t ResolveScatterThreads(size_t requested, size_t num_shards) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  return std::max<size_t>(1, std::min(num_shards, hw));
+}
+
+}  // namespace
+
+std::vector<engine::ResultEntry> MergeRankedPartials(
+    const std::vector<std::vector<engine::ResultEntry>>& partials,
+    size_t limit) {
+  // Cursor into one partial; ordering is the global result order with the
+  // partial index as the final (duplicate-resolving) tie-break.
+  struct Cursor {
+    const std::vector<engine::ResultEntry>* list;
+    size_t pos;
+    size_t origin;
+  };
+  auto after = [](const Cursor& a, const Cursor& b) {
+    const engine::ResultEntry& x = (*a.list)[a.pos];
+    const engine::ResultEntry& y = (*b.list)[b.pos];
+    if (x.score != y.score) return x.score < y.score;
+    if (x.tid != y.tid) return x.tid > y.tid;
+    return a.origin > b.origin;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(after)> heap(
+      after);
+  for (size_t i = 0; i < partials.size(); ++i) {
+    if (!partials[i].empty()) heap.push({&partials[i], 0, i});
+  }
+
+  std::vector<engine::ResultEntry> merged;
+  // Duplicates (the same topology witnessed on several shards) normally
+  // carry identical (score, tid) keys and pop back-to-back; the seen-set
+  // keeps the collapse correct even if scores diverge (a query scattering
+  // across a mid-roll epoch boundary after a rebuild that changed build
+  // options) — the first, highest-ranked occurrence wins.
+  std::unordered_set<core::Tid> seen;
+  while (!heap.empty() && merged.size() < limit) {
+    Cursor top = heap.top();
+    heap.pop();
+    const engine::ResultEntry& entry = (*top.list)[top.pos];
+    if (seen.insert(entry.tid).second) merged.push_back(entry);
+    if (++top.pos < top.list->size()) heap.push(top);
+  }
+  return merged;
+}
+
+ScatterGatherExecutor::ScatterGatherExecutor(
+    storage::Catalog* db, std::shared_ptr<ShardedTopologyStore> store,
+    const graph::SchemaGraph* schema, const graph::DataGraphView* view,
+    core::DomainKnowledge knowledge, engine::SqlBaselineOptions sql_options,
+    ScatterGatherConfig config)
+    : db_(db),
+      store_(std::move(store)),
+      schema_(schema),
+      view_(view),
+      scatter_pool_(ResolveScatterThreads(config.num_scatter_threads,
+                                          store_->num_shards())) {
+  TSB_CHECK(db_ != nullptr);
+  TSB_CHECK(store_ != nullptr);
+  engines_.reserve(store_->num_shards());
+  for (size_t i = 0; i < store_->num_shards(); ++i) {
+    const std::shared_ptr<core::StoreHandle>& handle = store_->handle(i);
+    engines_.push_back(std::make_unique<engine::Engine>(
+        db_, handle, schema_, view_,
+        core::ScoreModel(&handle->Snapshot()->catalog(), knowledge),
+        sql_options));
+  }
+}
+
+ScatterGatherExecutor::~ScatterGatherExecutor() { scatter_pool_.Shutdown(); }
+
+Result<engine::QueryResult> ScatterGatherExecutor::Execute(
+    const engine::TopologyQuery& query, engine::MethodKind method,
+    const engine::ExecOptions& options) const {
+  Stopwatch watch;
+  const storage::EntitySetDef* es1 = db_->FindEntitySet(query.entity_set1);
+  const storage::EntitySetDef* es2 = db_->FindEntitySet(query.entity_set2);
+  if (es1 == nullptr) {
+    return Status::NotFound("unknown entity set '" + query.entity_set1 +
+                            "'");
+  }
+  if (es2 == nullptr) {
+    return Status::NotFound("unknown entity set '" + query.entity_set2 +
+                            "'");
+  }
+
+  std::vector<std::shared_ptr<core::TopologyStore>> snapshots =
+      store_->SnapshotAll();
+  ShardRoute route =
+      router_.Route(*db_, snapshots, es1->id, es2->id, method);
+
+  if (route.single_shard()) {
+    // Degenerate scatter: the owning shard computes the global answer
+    // directly (the designated role implies full pruned checks).
+    Result<engine::QueryResult> result =
+        engines_[route.designated]->Execute(query, method, options);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.queries;
+      ++stats_.single_shard_queries;
+      ++stats_.subqueries;
+      if (result.ok()) stats_.subquery_seconds += result->stats.seconds;
+    }
+    if (result.ok()) {
+      result->stats.plan = "scatter[1/" + std::to_string(num_shards()) +
+                           " shard] " + result->stats.plan;
+      result->stats.seconds = watch.ElapsedSeconds();
+    }
+    return result;
+  }
+
+  // Scatter: the designated shard runs on this thread (guaranteed
+  // progress), the rest ride the dedicated scatter lane. Non-designated
+  // shards skip the pruned online checks — those verify against the
+  // shared data graph and replicated exception tables, so the designated
+  // shard's verdicts already cover the whole store.
+  struct SubQuery {
+    size_t shard;
+    std::future<Result<engine::QueryResult>> future;
+  };
+  std::vector<SubQuery> scattered;
+  scattered.reserve(route.shards.size() - 1);
+  for (size_t shard : route.shards) {
+    if (shard == route.designated) continue;
+    engine::ExecOptions sub_options = options;
+    sub_options.skip_pruned_checks = true;
+    const engine::Engine* shard_engine = engines_[shard].get();
+    std::future<Result<engine::QueryResult>> future = scatter_pool_.Submit(
+        [shard_engine, query, method, sub_options]() {
+          return shard_engine->Execute(query, method, sub_options);
+        });
+    if (!future.valid()) {
+      // Executor shutting down; evaluate inline so the query still
+      // completes correctly.
+      std::promise<Result<engine::QueryResult>> ready;
+      ready.set_value(shard_engine->Execute(query, method, sub_options));
+      future = ready.get_future();
+    }
+    scattered.push_back({shard, std::move(future)});
+  }
+  Result<engine::QueryResult> designated =
+      engines_[route.designated]->Execute(query, method, options);
+
+  // Gather every partial (drain even after an error so no future leaks).
+  std::vector<std::vector<engine::ResultEntry>> partials;
+  partials.reserve(route.shards.size());
+  engine::ExecStats total;
+  Status first_error = designated.ok() ? Status::OK() : designated.status();
+  double subquery_seconds = 0.0;
+  std::string designated_plan;
+  if (designated.ok()) {
+    total += designated->stats;
+    subquery_seconds += designated->stats.seconds;
+    designated_plan = std::move(designated->stats.plan);
+    partials.push_back(std::move(designated->entries));
+  }
+  for (SubQuery& sub : scattered) {
+    Result<engine::QueryResult> partial = sub.future.get();
+    if (!partial.ok()) {
+      if (first_error.ok()) first_error = partial.status();
+      continue;
+    }
+    total += partial->stats;
+    subquery_seconds += partial->stats.seconds;
+    partials.push_back(std::move(partial->entries));
+  }
+  if (!first_error.ok()) return first_error;
+
+  Stopwatch merge_watch;
+  const size_t limit =
+      engine::MethodIsTopK(method) ? query.k : std::numeric_limits<size_t>::max();
+  engine::QueryResult result;
+  result.entries = MergeRankedPartials(partials, limit);
+  const double merge_seconds = merge_watch.ElapsedSeconds();
+
+  result.stats = total;
+  result.stats.seconds = watch.ElapsedSeconds();
+  result.stats.plan =
+      "scatter[" + std::to_string(route.shards.size()) + "/" +
+      std::to_string(num_shards()) + " shards, designated s" +
+      std::to_string(route.designated) + "] merge(k-way heap) | " +
+      designated_plan;
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.queries;
+  stats_.subqueries += route.shards.size();
+  stats_.subquery_seconds += subquery_seconds;
+  stats_.merge_seconds += merge_seconds;
+  return result;
+}
+
+Result<engine::TripleQueryResult> ScatterGatherExecutor::ExecuteTriple(
+    const engine::TripleQuery& query) const {
+  TSB_ASSIGN_OR_RETURN(engine::TripleSelection selection,
+                       engine::ResolveTripleSelection(db_, query));
+  std::vector<std::shared_ptr<core::TopologyStore>> snapshots =
+      store_->SnapshotAll();
+
+  // Scatter the AllTops scan phase: every shard contributes its slice of
+  // each slot pair's relation. Shard 0 scans on this thread.
+  std::vector<std::future<engine::TripleRelatedSets>> futures;
+  futures.reserve(snapshots.size());
+  for (size_t i = 1; i < snapshots.size(); ++i) {
+    std::shared_ptr<core::TopologyStore> snapshot = snapshots[i];
+    const storage::Catalog* db = db_;
+    const engine::TripleSelection* sel = &selection;
+    std::future<engine::TripleRelatedSets> future = scatter_pool_.Submit(
+        [db, snapshot, sel]() {
+          return engine::CollectTripleRelated(*db, *snapshot, *sel);
+        });
+    if (!future.valid()) {
+      std::promise<engine::TripleRelatedSets> ready;
+      ready.set_value(engine::CollectTripleRelated(*db_, *snapshot,
+                                                   selection));
+      future = ready.get_future();
+    }
+    futures.push_back(std::move(future));
+  }
+  engine::TripleRelatedSets related =
+      engine::CollectTripleRelated(*db_, *snapshots[0], selection);
+  for (std::future<engine::TripleRelatedSets>& future : futures) {
+    engine::TripleRelatedSets partial = future.get();
+    for (int p = 0; p < 3; ++p) {
+      related[p].insert(partial[p].begin(), partial[p].end());
+    }
+  }
+
+  // Join + witness-union phase runs once; new triple topologies intern
+  // into the primary shard's thread-safe catalog (the same first-encounter
+  // order a single-store execution would produce).
+  return engine::FinishTripleQuery(db_, snapshots[0].get(), *schema_, *view_,
+                                   query, selection, related);
+}
+
+void ScatterGatherExecutor::PrepareIndexes(const std::string& entity_set1,
+                                           const std::string& entity_set2) {
+  for (const std::unique_ptr<engine::Engine>& shard_engine : engines_) {
+    shard_engine->PrepareIndexes(entity_set1, entity_set2);
+  }
+}
+
+ScatterStats ScatterGatherExecutor::GetScatterStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace shard
+}  // namespace tsb

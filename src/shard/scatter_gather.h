@@ -1,0 +1,139 @@
+#ifndef TSB_SHARD_SCATTER_GATHER_H_
+#define TSB_SHARD_SCATTER_GATHER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scorer.h"
+#include "engine/engine.h"
+#include "engine/nquery.h"
+#include "engine/query.h"
+#include "service/thread_pool.h"
+#include "shard/router.h"
+#include "shard/sharded_store.h"
+
+namespace tsb {
+namespace shard {
+
+/// Merges locally-ranked partial results into the global ranking: a k-way
+/// heap merge on (score desc, tid asc) with duplicate TIDs collapsed.
+/// Every partial must be sorted in that order (the engine's global result
+/// order). In steady state a TID appearing in several partials carries the
+/// same score in each (shards rank with replicated global frequency maps),
+/// so ties beyond (score, tid) cannot occur across distinct entries and
+/// the merged order — hence the byte identity with the single-store
+/// engine — is fully determined. Should scores ever diverge (a query
+/// scattering across a mid-roll epoch boundary after a rebuild that
+/// *changed* build options), the TID-keyed collapse still emits each
+/// topology once, keeping its highest-ranked occurrence. `limit` caps the
+/// merged size (the query's k; SIZE_MAX for non-top-k methods).
+///
+/// Why the union of per-shard top-k lists suffices for a global top-k: a
+/// shard's qualifying set is a subset of the global one, so any entry of
+/// the global top-k outranks all but < k entries on whichever shard holds
+/// one of its witness rows — it is therefore inside that shard's top-k.
+std::vector<engine::ResultEntry> MergeRankedPartials(
+    const std::vector<std::vector<engine::ResultEntry>>& partials,
+    size_t limit);
+
+/// Cumulative scatter telemetry (for the scaling bench and ops visibility).
+struct ScatterStats {
+  uint64_t queries = 0;              // Scatter-gather executions.
+  uint64_t single_shard_queries = 0; // Routed to exactly one shard.
+  uint64_t subqueries = 0;           // Per-shard sub-queries issued.
+  double subquery_seconds = 0.0;     // Summed engine time across shards.
+  double merge_seconds = 0.0;        // Time in MergeRankedPartials.
+};
+
+struct ScatterGatherConfig {
+  /// Dedicated sub-query workers; 0 means min(num_shards,
+  /// hardware_concurrency). This lane is intentionally *not* the service's
+  /// request pool: an outer query blocks on its sub-queries, and blocking
+  /// pool tasks on tasks queued behind them in the same pool deadlocks
+  /// once every worker holds an outer query. A separate lane (same
+  /// service::ThreadPool class) keeps the wait-for graph acyclic.
+  size_t num_scatter_threads = 0;
+};
+
+/// Fans a query out over the shards that own its rows, runs each sub-query
+/// against a per-shard Engine pinned to that shard's snapshot, and merges
+/// the ranked partials into the global result — byte-identical to a
+/// single-store engine for every method:
+///
+///   - each shard ranks its slice with replicated global scores, so
+///     partial rankings agree on every common entry;
+///   - the designated shard alone runs shard-independent work (pruned
+///     online checks; the whole SQL baseline), so that work is paid once;
+///   - the k-way merge (MergeRankedPartials) reassembles the global order.
+///
+/// 3-queries scatter their AllTops scan phase (CollectTripleRelated) and
+/// union the per-shard relations; the join/witness-union phase then runs
+/// once, interning new triple topologies into the primary shard's
+/// thread-safe catalog.
+///
+/// Thread safety: Execute/ExecuteTriple are safe from any number of
+/// threads; per-shard engines are concurrency-safe and sub-queries ride a
+/// dedicated scatter pool.
+class ScatterGatherExecutor {
+ public:
+  ScatterGatherExecutor(storage::Catalog* db,
+                        std::shared_ptr<ShardedTopologyStore> store,
+                        const graph::SchemaGraph* schema,
+                        const graph::DataGraphView* view,
+                        core::DomainKnowledge knowledge,
+                        engine::SqlBaselineOptions sql_options =
+                            engine::SqlBaselineOptions{},
+                        ScatterGatherConfig config = ScatterGatherConfig{});
+  ~ScatterGatherExecutor();
+
+  ScatterGatherExecutor(const ScatterGatherExecutor&) = delete;
+  ScatterGatherExecutor& operator=(const ScatterGatherExecutor&) = delete;
+
+  /// Scatter-gather evaluation of a 2-query. Result entries are
+  /// byte-identical to single-store Engine::Execute; stats are summed over
+  /// the sub-queries (plus wall-clock seconds and a scatter plan line).
+  Result<engine::QueryResult> Execute(
+      const engine::TopologyQuery& query, engine::MethodKind method,
+      const engine::ExecOptions& options = engine::ExecOptions{}) const;
+
+  /// Scatter-gather evaluation of a 3-query (see class comment).
+  Result<engine::TripleQueryResult> ExecuteTriple(
+      const engine::TripleQuery& query) const;
+
+  /// Pre-builds the hash indexes every shard's plans use for this pair.
+  void PrepareIndexes(const std::string& entity_set1,
+                      const std::string& entity_set2);
+
+  ShardedTopologyStore* mutable_store() { return store_.get(); }
+  const ShardedTopologyStore& store() const { return *store_; }
+  size_t num_shards() const { return store_->num_shards(); }
+  const graph::SchemaGraph* schema() const { return schema_; }
+  const graph::DataGraphView* view() const { return view_; }
+  /// Shard i's engine (its snapshot read path follows shard i's handle).
+  const engine::Engine& shard_engine(size_t shard) const {
+    return *engines_[shard];
+  }
+
+  ScatterStats GetScatterStats() const;
+
+ private:
+  storage::Catalog* db_;
+  std::shared_ptr<ShardedTopologyStore> store_;
+  const graph::SchemaGraph* schema_;
+  const graph::DataGraphView* view_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<engine::Engine>> engines_;
+  /// Dedicated sub-query lane (see ScatterGatherConfig).
+  mutable service::ThreadPool scatter_pool_;
+
+  mutable std::mutex stats_mu_;
+  mutable ScatterStats stats_;
+};
+
+}  // namespace shard
+}  // namespace tsb
+
+#endif  // TSB_SHARD_SCATTER_GATHER_H_

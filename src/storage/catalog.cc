@@ -6,6 +6,10 @@
 namespace tsb {
 namespace storage {
 
+std::string ShardNamespace(const std::string& base, size_t shard) {
+  return base + "s" + std::to_string(shard) + ".";
+}
+
 Result<Table*> Catalog::CreateTable(const std::string& name,
                                     TableSchema schema) {
   std::unique_lock<std::shared_mutex> lock(tables_mu_);
