@@ -1,0 +1,151 @@
+#ifndef TSB_COMMON_BINARY_IO_H_
+#define TSB_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tsb {
+
+/// Fixed-width little-endian append/read primitives — the byte-level
+/// substrate of the wire codecs (src/wire/) and of the structural predicate
+/// encoding (storage/predicate.h). Numbers are written as their exact bit
+/// patterns (doubles via memcpy of the IEEE-754 image), so encode → decode
+/// → encode is byte-identical with no precision or locale hazards.
+///
+/// Writers append to a caller-owned std::string; BinaryReader walks a
+/// string_view with bounds checks and a sticky failure flag, so decoders
+/// can chain reads and test ok() once (every accessor returns a harmless
+/// zero value after a failure).
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v & 0xff));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutBool(std::string* out, bool v) { PutU8(out, v ? 1 : 0); }
+
+/// u32 byte length + raw bytes.
+inline void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  /// True when the reader is still ok and every byte was consumed —
+  /// decoders use it to reject trailing garbage.
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint16_t U16() {
+    uint16_t lo = U8();
+    uint16_t hi = U8();
+    return static_cast<uint16_t>(lo | (hi << 8));
+  }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(U8()) << (8 * i);
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(U8()) << (8 * i);
+    return v;
+  }
+
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  double F64() {
+    uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool Bool() { return U8() != 0; }
+
+  std::string String() {
+    uint32_t len = U32();
+    if (!Need(len)) return std::string();
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  /// Raw bytes without a length prefix (frame payload slicing).
+  std::string_view Bytes(size_t n) {
+    if (!Need(n)) return std::string_view();
+    std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Marks the reader failed (decoders flag semantic errors — bad tags,
+  /// impossible counts — through the same sticky channel as truncation).
+  void Fail() { ok_ = false; }
+
+  Status status(const char* what) const {
+    if (ok_) return Status::OK();
+    return Status::InvalidArgument(std::string("truncated or malformed ") +
+                                   what + " at byte " + std::to_string(pos_));
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace tsb
+
+#endif  // TSB_COMMON_BINARY_IO_H_

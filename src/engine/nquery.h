@@ -56,6 +56,10 @@ struct TripleQueryResult {
   std::vector<TripleResultEntry> entries;  // Frequency-descending.
   size_t triples_examined = 0;
   bool truncated = false;
+  /// True when a sharded evaluation lost at least one shard's slice of the
+  /// AllTops scan phase (failure or timeout under a tolerant executor);
+  /// the entries then cover only the responding shards' relations.
+  bool partial = false;
 };
 
 /// Evaluates a 3-query. All three pairwise entity-set pairs that the

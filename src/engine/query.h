@@ -85,6 +85,12 @@ struct QueryResult {
   /// Ordered by (score desc, tid asc); truncated to k for top-k methods.
   std::vector<ResultEntry> entries;
   ExecStats stats;
+  /// True when a scatter-gather answer is missing at least one shard's
+  /// partial (that shard failed or timed out and the executor tolerates
+  /// degradation): the entries are a correct ranking of what the
+  /// responding shards hold, but may omit topologies whose witness rows
+  /// live only on the missing shard. Always false on the direct path.
+  bool partial = false;
 };
 
 /// DGJ implementation choice per join level for ET plans, used by the

@@ -1,0 +1,124 @@
+#include "engine/result_io.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsb {
+namespace engine {
+
+namespace {
+
+/// Entry counts are length-prefixed; cap what a decoder will reserve so a
+/// corrupt prefix cannot trigger a huge allocation before the bounds check
+/// catches the truncation.
+constexpr uint32_t kMaxReserve = 1u << 20;
+
+}  // namespace
+
+void EncodeExecStats(const ExecStats& stats, std::string* out) {
+  PutF64(out, stats.seconds);
+  PutU64(out, stats.rows_scanned);
+  PutU64(out, stats.probes);
+  PutU64(out, stats.rows_out);
+  PutU64(out, stats.builds);
+  PutU64(out, stats.subqueries);
+  PutString(out, stats.plan);
+}
+
+Result<ExecStats> DecodeExecStats(BinaryReader* in) {
+  ExecStats stats;
+  stats.seconds = in->F64();
+  stats.rows_scanned = in->U64();
+  stats.probes = in->U64();
+  stats.rows_out = in->U64();
+  stats.builds = in->U64();
+  stats.subqueries = in->U64();
+  stats.plan = in->String();
+  if (!in->ok()) return in->status("ExecStats");
+  return stats;
+}
+
+void EncodeQueryResult(const QueryResult& result, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(result.entries.size()));
+  for (const ResultEntry& entry : result.entries) {
+    PutI64(out, entry.tid);
+    PutF64(out, entry.score);
+  }
+  EncodeExecStats(result.stats, out);
+  PutBool(out, result.partial);
+}
+
+Result<QueryResult> DecodeQueryResult(BinaryReader* in) {
+  QueryResult result;
+  const uint32_t n = in->U32();
+  result.entries.reserve(std::min(n, kMaxReserve));
+  for (uint32_t i = 0; i < n && in->ok(); ++i) {
+    ResultEntry entry;
+    entry.tid = in->I64();
+    entry.score = in->F64();
+    result.entries.push_back(entry);
+  }
+  TSB_ASSIGN_OR_RETURN(result.stats, DecodeExecStats(in));
+  result.partial = in->Bool();
+  if (!in->ok()) return in->status("QueryResult");
+  return result;
+}
+
+void EncodeTripleQueryResult(const TripleQueryResult& result,
+                             std::string* out) {
+  PutU32(out, static_cast<uint32_t>(result.entries.size()));
+  for (const TripleResultEntry& entry : result.entries) {
+    PutI64(out, entry.tid);
+    PutU64(out, entry.frequency);
+  }
+  PutU64(out, result.triples_examined);
+  PutBool(out, result.truncated);
+  PutBool(out, result.partial);
+}
+
+Result<TripleQueryResult> DecodeTripleQueryResult(BinaryReader* in) {
+  TripleQueryResult result;
+  const uint32_t n = in->U32();
+  result.entries.reserve(std::min(n, kMaxReserve));
+  for (uint32_t i = 0; i < n && in->ok(); ++i) {
+    TripleResultEntry entry;
+    entry.tid = in->I64();
+    entry.frequency = in->U64();
+    result.entries.push_back(entry);
+  }
+  result.triples_examined = in->U64();
+  result.truncated = in->Bool();
+  result.partial = in->Bool();
+  if (!in->ok()) return in->status("TripleQueryResult");
+  return result;
+}
+
+void EncodeTripleRelatedSets(const TripleRelatedSets& related,
+                             std::string* out) {
+  for (const auto& set : related) {
+    PutU32(out, static_cast<uint32_t>(set.size()));
+    // std::set iteration is ordered, so the encoding is canonical and the
+    // decoded set re-sorts to the identical sequence.
+    for (const auto& [e1, e2] : set) {
+      PutI64(out, e1);
+      PutI64(out, e2);
+    }
+  }
+}
+
+Result<TripleRelatedSets> DecodeTripleRelatedSets(BinaryReader* in) {
+  TripleRelatedSets related;
+  for (auto& set : related) {
+    const uint32_t n = in->U32();
+    for (uint32_t i = 0; i < n && in->ok(); ++i) {
+      int64_t e1 = in->I64();
+      int64_t e2 = in->I64();
+      set.emplace(e1, e2);
+    }
+  }
+  if (!in->ok()) return in->status("TripleRelatedSets");
+  return related;
+}
+
+}  // namespace engine
+}  // namespace tsb

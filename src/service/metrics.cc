@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "shard/sharded_store.h"
 
 namespace tsb {
 namespace service {
@@ -63,9 +64,43 @@ void ServiceMetrics::RecordRequest(size_t slot, double seconds,
   s.latency.Record(seconds);
 }
 
-void ServiceMetrics::RecordRejected() {
-  std::lock_guard<std::mutex> lock(rejected_mu_);
-  ++rejected_;
+void ServiceMetrics::RecordRejected(size_t cls) {
+  {
+    std::lock_guard<std::mutex> lock(rejected_mu_);
+    ++rejected_;
+  }
+  TSB_CHECK_LT(cls, kNumClasses);
+  std::lock_guard<std::mutex> lock(classes_[cls].mu);
+  ++classes_[cls].rejected;
+}
+
+void ServiceMetrics::RecordAdmitted(size_t cls) {
+  TSB_CHECK_LT(cls, kNumClasses);
+  std::lock_guard<std::mutex> lock(classes_[cls].mu);
+  ++classes_[cls].admitted;
+}
+
+void ServiceMetrics::RecordDeadlineShed(size_t cls) {
+  TSB_CHECK_LT(cls, kNumClasses);
+  std::lock_guard<std::mutex> lock(classes_[cls].mu);
+  ++classes_[cls].deadline_shed;
+}
+
+void ServiceMetrics::RecordCancelled(size_t cls) {
+  TSB_CHECK_LT(cls, kNumClasses);
+  std::lock_guard<std::mutex> lock(classes_[cls].mu);
+  ++classes_[cls].cancelled;
+}
+
+void ServiceMetrics::RecordClassLatency(size_t cls, double seconds) {
+  TSB_CHECK_LT(cls, kNumClasses);
+  std::lock_guard<std::mutex> lock(classes_[cls].mu);
+  classes_[cls].latency.Record(seconds);
+}
+
+void ServiceMetrics::SetShardRows(std::vector<uint64_t> rows) {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  shard_rows_ = std::move(rows);
 }
 
 void ServiceMetrics::Reset() {
@@ -75,6 +110,18 @@ void ServiceMetrics::Reset() {
     s.cache_hits = 0;
     s.errors = 0;
     s.latency.Reset();
+  }
+  for (ClassSlot& c : classes_) {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.admitted = 0;
+    c.rejected = 0;
+    c.deadline_shed = 0;
+    c.cancelled = 0;
+    c.latency.Reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    shard_rows_.clear();
   }
   std::lock_guard<std::mutex> lock(rejected_mu_);
   rejected_ = 0;
@@ -97,6 +144,24 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     snap.total_errors += row.errors;
     snap.methods.push_back(std::move(row));
   }
+  static const char* kClassNames[kNumClasses] = {"interactive", "batch"};
+  for (size_t cls = 0; cls < kNumClasses; ++cls) {
+    const ClassSlot& c = classes_[cls];
+    std::lock_guard<std::mutex> lock(c.mu);
+    PriorityClassSnapshot row;
+    row.name = kClassNames[cls];
+    row.admitted = c.admitted;
+    row.rejected = c.rejected;
+    row.deadline_shed = c.deadline_shed;
+    row.cancelled = c.cancelled;
+    row.latency = c.latency.Summarize();
+    snap.classes.push_back(std::move(row));
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    snap.shard_rows = shard_rows_;
+  }
+  snap.shard_skew = shard::ShardRowSkew(snap.shard_rows);
   std::lock_guard<std::mutex> lock(rejected_mu_);
   snap.total_rejected = rejected_;
   return snap;
@@ -114,6 +179,32 @@ std::string MetricsSnapshot::ToString() const {
                   static_cast<unsigned long long>(row.cache_hits),
                   static_cast<unsigned long long>(row.errors),
                   row.latency.p50 * 1e3, row.latency.p95 * 1e3);
+    out += line;
+  }
+  for (const PriorityClassSnapshot& row : classes) {
+    if (row.admitted == 0 && row.rejected == 0 && row.deadline_shed == 0 &&
+        row.cancelled == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "class %-12s %9llu admitted %6llu rejected %5llu shed "
+                  "%5llu cancelled  p95 %8.3fms\n",
+                  row.name.c_str(),
+                  static_cast<unsigned long long>(row.admitted),
+                  static_cast<unsigned long long>(row.rejected),
+                  static_cast<unsigned long long>(row.deadline_shed),
+                  static_cast<unsigned long long>(row.cancelled),
+                  row.latency.p95 * 1e3);
+    out += line;
+  }
+  if (!shard_rows.empty()) {
+    out += "shard rows:";
+    for (size_t i = 0; i < shard_rows.size(); ++i) {
+      std::snprintf(line, sizeof(line), " s%zu=%llu", i,
+                    static_cast<unsigned long long>(shard_rows[i]));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "  skew(max/mean)=%.2f\n", shard_skew);
     out += line;
   }
   std::snprintf(line, sizeof(line),

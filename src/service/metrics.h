@@ -51,12 +51,33 @@ struct MethodStatsSnapshot {
   LatencyReservoir::Summary latency;  // End-to-end service latency.
 };
 
+/// Per-admission-class serving counters (wire::Priority classes).
+struct PriorityClassSnapshot {
+  std::string name;            // "interactive" / "batch".
+  uint64_t admitted = 0;       // Entered the class queue.
+  uint64_t rejected = 0;       // Bounced: class queue at its bound.
+  uint64_t deadline_shed = 0;  // Dequeued after the deadline expired.
+  uint64_t cancelled = 0;      // Stream cancelled before execution.
+  LatencyReservoir::Summary latency;  // End-to-end, executed requests.
+};
+
 struct MetricsSnapshot {
   std::vector<MethodStatsSnapshot> methods;  // Only methods with traffic.
   uint64_t total_requests = 0;
   uint64_t total_cache_hits = 0;
   uint64_t total_errors = 0;
   uint64_t total_rejected = 0;  // Bounced by admission control.
+
+  /// One row per admission class (always both, traffic or not).
+  std::vector<PriorityClassSnapshot> classes;
+
+  /// Per-shard AllTops row counts (sharded services only; refreshed on
+  /// construction and after every sharded rebuild) and the skew factor
+  /// max/mean — 1.0 is perfectly balanced, 0 when unsharded/empty. The
+  /// first half of the ROADMAP shard-rebalancing item: observe the skew
+  /// before acting on it.
+  std::vector<uint64_t> shard_rows;
+  double shard_skew = 0.0;
 
   /// Multi-line human-readable table.
   std::string ToString() const;
@@ -71,8 +92,17 @@ class ServiceMetrics {
   static constexpr size_t kTripleSlot = 9;
   static constexpr size_t kNumSlots = 10;
 
+  static constexpr size_t kNumClasses = 2;  // wire::Priority cardinality.
+
   void RecordRequest(size_t slot, double seconds, bool cache_hit, bool ok);
-  void RecordRejected();
+  /// `cls` is the admission class (static_cast of wire::Priority).
+  void RecordRejected(size_t cls);
+  void RecordAdmitted(size_t cls);
+  void RecordDeadlineShed(size_t cls);
+  void RecordCancelled(size_t cls);
+  void RecordClassLatency(size_t cls, double seconds);
+  /// Publishes the per-shard row counts the skew metric derives from.
+  void SetShardRows(std::vector<uint64_t> rows);
   void Reset();
 
   MetricsSnapshot Snapshot() const;
@@ -91,9 +121,21 @@ class ServiceMetrics {
     LatencyReservoir latency;
   };
 
+  struct ClassSlot {
+    mutable std::mutex mu;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t deadline_shed = 0;
+    uint64_t cancelled = 0;
+    LatencyReservoir latency;
+  };
+
   std::array<Slot, kNumSlots> slots_;
+  std::array<ClassSlot, kNumClasses> classes_;
   mutable std::mutex rejected_mu_;
   uint64_t rejected_ = 0;
+  mutable std::mutex shard_mu_;
+  std::vector<uint64_t> shard_rows_;
 };
 
 }  // namespace service

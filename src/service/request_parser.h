@@ -17,8 +17,9 @@ struct ParsedRequest {
   engine::ExecOptions options;
 };
 
-/// Line-oriented request language so examples, benches, and future network
-/// frontends can drive TopologyService with plain text:
+/// Line-oriented request language — the human-readable encoding of the
+/// wire protocol (the binary twin is wire/codec.h) — so examples, benches,
+/// and network frontends can drive TopologyService with plain text:
 ///
 ///   TOPK k=10 method=fast-topk-et scheme=domain
 ///        set1=Protein pred1=DESC.ct('enzyme')
@@ -44,21 +45,37 @@ struct ParsedRequest {
 ///   exclude_weak=   0 | 1 (default 0)
 ///
 /// The parser resolves column names against the catalog so malformed
-/// requests fail here, with a message, rather than deep in the engine.
+/// requests fail here — with the offending field name and byte offset in
+/// the message — rather than deep in the engine.
 class RequestParser {
  public:
   explicit RequestParser(const storage::Catalog* db) : db_(db) {}
 
   Result<ParsedRequest> Parse(const std::string& line) const;
 
+  /// Renders a request back to its canonical line: fixed field order
+  /// (method, k, scheme, set1, pred1, set2, pred2, exclude_weak), default
+  /// fields omitted (k on TOP verbs, exclude_weak=0, TRUE predicates), so
+  /// Parse(Format(r)) reproduces r and Format is a fixed point —
+  /// Format(Parse(Format(r))) is byte-identical to Format(r). Fails when
+  /// a predicate is outside the text grammar (OR / NOT combinators,
+  /// values containing quotes); such requests need the binary codec.
+  /// ExecOptions are not part of the text grammar and are not emitted.
+  static Result<std::string> Format(const ParsedRequest& request);
+
   static Result<engine::MethodKind> ParseMethod(const std::string& name);
   static Result<core::RankScheme> ParseScheme(const std::string& name);
+  /// Canonical grammar names (ParseMethod/ParseScheme inverses).
+  static const char* MethodName(engine::MethodKind method);
+  static const char* SchemeName(core::RankScheme scheme);
 
  private:
   Result<storage::PredicateRef> ParsePredicate(
-      const std::string& entity_set, const std::string& expr) const;
+      const std::string& entity_set, const std::string& field,
+      size_t offset, const std::string& expr) const;
   Result<storage::PredicateRef> ParseClause(
       const storage::TableSchema& schema, const std::string& table_name,
+      const std::string& field, size_t offset,
       const std::string& clause) const;
 
   const storage::Catalog* db_;

@@ -32,6 +32,10 @@ service::QueryCacheConfig TripleCacheConfig(service::QueryCacheConfig cache) {
 
 }  // namespace
 
+double RebuildStats::ShardSkew() const {
+  return shard::ShardRowSkew(shard_rows);
+}
+
 TopologyService::TopologyService(const engine::Engine* engine,
                                  storage::Catalog* db, ServiceConfig config)
     : engine_(engine),
@@ -60,6 +64,15 @@ TopologyService::TopologyService(shard::ScatterGatherExecutor* executor,
   // 3-queries and rebuilds flow through the executor's shard handles.
   triple_schema_ = sharded_exec_->schema();
   triple_view_ = sharded_exec_->view();
+  // Seed the shard-skew observables from the serving shard set.
+  std::vector<std::shared_ptr<core::TopologyStore>> snapshots =
+      sharded_exec_->store().SnapshotAll();
+  std::vector<const core::TopologyStore*> raw;
+  raw.reserve(snapshots.size());
+  for (const std::shared_ptr<core::TopologyStore>& s : snapshots) {
+    raw.push_back(s.get());
+  }
+  metrics_.SetShardRows(shard::ShardAllTopsRowCounts(*db_, raw));
 }
 
 TopologyService::~TopologyService() { Shutdown(); }
@@ -319,6 +332,11 @@ Result<RebuildStats> TopologyService::RebuildSharded(
 
   stats.pairs_built = next[0]->pairs().size();
   stats.catalog_topologies = next[0]->catalog().size();
+  {
+    std::vector<const core::TopologyStore*> raw_const(raw.begin(),
+                                                      raw.end());
+    stats.shard_rows = shard::ShardAllTopsRowCounts(*db_, raw_const);
+  }
 
   // Primary replica feeds the export, pre-swap (see unsharded comment).
   if (options.export_topinfo) {
@@ -327,13 +345,13 @@ Result<RebuildStats> TopologyService::RebuildSharded(
 
   // Roll the shards independently: one epoch swap per shard, each retiring
   // its predecessor when the last in-flight sub-query releases it. Queries
-  // scattering mid-roll mix old and new shard snapshots: with unchanged
-  // build options both epochs rank identically, so merged results stay
-  // byte-identical throughout; if the rebuild changed scoring-relevant
-  // options (deeper l, different prune threshold), mid-roll rankings may
-  // transiently mix epochs — the merge's TID-keyed collapse still returns
-  // each topology exactly once, and the next scatter after the roll
-  // completes is fully on the new epoch.
+  // scattering mid-roll see a mix of old and new shard snapshots: with
+  // unchanged build options both epochs rank identically, so merged
+  // results stay byte-identical throughout; if the rebuild changed
+  // scoring-relevant options (deeper l, different prune threshold),
+  // mid-roll rankings may transiently mix epochs — the merge's TID-keyed
+  // collapse still returns each topology exactly once, and the next
+  // scatter after the roll completes is fully on the new epoch.
   for (size_t i = 0; i < num_shards; ++i) {
     std::shared_ptr<core::TopologyStore> retired =
         sstore->SwapShard(i, next[i]);
@@ -349,6 +367,8 @@ Result<RebuildStats> TopologyService::RebuildSharded(
     ++stats.shards_swapped;
   }
   InvalidateCache();
+  // Refresh the skew observables for the new epoch.
+  metrics_.SetShardRows(stats.shard_rows);
   return stats;
 }
 
@@ -371,7 +391,10 @@ ServiceResponse TopologyService::RunQuery(
   // 2-queries, 3-queries, and rebuild staging coexist freely.
   Result<engine::QueryResult> result = Evaluate(query, method, options);
   const bool ok = result.ok();
-  if (ok && config_.enable_cache) {
+  // Degraded answers (a shard failed or timed out; partial=true) are
+  // never cached: the blip is transient, but a cached partial would keep
+  // serving the incomplete ranking until the next epoch swap.
+  if (ok && !result->partial && config_.enable_cache) {
     cache_.Insert(fingerprint,
                   std::make_shared<engine::QueryResult>(*result));
   }
@@ -382,60 +405,325 @@ ServiceResponse TopologyService::RunQuery(
   return response;
 }
 
-std::future<ServiceResponse> TopologyService::Submit(
-    const engine::TopologyQuery& query, engine::MethodKind method,
-    const engine::ExecOptions& options) {
+/// --- The wire surface ------------------------------------------------------
+
+wire::WireResponse TopologyService::ToWire(uint64_t request_id,
+                                           ServiceResponse response) {
+  wire::WireResponse out;
+  out.request_id = request_id;
+  out.from_cache = response.from_cache;
+  out.service_seconds = response.service_seconds;
+  if (response.result.ok()) {
+    out.result = std::move(*response.result);
+  } else {
+    out.error = wire::WireErrorFromStatus(response.result.status());
+  }
+  return out;
+}
+
+ServiceResponse TopologyService::FromWire(
+    const wire::WireResponse& response) {
+  if (response.error.ok()) {
+    return ServiceResponse{response.result, response.from_cache,
+                           response.service_seconds};
+  }
+  return ServiceResponse{wire::StatusFromWireError(response.error),
+                         response.from_cache, response.service_seconds};
+}
+
+void TopologyService::DeliverFrame(
+    const std::shared_ptr<StreamState>& stream, wire::WireFrame frame) {
+  std::lock_guard<std::mutex> lock(stream->sink_mu);
+  stream->sink->OnFrame(frame);
+  if (frame.kind != wire::FrameKind::kResponse) return;
+  TSB_CHECK_GT(stream->open, 0u);
+  if (--stream->open > 0) return;
+  // Unregister BEFORE the end frame goes out, so a client that saw the
+  // end can rely on CancelStream returning false (no finished-but-still-
+  // cancellable window). Lock order sink_mu -> streams_mu_ is unique to
+  // this path; CancelStream takes streams_mu_ alone.
+  if (stream->id != 0) {
+    std::lock_guard<std::mutex> streams_lock(streams_mu_);
+    streams_.erase(stream->id);
+  }
+  if (stream->send_end) {
+    wire::WireFrame end;
+    end.kind = wire::FrameKind::kStreamEnd;
+    end.stream_id = stream->id;
+    stream->sink->OnFrame(end);
+  }
+}
+
+void TopologyService::DeliverResponse(
+    const std::shared_ptr<StreamState>& stream,
+    wire::WireResponse response) {
+  wire::WireFrame frame;
+  frame.kind = wire::FrameKind::kResponse;
+  frame.stream_id = stream->id;
+  frame.response = std::move(response);
+  DeliverFrame(stream, std::move(frame));
+}
+
+void TopologyService::DeliverError(
+    const std::shared_ptr<StreamState>& stream, uint64_t request_id,
+    wire::WireErrorCode code, std::string message) {
+  wire::WireResponse response;
+  response.request_id = request_id;
+  response.error = wire::WireError{code, std::move(message)};
+  DeliverResponse(stream, std::move(response));
+}
+
+void TopologyService::SubmitToStream(
+    wire::WireRequest request, const std::shared_ptr<StreamState>& stream,
+    bool bypass_admission) {
   Stopwatch watch;
   if (!accepting_.load(std::memory_order_acquire)) {
-    return Ready(ServiceResponse{
-        Status::FailedPrecondition("service is shut down"), false, 0.0});
+    DeliverError(stream, request.id, wire::WireErrorCode::kShuttingDown,
+                 "service is shut down");
+    return;
   }
 
-  std::string fingerprint =
-      EpochFingerprint(FingerprintQuery(query, method, options));
+  std::string fingerprint = EpochFingerprint(
+      FingerprintQuery(request.query, request.method, request.options));
 
   // Fast path: answer hits on the caller's thread, no pool hop, no
   // admission charge.
   if (config_.enable_cache) {
     if (std::shared_ptr<const engine::QueryResult> hit =
             cache_.Lookup(fingerprint)) {
-      return Ready(RunQuery(query, method, options, std::move(hit),
-                            std::move(fingerprint), watch));
+      ServiceResponse response =
+          RunQuery(request.query, request.method, request.options,
+                   std::move(hit), std::move(fingerprint), watch);
+      DeliverResponse(stream, ToWire(request.id, std::move(response)));
+      return;
     }
   }
 
-  // Admission control: bound queued + executing work.
-  size_t in_flight = in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  if (in_flight >= config_.max_in_flight) {
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    metrics_.RecordRejected();
-    return Ready(ServiceResponse{
-        Status::ResourceExhausted(
-            "service overloaded: " + std::to_string(in_flight) +
-            " requests in flight (max " +
-            std::to_string(config_.max_in_flight) + ")"),
-        false, watch.ElapsedSeconds()});
+  // Per-class admission: bound queued + executing work of this class.
+  const size_t cls = static_cast<size_t>(request.priority);
+  const size_t bound = request.priority == wire::Priority::kInteractive
+                           ? config_.max_in_flight
+                           : config_.batch_max_in_flight;
+  const size_t in_class =
+      class_in_flight_[cls].fetch_add(1, std::memory_order_acq_rel);
+  if (!bypass_admission && in_class >= bound) {
+    class_in_flight_[cls].fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.RecordRejected(cls);
+    DeliverError(
+        stream, request.id, wire::WireErrorCode::kOverloaded,
+        "service overloaded: " + std::to_string(in_class) + " " +
+            wire::PriorityToString(request.priority) +
+            " requests in flight (max " + std::to_string(bound) + ")");
+    return;
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  metrics_.RecordAdmitted(cls);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    QueuedItem item;
+    item.req = std::move(request);
+    item.stream = stream;
+    item.fingerprint = std::move(fingerprint);
+    item.watch = watch;
+    queues_[cls].push_back(std::move(item));
+  }
+  // One drain token per queued item; a worker completes the
+  // highest-priority pending item, not necessarily this one.
+  std::future<void> token = pool_.Submit([this]() { DrainOne(); });
+  if (!token.valid()) {
+    // Raced with Shutdown() after the accepting_ gate: complete one
+    // queued item (possibly another's) with a shutdown error so every
+    // admitted request still gets its terminal frame.
+    DrainOne(wire::WireErrorCode::kShuttingDown);
+  }
+}
+
+void TopologyService::DrainOne(
+    std::optional<wire::WireErrorCode> forced_shed, bool ignore_batch_cap) {
+  const size_t batch_cls = static_cast<size_t>(wire::Priority::kBatch);
+  const size_t batch_cap =
+      config_.max_concurrent_batch > 0
+          ? config_.max_concurrent_batch
+          : std::max<size_t>(1, pool_.num_threads() - 1);
+  QueuedItem item;
+  bool found = false;
+  bool is_batch = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (size_t cls = 0; cls < wire::kNumPriorities && !found; ++cls) {
+      if (queues_[cls].empty()) continue;
+      if (cls == batch_cls && !forced_shed.has_value() &&
+          !ignore_batch_cap && batch_executing_ >= batch_cap) {
+        // Over the batch concurrency cap: retire this token; the next
+        // finishing batch request funds a replacement (serialized under
+        // queue_mu_, so the refund can never miss this stall).
+        ++stalled_batch_tokens_;
+        return;
+      }
+      item = std::move(queues_[cls].front());
+      queues_[cls].pop_front();
+      found = true;
+      if (cls == batch_cls) {
+        is_batch = true;
+        ++batch_executing_;
+      }
+    }
+  }
+  if (!found) return;  // Defensive: tokens always match queued items.
+
+  const size_t cls = static_cast<size_t>(item.req.priority);
+  const double waited = item.watch.ElapsedSeconds();
+  if (forced_shed.has_value()) {
+    DeliverError(item.stream, item.req.id, *forced_shed,
+                 "service is shut down");
+  } else if (item.stream->cancelled.load(std::memory_order_acquire)) {
+    metrics_.RecordCancelled(cls);
+    DeliverError(item.stream, item.req.id, wire::WireErrorCode::kCancelled,
+                 "stream cancelled before execution");
+  } else if (item.req.deadline_seconds > 0.0 &&
+             waited > item.req.deadline_seconds) {
+    // Deadline-based shedding: the request expired in the queue; answering
+    // it late helps nobody and steals a worker from live traffic.
+    metrics_.RecordDeadlineShed(cls);
+    DeliverError(item.stream, item.req.id,
+                 wire::WireErrorCode::kDeadlineExceeded,
+                 "deadline of " + std::to_string(item.req.deadline_seconds) +
+                     "s exceeded after " + std::to_string(waited) +
+                     "s in queue");
+  } else {
+    // Re-check the cache: an identical request may have completed while
+    // this one sat in the queue.
+    std::shared_ptr<const engine::QueryResult> hit;
+    if (config_.enable_cache) hit = cache_.Lookup(item.fingerprint);
+    ServiceResponse response = RunQuery(
+        item.req.query, item.req.method, item.req.options, std::move(hit),
+        std::move(item.fingerprint), item.watch);
+    metrics_.RecordClassLatency(cls, response.service_seconds);
+    DeliverResponse(item.stream, ToWire(item.req.id, std::move(response)));
+  }
+  class_in_flight_[cls].fetch_sub(1, std::memory_order_acq_rel);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  if (is_batch) {
+    bool refund = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --batch_executing_;
+      if (stalled_batch_tokens_ > 0 && !queues_[batch_cls].empty()) {
+        --stalled_batch_tokens_;
+        refund = true;
+      }
+    }
+    if (refund) {
+      // Fund the replacement for a token retired at the cap. If the pool
+      // is gone, Shutdown()'s flush loop picks the item up instead.
+      (void)pool_.Submit([this]() { DrainOne(); });
+    }
+  }
+}
+
+void TopologyService::Submit(const wire::WireRequest& request,
+                             wire::StreamSink& sink) {
+  auto stream = std::make_shared<StreamState>();
+  stream->sink = &sink;
+  stream->open = 1;
+  stream->send_end = false;
+  SubmitToStream(request, stream, /*bypass_admission=*/false);
+}
+
+uint64_t TopologyService::SubmitStreamInternal(
+    std::vector<wire::WireRequest> requests, wire::StreamSink* sink,
+    std::shared_ptr<wire::StreamSink> owned, bool bypass_admission) {
+  auto stream = std::make_shared<StreamState>();
+  stream->id = next_stream_id_.fetch_add(1, std::memory_order_relaxed);
+  stream->sink = sink;
+  stream->owned_sink = std::move(owned);
+  stream->open = requests.size();
+  stream->send_end = true;
+
+  if (requests.empty()) {
+    // Nothing will ever decrement open: deliver the end frame directly.
+    wire::WireFrame end;
+    end.kind = wire::FrameKind::kStreamEnd;
+    end.stream_id = stream->id;
+    std::lock_guard<std::mutex> lock(stream->sink_mu);
+    stream->sink->OnFrame(end);
+    return stream->id;
   }
 
-  std::future<ServiceResponse> future = pool_.Submit(
-      [this, query, method, options, fingerprint = std::move(fingerprint),
-       watch]() mutable {
-        // Re-check the cache: an identical request may have completed
-        // while this one sat in the queue.
-        std::shared_ptr<const engine::QueryResult> hit;
-        if (config_.enable_cache) hit = cache_.Lookup(fingerprint);
-        ServiceResponse response = RunQuery(
-            query, method, options, std::move(hit), std::move(fingerprint),
-            watch);
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-        return response;
-      });
-  if (!future.valid()) {
-    // Raced with Shutdown(): the pool dropped the task.
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    return Ready(ServiceResponse{
-        Status::FailedPrecondition("service is shut down"), false, 0.0});
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    streams_.emplace(stream->id, stream);
   }
+  for (wire::WireRequest& request : requests) {
+    SubmitToStream(std::move(request), stream, bypass_admission);
+  }
+  return stream->id;
+}
+
+uint64_t TopologyService::SubmitStream(
+    std::vector<wire::WireRequest> requests, wire::StreamSink& sink) {
+  return SubmitStreamInternal(std::move(requests), &sink, nullptr,
+                              /*bypass_admission=*/false);
+}
+
+bool TopologyService::CancelStream(uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return false;
+  it->second->cancelled.store(true, std::memory_order_release);
+  return true;
+}
+
+/// --- Legacy adapters -------------------------------------------------------
+
+namespace {
+
+/// One-shot sink bridging a single wire response to a future. The
+/// promise is fulfilled on the delivering thread, so the future behaves
+/// exactly like the pre-wire pool-backed one (wait_for sees it become
+/// ready; no deferred-launch surprises).
+class PromiseSink : public wire::StreamSink {
+ public:
+  explicit PromiseSink(
+      std::function<ServiceResponse(const wire::WireResponse&)> convert)
+      : convert_(std::move(convert)) {}
+
+  std::future<ServiceResponse> Future() { return promise_.get_future(); }
+
+  void OnFrame(const wire::WireFrame& frame) override {
+    if (frame.kind != wire::FrameKind::kResponse) return;
+    promise_.set_value(convert_(frame.response));
+  }
+
+ private:
+  std::function<ServiceResponse(const wire::WireResponse&)> convert_;
+  std::promise<ServiceResponse> promise_;
+};
+
+}  // namespace
+
+std::future<ServiceResponse> TopologyService::Submit(
+    const engine::TopologyQuery& query, engine::MethodKind method,
+    const engine::ExecOptions& options) {
+  auto sink = std::make_shared<PromiseSink>(&TopologyService::FromWire);
+  std::future<ServiceResponse> future = sink->Future();
+
+  wire::WireRequest request;
+  request.query = query;
+  request.method = method;
+  request.options = options;
+  request.priority = wire::Priority::kInteractive;
+
+  // A single-submit stream of one; the stream state keeps `sink` alive
+  // until its frame is delivered (guaranteed even through Shutdown).
+  auto stream = std::make_shared<StreamState>();
+  stream->sink = sink.get();
+  stream->owned_sink = sink;
+  stream->open = 1;
+  stream->send_end = false;
+  SubmitToStream(std::move(request), stream, /*bypass_admission=*/false);
   return future;
 }
 
@@ -456,30 +744,45 @@ ServiceResponse TopologyService::Execute(const engine::TopologyQuery& query,
 
 namespace {
 
-/// Shared completion state of one asynchronous batch. Each request task
-/// writes its slot; whoever finishes last assembles the outcome and fires
-/// the callback exactly once.
-struct BatchState {
-  std::vector<ServiceResponse> responses;
-  std::atomic<size_t> remaining{0};
-  BatchCallback callback;
-
-  void Finish(size_t slot, ServiceResponse response) {
-    responses[slot] = std::move(response);
-    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      BatchOutcome outcome;
-      for (ServiceResponse& r : responses) {
-        if (r.result.ok()) {
-          outcome.total += r.result->stats;  // ExecStats::operator+=.
-          if (r.from_cache) ++outcome.cache_hits;
-        } else {
-          ++outcome.failures;
-        }
-        outcome.responses.push_back(std::move(r));
-      }
-      callback(std::move(outcome));
-    }
+/// Sink assembling a whole batch outcome from its stream frames; fires the
+/// callback on the kStreamEnd frame (the worker that finished last).
+class BatchSink : public wire::StreamSink {
+ public:
+  BatchSink(size_t size, BatchCallback callback)
+      : callback_(std::move(callback)) {
+    responses_.resize(size);
   }
+
+  void OnFrame(const wire::WireFrame& frame) override {
+    if (frame.kind == wire::FrameKind::kResponse) {
+      // Request ids are the batch slots; frames arrive in completion
+      // order but land in input order.
+      const size_t slot = static_cast<size_t>(frame.response.request_id);
+      if (slot < responses_.size()) responses_[slot] = frame.response;
+      return;
+    }
+    BatchOutcome outcome;
+    outcome.responses.reserve(responses_.size());
+    for (wire::WireResponse& response : responses_) {
+      if (response.error.ok()) {
+        outcome.total += response.result.stats;  // ExecStats::operator+=.
+        if (response.from_cache) ++outcome.cache_hits;
+        outcome.responses.push_back(
+            ServiceResponse{std::move(response.result), response.from_cache,
+                            response.service_seconds});
+      } else {
+        ++outcome.failures;
+        outcome.responses.push_back(
+            ServiceResponse{wire::StatusFromWireError(response.error),
+                            response.from_cache, response.service_seconds});
+      }
+    }
+    callback_(std::move(outcome));
+  }
+
+ private:
+  std::vector<wire::WireResponse> responses_;
+  BatchCallback callback_;
 };
 
 }  // namespace
@@ -492,45 +795,23 @@ void TopologyService::ExecuteBatchAsync(std::vector<ParsedRequest> requests,
     return;
   }
 
-  auto state = std::make_shared<BatchState>();
-  // Placeholder-filled (ServiceResponse has no default state); every slot
-  // is overwritten exactly once before the callback fires.
-  state->responses.assign(
-      requests.size(),
-      ServiceResponse{Status::Internal("batch slot never completed"), false,
-                      0.0});
-  state->remaining.store(requests.size(), std::memory_order_relaxed);
-  state->callback = std::move(callback);
-
-  // The batch is one admitted unit: it charges in-flight (so concurrent
-  // single submissions see the load) but is not itself bounced.
+  std::vector<wire::WireRequest> wire_requests;
+  wire_requests.reserve(requests.size());
   for (size_t slot = 0; slot < requests.size(); ++slot) {
-    ParsedRequest req = std::move(requests[slot]);
-    Stopwatch watch;
-    std::string fingerprint =
-        EpochFingerprint(FingerprintQuery(req.query, req.method, req.options));
-    in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    std::future<void> submitted = pool_.Submit(
-        [this, state, slot, req = std::move(req),
-         fingerprint = std::move(fingerprint), watch]() mutable {
-          std::shared_ptr<const engine::QueryResult> hit;
-          if (config_.enable_cache) hit = cache_.Lookup(fingerprint);
-          ServiceResponse response =
-              RunQuery(req.query, req.method, req.options, std::move(hit),
-                       std::move(fingerprint), watch);
-          in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-          state->Finish(slot, std::move(response));
-        });
-    if (!submitted.valid()) {
-      // Raced with Shutdown(): complete this slot inline. If it is the
-      // batch's last open slot, the callback fires on this thread.
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      state->Finish(slot,
-                    ServiceResponse{
-                        Status::FailedPrecondition("service is shut down"),
-                        false, 0.0});
-    }
+    wire::WireRequest request;
+    request.id = slot;
+    request.priority = wire::Priority::kBatch;
+    request.query = std::move(requests[slot].query);
+    request.method = requests[slot].method;
+    request.options = requests[slot].options;
+    wire_requests.push_back(std::move(request));
   }
+  auto sink =
+      std::make_shared<BatchSink>(requests.size(), std::move(callback));
+  // The batch is one admitted unit: it charges the batch class (so
+  // concurrent submissions see the load) but is not itself bounced.
+  SubmitStreamInternal(std::move(wire_requests), sink.get(), sink,
+                       /*bypass_admission=*/true);
 }
 
 BatchOutcome TopologyService::ExecuteBatch(
@@ -572,14 +853,22 @@ std::future<TripleResponse> TopologyService::SubmitTriple(
     }
   }
 
-  size_t in_flight = in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  if (in_flight >= config_.max_in_flight) {
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    metrics_.RecordRejected();
+  // Triples ride the interactive class bound (they are user-facing) —
+  // checked against the interactive counter, not total in-flight, so a
+  // large admitted batch flood cannot starve 3-queries out of admission.
+  const size_t interactive_cls =
+      static_cast<size_t>(wire::Priority::kInteractive);
+  size_t in_class = class_in_flight_[interactive_cls].fetch_add(
+      1, std::memory_order_acq_rel);
+  if (in_class >= config_.max_in_flight) {
+    class_in_flight_[interactive_cls].fetch_sub(1,
+                                                std::memory_order_acq_rel);
+    metrics_.RecordRejected(interactive_cls);
     return Ready(TripleResponse{
         Status::ResourceExhausted("service overloaded"), false,
         watch.ElapsedSeconds()});
   }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
 
   std::future<TripleResponse> future = pool_.Submit(
       [this, query, fingerprint = std::move(fingerprint), watch]() mutable {
@@ -594,7 +883,9 @@ std::future<TripleResponse> TopologyService::SubmitTriple(
               db_, backend.get(), *triple_schema_, *triple_view_, query);
         }();
         const bool ok = result.ok();
-        if (ok && config_.enable_cache) {
+        // As with 2-queries: partial (shard-degraded) results stay out
+        // of the cache.
+        if (ok && !result->partial && config_.enable_cache) {
           triple_cache_.Insert(
               fingerprint,
               std::make_shared<engine::TripleQueryResult>(*result));
@@ -603,10 +894,14 @@ std::future<TripleResponse> TopologyService::SubmitTriple(
                                 watch.ElapsedSeconds()};
         metrics_.RecordRequest(ServiceMetrics::kTripleSlot,
                                response.service_seconds, false, ok);
+        class_in_flight_[static_cast<size_t>(wire::Priority::kInteractive)]
+            .fetch_sub(1, std::memory_order_acq_rel);
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
         return response;
       });
   if (!future.valid()) {
+    class_in_flight_[interactive_cls].fetch_sub(1,
+                                                std::memory_order_acq_rel);
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     return Ready(TripleResponse{
         Status::FailedPrecondition("service is shut down"), false, 0.0});
@@ -621,7 +916,19 @@ void TopologyService::InvalidateCache() {
 
 void TopologyService::Shutdown() {
   accepting_.store(false, std::memory_order_release);
+  // Pool shutdown drains queued drain tokens: every admitted request still
+  // executes (or sheds) and delivers its terminal frame before we return.
   pool_.Shutdown();
+  // Flush items whose tokens retired at the batch concurrency cap (their
+  // refunds found the pool gone). No workers remain, so this thread drains
+  // them directly; every sink still sees its terminal frames.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queues_[0].empty() && queues_[1].empty()) break;
+    }
+    DrainOne(std::nullopt, /*ignore_batch_cap=*/true);
+  }
 }
 
 }  // namespace service

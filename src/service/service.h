@@ -2,12 +2,14 @@
 #define TSB_SERVICE_SERVICE_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +23,7 @@
 #include "service/request_parser.h"
 #include "service/thread_pool.h"
 #include "shard/scatter_gather.h"
+#include "wire/message.h"
 
 namespace tsb {
 namespace service {
@@ -28,9 +31,24 @@ namespace service {
 struct ServiceConfig {
   /// Worker threads; 0 means hardware_concurrency.
   size_t num_threads = 0;
-  /// Admission bound: requests in flight (queued + executing) beyond this
-  /// are rejected with kResourceExhausted instead of queuing unboundedly.
+  /// Admission bound of the interactive class: kInteractive requests in
+  /// flight (queued + executing) beyond this are rejected with a
+  /// kOverloaded wire error (kResourceExhausted through the legacy API)
+  /// instead of queuing unboundedly.
   size_t max_in_flight = 256;
+  /// Admission bound of the batch class. The legacy batch APIs
+  /// (ExecuteBatch / ExecuteBatchAsync) bypass it — a batch is admitted as
+  /// one unit — but their requests still count toward it, throttling
+  /// concurrent wire-level batch submissions.
+  size_t batch_max_in_flight = 1024;
+  /// Workers a batch flood may occupy at once; 0 means num_threads - 1
+  /// (minimum 1). Keeping at least one worker batch-free bounds an
+  /// interactive request's queue wait by the running interactive work —
+  /// not by however many batch SQL scans arrived first — which is what
+  /// keeps interactive p95 near its batch-free level under mixed load.
+  /// Batch items beyond the cap stay queued; each finishing batch request
+  /// re-arms the drain, so capped work still completes in order.
+  size_t max_concurrent_batch = 0;
   /// Result cache; set enable_cache=false to serve everything cold.
   /// `cache.max_bytes` is the service's total result-cache budget: 7/8
   /// goes to the 2-query cache, 1/8 to the 3-query cache.
@@ -83,6 +101,11 @@ struct RebuildStats {
   double build_seconds = 0.0;     // Stage+commit (parallel, on the pool).
   double prune_seconds = 0.0;     // Per-pair prunes, fanned over the pool.
   double index_seconds = 0.0;     // Warm-index pre-build before the swap.
+  /// Sharded rebuilds: AllTops rows per shard of the new epoch, and the
+  /// skew factor max/mean (1.0 = perfectly balanced). Also published to
+  /// the service metrics — the observability half of shard rebalancing.
+  std::vector<uint64_t> shard_rows;
+  double ShardSkew() const;
 };
 
 /// Completion hook of ExecuteBatchAsync: invoked exactly once, on the pool
@@ -91,16 +114,29 @@ struct RebuildStats {
 using BatchCallback = std::function<void(BatchOutcome)>;
 
 /// The concurrent query frontend over engine::Engine — the serving layer
-/// that turns the single-caller library into a shared multi-user service:
+/// that turns the single-caller library into a shared multi-user service.
+/// Its public API is the wire protocol (wire/message.h):
 ///
-///   - requests run on a fixed ThreadPool; Submit returns a future
+///   - Submit(WireRequest, StreamSink&) answers with one response frame;
+///     SubmitStream pipelines a whole batch's frames to the sink in
+///     completion order and ends with exactly one kStreamEnd frame
+///   - every request carries a Priority class; the service keeps one
+///     admission queue per class and always drains interactive work
+///     before batch work, so batch SQL-baseline floods cannot starve
+///     interactive top-k
+///   - a request's deadline_seconds is enforced at dequeue: work that
+///     expired while queued is shed with a kDeadlineExceeded wire error
+///     instead of executing late
 ///   - a sharded LRU cache returns repeated queries without re-evaluation
 ///     (keys are canonical fingerprints; see FingerprintQuery)
-///   - admission control bounds in-flight work and rejects the overflow
-///   - per-method metrics: requests, cache hits, errors, p50/p95 latency
+///   - per-method and per-class metrics: requests, cache hits, errors,
+///     rejections, sheds, p50/p95 latency, per-shard row skew
 ///   - a text frontend (SubmitLine) driven by RequestParser
 ///   - live store rebuilds: Rebuild() stages a fresh epoch on the same
 ///     pool and swaps it in behind traffic (see AttachLiveStore)
+///
+/// The future-based Submit/Execute and the ExecuteBatch/ExecuteBatchAsync
+/// pair are thin adapters over the stream surface, kept for compatibility.
 ///
 /// The engine must outlive the service. Engine::Execute is concurrency-safe
 /// and pins a store snapshot per query, and TopologyCatalog interning is
@@ -169,8 +205,35 @@ class TopologyService {
   /// first post-swap queries pay nothing.
   Result<RebuildStats> Rebuild(const RebuildOptions& options);
 
-  /// Asynchronous submission. The returned future is always valid: errors
-  /// (rejection, shutdown, engine failure) surface in the response.
+  /// --- The wire surface ----------------------------------------------------
+
+  /// Submits one wire request. The sink receives exactly one terminal
+  /// frame (kResponse, stream_id 0) — on the calling thread for cache
+  /// hits and admission failures, on a pool worker otherwise. The sink
+  /// must stay alive until that frame arrives; Shutdown() delivers every
+  /// admitted request's frame before returning, so a sink that outlives
+  /// the service is always safe.
+  void Submit(const wire::WireRequest& request, wire::StreamSink& sink);
+
+  /// Submits a batch as one stream: the sink receives one kResponse frame
+  /// per request in completion order (request ids echo the WireRequest
+  /// ids), then exactly one kStreamEnd frame — also under cancellation
+  /// and shutdown. Returns the stream id (non-zero) for CancelStream. An
+  /// empty batch delivers just the kStreamEnd frame, on this thread.
+  uint64_t SubmitStream(std::vector<wire::WireRequest> requests,
+                        wire::StreamSink& sink);
+
+  /// Cancels a stream's not-yet-executing requests: each still-queued
+  /// request completes with a kCancelled error frame; requests already
+  /// executing finish normally. The kStreamEnd frame still arrives exactly
+  /// once. Returns false when the stream already ended (or never existed).
+  bool CancelStream(uint64_t stream_id);
+
+  /// --- Legacy adapters over the wire surface -------------------------------
+
+  /// Asynchronous submission (interactive class, no deadline). The
+  /// returned future is always valid: errors (rejection, shutdown, engine
+  /// failure) surface in the response.
   std::future<ServiceResponse> Submit(
       const engine::TopologyQuery& query, engine::MethodKind method,
       const engine::ExecOptions& options = engine::ExecOptions{});
@@ -185,8 +248,8 @@ class TopologyService {
       const engine::ExecOptions& options = engine::ExecOptions{});
 
   /// Runs all requests on the pool and waits for completion. The batch is
-  /// admitted as one unit (it bypasses the per-request in-flight bound but
-  /// counts toward it, throttling concurrent singles). Delegates to
+  /// admitted as one unit in the batch class (it bypasses the class bound
+  /// but counts toward it, throttling concurrent batches). Delegates to
   /// ExecuteBatchAsync.
   BatchOutcome ExecuteBatch(const std::vector<ParsedRequest>& requests);
 
@@ -207,8 +270,8 @@ class TopologyService {
   /// manually only after out-of-band table mutations.
   void InvalidateCache();
 
-  /// Stops accepting work, drains queued requests, joins workers.
-  /// Idempotent; the destructor calls it.
+  /// Stops accepting work, drains queued requests (their frames are
+  /// delivered), joins workers. Idempotent; the destructor calls it.
   void Shutdown();
 
   MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
@@ -216,11 +279,73 @@ class TopologyService {
   const RequestParser& parser() const { return parser_; }
   size_t num_threads() const { return pool_.num_threads(); }
   size_t InFlight() const { return in_flight_.load(); }
+  /// Queued + executing requests of one admission class.
+  size_t ClassInFlight(wire::Priority priority) const {
+    return class_in_flight_[static_cast<size_t>(priority)].load();
+  }
 
   /// True when this service scatter-gathers over a sharded store.
   bool sharded() const { return sharded_exec_ != nullptr; }
 
  private:
+  /// Shared state of one response stream (a single Submit is a stream of
+  /// one with no end frame). Frames are delivered under sink_mu, so sink
+  /// calls never overlap for one stream.
+  struct StreamState {
+    uint64_t id = 0;  // 0 for single submits (not cancellable).
+    wire::StreamSink* sink = nullptr;
+    /// Keeps adapter-owned sinks (promise/batch) alive until the stream
+    /// ends; user-provided sinks are non-owned.
+    std::shared_ptr<wire::StreamSink> owned_sink;
+    std::mutex sink_mu;
+    size_t open = 0;  // Responses not yet delivered; guarded by sink_mu.
+    bool send_end = false;
+    std::atomic<bool> cancelled{false};
+  };
+
+  /// One admitted request waiting in its class queue.
+  struct QueuedItem {
+    wire::WireRequest req;
+    std::shared_ptr<StreamState> stream;
+    std::string fingerprint;
+    Stopwatch watch;  // Started at submission (deadline + latency basis).
+  };
+
+  /// Core submission path: cache fast path, per-class admission, enqueue +
+  /// drain token. `bypass_admission` admits regardless of the class bound
+  /// (legacy whole-batch admission).
+  void SubmitToStream(wire::WireRequest request,
+                      const std::shared_ptr<StreamState>& stream,
+                      bool bypass_admission);
+
+  uint64_t SubmitStreamInternal(std::vector<wire::WireRequest> requests,
+                                wire::StreamSink* sink,
+                                std::shared_ptr<wire::StreamSink> owned,
+                                bool bypass_admission);
+
+  /// Pool token body: pops the highest-priority queued item and completes
+  /// it — executes it, or sheds it (deadline passed, stream cancelled, or
+  /// `shed_code` forced by a shutdown race). `ignore_batch_cap` is the
+  /// Shutdown flush mode: with no workers left the cap serves no purpose,
+  /// and honoring it would make concurrent flush loops busy-spin.
+  void DrainOne(std::optional<wire::WireErrorCode> forced_shed =
+                    std::nullopt,
+                bool ignore_batch_cap = false);
+
+  /// Delivers one frame under the stream's sink lock, emitting the
+  /// kStreamEnd frame and unregistering the stream when it completes.
+  void DeliverFrame(const std::shared_ptr<StreamState>& stream,
+                    wire::WireFrame frame);
+  void DeliverResponse(const std::shared_ptr<StreamState>& stream,
+                       wire::WireResponse response);
+  void DeliverError(const std::shared_ptr<StreamState>& stream,
+                    uint64_t request_id, wire::WireErrorCode code,
+                    std::string message);
+
+  static wire::WireResponse ToWire(uint64_t request_id,
+                                   ServiceResponse response);
+  static ServiceResponse FromWire(const wire::WireResponse& response);
+
   ServiceResponse RunQuery(const engine::TopologyQuery& query,
                            engine::MethodKind method,
                            const engine::ExecOptions& options,
@@ -272,6 +397,25 @@ class TopologyService {
   TripleQueryCache triple_cache_;
   ServiceMetrics metrics_;
   ThreadPool pool_;
+
+  /// Per-class admission queues: workers always drain interactive before
+  /// batch. Drain tokens on the pool equal queued items; a token finding
+  /// only over-cap batch work retires (stalled_batch_tokens_) and the next
+  /// finishing batch request funds its replacement — queue_mu_ serializes
+  /// the stall/refund decision so no item is ever stranded. Shutdown()
+  /// flushes whatever the retired tokens left behind.
+  std::mutex queue_mu_;
+  std::deque<QueuedItem> queues_[wire::kNumPriorities];
+  std::atomic<size_t> class_in_flight_[wire::kNumPriorities] = {};
+  /// Batch requests currently executing / drain tokens retired at the
+  /// batch concurrency cap. Both guarded by queue_mu_.
+  size_t batch_executing_ = 0;
+  size_t stalled_batch_tokens_ = 0;
+
+  /// Active (not yet ended) cancellable streams.
+  std::mutex streams_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<StreamState>> streams_;
+  std::atomic<uint64_t> next_stream_id_{1};
 
   std::atomic<size_t> in_flight_{0};
   std::atomic<bool> accepting_{true};

@@ -1,0 +1,82 @@
+#include "shard/loopback_transport.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "engine/nquery.h"
+#include "wire/codec.h"
+
+namespace tsb {
+namespace shard {
+
+LoopbackTransport::LoopbackTransport(
+    storage::Catalog* db, const ShardedTopologyStore* store,
+    std::vector<const engine::Engine*> engines, service::ThreadPool* pool)
+    : db_(db), store_(store), engines_(std::move(engines)), pool_(pool) {
+  TSB_CHECK(db_ != nullptr);
+  TSB_CHECK(store_ != nullptr);
+  TSB_CHECK(pool_ != nullptr);
+}
+
+Result<std::string> LoopbackTransport::Handle(
+    size_t shard, const std::string& request) const {
+  if (shard >= engines_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(shard));
+  }
+  TSB_ASSIGN_OR_RETURN(wire::MessageKind kind,
+                       wire::PeekMessageKind(request));
+  switch (kind) {
+    case wire::MessageKind::kQueryRequest: {
+      TSB_ASSIGN_OR_RETURN(wire::WireRequest decoded,
+                           wire::DecodeQueryRequest(request, *db_));
+      wire::WireResponse response;
+      response.request_id = decoded.id;
+      Result<engine::QueryResult> result = engines_[shard]->Execute(
+          decoded.query, decoded.method, decoded.options);
+      if (result.ok()) {
+        response.result = std::move(*result);
+        response.service_seconds = response.result.stats.seconds;
+      } else {
+        // Engine-level failures are a *response* (the request reached the
+        // shard and was understood); only transport-level problems surface
+        // as a Send error.
+        response.error = wire::WireErrorFromStatus(result.status());
+      }
+      std::string encoded;
+      wire::EncodeQueryResponse(response, &encoded);
+      return encoded;
+    }
+    case wire::MessageKind::kTripleCollectRequest: {
+      TSB_ASSIGN_OR_RETURN(engine::TripleSelection selection,
+                           wire::DecodeTripleCollectRequest(request, *db_));
+      engine::TripleRelatedSets related = engine::CollectTripleRelated(
+          *db_, *store_->Snapshot(shard), selection);
+      std::string encoded;
+      wire::EncodeTripleCollectResponse(related, &encoded);
+      return encoded;
+    }
+    default:
+      return Status::InvalidArgument(
+          "loopback transport: unexpected message kind");
+  }
+}
+
+std::future<Result<std::string>> LoopbackTransport::Send(
+    size_t shard, std::string request) {
+  const LoopbackTransport* self = this;
+  auto task = [self, shard, request = std::move(request)]() {
+    return self->Handle(shard, request);
+  };
+  std::future<Result<std::string>> future = pool_->Submit(task);
+  if (!future.valid()) {
+    // Scatter lane already shut down: answer inline so the caller's query
+    // still completes (same fallback the pre-wire executor used).
+    std::promise<Result<std::string>> ready;
+    ready.set_value(task());
+    future = ready.get_future();
+  }
+  return future;
+}
+
+}  // namespace shard
+}  // namespace tsb

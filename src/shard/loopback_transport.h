@@ -1,0 +1,50 @@
+#ifndef TSB_SHARD_LOOPBACK_TRANSPORT_H_
+#define TSB_SHARD_LOOPBACK_TRANSPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "service/thread_pool.h"
+#include "shard/sharded_store.h"
+#include "wire/transport.h"
+
+namespace tsb {
+namespace shard {
+
+/// In-process wire::ShardTransport over the executor's per-shard engines:
+/// decodes the request frame against the shared catalog, evaluates on the
+/// addressed shard (2-query sub-queries on its Engine, triple-collect
+/// scans on its store snapshot), and encodes the response frame back.
+/// Requests ride `pool` (the executor's dedicated scatter lane) unless the
+/// pool is shutting down, in which case they evaluate inline on the
+/// sending thread so in-flight queries still complete.
+///
+/// This is deliberately the full serialize → dispatch → deserialize path —
+/// the next transport (a socket to a shard process) replaces only the
+/// byte shipping, and the byte-identity tests already cover the rest.
+class LoopbackTransport : public wire::ShardTransport {
+ public:
+  LoopbackTransport(storage::Catalog* db, const ShardedTopologyStore* store,
+                    std::vector<const engine::Engine*> engines,
+                    service::ThreadPool* pool);
+
+  size_t num_shards() const override { return engines_.size(); }
+
+  std::future<Result<std::string>> Send(size_t shard,
+                                        std::string request) override;
+
+  /// Synchronous request handling (the "server side" of the loopback).
+  Result<std::string> Handle(size_t shard, const std::string& request) const;
+
+ private:
+  storage::Catalog* db_;
+  const ShardedTopologyStore* store_;
+  std::vector<const engine::Engine*> engines_;
+  service::ThreadPool* pool_;
+};
+
+}  // namespace shard
+}  // namespace tsb
+
+#endif  // TSB_SHARD_LOOPBACK_TRANSPORT_H_

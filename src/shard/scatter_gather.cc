@@ -1,6 +1,7 @@
 #include "shard/scatter_gather.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <limits>
 #include <queue>
@@ -10,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "wire/codec.h"
 
 namespace tsb {
 namespace shard {
@@ -74,6 +76,7 @@ ScatterGatherExecutor::ScatterGatherExecutor(
       store_(std::move(store)),
       schema_(schema),
       view_(view),
+      config_(config),
       scatter_pool_(ResolveScatterThreads(config.num_scatter_threads,
                                           store_->num_shards())) {
   TSB_CHECK(db_ != nullptr);
@@ -86,9 +89,42 @@ ScatterGatherExecutor::ScatterGatherExecutor(
         core::ScoreModel(&handle->Snapshot()->catalog(), knowledge),
         sql_options));
   }
+  std::vector<const engine::Engine*> engine_ptrs;
+  engine_ptrs.reserve(engines_.size());
+  for (const std::unique_ptr<engine::Engine>& e : engines_) {
+    engine_ptrs.push_back(e.get());
+  }
+  loopback_ = std::make_unique<LoopbackTransport>(
+      db_, store_.get(), std::move(engine_ptrs), &scatter_pool_);
+  transport_ = loopback_.get();
 }
 
 ScatterGatherExecutor::~ScatterGatherExecutor() { scatter_pool_.Shutdown(); }
+
+ScatterGatherExecutor::GatherDeadline
+ScatterGatherExecutor::StartGatherDeadline() const {
+  if (config_.subquery_timeout_seconds <= 0.0) return std::nullopt;
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(
+                 config_.subquery_timeout_seconds));
+}
+
+Result<std::string> ScatterGatherExecutor::AwaitFrame(
+    std::future<Result<std::string>>* future, const GatherDeadline& deadline,
+    bool* timed_out) const {
+  *timed_out = false;
+  if (deadline.has_value() &&
+      future->wait_until(*deadline) != std::future_status::ready) {
+    *timed_out = true;
+    // Abandon: the transport task owns its data and will complete into
+    // the shared state nobody reads.
+    return Status::ResourceExhausted(
+        "shard sub-query exceeded deadline of " +
+        std::to_string(config_.subquery_timeout_seconds) + "s");
+  }
+  return future->get();
+}
 
 Result<engine::QueryResult> ScatterGatherExecutor::Execute(
     const engine::TopologyQuery& query, engine::MethodKind method,
@@ -131,33 +167,32 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
   }
 
   // Scatter: the designated shard runs on this thread (guaranteed
-  // progress), the rest ride the dedicated scatter lane. Non-designated
-  // shards skip the pruned online checks — those verify against the
-  // shared data graph and replicated exception tables, so the designated
-  // shard's verdicts already cover the whole store.
+  // progress); every other shard's sub-query crosses the transport seam
+  // as an encoded wire frame and rides the dedicated scatter lane.
+  // Non-designated shards skip the pruned online checks — those verify
+  // against the shared data graph and replicated exception tables, so the
+  // designated shard's verdicts already cover the whole store.
   struct SubQuery {
     size_t shard;
-    std::future<Result<engine::QueryResult>> future;
+    std::future<Result<std::string>> future;
   };
   std::vector<SubQuery> scattered;
   scattered.reserve(route.shards.size() - 1);
+  const GatherDeadline deadline = StartGatherDeadline();
+  uint64_t bytes_sent = 0;
   for (size_t shard : route.shards) {
     if (shard == route.designated) continue;
-    engine::ExecOptions sub_options = options;
-    sub_options.skip_pruned_checks = true;
-    const engine::Engine* shard_engine = engines_[shard].get();
-    std::future<Result<engine::QueryResult>> future = scatter_pool_.Submit(
-        [shard_engine, query, method, sub_options]() {
-          return shard_engine->Execute(query, method, sub_options);
-        });
-    if (!future.valid()) {
-      // Executor shutting down; evaluate inline so the query still
-      // completes correctly.
-      std::promise<Result<engine::QueryResult>> ready;
-      ready.set_value(shard_engine->Execute(query, method, sub_options));
-      future = ready.get_future();
-    }
-    scattered.push_back({shard, std::move(future)});
+    wire::WireRequest sub;
+    sub.id = shard;  // Correlation only; the gather indexes by slot.
+    sub.query = query;
+    sub.method = method;
+    sub.options = options;
+    sub.options.skip_pruned_checks = true;
+    std::string encoded;
+    wire::EncodeQueryRequest(sub, &encoded);
+    bytes_sent += encoded.size();
+    scattered.push_back(
+        {shard, transport_->Send(shard, std::move(encoded))});
   }
   Result<engine::QueryResult> designated =
       engines_[route.designated]->Execute(query, method, options);
@@ -169,6 +204,10 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
   Status first_error = designated.ok() ? Status::OK() : designated.status();
   double subquery_seconds = 0.0;
   std::string designated_plan;
+  uint64_t bytes_received = 0;
+  uint64_t failed = 0;
+  uint64_t timed_out = 0;
+  size_t lost_shards = 0;
   if (designated.ok()) {
     total += designated->stats;
     subquery_seconds += designated->stats.seconds;
@@ -176,14 +215,40 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
     partials.push_back(std::move(designated->entries));
   }
   for (SubQuery& sub : scattered) {
-    Result<engine::QueryResult> partial = sub.future.get();
+    bool sub_timed_out = false;
+    Result<std::string> frame =
+        AwaitFrame(&sub.future, deadline, &sub_timed_out);
+    Result<engine::QueryResult> partial =
+        frame.ok() ? [&]() -> Result<engine::QueryResult> {
+          bytes_received += frame->size();
+          TSB_ASSIGN_OR_RETURN(wire::WireResponse response,
+                               wire::DecodeQueryResponse(*frame));
+          if (!response.error.ok()) {
+            return wire::StatusFromWireError(response.error);
+          }
+          return std::move(response.result);
+        }()
+                   : Result<engine::QueryResult>(frame.status());
     if (!partial.ok()) {
-      if (first_error.ok()) first_error = partial.status();
+      if (sub_timed_out) ++timed_out;
+      ++failed;
+      ++lost_shards;
+      if (!config_.tolerate_shard_failures && first_error.ok()) {
+        first_error = partial.status();
+      }
       continue;
     }
     total += partial->stats;
     subquery_seconds += partial->stats.seconds;
     partials.push_back(std::move(partial->entries));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.transport_subqueries += scattered.size();
+    stats_.transport_bytes_sent += bytes_sent;
+    stats_.transport_bytes_received += bytes_received;
+    stats_.failed_subqueries += failed;
+    stats_.timed_out_subqueries += timed_out;
   }
   if (!first_error.ok()) return first_error;
 
@@ -192,14 +257,16 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
       engine::MethodIsTopK(method) ? query.k : std::numeric_limits<size_t>::max();
   engine::QueryResult result;
   result.entries = MergeRankedPartials(partials, limit);
+  result.partial = lost_shards > 0;
   const double merge_seconds = merge_watch.ElapsedSeconds();
 
   result.stats = total;
   result.stats.seconds = watch.ElapsedSeconds();
   result.stats.plan =
-      "scatter[" + std::to_string(route.shards.size()) + "/" +
+      "scatter[" + std::to_string(route.shards.size() - lost_shards) + "/" +
       std::to_string(num_shards()) + " shards, designated s" +
-      std::to_string(route.designated) + "] merge(k-way heap) | " +
+      std::to_string(route.designated) +
+      (result.partial ? ", PARTIAL" : "") + "] merge(k-way heap) | " +
       designated_plan;
 
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -207,6 +274,7 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
   stats_.subqueries += route.shards.size();
   stats_.subquery_seconds += subquery_seconds;
   stats_.merge_seconds += merge_seconds;
+  if (result.partial) ++stats_.degraded_queries;
   return result;
 }
 
@@ -217,40 +285,77 @@ Result<engine::TripleQueryResult> ScatterGatherExecutor::ExecuteTriple(
   std::vector<std::shared_ptr<core::TopologyStore>> snapshots =
       store_->SnapshotAll();
 
-  // Scatter the AllTops scan phase: every shard contributes its slice of
-  // each slot pair's relation. Shard 0 scans on this thread.
-  std::vector<std::future<engine::TripleRelatedSets>> futures;
-  futures.reserve(snapshots.size());
+  // Scatter the AllTops scan phase over the transport: every shard
+  // contributes its slice of each slot pair's relation. Shard 0 scans on
+  // this thread (guaranteed progress; it is also the catalog the finish
+  // phase interns into).
+  std::string encoded_collect;
+  if (snapshots.size() > 1) {
+    wire::EncodeTripleCollectRequest(selection, &encoded_collect);
+  }
+  struct SubScan {
+    size_t shard;
+    std::future<Result<std::string>> future;
+  };
+  std::vector<SubScan> scans;
+  scans.reserve(snapshots.size() > 0 ? snapshots.size() - 1 : 0);
+  const GatherDeadline deadline = StartGatherDeadline();
+  uint64_t bytes_sent = 0;
   for (size_t i = 1; i < snapshots.size(); ++i) {
-    std::shared_ptr<core::TopologyStore> snapshot = snapshots[i];
-    const storage::Catalog* db = db_;
-    const engine::TripleSelection* sel = &selection;
-    std::future<engine::TripleRelatedSets> future = scatter_pool_.Submit(
-        [db, snapshot, sel]() {
-          return engine::CollectTripleRelated(*db, *snapshot, *sel);
-        });
-    if (!future.valid()) {
-      std::promise<engine::TripleRelatedSets> ready;
-      ready.set_value(engine::CollectTripleRelated(*db_, *snapshot,
-                                                   selection));
-      future = ready.get_future();
-    }
-    futures.push_back(std::move(future));
+    bytes_sent += encoded_collect.size();
+    scans.push_back({i, transport_->Send(i, encoded_collect)});
   }
   engine::TripleRelatedSets related =
       engine::CollectTripleRelated(*db_, *snapshots[0], selection);
-  for (std::future<engine::TripleRelatedSets>& future : futures) {
-    engine::TripleRelatedSets partial = future.get();
+
+  Status first_error = Status::OK();
+  uint64_t bytes_received = 0;
+  uint64_t failed = 0;
+  uint64_t timed_out = 0;
+  size_t lost_shards = 0;
+  for (SubScan& scan : scans) {
+    bool scan_timed_out = false;
+    Result<std::string> frame =
+        AwaitFrame(&scan.future, deadline, &scan_timed_out);
+    Result<engine::TripleRelatedSets> partial =
+        frame.ok() ? [&]() -> Result<engine::TripleRelatedSets> {
+          bytes_received += frame->size();
+          return wire::DecodeTripleCollectResponse(*frame);
+        }()
+                   : Result<engine::TripleRelatedSets>(frame.status());
+    if (!partial.ok()) {
+      if (scan_timed_out) ++timed_out;
+      ++failed;
+      ++lost_shards;
+      if (!config_.tolerate_shard_failures && first_error.ok()) {
+        first_error = partial.status();
+      }
+      continue;
+    }
     for (int p = 0; p < 3; ++p) {
-      related[p].insert(partial[p].begin(), partial[p].end());
+      related[p].insert((*partial)[p].begin(), (*partial)[p].end());
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.transport_subqueries += scans.size();
+    stats_.transport_bytes_sent += bytes_sent;
+    stats_.transport_bytes_received += bytes_received;
+    stats_.failed_subqueries += failed;
+    stats_.timed_out_subqueries += timed_out;
+    if (lost_shards > 0 && config_.tolerate_shard_failures) {
+      ++stats_.degraded_queries;
+    }
+  }
+  if (!first_error.ok()) return first_error;
 
   // Join + witness-union phase runs once; new triple topologies intern
   // into the primary shard's thread-safe catalog (the same first-encounter
   // order a single-store execution would produce).
-  return engine::FinishTripleQuery(db_, snapshots[0].get(), *schema_, *view_,
-                                   query, selection, related);
+  Result<engine::TripleQueryResult> result = engine::FinishTripleQuery(
+      db_, snapshots[0].get(), *schema_, *view_, query, selection, related);
+  if (result.ok() && lost_shards > 0) result->partial = true;
+  return result;
 }
 
 void ScatterGatherExecutor::PrepareIndexes(const std::string& entity_set1,

@@ -1,8 +1,11 @@
 #ifndef TSB_SHARD_SCATTER_GATHER_H_
 #define TSB_SHARD_SCATTER_GATHER_H_
 
+#include <chrono>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,8 +15,10 @@
 #include "engine/nquery.h"
 #include "engine/query.h"
 #include "service/thread_pool.h"
+#include "shard/loopback_transport.h"
 #include "shard/router.h"
 #include "shard/sharded_store.h"
+#include "wire/transport.h"
 
 namespace tsb {
 namespace shard {
@@ -46,6 +51,16 @@ struct ScatterStats {
   uint64_t subqueries = 0;           // Per-shard sub-queries issued.
   double subquery_seconds = 0.0;     // Summed engine time across shards.
   double merge_seconds = 0.0;        // Time in MergeRankedPartials.
+  /// Wire-transport telemetry: sub-queries that crossed the transport seam
+  /// as encoded frames, and the frame bytes both ways.
+  uint64_t transport_subqueries = 0;
+  uint64_t transport_bytes_sent = 0;
+  uint64_t transport_bytes_received = 0;
+  /// Degradation: shards that failed / exceeded the sub-query timeout, and
+  /// queries answered with partial=true because of it.
+  uint64_t failed_subqueries = 0;
+  uint64_t timed_out_subqueries = 0;
+  uint64_t degraded_queries = 0;
 };
 
 struct ScatterGatherConfig {
@@ -56,6 +71,15 @@ struct ScatterGatherConfig {
   /// once every worker holds an outer query. A separate lane (same
   /// service::ThreadPool class) keeps the wait-for graph acyclic.
   size_t num_scatter_threads = 0;
+  /// Per-shard sub-query deadline in seconds; 0 waits indefinitely. A
+  /// sub-query still pending at the deadline counts as a failed shard.
+  double subquery_timeout_seconds = 0.0;
+  /// When true (default), a failed or timed-out non-designated shard
+  /// degrades the answer — the merge runs over the shards that responded
+  /// and the result carries partial=true — instead of failing the query.
+  /// The designated shard always runs inline and its failure is fatal (it
+  /// alone carries the shard-independent pruned checks).
+  bool tolerate_shard_failures = true;
 };
 
 /// Fans a query out over the shards that own its rows, runs each sub-query
@@ -73,6 +97,15 @@ struct ScatterGatherConfig {
 /// union the per-shard relations; the join/witness-union phase then runs
 /// once, interning new triple topologies into the primary shard's
 /// thread-safe catalog.
+///
+/// Transport seam: every non-designated sub-query (and every triple scan
+/// slice) travels as an encoded wire frame through a wire::ShardTransport
+/// — by default the in-process LoopbackTransport over this executor's own
+/// engines, so the serialize → dispatch → deserialize path is exercised
+/// (and byte-identity-tested) before a socket transport ever exists. A
+/// shard that fails or misses the sub-query deadline degrades the answer
+/// (partial=true) instead of failing it when tolerate_shard_failures is
+/// set.
 ///
 /// Thread safety: Execute/ExecuteTriple are safe from any number of
 /// threads; per-shard engines are concurrency-safe and sub-queries ride a
@@ -117,17 +150,48 @@ class ScatterGatherExecutor {
     return *engines_[shard];
   }
 
+  /// Overrides the sub-query transport (tests inject failing/slow
+  /// wrappers; a future PR injects the socket transport). Non-owning; the
+  /// transport must outlive the executor. Pass nullptr to restore the
+  /// built-in loopback. Not safe to call concurrently with queries.
+  void set_transport(wire::ShardTransport* transport) {
+    transport_ = transport != nullptr ? transport : loopback_.get();
+  }
+  wire::ShardTransport* transport() const { return transport_; }
+  const LoopbackTransport& loopback() const { return *loopback_; }
+  LoopbackTransport* mutable_loopback() { return loopback_.get(); }
+
   ScatterStats GetScatterStats() const;
 
  private:
+  /// One absolute sub-query deadline per query, fixed at scatter time so
+  /// every shard gets the same wall-clock budget (waiting per-future with
+  /// a relative timeout would grant shard i an extra i × timeout of
+  /// grace). Unset when no timeout is configured.
+  using GatherDeadline =
+      std::optional<std::chrono::steady_clock::time_point>;
+  GatherDeadline StartGatherDeadline() const;
+
+  /// Waits for one transport response until `deadline`. On timeout
+  /// returns an error and sets *timed_out (the abandoned future stays
+  /// valid — the transport task owns its data).
+  Result<std::string> AwaitFrame(std::future<Result<std::string>>* future,
+                                 const GatherDeadline& deadline,
+                                 bool* timed_out) const;
+
   storage::Catalog* db_;
   std::shared_ptr<ShardedTopologyStore> store_;
   const graph::SchemaGraph* schema_;
   const graph::DataGraphView* view_;
+  ScatterGatherConfig config_;
   ShardRouter router_;
   std::vector<std::unique_ptr<engine::Engine>> engines_;
   /// Dedicated sub-query lane (see ScatterGatherConfig).
   mutable service::ThreadPool scatter_pool_;
+  /// Default in-process transport over engines_; transport_ points at it
+  /// unless a test (or a future socket seam) overrides.
+  std::unique_ptr<LoopbackTransport> loopback_;
+  wire::ShardTransport* transport_ = nullptr;
 
   mutable std::mutex stats_mu_;
   mutable ScatterStats stats_;

@@ -51,6 +51,35 @@ Status ShardedTopologyStore::Build(core::TopologyBuilder* builder,
   return builder->BuildAllPairs(config, raw, pool);
 }
 
+std::vector<uint64_t> ShardAllTopsRowCounts(
+    const storage::Catalog& db,
+    const std::vector<const core::TopologyStore*>& stores) {
+  std::vector<uint64_t> rows;
+  rows.reserve(stores.size());
+  for (const core::TopologyStore* store : stores) {
+    uint64_t shard_rows = 0;
+    for (const auto& [key, pair] : store->pairs()) {
+      const storage::Table* table = db.FindTable(pair.alltops_table);
+      if (table != nullptr) shard_rows += table->num_rows();
+    }
+    rows.push_back(shard_rows);
+  }
+  return rows;
+}
+
+double ShardRowSkew(const std::vector<uint64_t>& rows) {
+  if (rows.empty()) return 0.0;
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (uint64_t r : rows) {
+    total += r;
+    if (r > max) max = r;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(max) /
+         (static_cast<double>(total) / static_cast<double>(rows.size()));
+}
+
 std::string ShardedTopologyStore::EpochStamp() const {
   std::string stamp = "s" + std::to_string(handles_.size()) + "[";
   for (size_t i = 0; i < handles_.size(); ++i) {

@@ -105,6 +105,18 @@ class ShardedTopologyStore {
   std::vector<std::shared_ptr<core::StoreHandle>> handles_;
 };
 
+/// AllTops rows per shard store — the partition-skew observable the
+/// service metrics and RebuildStats report (first half of the ROADMAP
+/// shard-rebalancing item). Tables absent from `db` count zero.
+std::vector<uint64_t> ShardAllTopsRowCounts(
+    const storage::Catalog& db,
+    const std::vector<const core::TopologyStore*>& stores);
+
+/// Skew factor of a per-shard row-count vector: max/mean. 1.0 is
+/// perfectly balanced; 0 when the vector is empty or all-zero. The one
+/// definition both RebuildStats::ShardSkew and the metrics snapshot use.
+double ShardRowSkew(const std::vector<uint64_t>& rows);
+
 }  // namespace shard
 }  // namespace tsb
 

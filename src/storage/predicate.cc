@@ -1,5 +1,6 @@
 #include "storage/predicate.h"
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 
@@ -7,10 +8,73 @@ namespace tsb {
 namespace storage {
 namespace {
 
+/// Wire tags of the structural predicate encoding (EncodeWire /
+/// DecodePredicate). Append-only: a new predicate kind gets the next tag;
+/// existing tags never change meaning (older peers reject unknown tags).
+enum PredTag : uint8_t {
+  kTagTrue = 0,
+  kTagEquals = 1,
+  kTagContains = 2,
+  kTagBetween = 3,
+  kTagAnd = 4,
+  kTagOr = 5,
+  kTagNot = 6,
+};
+
+enum ValueTag : uint8_t {
+  kValNull = 0,
+  kValInt64 = 1,
+  kValDouble = 2,
+  kValString = 3,
+};
+
+void EncodeValue(const Value& v, std::string* out) {
+  if (v.is_int64()) {
+    PutU8(out, kValInt64);
+    PutI64(out, v.AsInt64());
+  } else if (v.is_double()) {
+    PutU8(out, kValDouble);
+    PutF64(out, v.AsDouble());
+  } else if (v.is_string()) {
+    PutU8(out, kValString);
+    PutString(out, v.AsString());
+  } else {
+    PutU8(out, kValNull);
+  }
+}
+
+Value DecodeValue(BinaryReader* in) {
+  switch (in->U8()) {
+    case kValNull:
+      return Value::Null();
+    case kValInt64:
+      return Value(in->I64());
+    case kValDouble:
+      return Value(in->F64());
+    case kValString:
+      return Value(in->String());
+    default:
+      in->Fail();
+      return Value::Null();
+  }
+}
+
+/// True when `s` is safe inside the text grammar's '...' quoting: no quote
+/// of its own and no '&&' (the conjunction splitter runs before tokenizer
+/// quoting is interpreted).
+bool GrammarSafe(const std::string& s) {
+  return s.find('\'') == std::string::npos &&
+         s.find("&&") == std::string::npos;
+}
+
 class TruePredicate : public Predicate {
  public:
   bool Eval(const Table&, RowIdx) const override { return true; }
   std::string ToString() const override { return "TRUE"; }
+  void EncodeWire(std::string* out) const override { PutU8(out, kTagTrue); }
+  /// TRUE appends nothing: the grammar expresses it as an absent pred=
+  /// field, which Format omits.
+  bool AppendGrammar(std::string*) const override { return true; }
 };
 
 class EqualsPredicate : public Predicate {
@@ -32,6 +96,30 @@ class EqualsPredicate : public Predicate {
 
   std::string ToString() const override {
     return col_name_ + " = '" + value_.ToString() + "'";
+  }
+
+  void EncodeWire(std::string* out) const override {
+    PutU8(out, kTagEquals);
+    PutString(out, col_name_);
+    EncodeValue(value_, out);
+  }
+
+  bool AppendGrammar(std::string* out) const override {
+    if (value_.is_int64()) {
+      out->append(col_name_ + "=" + std::to_string(value_.AsInt64()));
+      return true;
+    }
+    if (value_.is_double()) {
+      // %.17g round-trips every finite double through strtod.
+      out->append(col_name_ + "=" +
+                  StrFormat("%.17g", value_.AsDouble()));
+      return true;
+    }
+    if (value_.is_string() && GrammarSafe(value_.AsString())) {
+      out->append(col_name_ + "='" + value_.AsString() + "'");
+      return true;
+    }
+    return false;
   }
 
  private:
@@ -56,6 +144,21 @@ class ContainsKeywordPredicate : public Predicate {
     return col_name_ + ".ct('" + keyword_ + "')";
   }
 
+  void EncodeWire(std::string* out) const override {
+    PutU8(out, kTagContains);
+    PutString(out, col_name_);
+    PutString(out, keyword_);
+  }
+
+  bool AppendGrammar(std::string* out) const override {
+    if (!GrammarSafe(keyword_) ||
+        keyword_.find(')') != std::string::npos) {
+      return false;
+    }
+    out->append(col_name_ + ".ct('" + keyword_ + "')");
+    return true;
+  }
+
  private:
   size_t col_;
   std::string col_name_;
@@ -78,6 +181,19 @@ class Int64BetweenPredicate : public Predicate {
                      static_cast<long long>(lo_), static_cast<long long>(hi_));
   }
 
+  void EncodeWire(std::string* out) const override {
+    PutU8(out, kTagBetween);
+    PutString(out, col_name_);
+    PutI64(out, lo_);
+    PutI64(out, hi_);
+  }
+
+  bool AppendGrammar(std::string* out) const override {
+    out->append(col_name_ + ".between(" + std::to_string(lo_) + "," +
+                std::to_string(hi_) + ")");
+    return true;
+  }
+
  private:
   size_t col_;
   std::string col_name_;
@@ -96,6 +212,28 @@ class AndPredicate : public Predicate {
     return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
   }
 
+  void EncodeWire(std::string* out) const override {
+    PutU8(out, kTagAnd);
+    lhs_->EncodeWire(out);
+    rhs_->EncodeWire(out);
+  }
+
+  bool AppendGrammar(std::string* out) const override {
+    std::string lhs, rhs;
+    if (!lhs_->AppendGrammar(&lhs) || !rhs_->AppendGrammar(&rhs)) {
+      return false;
+    }
+    // An empty side is TRUE; '&&' joins only real clauses.
+    if (lhs.empty()) {
+      out->append(rhs);
+    } else if (rhs.empty()) {
+      out->append(lhs);
+    } else {
+      out->append(lhs + "&&" + rhs);
+    }
+    return true;
+  }
+
  private:
   PredicateRef lhs_;
   PredicateRef rhs_;
@@ -110,6 +248,12 @@ class OrPredicate : public Predicate {
   }
   std::string ToString() const override {
     return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+  }
+
+  void EncodeWire(std::string* out) const override {
+    PutU8(out, kTagOr);
+    lhs_->EncodeWire(out);
+    rhs_->EncodeWire(out);
   }
 
  private:
@@ -127,11 +271,104 @@ class NotPredicate : public Predicate {
     return "NOT " + inner_->ToString();
   }
 
+  void EncodeWire(std::string* out) const override {
+    PutU8(out, kTagNot);
+    inner_->EncodeWire(out);
+  }
+
  private:
   PredicateRef inner_;
 };
 
+/// Bounds the tree depth DecodePredicate accepts, so a malicious or
+/// corrupted frame cannot recurse the decoder off the stack.
+constexpr int kMaxPredicateDepth = 64;
+
+Result<PredicateRef> DecodePredicateAtDepth(const TableSchema& schema,
+                                            BinaryReader* in, int depth) {
+  if (depth > kMaxPredicateDepth) {
+    return Status::InvalidArgument("predicate tree deeper than " +
+                                   std::to_string(kMaxPredicateDepth));
+  }
+  const uint8_t tag = in->U8();
+  if (!in->ok()) return in->status("predicate");
+  switch (tag) {
+    case kTagTrue:
+      return MakeTrue();
+    case kTagEquals: {
+      std::string column = in->String();
+      Value value = DecodeValue(in);
+      if (!in->ok()) return in->status("equals predicate");
+      std::optional<size_t> idx = schema.FindColumn(column);
+      if (!idx.has_value()) {
+        return Status::InvalidArgument("no column '" + column +
+                                       "' for equals predicate");
+      }
+      // Type agreement, matching the text parser (which types the value
+      // by the column): a mismatched value would silently match nothing.
+      const ColumnType type = schema.column(*idx).type;
+      const bool agrees = (type == ColumnType::kInt64 && value.is_int64()) ||
+                          (type == ColumnType::kDouble && value.is_double()) ||
+                          (type == ColumnType::kString && value.is_string());
+      if (!agrees) {
+        return Status::InvalidArgument(
+            "equals predicate value type does not match " +
+            std::string(ColumnTypeToString(type)) + " column '" + column +
+            "'");
+      }
+      return MakeEquals(schema, column, std::move(value));
+    }
+    case kTagContains: {
+      std::string column = in->String();
+      std::string keyword = in->String();
+      if (!in->ok()) return in->status("contains predicate");
+      std::optional<size_t> idx = schema.FindColumn(column);
+      if (!idx.has_value() ||
+          schema.column(*idx).type != ColumnType::kString) {
+        return Status::InvalidArgument("no string column '" + column +
+                                       "' for ct() predicate");
+      }
+      return MakeContainsKeyword(schema, column, keyword);
+    }
+    case kTagBetween: {
+      std::string column = in->String();
+      int64_t lo = in->I64();
+      int64_t hi = in->I64();
+      if (!in->ok()) return in->status("between predicate");
+      std::optional<size_t> idx = schema.FindColumn(column);
+      if (!idx.has_value() ||
+          schema.column(*idx).type != ColumnType::kInt64) {
+        return Status::InvalidArgument("no INT64 column '" + column +
+                                       "' for between() predicate");
+      }
+      return MakeInt64Between(schema, column, lo, hi);
+    }
+    case kTagAnd:
+    case kTagOr: {
+      TSB_ASSIGN_OR_RETURN(PredicateRef lhs,
+                           DecodePredicateAtDepth(schema, in, depth + 1));
+      TSB_ASSIGN_OR_RETURN(PredicateRef rhs,
+                           DecodePredicateAtDepth(schema, in, depth + 1));
+      return tag == kTagAnd ? MakeAnd(std::move(lhs), std::move(rhs))
+                            : MakeOr(std::move(lhs), std::move(rhs));
+    }
+    case kTagNot: {
+      TSB_ASSIGN_OR_RETURN(PredicateRef inner,
+                           DecodePredicateAtDepth(schema, in, depth + 1));
+      return MakeNot(std::move(inner));
+    }
+    default:
+      return Status::InvalidArgument("unknown predicate wire tag " +
+                                     std::to_string(tag));
+  }
+}
+
 }  // namespace
+
+Result<PredicateRef> DecodePredicate(const TableSchema& schema,
+                                     BinaryReader* in) {
+  return DecodePredicateAtDepth(schema, in, 0);
+}
 
 PredicateRef MakeTrue() { return std::make_shared<TruePredicate>(); }
 

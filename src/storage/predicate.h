@@ -5,10 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "storage/table.h"
 #include "storage/value.h"
 
 namespace tsb {
+
+class BinaryReader;
+
 namespace storage {
 
 /// A boolean expression over the columns of a single table, evaluated per
@@ -22,9 +26,28 @@ class Predicate {
   /// created against this table's schema.
   virtual bool Eval(const Table& table, RowIdx row) const = 0;
   virtual std::string ToString() const = 0;
+
+  /// Appends the structural wire image of this predicate (a tag-based tree
+  /// over common/binary_io.h primitives) so queries can cross a process
+  /// boundary; DecodePredicate is the inverse. Every predicate kind is
+  /// encodable — boolean combinators included.
+  virtual void EncodeWire(std::string* out) const = 0;
+
+  /// Appends this predicate in the RequestParser text grammar
+  /// (`COL.ct('w')`, `COL='v'`, `COL.between(lo,hi)`, '&&' conjunction).
+  /// Returns false when the grammar cannot express it (OR / NOT, or a
+  /// string value containing a quote); callers fall back to the binary
+  /// codec for those.
+  virtual bool AppendGrammar(std::string*) const { return false; }
 };
 
 using PredicateRef = std::shared_ptr<const Predicate>;
+
+/// Rebuilds a predicate tree from its EncodeWire image, re-resolving column
+/// names against `schema` (the decoding side's replica of the table). Fails
+/// on unknown columns, type mismatches, and malformed bytes.
+Result<PredicateRef> DecodePredicate(const TableSchema& schema,
+                                     BinaryReader* in);
 
 /// Always true; the unconstrained query.
 PredicateRef MakeTrue();

@@ -1,0 +1,317 @@
+#include "wire/codec.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "engine/result_io.h"
+#include "storage/predicate.h"
+
+namespace tsb {
+namespace wire {
+
+namespace {
+
+constexpr char kMagic0 = 'T';
+constexpr char kMagic1 = 'W';
+constexpr size_t kHeaderBytes = 2 + 1 + 1 + 4;  // magic, version, kind, len.
+
+/// Appends a frame header and returns the frame's start offset, so
+/// frames can be encoded back-to-back into one send buffer; EndFrame
+/// patches the length field relative to that offset.
+size_t BeginFrame(MessageKind kind, std::string* out) {
+  const size_t start = out->size();
+  out->push_back(kMagic0);
+  out->push_back(kMagic1);
+  PutU8(out, kWireVersion);
+  PutU8(out, static_cast<uint8_t>(kind));
+  PutU32(out, 0);  // Payload length, patched by EndFrame.
+  return start;
+}
+
+void EndFrame(size_t start, std::string* out) {
+  const uint32_t payload =
+      static_cast<uint32_t>(out->size() - start - kHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[start + kHeaderBytes - 4 + i] =
+        static_cast<char>((payload >> (8 * i)) & 0xff);
+  }
+}
+
+/// Validates the header and hands back the payload slice.
+Result<std::string_view> OpenFrame(std::string_view frame,
+                                   MessageKind expected) {
+  if (frame.size() < kHeaderBytes || frame[0] != kMagic0 ||
+      frame[1] != kMagic1) {
+    return Status::InvalidArgument("wire frame: bad magic or truncated");
+  }
+  BinaryReader header(frame.substr(2, 6));
+  const uint8_t version = header.U8();
+  const uint8_t kind = header.U8();
+  const uint32_t length = header.U32();
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire frame: unsupported version " +
+                                   std::to_string(version));
+  }
+  if (kind != static_cast<uint8_t>(expected)) {
+    return Status::InvalidArgument(
+        "wire frame: kind " + std::to_string(kind) + ", expected " +
+        std::to_string(static_cast<uint8_t>(expected)));
+  }
+  if (frame.size() - kHeaderBytes != length) {
+    return Status::InvalidArgument(
+        "wire frame: payload length mismatch (header says " +
+        std::to_string(length) + ", got " +
+        std::to_string(frame.size() - kHeaderBytes) + ")");
+  }
+  return frame.substr(kHeaderBytes);
+}
+
+void EncodePredicateField(const storage::PredicateRef& pred,
+                          std::string* out) {
+  if (pred == nullptr) {
+    PutBool(out, false);
+    return;
+  }
+  PutBool(out, true);
+  pred->EncodeWire(out);
+}
+
+Result<storage::PredicateRef> DecodePredicateField(
+    const storage::Catalog& db, const std::string& entity_set,
+    BinaryReader* in) {
+  if (!in->Bool()) return storage::PredicateRef(nullptr);
+  const storage::EntitySetDef* def = db.FindEntitySet(entity_set);
+  if (def == nullptr) {
+    return Status::NotFound("unknown entity set '" + entity_set + "'");
+  }
+  const storage::Table* table = db.FindTable(def->table_name);
+  if (table == nullptr) {
+    return Status::Internal("entity set '" + entity_set +
+                            "' has no backing table");
+  }
+  return storage::DecodePredicate(table->schema(), in);
+}
+
+}  // namespace
+
+Result<MessageKind> PeekMessageKind(std::string_view frame) {
+  if (frame.size() < kHeaderBytes || frame[0] != kMagic0 ||
+      frame[1] != kMagic1) {
+    return Status::InvalidArgument("wire frame: bad magic or truncated");
+  }
+  const uint8_t version = static_cast<uint8_t>(frame[2]);
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire frame: unsupported version " +
+                                   std::to_string(version));
+  }
+  const uint8_t kind = static_cast<uint8_t>(frame[3]);
+  if (kind > static_cast<uint8_t>(MessageKind::kTripleCollectResponse)) {
+    return Status::InvalidArgument("wire frame: unknown kind " +
+                                   std::to_string(kind));
+  }
+  return static_cast<MessageKind>(kind);
+}
+
+void EncodeQueryRequest(const WireRequest& request, std::string* out) {
+  const size_t frame = BeginFrame(MessageKind::kQueryRequest, out);
+  PutU64(out, request.id);
+  PutU8(out, static_cast<uint8_t>(request.priority));
+  PutF64(out, request.deadline_seconds);
+
+  PutString(out, request.query.entity_set1);
+  EncodePredicateField(request.query.pred1, out);
+  PutString(out, request.query.entity_set2);
+  EncodePredicateField(request.query.pred2, out);
+  PutU8(out, static_cast<uint8_t>(request.query.scheme));
+  PutU64(out, request.query.k);
+  PutBool(out, request.query.exclude_weak);
+
+  PutU8(out, static_cast<uint8_t>(request.method));
+
+  PutU32(out, static_cast<uint32_t>(request.options.dgj_algs.size()));
+  for (engine::DgjAlg alg : request.options.dgj_algs) {
+    PutU8(out, static_cast<uint8_t>(alg));
+  }
+  PutU32(out, static_cast<uint32_t>(request.options.et_side_order.size()));
+  for (size_t side : request.options.et_side_order) {
+    PutU64(out, side);
+  }
+  PutBool(out, request.options.skip_pruned_checks);
+  EndFrame(frame, out);
+}
+
+Result<WireRequest> DecodeQueryRequest(std::string_view frame,
+                                       const storage::Catalog& db) {
+  TSB_ASSIGN_OR_RETURN(std::string_view payload,
+                       OpenFrame(frame, MessageKind::kQueryRequest));
+  BinaryReader in(payload);
+  WireRequest request;
+  request.id = in.U64();
+  const uint8_t priority = in.U8();
+  if (priority >= kNumPriorities) {
+    return Status::InvalidArgument("wire request: bad priority " +
+                                   std::to_string(priority));
+  }
+  request.priority = static_cast<Priority>(priority);
+  request.deadline_seconds = in.F64();
+
+  request.query.entity_set1 = in.String();
+  TSB_ASSIGN_OR_RETURN(
+      request.query.pred1,
+      DecodePredicateField(db, request.query.entity_set1, &in));
+  request.query.entity_set2 = in.String();
+  TSB_ASSIGN_OR_RETURN(
+      request.query.pred2,
+      DecodePredicateField(db, request.query.entity_set2, &in));
+  const uint8_t scheme = in.U8();
+  if (scheme > static_cast<uint8_t>(core::RankScheme::kDomain)) {
+    return Status::InvalidArgument("wire request: bad rank scheme " +
+                                   std::to_string(scheme));
+  }
+  request.query.scheme = static_cast<core::RankScheme>(scheme);
+  request.query.k = in.U64();
+  request.query.exclude_weak = in.Bool();
+
+  const uint8_t method = in.U8();
+  if (method > static_cast<uint8_t>(engine::MethodKind::kFastTopKOpt)) {
+    return Status::InvalidArgument("wire request: bad method " +
+                                   std::to_string(method));
+  }
+  request.method = static_cast<engine::MethodKind>(method);
+
+  const uint32_t num_algs = in.U32();
+  for (uint32_t i = 0; i < num_algs && in.ok(); ++i) {
+    const uint8_t alg = in.U8();
+    if (alg > static_cast<uint8_t>(engine::DgjAlg::kHdgj)) {
+      return Status::InvalidArgument("wire request: bad DGJ algorithm");
+    }
+    request.options.dgj_algs.push_back(static_cast<engine::DgjAlg>(alg));
+  }
+  // et_side_order defaults to {0, 1}; replace it with the wire image.
+  // Strictly validated (two sides, values 0/1): the engine CHECK-fails on
+  // anything else, and a decode error must never become a process abort.
+  const uint32_t num_sides = in.U32();
+  if (num_sides != 2) {
+    return Status::InvalidArgument(
+        "wire request: et_side_order must have exactly 2 entries, got " +
+        std::to_string(num_sides));
+  }
+  request.options.et_side_order.clear();
+  for (uint32_t i = 0; i < num_sides && in.ok(); ++i) {
+    const uint64_t side = in.U64();
+    if (side > 1) {
+      return Status::InvalidArgument("wire request: bad ET side " +
+                                     std::to_string(side));
+    }
+    request.options.et_side_order.push_back(static_cast<size_t>(side));
+  }
+  request.options.skip_pruned_checks = in.Bool();
+  if (!in.AtEnd()) return in.status("query request payload");
+  return request;
+}
+
+void EncodeQueryResponse(const WireResponse& response, std::string* out) {
+  const size_t frame = BeginFrame(MessageKind::kQueryResponse, out);
+  PutU64(out, response.request_id);
+  PutU8(out, static_cast<uint8_t>(response.error.code));
+  PutString(out, response.error.message);
+  engine::EncodeQueryResult(response.result, out);
+  PutBool(out, response.from_cache);
+  PutF64(out, response.service_seconds);
+  EndFrame(frame, out);
+}
+
+Result<WireResponse> DecodeQueryResponse(std::string_view frame) {
+  TSB_ASSIGN_OR_RETURN(std::string_view payload,
+                       OpenFrame(frame, MessageKind::kQueryResponse));
+  BinaryReader in(payload);
+  WireResponse response;
+  response.request_id = in.U64();
+  const uint8_t code = in.U8();
+  if (code > static_cast<uint8_t>(WireErrorCode::kInternal)) {
+    return Status::InvalidArgument("wire response: bad error code " +
+                                   std::to_string(code));
+  }
+  response.error.code = static_cast<WireErrorCode>(code);
+  response.error.message = in.String();
+  TSB_ASSIGN_OR_RETURN(response.result, engine::DecodeQueryResult(&in));
+  response.from_cache = in.Bool();
+  response.service_seconds = in.F64();
+  if (!in.AtEnd()) return in.status("query response payload");
+  return response;
+}
+
+void EncodeTripleCollectRequest(const engine::TripleSelection& selection,
+                                std::string* out) {
+  const size_t frame = BeginFrame(MessageKind::kTripleCollectRequest, out);
+  for (int s = 0; s < 3; ++s) {
+    const engine::TripleSelection::Slot& slot = selection.slots[s];
+    PutString(out, slot.def != nullptr ? slot.def->name : std::string());
+    // Canonical order: the selection set is unordered in memory.
+    std::vector<int64_t> ids(slot.selected.begin(), slot.selected.end());
+    std::sort(ids.begin(), ids.end());
+    PutU32(out, static_cast<uint32_t>(ids.size()));
+    for (int64_t id : ids) PutI64(out, id);
+  }
+  for (int p = 0; p < 3; ++p) {
+    PutU8(out, static_cast<uint8_t>(selection.slot_pairs[p].lo));
+    PutU8(out, static_cast<uint8_t>(selection.slot_pairs[p].hi));
+  }
+  EndFrame(frame, out);
+}
+
+Result<engine::TripleSelection> DecodeTripleCollectRequest(
+    std::string_view frame, const storage::Catalog& db) {
+  TSB_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      OpenFrame(frame, MessageKind::kTripleCollectRequest));
+  BinaryReader in(payload);
+  engine::TripleSelection selection;
+  for (int s = 0; s < 3; ++s) {
+    const std::string name = in.String();
+    if (!in.ok()) return in.status("triple-collect slot");
+    const storage::EntitySetDef* def = db.FindEntitySet(name);
+    if (def == nullptr) {
+      return Status::NotFound("unknown entity set '" + name + "'");
+    }
+    selection.slots[s].def = def;
+    const uint32_t n = in.U32();
+    for (uint32_t i = 0; i < n && in.ok(); ++i) {
+      selection.slots[s].selected.insert(in.I64());
+    }
+  }
+  for (int p = 0; p < 3; ++p) {
+    const uint8_t lo = in.U8();
+    const uint8_t hi = in.U8();
+    if (lo > 2 || hi > 2) {
+      return Status::InvalidArgument("triple-collect: bad slot pair");
+    }
+    selection.slot_pairs[p].lo = lo;
+    selection.slot_pairs[p].hi = hi;
+  }
+  if (!in.AtEnd()) return in.status("triple-collect request payload");
+  return selection;
+}
+
+void EncodeTripleCollectResponse(const engine::TripleRelatedSets& related,
+                                 std::string* out) {
+  const size_t frame = BeginFrame(MessageKind::kTripleCollectResponse, out);
+  engine::EncodeTripleRelatedSets(related, out);
+  EndFrame(frame, out);
+}
+
+Result<engine::TripleRelatedSets> DecodeTripleCollectResponse(
+    std::string_view frame) {
+  TSB_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      OpenFrame(frame, MessageKind::kTripleCollectResponse));
+  BinaryReader in(payload);
+  TSB_ASSIGN_OR_RETURN(engine::TripleRelatedSets related,
+                       engine::DecodeTripleRelatedSets(&in));
+  if (!in.AtEnd()) return in.status("triple-collect response payload");
+  return related;
+}
+
+}  // namespace wire
+}  // namespace tsb

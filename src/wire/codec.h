@@ -1,0 +1,78 @@
+#ifndef TSB_WIRE_CODEC_H_
+#define TSB_WIRE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "engine/nquery.h"
+#include "storage/catalog.h"
+#include "wire/message.h"
+
+namespace tsb {
+namespace wire {
+
+/// The compact binary codec: every message is one length-prefixed frame
+///
+///   [ 'T' 'W' | version u8 | kind u8 | payload length u32 LE | payload ]
+///
+/// and every number in the payload is a fixed-width little-endian bit
+/// pattern (common/binary_io.h), so encode → decode → encode is
+/// byte-identical — including double scores and ExecStats timings.
+/// Decoders reject bad magic, unknown versions/kinds, length mismatches,
+/// and trailing payload bytes.
+///
+/// Requests carry predicates as structural trees
+/// (storage::DecodePredicate), re-resolved against the decoding side's
+/// catalog — the seam that lets a sub-query cross a process boundary to a
+/// shard holding its own replica of the schema.
+///
+/// The human-readable twin of this codec is the RequestParser text grammar
+/// (service/request_parser.h): RequestParser::Format renders a parsed
+/// request back to its canonical line.
+
+/// Binary message kinds (the `kind` header byte). Distinct from the
+/// streaming FrameKind of wire/message.h: these name what a frame's
+/// payload *is*, FrameKind names a frame's role in a response stream.
+enum class MessageKind : uint8_t {
+  kQueryRequest = 0,
+  kQueryResponse = 1,
+  kTripleCollectRequest = 2,
+  kTripleCollectResponse = 3,
+};
+
+/// Validates the frame header and returns the message kind without
+/// decoding the payload (transport dispatch).
+Result<MessageKind> PeekMessageKind(std::string_view frame);
+
+/// --- 2-query evaluation calls ---------------------------------------------
+
+void EncodeQueryRequest(const WireRequest& request, std::string* out);
+Result<WireRequest> DecodeQueryRequest(std::string_view frame,
+                                       const storage::Catalog& db);
+
+void EncodeQueryResponse(const WireResponse& response, std::string* out);
+Result<WireResponse> DecodeQueryResponse(std::string_view frame);
+
+/// --- 3-query scatter phase -------------------------------------------------
+///
+/// A sharded 3-query resolves its slot selections once, then asks every
+/// shard for its slice of the related-pair relation. The request encodes
+/// the *resolved* selection (entity-set names, selected ids, slot-pair
+/// orientation), so the shard side does no predicate evaluation of its
+/// own; the response is the shard's TripleRelatedSets slice.
+
+void EncodeTripleCollectRequest(const engine::TripleSelection& selection,
+                                std::string* out);
+Result<engine::TripleSelection> DecodeTripleCollectRequest(
+    std::string_view frame, const storage::Catalog& db);
+
+void EncodeTripleCollectResponse(const engine::TripleRelatedSets& related,
+                                 std::string* out);
+Result<engine::TripleRelatedSets> DecodeTripleCollectResponse(
+    std::string_view frame);
+
+}  // namespace wire
+}  // namespace tsb
+
+#endif  // TSB_WIRE_CODEC_H_

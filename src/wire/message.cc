@@ -1,0 +1,90 @@
+#include "wire/message.h"
+
+namespace tsb {
+namespace wire {
+
+const char* PriorityToString(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+const char* WireErrorCodeToString(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kOk:
+      return "OK";
+    case WireErrorCode::kInvalidRequest:
+      return "INVALID_REQUEST";
+    case WireErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case WireErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case WireErrorCode::kOverloaded:
+      return "OVERLOADED";
+    case WireErrorCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case WireErrorCode::kCancelled:
+      return "CANCELLED";
+    case WireErrorCode::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case WireErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case WireErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+WireErrorCode WireErrorCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireErrorCode::kOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return WireErrorCode::kInvalidRequest;
+    case StatusCode::kNotFound:
+      return WireErrorCode::kNotFound;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kAlreadyExists:
+      return WireErrorCode::kFailedPrecondition;
+    case StatusCode::kResourceExhausted:
+      return WireErrorCode::kOverloaded;
+    case StatusCode::kInternal:
+    case StatusCode::kUnimplemented:
+      return WireErrorCode::kInternal;
+  }
+  return WireErrorCode::kInternal;
+}
+
+WireError WireErrorFromStatus(const Status& status) {
+  return WireError{WireErrorCodeFromStatus(status), status.message()};
+}
+
+Status StatusFromWireError(const WireError& error) {
+  switch (error.code) {
+    case WireErrorCode::kOk:
+      return Status::OK();
+    case WireErrorCode::kInvalidRequest:
+      return Status::InvalidArgument(error.message);
+    case WireErrorCode::kNotFound:
+      return Status::NotFound(error.message);
+    case WireErrorCode::kFailedPrecondition:
+    case WireErrorCode::kCancelled:
+    case WireErrorCode::kShuttingDown:
+      return Status::FailedPrecondition(error.message);
+    case WireErrorCode::kOverloaded:
+    case WireErrorCode::kDeadlineExceeded:
+      return Status::ResourceExhausted(error.message);
+    case WireErrorCode::kUnavailable:
+    case WireErrorCode::kInternal:
+      return Status::Internal(error.message);
+  }
+  return Status::Internal(error.message);
+}
+
+}  // namespace wire
+}  // namespace tsb

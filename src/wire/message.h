@@ -1,0 +1,180 @@
+#ifndef TSB_WIRE_MESSAGE_H_
+#define TSB_WIRE_MESSAGE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/nquery.h"
+#include "engine/query.h"
+
+namespace tsb {
+namespace wire {
+
+/// The versioned wire protocol of the topology service: typed request /
+/// response messages with two codecs (the RequestParser text grammar for
+/// humans, a length-prefixed binary framing for machines — see
+/// wire/codec.h), an admission class per request, and a streaming frame
+/// model so batch clients pipeline responses as they complete.
+///
+/// Version history (kWireVersion in every binary frame header):
+///   1 — initial: query request/response, triple-collect request/response,
+///       stream-end frames; structural predicate trees; Priority +
+///       deadline admission fields.
+
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Admission class of a request. Interactive top-k lookups and batch
+/// SQL-baseline scans differ by orders of magnitude in cost (the paper's
+/// Table 2); the service keeps one queue per class and always drains
+/// interactive work first, so a batch flood adds at most one
+/// already-executing batch query of delay to an interactive request.
+enum class Priority : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+inline constexpr size_t kNumPriorities = 2;
+
+const char* PriorityToString(Priority priority);
+
+/// Stable wire-level error codes — coarser than tsb::Status (clients
+/// dispatch on these without string matching), with admission outcomes
+/// (kOverloaded / kDeadlineExceeded / kCancelled) that Status does not
+/// distinguish.
+enum class WireErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidRequest = 1,    // Malformed or unresolvable request.
+  kNotFound = 2,          // Unknown entity set / method target.
+  kFailedPrecondition = 3,
+  kOverloaded = 4,        // Class admission queue full.
+  kDeadlineExceeded = 5,  // Shed: deadline expired while queued.
+  kCancelled = 6,         // Stream cancelled before execution.
+  kShuttingDown = 7,      // Service stopped accepting work.
+  kUnavailable = 8,       // Shard transport failure (no degraded answer).
+  kInternal = 9,
+};
+
+const char* WireErrorCodeToString(WireErrorCode code);
+
+struct WireError {
+  WireErrorCode code = WireErrorCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == WireErrorCode::kOk; }
+};
+
+/// Best-effort mapping for errors that bubble up as Status (engine
+/// failures, parse errors). Admission paths construct their WireError
+/// directly with the precise code.
+WireErrorCode WireErrorCodeFromStatus(const Status& status);
+WireError WireErrorFromStatus(const Status& status);
+
+/// Inverse mapping, for adapters that surface wire frames through the
+/// legacy Result<QueryResult> API.
+Status StatusFromWireError(const WireError& error);
+
+/// One request on the wire: a 2-query evaluation call plus the envelope
+/// fields the serving layer dispatches on. `id` is caller-chosen and
+/// echoed verbatim in the response frame, so a client multiplexing many
+/// requests over one stream can correlate out-of-order completions.
+struct WireRequest {
+  uint64_t id = 0;
+  Priority priority = Priority::kInteractive;
+  /// Admission deadline in seconds, measured from submission; 0 disables.
+  /// A request still queued when its deadline expires is shed with
+  /// kDeadlineExceeded instead of executing late.
+  double deadline_seconds = 0.0;
+
+  engine::TopologyQuery query;
+  engine::MethodKind method = engine::MethodKind::kFastTopKEt;
+  engine::ExecOptions options;
+};
+
+/// One response on the wire. `error.ok()` selects between the result
+/// payload and the error; `request_id` echoes the request.
+struct WireResponse {
+  uint64_t request_id = 0;
+  WireError error;
+  engine::QueryResult result;
+  bool from_cache = false;
+  double service_seconds = 0.0;
+};
+
+enum class FrameKind : uint8_t {
+  /// One completed response (terminal for its request).
+  kResponse = 0,
+  /// Terminal stream frame: every request of the stream has been answered
+  /// (or shed). Delivered exactly once per stream, last.
+  kStreamEnd = 1,
+};
+
+/// The unit a StreamSink receives. Single submissions deliver exactly one
+/// kResponse frame with stream_id 0; a stream delivers one kResponse per
+/// request in completion order, then one kStreamEnd.
+struct WireFrame {
+  FrameKind kind = FrameKind::kResponse;
+  uint64_t stream_id = 0;
+  WireResponse response;  // Valid when kind == kResponse.
+};
+
+/// Receiver side of the streaming service API. The service serializes
+/// OnFrame calls per sink (never concurrent for one stream) and guarantees
+/// the sink sees every admitted request's terminal frame before Shutdown()
+/// returns — a sink may therefore outlive the service. OnFrame runs on a
+/// worker thread: keep it light and never call blocking service methods
+/// from it.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+  virtual void OnFrame(const WireFrame& frame) = 0;
+};
+
+/// A sink that buffers frames and lets a test or adapter block until the
+/// stream completes — the convenience implementation used by the legacy
+/// batch adapters and throughout the tests.
+class CollectingSink : public StreamSink {
+ public:
+  void OnFrame(const WireFrame& frame) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_.push_back(frame);
+    if (frame.kind == FrameKind::kStreamEnd) ++ends_;
+    cv_.notify_all();
+  }
+
+  /// Blocks until a kStreamEnd frame arrives.
+  void WaitForEnd() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this]() { return ends_ > 0; });
+  }
+
+  /// Blocks until at least `n` frames (of any kind) arrived.
+  void WaitForFrames(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, n]() { return frames_.size() >= n; });
+  }
+
+  std::vector<WireFrame> Frames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_;
+  }
+
+  size_t EndCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ends_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<WireFrame> frames_;
+  size_t ends_ = 0;
+};
+
+}  // namespace wire
+}  // namespace tsb
+
+#endif  // TSB_WIRE_MESSAGE_H_
