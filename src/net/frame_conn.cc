@@ -1,0 +1,366 @@
+#include "net/frame_conn.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Remaining poll budget in milliseconds; -1 blocks, 0 means expired.
+int RemainingMillis(const Deadline& deadline) {
+  if (!deadline.has_value()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= *deadline) return 0;
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      *deadline - now);
+  // Round up so a sub-millisecond budget still polls once instead of
+  // busy-spinning through 0ms polls.
+  return static_cast<int>(remaining.count()) + 1;
+}
+
+Status SetNonBlocking(int fd, bool non_blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int next = non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+/// Completes a (possibly in-progress non-blocking) connect within the
+/// deadline, then restores blocking mode.
+Result<std::unique_ptr<FrameConn>> FinishConnect(int fd, int rc,
+                                                 const Deadline& deadline,
+                                                 const std::string& what) {
+  if (rc < 0 && errno != EINPROGRESS) {
+    const Status error = Errno(what);
+    ::close(fd);
+    return error;
+  }
+  if (rc < 0) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int poll_rc;
+    do {
+      poll_rc = ::poll(&pfd, 1, RemainingMillis(deadline));
+    } while (poll_rc < 0 && errno == EINTR);
+    if (poll_rc == 0) {
+      ::close(fd);
+      return Status::ResourceExhausted(what + ": connect deadline expired");
+    }
+    if (poll_rc < 0) {
+      const Status error = Errno("poll(connect)");
+      ::close(fd);
+      return error;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      ::close(fd);
+      return Status::Internal(
+          what + ": " + std::strerror(so_error != 0 ? so_error : errno));
+    }
+  }
+  // Stays non-blocking: FrameConn's poll-recv/send loops need it so a
+  // deadline binds even mid-write (a blocking send() past the first poll
+  // would stall unboundedly on a peer that stopped reading).
+  return std::make_unique<FrameConn>(fd);
+}
+
+}  // namespace
+
+Deadline DeadlineAfter(double seconds) {
+  if (seconds <= 0.0) return Deadline();
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+FrameConn::FrameConn(int fd) : fd_(fd) {
+  TSB_CHECK_GE(fd, 0);
+  // All I/O goes through poll-bounded recv/send loops, so the fd must be
+  // non-blocking for deadlines to bind at every step (a blocking send()
+  // admitted by one POLLOUT could stall unboundedly past the deadline).
+  SetNonBlocking(fd, true);
+}
+
+FrameConn::~FrameConn() { Close(); }
+
+void FrameConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FrameConn::Wait(short events, const Deadline& deadline) const {
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = events;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, RemainingMillis(deadline));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  if (rc == 0) {
+    return Status::ResourceExhausted("socket deadline expired");
+  }
+  return Status::OK();
+}
+
+Status FrameConn::ReadExact(char* out, size_t n, const Deadline& deadline,
+                            bool eof_ok_at_start, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  size_t have = 0;
+  while (have < n) {
+    TSB_RETURN_IF_ERROR(Wait(POLLIN, deadline));
+    const ssize_t rc = ::recv(fd_, out + have, n - have, 0);
+    if (rc > 0) {
+      have += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (have == 0 && eof_ok_at_start) {
+        if (clean_eof != nullptr) *clean_eof = true;
+        return Status::OutOfRange("connection closed");
+      }
+      return Status::InvalidArgument(
+          "connection closed mid-frame (" + std::to_string(have) + "/" +
+          std::to_string(n) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // Re-poll.
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+Status FrameConn::ReadFrame(std::string* frame, size_t max_payload_bytes,
+                            const Deadline& deadline) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  frame->clear();
+  frame->resize(wire::kFrameHeaderBytes);
+  bool clean_eof = false;
+  TSB_RETURN_IF_ERROR(ReadExact(&(*frame)[0], wire::kFrameHeaderBytes,
+                                deadline, /*eof_ok_at_start=*/true,
+                                &clean_eof));
+  wire::FrameHeader header;
+  const wire::FrameError inspect =
+      wire::InspectFrame(*frame, max_payload_bytes, &header);
+  // A complete valid header inspects as kOk (empty payload) or
+  // kIncomplete (payload still to read, header fields filled in); every
+  // other outcome poisons the stream.
+  if (inspect != wire::FrameError::kOk &&
+      inspect != wire::FrameError::kIncomplete) {
+    return wire::FrameErrorToStatus(inspect);
+  }
+  if (header.payload_bytes == 0) return Status::OK();
+  frame->resize(header.frame_bytes);
+  return ReadExact(&(*frame)[wire::kFrameHeaderBytes], header.payload_bytes,
+                   deadline, /*eof_ok_at_start=*/false, nullptr);
+}
+
+Status FrameConn::WriteFrame(std::string_view frame,
+                             const Deadline& deadline) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    TSB_RETURN_IF_ERROR(Wait(POLLOUT, deadline));
+    const ssize_t rc = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                              MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FrameConn>> FrameConn::ConnectTcp(
+    const std::string& host, uint16_t port, const Deadline& deadline) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad TCP host '" + host +
+                                   "' (numeric IPv4 expected)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const Status nonblocking = SetNonBlocking(fd, true);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
+  const int rc = ::connect(
+      fd, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr));
+  return FinishConnect(fd, rc, deadline, "connect(tcp)");
+}
+
+Result<std::unique_ptr<FrameConn>> FrameConn::ConnectUnix(
+    const std::string& path, const Deadline& deadline) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("UDS path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  const Status nonblocking = SetNonBlocking(fd, true);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
+  const int rc = ::connect(
+      fd, reinterpret_cast<const struct sockaddr*>(&addr), sizeof(addr));
+  return FinishConnect(fd, rc, deadline, "connect(unix:" + path + ")");
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1)), port_(other.port_),
+      uds_path_(std::move(other.uds_path_)) {
+  other.uds_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1));
+    port_ = other.port_;
+    uds_path_ = std::move(other.uds_path_);
+    other.uds_path_.clear();
+  }
+  return *this;
+}
+
+Result<Listener> Listener::ListenTcp(const std::string& host,
+                                     uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad TCP host '" + host +
+                                   "' (numeric IPv4 expected)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const Status error = Errno("bind(tcp)");
+    ::close(fd);
+    return error;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status error = Errno("listen(tcp)");
+    ::close(fd);
+    return error;
+  }
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) <
+      0) {
+    const Status error = Errno("getsockname");
+    ::close(fd);
+    return error;
+  }
+  Listener listener;
+  listener.fd_.store(fd);
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Listener> Listener::ListenUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("UDS path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  // A stale socket file from a crashed predecessor would fail the bind
+  // with EADDRINUSE even though nobody is listening.
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const Status error = Errno("bind(unix:" + path + ")");
+    ::close(fd);
+    return error;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status error = Errno("listen(unix)");
+    ::close(fd);
+    return error;
+  }
+  Listener listener;
+  listener.fd_.store(fd);
+  listener.uds_path_ = path;
+  return listener;
+}
+
+Result<std::unique_ptr<FrameConn>> Listener::Accept() {
+  const int listen_fd = fd_.load();
+  if (listen_fd < 0) return Status::FailedPrecondition("listener closed");
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_unique<FrameConn>(fd);
+    }
+    if (errno == EINTR) continue;
+    // Close() shut the listener down under us (EBADF/EINVAL) or the
+    // kernel aborted a half-open conn — report and let the caller decide.
+    return Errno("accept");
+  }
+}
+
+void Listener::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() wakes a thread blocked in accept(); close alone may not.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (!uds_path_.empty()) {
+    ::unlink(uds_path_.c_str());
+    uds_path_.clear();
+  }
+}
+
+}  // namespace net
+}  // namespace tsb

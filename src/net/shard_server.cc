@@ -1,0 +1,157 @@
+#include "net/shard_server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace net {
+
+ShardServer::ShardServer(const shard::ShardFrameHandler* handler,
+                         ShardServerConfig config)
+    : handler_(handler), config_(std::move(config)) {
+  TSB_CHECK(handler_ != nullptr);
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+Status ShardServer::Start() {
+  TSB_CHECK(!accept_thread_.joinable()) << "Start called twice";
+  if (config_.uds_path.empty()) {
+    TSB_ASSIGN_OR_RETURN(
+        listener_, Listener::ListenTcp(config_.tcp_host, config_.tcp_port));
+    port_ = listener_.port();
+    bound_description_ =
+        config_.tcp_host + ":" + std::to_string(port_);
+  } else {
+    TSB_ASSIGN_OR_RETURN(listener_, Listener::ListenUnix(config_.uds_path));
+    bound_description_ = "unix:" + config_.uds_path;
+  }
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+  return Status::OK();
+}
+
+std::string ShardServer::endpoint() const { return bound_description_; }
+
+void ShardServer::ReapFinishedThreads() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    finished = std::move(finished_threads_);
+    finished_threads_.clear();
+  }
+  for (std::thread& thread : finished) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void ShardServer::AcceptLoop() {
+  int consecutive_errors = 0;
+  while (!stopping_.load()) {
+    ReapFinishedThreads();
+    Result<std::unique_ptr<FrameConn>> conn = listener_.Accept();
+    if (!conn.ok()) {
+      // Stop() closing the listener lands here; anything else (EMFILE,
+      // aborted handshakes) is logged and retried after a pause — the
+      // accept loop must stay alive as long as the server does, or the
+      // process would look healthy while refusing every connection.
+      if (stopping_.load()) break;
+      if (++consecutive_errors <= 3) {
+        std::fprintf(stderr, "shard_server accept failed: %s\n",
+                     conn.status().ToString().c_str());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    consecutive_errors = 0;
+    ++connections_;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load()) break;  // Raced with Stop: drop the conn.
+    FrameConn* raw = conn->get();
+    live_conns_.push_back(raw);
+    conn_threads_.emplace_back(
+        [this, owned = std::move(*conn)]() mutable {
+          Serve(std::move(owned));
+        });
+  }
+}
+
+void ShardServer::Serve(std::unique_ptr<FrameConn> conn) {
+  std::string request;
+  for (;;) {
+    const Status read =
+        conn->ReadFrame(&request, config_.max_payload_bytes);
+    if (!read.ok()) {
+      // Clean EOF (kOutOfRange), Stop's shutdown, or a malformed frame —
+      // a stream that lost sync cannot be trusted for another frame, so
+      // every read failure ends the connection.
+      break;
+    }
+    const std::string response = handler_->HandleOrEncodeError(request);
+    // Bounded write: a client that stopped reading frees this thread at
+    // the deadline instead of pinning it (and the response) forever.
+    if (!conn->WriteFrame(response,
+                          DeadlineAfter(config_.write_timeout_seconds))
+             .ok()) {
+      break;
+    }
+    ++frames_;
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  live_conns_.erase(
+      std::remove(live_conns_.begin(), live_conns_.end(), conn.get()),
+      live_conns_.end());
+  // Park this thread's handle for the accept loop (or Stop) to join —
+  // it cannot join itself, and leaving it in conn_threads_ would grow
+  // that list for the daemon's lifetime. Under Stop, conn_threads_ was
+  // already moved out; not finding ourselves is fine (Stop holds and
+  // joins the handle).
+  const std::thread::id me = std::this_thread::get_id();
+  for (auto it = conn_threads_.begin(); it != conn_threads_.end(); ++it) {
+    if (it->get_id() == me) {
+      finished_threads_.push_back(std::move(*it));
+      conn_threads_.erase(it);
+      break;
+    }
+  }
+  // `conn` destructs (and closes) here, after deregistration — Stop never
+  // sees a dangling pointer.
+}
+
+void ShardServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Full shutdown of every live connection: blocked reads wake with
+    // EOF and a thread stalled writing to a non-reading client wakes
+    // with EPIPE — Stop must never hang on one stalled peer. (An
+    // in-flight response to a healthy-but-slow client is truncated;
+    // Stop means the server is going down anyway.)
+    for (FrameConn* conn : live_conns_) {
+      ::shutdown(conn->fd(), SHUT_RDWR);
+    }
+    threads = std::move(conn_threads_);
+    conn_threads_.clear();
+    for (std::thread& thread : finished_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    finished_threads_.clear();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+}  // namespace net
+}  // namespace tsb

@@ -1,0 +1,163 @@
+#ifndef TSB_NET_SOCKET_TRANSPORT_H_
+#define TSB_NET_SOCKET_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame_conn.h"
+#include "service/metrics.h"
+#include "service/thread_pool.h"
+#include "wire/codec.h"
+#include "wire/transport.h"
+
+namespace tsb {
+namespace net {
+
+/// Where one shard's server listens. Unix-domain when `uds_path` is set
+/// (the single-box default: lowest latency, no port juggling), else
+/// TCP host:port.
+struct ShardEndpoint {
+  std::string uds_path;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  static ShardEndpoint Unix(std::string path) {
+    ShardEndpoint endpoint;
+    endpoint.uds_path = std::move(path);
+    return endpoint;
+  }
+  static ShardEndpoint Tcp(std::string host, uint16_t port) {
+    ShardEndpoint endpoint;
+    endpoint.host = std::move(host);
+    endpoint.port = port;
+    return endpoint;
+  }
+
+  std::string ToString() const {
+    return uds_path.empty() ? host + ":" + std::to_string(port)
+                            : "unix:" + uds_path;
+  }
+};
+
+struct SocketTransportConfig {
+  /// Blocking-I/O worker threads carrying round-trips; 0 means
+  /// min(2 × shards, 16). Each in-flight request occupies one worker for
+  /// its round-trip, so this bounds transport concurrency.
+  size_t io_threads = 0;
+  /// Idle connections kept per shard; checkouts beyond the pool dial
+  /// fresh, and returns beyond the cap close instead of pooling.
+  size_t max_pooled_conns_per_shard = 4;
+  /// Deadline for establishing one connection.
+  double connect_timeout_seconds = 2.0;
+  /// End-to-end deadline of one round-trip, measured from Send (queue
+  /// wait + connect + write + read, including the retry after a stale
+  /// pooled connection). This must stay finite: the executor's gather
+  /// deadline abandons the future but cannot free the I/O worker, so a
+  /// hung shard would wedge workers forever with 0 (no deadline) here.
+  double request_timeout_seconds = 30.0;
+  /// Per-frame payload cap on responses (poisoned/hostile length fields).
+  size_t max_payload_bytes = wire::kDefaultMaxFramePayload;
+  /// Reconnect backoff: after a dial failure the shard is not re-dialed
+  /// until the backoff window passes (doubling per consecutive failure up
+  /// to the max); Sends inside the window fail fast instead of burning a
+  /// connect timeout each. A successful dial resets the window.
+  double backoff_initial_seconds = 0.01;
+  double backoff_max_seconds = 2.0;
+};
+
+/// wire::ShardTransport over real sockets: each shard is a server process
+/// (net::ShardServer behind a ShardFrameHandler) and every sub-query is
+/// one request frame → response frame round-trip on a pooled connection.
+///
+/// Failure semantics match LoopbackTransport exactly from the executor's
+/// point of view: the returned future always becomes ready, and a dead,
+/// hung, or unreachable shard resolves it to a Status — which
+/// ScatterGatherExecutor degrades to partial=true. A round-trip that
+/// fails on a pooled connection retries once on a freshly dialed one
+/// (the pooled conn may simply have outlived a server restart), which is
+/// also the reconnect path: the first query after a shard comes back
+/// heals the pool.
+///
+/// Thread safety: Send may be called from any thread; the pool and
+/// backoff state are mutex-guarded per shard.
+class SocketTransport : public wire::ShardTransport {
+ public:
+  /// `metrics` (optional, non-owning) receives per-shard round-trip
+  /// telemetry — pass ScatterGatherExecutor::transport_metrics() so the
+  /// socket path reports into the same stream the loopback used.
+  SocketTransport(std::vector<ShardEndpoint> endpoints,
+                  SocketTransportConfig config = SocketTransportConfig{},
+                  service::TransportMetrics* metrics = nullptr);
+  ~SocketTransport();
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  size_t num_shards() const override { return endpoints_.size(); }
+
+  std::future<Result<std::string>> Send(size_t shard,
+                                        std::string request) override;
+
+  /// Synchronous round-trip (what Send runs on an I/O worker). Exposed
+  /// for tools that want a blocking client without the pool detour.
+  Result<std::string> RoundTrip(size_t shard, const std::string& request);
+
+  const ShardEndpoint& endpoint(size_t shard) const {
+    return endpoints_[shard];
+  }
+
+  /// Drops every pooled connection (tests; forcing reconnects).
+  void CloseIdleConnections();
+
+ private:
+  struct ShardState {
+    std::mutex mu;
+    std::vector<std::unique_ptr<FrameConn>> idle;
+    /// Backoff gate (guarded by mu).
+    uint64_t consecutive_failures = 0;
+    std::chrono::steady_clock::time_point next_attempt{};
+    /// True after any connection-level failure; the next successful dial
+    /// counts as a reconnect.
+    bool had_failure = false;
+  };
+
+  /// Pops a pooled connection, or dials within the backoff discipline.
+  /// *pooled reports which, so the caller knows a failure may just be a
+  /// stale connection worth one retry.
+  Result<std::unique_ptr<FrameConn>> Checkout(size_t shard,
+                                              const Deadline& deadline,
+                                              bool* pooled);
+  Result<std::unique_ptr<FrameConn>> Dial(size_t shard,
+                                          const Deadline& deadline);
+  void Return(size_t shard, std::unique_ptr<FrameConn> conn);
+  void NoteConnectionFailure(size_t shard);
+
+  /// One attempt: checkout/dial, write, read. Closes the conn on failure.
+  Result<std::string> Attempt(size_t shard, const std::string& request,
+                              const Deadline& deadline, bool* was_pooled,
+                              uint64_t* bytes_sent, uint64_t* bytes_received);
+
+  /// The round-trip body; `start` anchors both the request deadline and
+  /// the recorded RTT. Send passes its call time so socket RTTs include
+  /// I/O-pool queue wait, the same way loopback RTTs include scatter-lane
+  /// queue wait — keeping the two telemetry streams comparable.
+  Result<std::string> RoundTripFrom(
+      size_t shard, const std::string& request,
+      std::chrono::steady_clock::time_point start);
+
+  std::vector<ShardEndpoint> endpoints_;
+  SocketTransportConfig config_;
+  service::TransportMetrics* metrics_;
+  std::unique_ptr<ShardState[]> shards_;
+  service::ThreadPool io_pool_;
+};
+
+}  // namespace net
+}  // namespace tsb
+
+#endif  // TSB_NET_SOCKET_TRANSPORT_H_

@@ -218,5 +218,95 @@ std::string MetricsSnapshot::ToString() const {
   return out;
 }
 
+TransportMetrics::TransportMetrics(size_t num_shards)
+    : num_shards_(num_shards),
+      shards_(std::make_unique<ShardSlot[]>(num_shards)) {}
+
+void TransportMetrics::RecordRoundTrip(size_t shard, uint64_t bytes_sent,
+                                       uint64_t bytes_received,
+                                       double rtt_seconds, bool ok) {
+  TSB_CHECK_LT(shard, num_shards_);
+  ShardSlot& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.requests;
+  if (!ok) ++s.failures;
+  s.bytes_sent += bytes_sent;
+  s.bytes_received += bytes_received;
+  s.rtt.Record(rtt_seconds);
+}
+
+void TransportMetrics::RecordReconnect(size_t shard) {
+  TSB_CHECK_LT(shard, num_shards_);
+  ShardSlot& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.reconnects;
+}
+
+TransportMetricsSnapshot TransportMetrics::Snapshot() const {
+  TransportMetricsSnapshot snap;
+  snap.shards.reserve(num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const ShardSlot& s = shards_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    TransportShardSnapshot row;
+    row.requests = s.requests;
+    row.failures = s.failures;
+    row.bytes_sent = s.bytes_sent;
+    row.bytes_received = s.bytes_received;
+    row.reconnects = s.reconnects;
+    row.rtt = s.rtt.Summarize();
+    snap.total.requests += row.requests;
+    snap.total.failures += row.failures;
+    snap.total.bytes_sent += row.bytes_sent;
+    snap.total.bytes_received += row.bytes_received;
+    snap.total.reconnects += row.reconnects;
+    snap.shards.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void TransportMetrics::Reset() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    ShardSlot& s = shards_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.requests = 0;
+    s.failures = 0;
+    s.bytes_sent = 0;
+    s.bytes_received = 0;
+    s.reconnects = 0;
+    s.rtt.Reset();
+  }
+}
+
+std::string TransportMetricsSnapshot::ToString() const {
+  std::string out =
+      "shard   requests  failed  reconn      sent B      recv B  "
+      "rtt p50(ms)  rtt p95(ms)\n";
+  char line[160];
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const TransportShardSnapshot& row = shards[i];
+    if (row.requests == 0 && row.reconnects == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "s%-5zu %9llu %7llu %7llu %11llu %11llu %12.3f %12.3f\n",
+                  i, static_cast<unsigned long long>(row.requests),
+                  static_cast<unsigned long long>(row.failures),
+                  static_cast<unsigned long long>(row.reconnects),
+                  static_cast<unsigned long long>(row.bytes_sent),
+                  static_cast<unsigned long long>(row.bytes_received),
+                  row.rtt.p50 * 1e3, row.rtt.p95 * 1e3);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %llu round-trips, %llu failed, %llu reconnects, "
+                "%llu B out, %llu B in\n",
+                static_cast<unsigned long long>(total.requests),
+                static_cast<unsigned long long>(total.failures),
+                static_cast<unsigned long long>(total.reconnects),
+                static_cast<unsigned long long>(total.bytes_sent),
+                static_cast<unsigned long long>(total.bytes_received));
+  out += line;
+  return out;
+}
+
 }  // namespace service
 }  // namespace tsb

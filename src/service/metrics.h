@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -136,6 +137,65 @@ class ServiceMetrics {
   uint64_t rejected_ = 0;
   mutable std::mutex shard_mu_;
   std::vector<uint64_t> shard_rows_;
+};
+
+/// One shard's transport counters, as observed by the sending side.
+struct TransportShardSnapshot {
+  uint64_t requests = 0;        // Sub-query round-trips attempted.
+  uint64_t failures = 0;        // Round-trips that returned no response.
+  uint64_t bytes_sent = 0;      // Encoded request frame bytes.
+  uint64_t bytes_received = 0;  // Encoded response frame bytes.
+  uint64_t reconnects = 0;      // Successful dials after a failure.
+  LatencyReservoir::Summary rtt;  // Send-to-response round-trip time.
+};
+
+struct TransportMetricsSnapshot {
+  std::vector<TransportShardSnapshot> shards;
+  /// Sums over shards (rtt percentiles are omitted from the total row —
+  /// per-shard reservoirs do not merge exactly).
+  TransportShardSnapshot total;
+
+  /// Multi-line human-readable table (one row per shard with traffic).
+  std::string ToString() const;
+};
+
+/// Thread-safe per-shard transport telemetry: send/recv byte counters,
+/// request RTT p50/p95, failure and reconnect counts. One implementation
+/// shared by every wire::ShardTransport — the in-process LoopbackTransport
+/// and the cross-process net::SocketTransport record through the same
+/// object, so swapping transports keeps the dashboards comparable.
+class TransportMetrics {
+ public:
+  explicit TransportMetrics(size_t num_shards);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// One completed round-trip attempt. `ok` is false when the shard never
+  /// produced a response frame (dial failure, broken connection, deadline);
+  /// bytes cover whatever actually crossed the wire before the failure.
+  void RecordRoundTrip(size_t shard, uint64_t bytes_sent,
+                       uint64_t bytes_received, double rtt_seconds, bool ok);
+
+  /// A successful (re-)connect after this shard had failed — the signal a
+  /// dead shard came back.
+  void RecordReconnect(size_t shard);
+
+  TransportMetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  struct ShardSlot {
+    mutable std::mutex mu;
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    uint64_t reconnects = 0;
+    LatencyReservoir rtt;
+  };
+
+  size_t num_shards_;
+  std::unique_ptr<ShardSlot[]> shards_;
 };
 
 }  // namespace service

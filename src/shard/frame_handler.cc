@@ -1,0 +1,74 @@
+#include "shard/frame_handler.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "engine/nquery.h"
+#include "wire/codec.h"
+#include "wire/message.h"
+
+namespace tsb {
+namespace shard {
+
+ShardFrameHandler::ShardFrameHandler(storage::Catalog* db,
+                                     const engine::Engine* engine,
+                                     SnapshotFn snapshot)
+    : db_(db), engine_(engine), snapshot_(std::move(snapshot)) {
+  TSB_CHECK(db_ != nullptr);
+  TSB_CHECK(engine_ != nullptr);
+  TSB_CHECK(snapshot_ != nullptr);
+}
+
+Result<std::string> ShardFrameHandler::Handle(
+    const std::string& request) const {
+  TSB_ASSIGN_OR_RETURN(wire::MessageKind kind,
+                       wire::PeekMessageKind(request));
+  switch (kind) {
+    case wire::MessageKind::kQueryRequest: {
+      TSB_ASSIGN_OR_RETURN(wire::WireRequest decoded,
+                           wire::DecodeQueryRequest(request, *db_));
+      wire::WireResponse response;
+      response.request_id = decoded.id;
+      Result<engine::QueryResult> result =
+          engine_->Execute(decoded.query, decoded.method, decoded.options);
+      if (result.ok()) {
+        response.result = std::move(*result);
+        response.service_seconds = response.result.stats.seconds;
+      } else {
+        // Engine-level failures are a *response* (the request reached the
+        // shard and was understood); only transport-level problems surface
+        // as a Status.
+        response.error = wire::WireErrorFromStatus(result.status());
+      }
+      std::string encoded;
+      wire::EncodeQueryResponse(response, &encoded);
+      return encoded;
+    }
+    case wire::MessageKind::kTripleCollectRequest: {
+      TSB_ASSIGN_OR_RETURN(engine::TripleSelection selection,
+                           wire::DecodeTripleCollectRequest(request, *db_));
+      engine::TripleRelatedSets related =
+          engine::CollectTripleRelated(*db_, *snapshot_(), selection);
+      std::string encoded;
+      wire::EncodeTripleCollectResponse(related, &encoded);
+      return encoded;
+    }
+    default:
+      return Status::InvalidArgument(
+          "shard frame handler: unexpected message kind");
+  }
+}
+
+std::string ShardFrameHandler::HandleOrEncodeError(
+    const std::string& request) const {
+  Result<std::string> response = Handle(request);
+  if (response.ok()) return std::move(*response);
+  wire::WireResponse error;
+  error.error = wire::WireErrorFromStatus(response.status());
+  std::string encoded;
+  wire::EncodeQueryResponse(error, &encoded);
+  return encoded;
+}
+
+}  // namespace shard
+}  // namespace tsb

@@ -1,0 +1,60 @@
+#ifndef TSB_SHARD_FRAME_HANDLER_H_
+#define TSB_SHARD_FRAME_HANDLER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/store.h"
+#include "engine/engine.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace shard {
+
+/// The server side of the shard wire protocol, independent of how the
+/// request frame arrived: decodes one request frame against the local
+/// catalog, evaluates it on this shard's engine (2-query sub-queries) or
+/// store snapshot (triple-collect scans), and encodes the response frame.
+///
+/// This is the single dispatch implementation behind both transports —
+/// LoopbackTransport calls it in-process, net::ShardServer calls it per
+/// received socket frame — so the byte-identity guarantees proven on the
+/// loopback path carry over to the cross-process path by construction.
+class ShardFrameHandler {
+ public:
+  /// Provider of the store snapshot triple-collect scans run against —
+  /// indirected so the handler follows live epoch swaps of its shard.
+  using SnapshotFn = std::function<std::shared_ptr<core::TopologyStore>()>;
+
+  /// `db` and `engine` must outlive the handler; `snapshot` must be safe
+  /// to call from any thread.
+  ShardFrameHandler(storage::Catalog* db, const engine::Engine* engine,
+                    SnapshotFn snapshot);
+
+  /// Synchronous request handling. Engine-level failures come back as an
+  /// encoded response carrying a WireError (the request reached the shard
+  /// and was understood); only transport-level problems — an undecodable
+  /// or unexpected frame — surface as a Status.
+  Result<std::string> Handle(const std::string& request) const;
+
+  /// The socket-serving variant: never fails. Transport-level problems are
+  /// encoded as a kQueryResponse frame carrying the error, so a remote
+  /// caller always gets *some* frame back instead of a silent hang until
+  /// its deadline. (A caller that expected a different response kind fails
+  /// its decode and treats the shard as failed — the same degradation.)
+  std::string HandleOrEncodeError(const std::string& request) const;
+
+  /// Thread safety: Handle is safe from any number of threads (the engine
+  /// is concurrency-safe and the snapshot provider pins per-call).
+ private:
+  storage::Catalog* db_;
+  const engine::Engine* engine_;
+  SnapshotFn snapshot_;
+};
+
+}  // namespace shard
+}  // namespace tsb
+
+#endif  // TSB_SHARD_FRAME_HANDLER_H_

@@ -1,71 +1,53 @@
 #include "shard/loopback_transport.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
-#include "engine/nquery.h"
-#include "wire/codec.h"
 
 namespace tsb {
 namespace shard {
 
 LoopbackTransport::LoopbackTransport(
     storage::Catalog* db, const ShardedTopologyStore* store,
-    std::vector<const engine::Engine*> engines, service::ThreadPool* pool)
-    : db_(db), store_(store), engines_(std::move(engines)), pool_(pool) {
-  TSB_CHECK(db_ != nullptr);
-  TSB_CHECK(store_ != nullptr);
+    std::vector<const engine::Engine*> engines, service::ThreadPool* pool,
+    service::TransportMetrics* metrics)
+    : pool_(pool), metrics_(metrics) {
+  TSB_CHECK(db != nullptr);
+  TSB_CHECK(store != nullptr);
   TSB_CHECK(pool_ != nullptr);
+  handlers_.reserve(engines.size());
+  for (size_t i = 0; i < engines.size(); ++i) {
+    handlers_.emplace_back(db, engines[i],
+                           [store, i]() { return store->Snapshot(i); });
+  }
 }
 
 Result<std::string> LoopbackTransport::Handle(
     size_t shard, const std::string& request) const {
-  if (shard >= engines_.size()) {
+  if (shard >= handlers_.size()) {
     return Status::InvalidArgument("no shard " + std::to_string(shard));
   }
-  TSB_ASSIGN_OR_RETURN(wire::MessageKind kind,
-                       wire::PeekMessageKind(request));
-  switch (kind) {
-    case wire::MessageKind::kQueryRequest: {
-      TSB_ASSIGN_OR_RETURN(wire::WireRequest decoded,
-                           wire::DecodeQueryRequest(request, *db_));
-      wire::WireResponse response;
-      response.request_id = decoded.id;
-      Result<engine::QueryResult> result = engines_[shard]->Execute(
-          decoded.query, decoded.method, decoded.options);
-      if (result.ok()) {
-        response.result = std::move(*result);
-        response.service_seconds = response.result.stats.seconds;
-      } else {
-        // Engine-level failures are a *response* (the request reached the
-        // shard and was understood); only transport-level problems surface
-        // as a Send error.
-        response.error = wire::WireErrorFromStatus(result.status());
-      }
-      std::string encoded;
-      wire::EncodeQueryResponse(response, &encoded);
-      return encoded;
-    }
-    case wire::MessageKind::kTripleCollectRequest: {
-      TSB_ASSIGN_OR_RETURN(engine::TripleSelection selection,
-                           wire::DecodeTripleCollectRequest(request, *db_));
-      engine::TripleRelatedSets related = engine::CollectTripleRelated(
-          *db_, *store_->Snapshot(shard), selection);
-      std::string encoded;
-      wire::EncodeTripleCollectResponse(related, &encoded);
-      return encoded;
-    }
-    default:
-      return Status::InvalidArgument(
-          "loopback transport: unexpected message kind");
-  }
+  return handlers_[shard].Handle(request);
 }
 
 std::future<Result<std::string>> LoopbackTransport::Send(
     size_t shard, std::string request) {
   const LoopbackTransport* self = this;
-  auto task = [self, shard, request = std::move(request)]() {
-    return self->Handle(shard, request);
+  const auto start = std::chrono::steady_clock::now();
+  auto task = [self, shard, start,
+               request = std::move(request)]() -> Result<std::string> {
+    Result<std::string> response = self->Handle(shard, request);
+    if (self->metrics_ != nullptr && shard < self->handlers_.size()) {
+      const double rtt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      self->metrics_->RecordRoundTrip(
+          shard, request.size(), response.ok() ? response->size() : 0, rtt,
+          response.ok());
+    }
+    return response;
   };
   std::future<Result<std::string>> future = pool_->Submit(task);
   if (!future.valid()) {

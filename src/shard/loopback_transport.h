@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "service/metrics.h"
 #include "service/thread_pool.h"
+#include "shard/frame_handler.h"
 #include "shard/sharded_store.h"
 #include "wire/transport.h"
 
@@ -13,23 +15,27 @@ namespace tsb {
 namespace shard {
 
 /// In-process wire::ShardTransport over the executor's per-shard engines:
-/// decodes the request frame against the shared catalog, evaluates on the
-/// addressed shard (2-query sub-queries on its Engine, triple-collect
-/// scans on its store snapshot), and encodes the response frame back.
-/// Requests ride `pool` (the executor's dedicated scatter lane) unless the
-/// pool is shutting down, in which case they evaluate inline on the
-/// sending thread so in-flight queries still complete.
+/// each shard's frames go through a ShardFrameHandler (the same dispatch
+/// implementation net::ShardServer runs behind a socket), so loopback and
+/// cross-process execution differ only in how the bytes ship. Requests
+/// ride `pool` (the executor's dedicated scatter lane) unless the pool is
+/// shutting down, in which case they evaluate inline on the sending
+/// thread so in-flight queries still complete.
 ///
 /// This is deliberately the full serialize → dispatch → deserialize path —
-/// the next transport (a socket to a shard process) replaces only the
-/// byte shipping, and the byte-identity tests already cover the rest.
+/// a socket transport (net/socket_transport.h) replaces only the byte
+/// shipping, and the byte-identity tests already cover the rest.
 class LoopbackTransport : public wire::ShardTransport {
  public:
+  /// `metrics` (optional) receives per-shard round-trip telemetry — the
+  /// same service::TransportMetrics a socket transport records into, so
+  /// dashboards stay comparable across transports.
   LoopbackTransport(storage::Catalog* db, const ShardedTopologyStore* store,
                     std::vector<const engine::Engine*> engines,
-                    service::ThreadPool* pool);
+                    service::ThreadPool* pool,
+                    service::TransportMetrics* metrics = nullptr);
 
-  size_t num_shards() const override { return engines_.size(); }
+  size_t num_shards() const override { return handlers_.size(); }
 
   std::future<Result<std::string>> Send(size_t shard,
                                         std::string request) override;
@@ -37,11 +43,16 @@ class LoopbackTransport : public wire::ShardTransport {
   /// Synchronous request handling (the "server side" of the loopback).
   Result<std::string> Handle(size_t shard, const std::string& request) const;
 
+  /// Shard i's frame handler — the object a net::ShardServer would serve;
+  /// tests and in-process shard servers reuse it directly.
+  const ShardFrameHandler& handler(size_t shard) const {
+    return handlers_[shard];
+  }
+
  private:
-  storage::Catalog* db_;
-  const ShardedTopologyStore* store_;
-  std::vector<const engine::Engine*> engines_;
+  std::vector<ShardFrameHandler> handlers_;
   service::ThreadPool* pool_;
+  service::TransportMetrics* metrics_;
 };
 
 }  // namespace shard

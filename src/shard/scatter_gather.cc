@@ -78,7 +78,8 @@ ScatterGatherExecutor::ScatterGatherExecutor(
       view_(view),
       config_(config),
       scatter_pool_(ResolveScatterThreads(config.num_scatter_threads,
-                                          store_->num_shards())) {
+                                          store_->num_shards())),
+      transport_metrics_(store_->num_shards()) {
   TSB_CHECK(db_ != nullptr);
   TSB_CHECK(store_ != nullptr);
   engines_.reserve(store_->num_shards());
@@ -95,7 +96,8 @@ ScatterGatherExecutor::ScatterGatherExecutor(
     engine_ptrs.push_back(e.get());
   }
   loopback_ = std::make_unique<LoopbackTransport>(
-      db_, store_.get(), std::move(engine_ptrs), &scatter_pool_);
+      db_, store_.get(), std::move(engine_ptrs), &scatter_pool_,
+      &transport_metrics_);
   transport_ = loopback_.get();
 }
 

@@ -151,15 +151,26 @@ class ScatterGatherExecutor {
   }
 
   /// Overrides the sub-query transport (tests inject failing/slow
-  /// wrappers; a future PR injects the socket transport). Non-owning; the
-  /// transport must outlive the executor. Pass nullptr to restore the
-  /// built-in loopback. Not safe to call concurrently with queries.
+  /// wrappers; net::SocketTransport routes sub-queries to shard server
+  /// processes). Non-owning; the transport must outlive the executor.
+  /// Pass nullptr to restore the built-in loopback. Not safe to call
+  /// concurrently with queries.
   void set_transport(wire::ShardTransport* transport) {
     transport_ = transport != nullptr ? transport : loopback_.get();
   }
   wire::ShardTransport* transport() const { return transport_; }
   const LoopbackTransport& loopback() const { return *loopback_; }
   LoopbackTransport* mutable_loopback() { return loopback_.get(); }
+
+  /// Per-shard transport telemetry (bytes, RTT p50/p95, reconnects). The
+  /// built-in loopback records into it; hand it to an injected
+  /// net::SocketTransport so a transport swap keeps one telemetry stream.
+  service::TransportMetrics* transport_metrics() const {
+    return &transport_metrics_;
+  }
+  service::TransportMetricsSnapshot GetTransportMetrics() const {
+    return transport_metrics_.Snapshot();
+  }
 
   ScatterStats GetScatterStats() const;
 
@@ -188,8 +199,11 @@ class ScatterGatherExecutor {
   std::vector<std::unique_ptr<engine::Engine>> engines_;
   /// Dedicated sub-query lane (see ScatterGatherConfig).
   mutable service::ThreadPool scatter_pool_;
+  /// Shared per-shard transport telemetry (loopback records into it; an
+  /// injected socket transport should too — see transport_metrics()).
+  mutable service::TransportMetrics transport_metrics_;
   /// Default in-process transport over engines_; transport_ points at it
-  /// unless a test (or a future socket seam) overrides.
+  /// unless a test (or the socket seam) overrides.
   std::unique_ptr<LoopbackTransport> loopback_;
   wire::ShardTransport* transport_ = nullptr;
 

@@ -14,7 +14,9 @@ namespace {
 
 constexpr char kMagic0 = 'T';
 constexpr char kMagic1 = 'W';
-constexpr size_t kHeaderBytes = 2 + 1 + 1 + 4;  // magic, version, kind, len.
+constexpr size_t kHeaderBytes = kFrameHeaderBytes;
+static_assert(kFrameHeaderBytes == 2 + 1 + 1 + 4,
+              "magic, version, kind, len");
 
 /// Appends a frame header and returns the frame's start offset, so
 /// frames can be encoded back-to-back into one send buffer; EndFrame
@@ -38,30 +40,25 @@ void EndFrame(size_t start, std::string* out) {
   }
 }
 
-/// Validates the header and hands back the payload slice.
+/// Validates the header and hands back the payload slice. The caller
+/// holds the complete message, so kIncomplete is truncation (malformed),
+/// and trailing bytes beyond the framed length are rejected too.
 Result<std::string_view> OpenFrame(std::string_view frame,
                                    MessageKind expected) {
-  if (frame.size() < kHeaderBytes || frame[0] != kMagic0 ||
-      frame[1] != kMagic1) {
-    return Status::InvalidArgument("wire frame: bad magic or truncated");
-  }
-  BinaryReader header(frame.substr(2, 6));
-  const uint8_t version = header.U8();
-  const uint8_t kind = header.U8();
-  const uint32_t length = header.U32();
-  if (version != kWireVersion) {
-    return Status::InvalidArgument("wire frame: unsupported version " +
-                                   std::to_string(version));
-  }
-  if (kind != static_cast<uint8_t>(expected)) {
+  FrameHeader header;
+  const FrameError error =
+      InspectFrame(frame, /*max_payload_bytes=*/frame.size(), &header);
+  if (error != FrameError::kOk) return FrameErrorToStatus(error);
+  if (header.kind != expected) {
     return Status::InvalidArgument(
-        "wire frame: kind " + std::to_string(kind) + ", expected " +
+        "wire frame: kind " +
+        std::to_string(static_cast<uint8_t>(header.kind)) + ", expected " +
         std::to_string(static_cast<uint8_t>(expected)));
   }
-  if (frame.size() - kHeaderBytes != length) {
+  if (frame.size() != header.frame_bytes) {
     return Status::InvalidArgument(
         "wire frame: payload length mismatch (header says " +
-        std::to_string(length) + ", got " +
+        std::to_string(header.payload_bytes) + ", got " +
         std::to_string(frame.size() - kHeaderBytes) + ")");
   }
   return frame.substr(kHeaderBytes);
@@ -95,22 +92,82 @@ Result<storage::PredicateRef> DecodePredicateField(
 
 }  // namespace
 
+const char* FrameErrorToString(FrameError error) {
+  switch (error) {
+    case FrameError::kOk:
+      return "ok";
+    case FrameError::kIncomplete:
+      return "incomplete";
+    case FrameError::kMalformedFrame:
+      return "malformed frame";
+    case FrameError::kUnsupportedVersion:
+      return "unsupported version";
+  }
+  return "unknown";
+}
+
+FrameError InspectFrame(std::string_view buffer, size_t max_payload_bytes,
+                        FrameHeader* header) {
+  // Validate strictly byte-by-byte so a prefix that can still grow into a
+  // valid frame is kIncomplete, and one that cannot is rejected at the
+  // first offending byte — a reader never waits for more bytes of a frame
+  // that is already hopeless.
+  if (!buffer.empty() && buffer[0] != kMagic0) {
+    return FrameError::kMalformedFrame;
+  }
+  if (buffer.size() >= 2 && buffer[1] != kMagic1) {
+    return FrameError::kMalformedFrame;
+  }
+  if (buffer.size() >= 3 &&
+      static_cast<uint8_t>(buffer[2]) != kWireVersion) {
+    return FrameError::kUnsupportedVersion;
+  }
+  if (buffer.size() >= 4 &&
+      static_cast<uint8_t>(buffer[3]) >
+          static_cast<uint8_t>(MessageKind::kTripleCollectResponse)) {
+    return FrameError::kMalformedFrame;
+  }
+  if (buffer.size() < kFrameHeaderBytes) return FrameError::kIncomplete;
+
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[4 + i]))
+              << (8 * i);
+  }
+  if (length > max_payload_bytes) return FrameError::kMalformedFrame;
+  if (header != nullptr) {
+    header->version = static_cast<uint8_t>(buffer[2]);
+    header->kind = static_cast<MessageKind>(static_cast<uint8_t>(buffer[3]));
+    header->payload_bytes = length;
+    header->frame_bytes = kFrameHeaderBytes + length;
+  }
+  if (buffer.size() < kFrameHeaderBytes + length) {
+    return FrameError::kIncomplete;
+  }
+  return FrameError::kOk;
+}
+
+Status FrameErrorToStatus(FrameError error) {
+  switch (error) {
+    case FrameError::kOk:
+      return Status::OK();
+    case FrameError::kIncomplete:
+      return Status::InvalidArgument("wire frame: truncated");
+    case FrameError::kMalformedFrame:
+      return Status::InvalidArgument(
+          "wire frame: malformed (bad magic, unknown kind, or oversized "
+          "length)");
+    case FrameError::kUnsupportedVersion:
+      return Status::Unimplemented("wire frame: unsupported version");
+  }
+  return Status::Internal("wire frame: unknown frame error");
+}
+
 Result<MessageKind> PeekMessageKind(std::string_view frame) {
-  if (frame.size() < kHeaderBytes || frame[0] != kMagic0 ||
-      frame[1] != kMagic1) {
-    return Status::InvalidArgument("wire frame: bad magic or truncated");
-  }
-  const uint8_t version = static_cast<uint8_t>(frame[2]);
-  if (version != kWireVersion) {
-    return Status::InvalidArgument("wire frame: unsupported version " +
-                                   std::to_string(version));
-  }
-  const uint8_t kind = static_cast<uint8_t>(frame[3]);
-  if (kind > static_cast<uint8_t>(MessageKind::kTripleCollectResponse)) {
-    return Status::InvalidArgument("wire frame: unknown kind " +
-                                   std::to_string(kind));
-  }
-  return static_cast<MessageKind>(kind);
+  FrameHeader header;
+  const FrameError error = InspectFrame(frame, frame.size(), &header);
+  if (error != FrameError::kOk) return FrameErrorToStatus(error);
+  return header.kind;
 }
 
 void EncodeQueryRequest(const WireRequest& request, std::string* out) {

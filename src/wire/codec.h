@@ -41,8 +41,62 @@ enum class MessageKind : uint8_t {
   kTripleCollectResponse = 3,
 };
 
+/// Bytes of every frame header: magic 'T' 'W', version u8, kind u8,
+/// payload length u32 LE.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Default per-frame payload cap. Far above any real frame (the largest
+/// responses are full AllTops scans of one pair), yet small enough that a
+/// corrupted or hostile length field cannot make a receiver allocate
+/// gigabytes before noticing.
+inline constexpr size_t kDefaultMaxFramePayload = 64u << 20;  // 64 MiB.
+
+/// Typed outcome of validating a (possibly still-arriving) frame header —
+/// the contract a streaming receiver dispatches on without string-matching
+/// Status messages.
+enum class FrameError : uint8_t {
+  kOk = 0,
+  /// Every byte seen so far is consistent with a valid frame, but the
+  /// frame is not complete yet. A stream reader keeps reading; a decoder
+  /// holding the whole message treats this as malformed (truncated).
+  kIncomplete = 1,
+  /// Bad magic, unknown kind, or a length field beyond the cap — the
+  /// bytes can never become a valid frame; a connection carrying them is
+  /// poisoned and must be closed.
+  kMalformedFrame = 2,
+  /// Valid magic but a version this build does not speak. Distinct from
+  /// malformed so a mixed-version deployment can answer "upgrade me"
+  /// instead of "you sent garbage".
+  kUnsupportedVersion = 3,
+};
+
+const char* FrameErrorToString(FrameError error);
+
+/// The decoded fixed-size header of one frame.
+struct FrameHeader {
+  uint8_t version = 0;
+  MessageKind kind = MessageKind::kQueryRequest;
+  size_t payload_bytes = 0;
+  size_t frame_bytes = 0;  // kFrameHeaderBytes + payload_bytes.
+};
+
+/// Validates as much of a frame as `buffer` holds, never reading past it:
+/// returns kOk when `buffer` starts with one complete valid frame,
+/// kIncomplete when more bytes are needed (streaming reads), and a typed
+/// error otherwise. `header` (optional) is filled whenever at least the
+/// full header was seen and passed validation — including the kIncomplete
+/// case, so a socket reader can size its payload read. `max_payload_bytes`
+/// caps the length field (kMalformedFrame beyond it).
+FrameError InspectFrame(std::string_view buffer, size_t max_payload_bytes,
+                        FrameHeader* header);
+
+/// The Status rendering of a frame-level error: kUnsupportedVersion maps
+/// to kUnimplemented, everything else to kInvalidArgument, so callers that
+/// only speak Status still distinguish "upgrade needed" from "garbage".
+Status FrameErrorToStatus(FrameError error);
+
 /// Validates the frame header and returns the message kind without
-/// decoding the payload (transport dispatch).
+/// decoding the payload (transport dispatch). The frame must be complete.
 Result<MessageKind> PeekMessageKind(std::string_view frame);
 
 /// --- 2-query evaluation calls ---------------------------------------------

@@ -444,6 +444,128 @@ TEST_F(WireFig3Test, MalformedFramesAreRejected) {
   EXPECT_FALSE(wire::PeekMessageKind("TW").ok());
 }
 
+TEST_F(WireFig3Test, InspectFrameClassifiesPrefixesAndCorruption) {
+  wire::WireRequest request = ExampleRequest(MethodKind::kFastTopKEt);
+  std::string frame;
+  wire::EncodeQueryRequest(request, &frame);
+
+  // Every strict prefix of a valid frame is kIncomplete — a stream
+  // reader keeps waiting, a whole-message decoder rejects it — and once
+  // the header is present its fields are available for sizing the read.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    wire::FrameHeader header;
+    const wire::FrameError error = wire::InspectFrame(
+        std::string_view(frame).substr(0, len),
+        wire::kDefaultMaxFramePayload, &header);
+    EXPECT_EQ(error, wire::FrameError::kIncomplete) << "prefix " << len;
+    if (len >= wire::kFrameHeaderBytes) {
+      EXPECT_EQ(header.frame_bytes, frame.size()) << "prefix " << len;
+      EXPECT_EQ(header.kind, wire::MessageKind::kQueryRequest);
+    }
+  }
+  EXPECT_EQ(wire::InspectFrame(frame, wire::kDefaultMaxFramePayload,
+                               nullptr),
+            wire::FrameError::kOk);
+
+  // Bad magic in either position: malformed at the first offending byte.
+  for (size_t pos : {0u, 1u}) {
+    std::string bad = frame;
+    bad[pos] = 'X';
+    EXPECT_EQ(wire::InspectFrame(bad, wire::kDefaultMaxFramePayload,
+                                 nullptr),
+              wire::FrameError::kMalformedFrame);
+    // Even a 1-2 byte glimpse of bad magic is already hopeless.
+    EXPECT_EQ(wire::InspectFrame(std::string_view(bad).substr(0, pos + 1),
+                                 wire::kDefaultMaxFramePayload, nullptr),
+              wire::FrameError::kMalformedFrame);
+  }
+
+  // Unknown future versions are typed distinctly from garbage, and the
+  // Status rendering keeps the distinction (kUnimplemented).
+  for (uint8_t version : {0, 2, 7, 255}) {
+    std::string bad = frame;
+    bad[2] = static_cast<char>(version);
+    EXPECT_EQ(wire::InspectFrame(bad, wire::kDefaultMaxFramePayload,
+                                 nullptr),
+              wire::FrameError::kUnsupportedVersion)
+        << static_cast<int>(version);
+    auto decoded = wire::DecodeQueryRequest(bad, db_);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kUnimplemented);
+  }
+  EXPECT_EQ(wire::FrameErrorToStatus(wire::FrameError::kUnsupportedVersion)
+                .code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(
+      wire::FrameErrorToStatus(wire::FrameError::kMalformedFrame).code(),
+      StatusCode::kInvalidArgument);
+
+  // Unknown kind byte.
+  std::string bad_kind = frame;
+  bad_kind[3] = 17;
+  EXPECT_EQ(wire::InspectFrame(bad_kind, wire::kDefaultMaxFramePayload,
+                               nullptr),
+            wire::FrameError::kMalformedFrame);
+
+  // An oversized length field is malformed under the cap — the receiver
+  // rejects before allocating, instead of buffering toward 4 GiB.
+  std::string huge = frame.substr(0, wire::kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) huge[4 + i] = static_cast<char>(0xff);
+  EXPECT_EQ(wire::InspectFrame(huge, wire::kDefaultMaxFramePayload,
+                               nullptr),
+            wire::FrameError::kMalformedFrame);
+}
+
+TEST_F(WireFig3Test, MalformedBytesSweepNeverCrashesTheDecoders) {
+  // Decoders must return a typed error — never read past the buffer or
+  // abort — for truncations and byte corruptions of valid frames.
+  wire::WireRequest request = ExampleRequest(MethodKind::kFastTopKEt);
+  std::string req_frame;
+  wire::EncodeQueryRequest(request, &req_frame);
+
+  wire::WireResponse response;
+  response.request_id = 5;
+  response.result.entries = {{3, 2.5}, {1, 1.0}};
+  response.result.stats.plan = "scan";
+  std::string resp_frame;
+  wire::EncodeQueryResponse(response, &resp_frame);
+
+  // Every truncation of either frame fails decode (prefixes are never
+  // valid: the length field no longer matches).
+  for (size_t len = 0; len < req_frame.size(); ++len) {
+    EXPECT_FALSE(
+        wire::DecodeQueryRequest(req_frame.substr(0, len), db_).ok())
+        << len;
+  }
+  for (size_t len = 0; len < resp_frame.size(); ++len) {
+    EXPECT_FALSE(wire::DecodeQueryResponse(resp_frame.substr(0, len)).ok())
+        << len;
+  }
+
+  // Every single-byte corruption decodes to *something* (an error, or a
+  // harmlessly different message) without crashing or overreading. A
+  // deterministic xor pattern keeps the sweep reproducible.
+  for (size_t pos = 0; pos < req_frame.size(); ++pos) {
+    std::string bad = req_frame;
+    bad[pos] = static_cast<char>(bad[pos] ^ (0x80 | (pos % 0x7f)));
+    auto decoded = wire::DecodeQueryRequest(bad, db_);
+    if (decoded.ok()) {
+      // Re-encoding whatever survived must stay within bounds too.
+      std::string again;
+      wire::EncodeQueryRequest(*decoded, &again);
+    }
+  }
+  for (size_t pos = 0; pos < resp_frame.size(); ++pos) {
+    std::string bad = resp_frame;
+    bad[pos] = static_cast<char>(bad[pos] ^ (0x80 | (pos % 0x7f)));
+    auto decoded = wire::DecodeQueryResponse(bad);
+    if (decoded.ok()) {
+      std::string again;
+      wire::EncodeQueryResponse(*decoded, &again);
+    }
+  }
+}
+
 TEST_F(WireFig3Test, InvalidEtSideOrderIsRejectedAtDecode) {
   // The engine CHECK-fails on anything but two sides valued 0/1; the
   // decoder must turn such frames into InvalidArgument, never an abort.

@@ -1,0 +1,184 @@
+// The shard server daemon: hosts one shard of an N-way partitioned
+// topology store and serves wire frames (sub-queries and triple-collect
+// scans) over a Unix-domain or TCP socket — the storage-worker half of
+// cross-process sharding. A query frontend (ScatterGatherExecutor +
+// net::SocketTransport) fans sub-queries out to N of these processes and
+// merges the partials; see examples/cross_process_shards.cpp.
+//
+// The process builds its own replica of the data set and the full sharded
+// precompute (deterministic, so TIDs and scores agree with every other
+// replica — the property the byte-identity checks rest on), then serves
+// its shard's slice until SIGTERM/SIGINT.
+//
+// Flags:
+//   --shard=<i>            shard index served by this process (default 0)
+//   --num-shards=<n>       total shards in the partition (default 1)
+//   --uds=<path>           listen on this Unix-domain socket path
+//   --tcp-port=<p>         listen on 127.0.0.1:<p> instead (0 = ephemeral)
+//   --max-path-length=<l>  precompute path-length cap (default 3)
+//   --prune-threshold=<t>  PruneFrequentTopologies threshold (default 0)
+//
+// Example:  shard_server --shard=1 --num-shards=4 --uds=/tmp/shard1.sock
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "biozon/domain.h"
+#include "biozon/fig3.h"
+#include "core/builder.h"
+#include "core/pruner.h"
+#include "engine/engine.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+#include "net/shard_server.h"
+#include "shard/frame_handler.h"
+#include "shard/sharded_store.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+/// "--name=value" flag lookup; returns `fallback` when absent.
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+long FlagLong(int argc, char** argv, const std::string& name,
+              long fallback) {
+  const std::string value = FlagString(argc, argv, name, "");
+  return value.empty() ? fallback : std::atol(value.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsb;
+
+  const size_t shard =
+      static_cast<size_t>(FlagLong(argc, argv, "shard", 0));
+  const size_t num_shards =
+      static_cast<size_t>(FlagLong(argc, argv, "num-shards", 1));
+  const std::string uds = FlagString(argc, argv, "uds", "");
+  const long tcp_port = FlagLong(argc, argv, "tcp-port", -1);
+  const size_t max_path_length =
+      static_cast<size_t>(FlagLong(argc, argv, "max-path-length", 3));
+  const size_t prune_threshold =
+      static_cast<size_t>(FlagLong(argc, argv, "prune-threshold", 0));
+
+  if (shard >= num_shards) {
+    std::fprintf(stderr, "shard_server: --shard=%zu out of range (%zu)\n",
+                 shard, num_shards);
+    return 1;
+  }
+  if (uds.empty() && tcp_port < 0) {
+    std::fprintf(stderr,
+                 "shard_server: need --uds=<path> or --tcp-port=<p>\n");
+    return 1;
+  }
+
+  // This replica's data set and precompute. Build the *complete* shard
+  // set (the Figure-3 fixture is small) so catalog interning sees every
+  // topology in the canonical first-encounter order — identical TIDs and
+  // global frequency maps on every replica — then serve only our slice.
+  storage::Catalog db;
+  biozon::BiozonSchema ids = biozon::BuildFigure3Database(&db);
+  graph::DataGraphView view(db);
+  graph::SchemaGraph schema(db);
+
+  auto sharded = std::make_shared<shard::ShardedTopologyStore>(num_shards);
+  core::TopologyBuilder builder(&db, &schema, &view);
+  core::BuildConfig build;
+  build.max_path_length = max_path_length;
+  Status built = sharded->Build(&builder, build);
+  if (!built.ok()) {
+    std::fprintf(stderr, "shard_server: build failed: %s\n",
+                 built.ToString().c_str());
+    return 1;
+  }
+  // Prune only the served shard: pruning derives that store's private
+  // LeftTops/ExcpTops tables and never touches the other replicas, so
+  // the other N-1 slices (built above only for deterministic catalog
+  // interning) would be dead work.
+  core::PruneConfig prune;
+  prune.frequency_threshold = prune_threshold;
+  {
+    auto snapshot = sharded->Snapshot(shard);
+    std::vector<std::pair<storage::EntityTypeId, storage::EntityTypeId>>
+        keys;
+    for (const auto& [key, pair] : snapshot->pairs()) keys.push_back(key);
+    for (const auto& [t1, t2] : keys) {
+      auto pruned =
+          core::PruneFrequentTopologies(&db, snapshot.get(), t1, t2, prune);
+      if (!pruned.ok()) {
+        std::fprintf(stderr, "shard_server: prune failed: %s\n",
+                     pruned.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  const std::shared_ptr<core::StoreHandle>& handle = sharded->handle(shard);
+  engine::Engine engine(
+      &db, handle, &schema, &view,
+      core::ScoreModel(&handle->Snapshot()->catalog(),
+                       biozon::MakeBiozonDomainKnowledge(ids)));
+  shard::ShardFrameHandler handler(
+      &db, &engine, [sharded, shard]() { return sharded->Snapshot(shard); });
+
+  net::ShardServerConfig server_config;
+  server_config.uds_path = uds;
+  if (tcp_port >= 0) {
+    server_config.tcp_port = static_cast<uint16_t>(tcp_port);
+  }
+  net::ShardServer server(&handler, server_config);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "shard_server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("shard_server: serving shard %zu/%zu on %s (%zu catalog "
+              "topologies)\n",
+              shard, num_shards, server.endpoint().c_str(),
+              sharded->Snapshot(shard)->catalog().size());
+  std::fflush(stdout);
+
+  // Block the shutdown signals, then wait in sigsuspend: the signal can
+  // only be delivered inside the atomic unblock-and-wait, so a SIGTERM
+  // arriving between the g_stop check and the wait cannot be lost (the
+  // classic pause() race).
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigset_t unblocked;
+  sigprocmask(SIG_BLOCK, &mask, &unblocked);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) sigsuspend(&unblocked);
+  sigprocmask(SIG_SETMASK, &unblocked, nullptr);
+
+  server.Stop();
+  std::printf("shard_server: shard %zu stopped (%llu connections, %llu "
+              "frames)\n",
+              shard,
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(server.frames_served()));
+  return 0;
+}
