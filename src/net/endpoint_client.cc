@@ -1,0 +1,156 @@
+#include "net/endpoint_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace net {
+
+bool DeadlineExpired(const Deadline& deadline) {
+  return deadline.has_value() &&
+         std::chrono::steady_clock::now() >= *deadline;
+}
+
+EndpointClient::EndpointClient(ShardEndpoint endpoint,
+                               EndpointClientConfig config)
+    : endpoint_(std::move(endpoint)), config_(config) {}
+
+Result<std::unique_ptr<FrameConn>> EndpointClient::Dial(
+    const Deadline& deadline) {
+  // The connect gets its own timeout, clipped to the request deadline —
+  // an unreachable host must not eat the whole request budget before the
+  // write even starts.
+  Deadline connect_deadline = DeadlineAfter(config_.connect_timeout_seconds);
+  if (deadline.has_value() &&
+      (!connect_deadline.has_value() || *deadline < *connect_deadline)) {
+    connect_deadline = deadline;
+  }
+  return endpoint_.uds_path.empty()
+             ? FrameConn::ConnectTcp(endpoint_.host, endpoint_.port,
+                                     connect_deadline)
+             : FrameConn::ConnectUnix(endpoint_.uds_path, connect_deadline);
+}
+
+Result<std::unique_ptr<FrameConn>> EndpointClient::Checkout(
+    const Deadline& deadline, bool* pooled, RoundTripTelemetry* telemetry) {
+  *pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<FrameConn> conn = std::move(idle_.back());
+      idle_.pop_back();
+      *pooled = true;
+      return conn;
+    }
+    if (consecutive_failures_ > 0 &&
+        std::chrono::steady_clock::now() < next_attempt_) {
+      return Status::FailedPrecondition(
+          endpoint_.ToString() + " backing off after " +
+          std::to_string(consecutive_failures_) + " failures");
+    }
+  }
+  // Dial outside the lock: a slow connect must not serialize the endpoint.
+  Result<std::unique_ptr<FrameConn>> conn = Dial(deadline);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!conn.ok()) {
+    ++consecutive_failures_;
+    const double backoff = std::min(
+        config_.backoff_max_seconds,
+        config_.backoff_initial_seconds *
+            static_cast<double>(1ull << std::min<uint64_t>(
+                                    consecutive_failures_ - 1, 20)));
+    next_attempt_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(backoff));
+    had_failure_ = true;
+    return conn;
+  }
+  consecutive_failures_ = 0;
+  if (had_failure_) {
+    had_failure_ = false;
+    if (telemetry != nullptr) ++telemetry->reconnects;
+  }
+  return conn;
+}
+
+void EndpointClient::Return(std::unique_ptr<FrameConn> conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < config_.max_pooled_conns) {
+    idle_.push_back(std::move(conn));
+  }
+  // Else: drop; the destructor closes it.
+}
+
+void EndpointClient::NoteConnectionFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  had_failure_ = true;
+  // A broken established connection also poisons the pool: siblings were
+  // dialed to the same (now likely dead) server. Drop them so the next
+  // checkout re-dials and discovers the real state.
+  idle_.clear();
+}
+
+void EndpointClient::CloseIdleConnections() {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.clear();
+}
+
+Result<std::string> EndpointClient::Attempt(const std::string& request,
+                                            const Deadline& deadline,
+                                            bool* was_pooled,
+                                            RoundTripTelemetry* telemetry) {
+  // Deadline check before any work: an attempt entered after the budget
+  // expired (e.g. the retry after a slow first attempt) must not dial,
+  // write, or read — a fast server could otherwise answer it late and
+  // overshoot the caller's budget.
+  if (DeadlineExpired(deadline)) {
+    return Status::ResourceExhausted(endpoint_.ToString() +
+                                     ": request deadline expired");
+  }
+  Result<std::unique_ptr<FrameConn>> conn =
+      Checkout(deadline, was_pooled, telemetry);
+  if (!conn.ok()) return conn.status();
+  Status status = (*conn)->WriteFrame(request, deadline);
+  if (status.ok()) {
+    if (telemetry != nullptr) telemetry->bytes_sent += request.size();
+    std::string response;
+    status = (*conn)->ReadFrame(&response, config_.max_payload_bytes,
+                                deadline);
+    if (status.ok()) {
+      if (telemetry != nullptr) {
+        telemetry->bytes_received += response.size();
+      }
+      Return(std::move(*conn));
+      return response;
+    }
+  }
+  // The conn is mid-frame or dead — never pool it again.
+  (*conn)->Close();
+  NoteConnectionFailure();
+  return status;
+}
+
+Result<std::string> EndpointClient::RoundTrip(const std::string& request,
+                                              const Deadline& deadline,
+                                              RoundTripTelemetry* telemetry) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  bool was_pooled = false;
+  Result<std::string> response =
+      Attempt(request, deadline, &was_pooled, telemetry);
+  if (!response.ok() && was_pooled && !DeadlineExpired(deadline)) {
+    // A pooled connection may have outlived a server restart: its failure
+    // says nothing about the server's health. One retry on a fresh dial —
+    // this is also the reconnect path after a server comes back. Charged
+    // against the same absolute deadline (and skipped entirely once it
+    // expired).
+    response = Attempt(request, deadline, &was_pooled, telemetry);
+  }
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  return response;
+}
+
+}  // namespace net
+}  // namespace tsb

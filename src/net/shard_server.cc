@@ -93,6 +93,10 @@ void ShardServer::Serve(std::unique_ptr<FrameConn> conn) {
       break;
     }
     const std::string response = handler_->HandleOrEncodeError(request);
+    // Counted before the write so the increment happens-before any client
+    // observes the response — tests read frames_served() right after a
+    // round-trip returns.
+    ++frames_;
     // Bounded write: a client that stopped reading frees this thread at
     // the deadline instead of pinning it (and the response) forever.
     if (!conn->WriteFrame(response,
@@ -100,7 +104,6 @@ void ShardServer::Serve(std::unique_ptr<FrameConn> conn) {
              .ok()) {
       break;
     }
-    ++frames_;
   }
   std::lock_guard<std::mutex> lock(conns_mu_);
   live_conns_.erase(

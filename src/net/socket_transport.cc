@@ -20,129 +20,26 @@ size_t ResolveIoThreads(size_t requested, size_t num_shards) {
 SocketTransport::SocketTransport(std::vector<ShardEndpoint> endpoints,
                                  SocketTransportConfig config,
                                  service::TransportMetrics* metrics)
-    : endpoints_(std::move(endpoints)),
-      config_(config),
+    : config_(config),
       metrics_(metrics),
-      shards_(std::make_unique<ShardState[]>(endpoints_.size())),
-      io_pool_(ResolveIoThreads(config.io_threads, endpoints_.size())) {
-  TSB_CHECK(!endpoints_.empty());
+      io_pool_(ResolveIoThreads(config.io_threads, endpoints.size())) {
+  TSB_CHECK(!endpoints.empty());
   if (metrics_ != nullptr) {
-    TSB_CHECK_GE(metrics_->num_shards(), endpoints_.size());
+    TSB_CHECK_GE(metrics_->num_shards(), endpoints.size());
+  }
+  clients_.reserve(endpoints.size());
+  for (ShardEndpoint& endpoint : endpoints) {
+    clients_.push_back(std::make_unique<EndpointClient>(
+        std::move(endpoint), config.EndpointConfig()));
   }
 }
 
 SocketTransport::~SocketTransport() { io_pool_.Shutdown(); }
 
-Result<std::unique_ptr<FrameConn>> SocketTransport::Dial(
-    size_t shard, const Deadline& deadline) {
-  // The connect gets its own timeout, clipped to the request deadline —
-  // an unreachable host must not eat the whole request budget before the
-  // write even starts.
-  Deadline connect_deadline = DeadlineAfter(config_.connect_timeout_seconds);
-  if (deadline.has_value() &&
-      (!connect_deadline.has_value() || *deadline < *connect_deadline)) {
-    connect_deadline = deadline;
-  }
-  const ShardEndpoint& endpoint = endpoints_[shard];
-  return endpoint.uds_path.empty()
-             ? FrameConn::ConnectTcp(endpoint.host, endpoint.port,
-                                     connect_deadline)
-             : FrameConn::ConnectUnix(endpoint.uds_path, connect_deadline);
-}
-
-Result<std::unique_ptr<FrameConn>> SocketTransport::Checkout(
-    size_t shard, const Deadline& deadline, bool* pooled) {
-  *pooled = false;
-  ShardState& state = shards_[shard];
-  {
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (!state.idle.empty()) {
-      std::unique_ptr<FrameConn> conn = std::move(state.idle.back());
-      state.idle.pop_back();
-      *pooled = true;
-      return conn;
-    }
-    if (state.consecutive_failures > 0 &&
-        std::chrono::steady_clock::now() < state.next_attempt) {
-      return Status::FailedPrecondition(
-          "shard " + std::to_string(shard) + " (" +
-          endpoints_[shard].ToString() + ") backing off after " +
-          std::to_string(state.consecutive_failures) + " failures");
-    }
-  }
-  // Dial outside the lock: a slow connect must not serialize the shard.
-  Result<std::unique_ptr<FrameConn>> conn = Dial(shard, deadline);
-  std::lock_guard<std::mutex> lock(state.mu);
-  if (!conn.ok()) {
-    ++state.consecutive_failures;
-    const double backoff = std::min(
-        config_.backoff_max_seconds,
-        config_.backoff_initial_seconds *
-            static_cast<double>(1ull << std::min<uint64_t>(
-                                    state.consecutive_failures - 1, 20)));
-    state.next_attempt = std::chrono::steady_clock::now() +
-                         std::chrono::duration_cast<
-                             std::chrono::steady_clock::duration>(
-                             std::chrono::duration<double>(backoff));
-    state.had_failure = true;
-    return conn;
-  }
-  state.consecutive_failures = 0;
-  if (state.had_failure) {
-    state.had_failure = false;
-    if (metrics_ != nullptr) metrics_->RecordReconnect(shard);
-  }
-  return conn;
-}
-
-void SocketTransport::Return(size_t shard, std::unique_ptr<FrameConn> conn) {
-  ShardState& state = shards_[shard];
-  std::lock_guard<std::mutex> lock(state.mu);
-  if (state.idle.size() < config_.max_pooled_conns_per_shard) {
-    state.idle.push_back(std::move(conn));
-  }
-  // Else: drop; the destructor closes it.
-}
-
-void SocketTransport::NoteConnectionFailure(size_t shard) {
-  ShardState& state = shards_[shard];
-  std::lock_guard<std::mutex> lock(state.mu);
-  state.had_failure = true;
-  // A broken established connection also poisons the pool: siblings were
-  // dialed to the same (now likely dead) server. Drop them so the next
-  // checkout re-dials and discovers the real state.
-  state.idle.clear();
-}
-
 void SocketTransport::CloseIdleConnections() {
-  for (size_t i = 0; i < endpoints_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
-    shards_[i].idle.clear();
+  for (std::unique_ptr<EndpointClient>& client : clients_) {
+    client->CloseIdleConnections();
   }
-}
-
-Result<std::string> SocketTransport::Attempt(
-    size_t shard, const std::string& request, const Deadline& deadline,
-    bool* was_pooled, uint64_t* bytes_sent, uint64_t* bytes_received) {
-  Result<std::unique_ptr<FrameConn>> conn =
-      Checkout(shard, deadline, was_pooled);
-  if (!conn.ok()) return conn.status();
-  Status status = (*conn)->WriteFrame(request, deadline);
-  if (status.ok()) {
-    *bytes_sent += request.size();
-    std::string response;
-    status = (*conn)->ReadFrame(&response, config_.max_payload_bytes,
-                                deadline);
-    if (status.ok()) {
-      *bytes_received += response.size();
-      Return(shard, std::move(*conn));
-      return response;
-    }
-  }
-  // The conn is mid-frame or dead — never pool it again.
-  (*conn)->Close();
-  NoteConnectionFailure(shard);
-  return status;
 }
 
 Result<std::string> SocketTransport::RoundTrip(size_t shard,
@@ -153,7 +50,7 @@ Result<std::string> SocketTransport::RoundTrip(size_t shard,
 Result<std::string> SocketTransport::RoundTripFrom(
     size_t shard, const std::string& request,
     std::chrono::steady_clock::time_point start) {
-  if (shard >= endpoints_.size()) {
+  if (shard >= clients_.size()) {
     return Status::InvalidArgument("no shard " + std::to_string(shard));
   }
   // One deadline for the whole round-trip, retry included — the per-shard
@@ -166,26 +63,19 @@ Result<std::string> SocketTransport::RoundTripFrom(
                    std::chrono::duration<double>(
                        config_.request_timeout_seconds));
   }
-  uint64_t bytes_sent = 0;
-  uint64_t bytes_received = 0;
-  bool was_pooled = false;
-  Result<std::string> response = Attempt(shard, request, deadline,
-                                         &was_pooled, &bytes_sent,
-                                         &bytes_received);
-  if (!response.ok() && was_pooled) {
-    // A pooled connection may have outlived a server restart: its failure
-    // says nothing about the shard's health. One retry on a fresh dial —
-    // this is also the reconnect path after a shard comes back.
-    response = Attempt(shard, request, deadline, &was_pooled, &bytes_sent,
-                       &bytes_received);
-  }
+  RoundTripTelemetry telemetry;
+  Result<std::string> response =
+      clients_[shard]->RoundTrip(request, deadline, &telemetry);
   if (metrics_ != nullptr) {
+    for (uint64_t i = 0; i < telemetry.reconnects; ++i) {
+      metrics_->RecordReconnect(shard);
+    }
     const double rtt =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
-    metrics_->RecordRoundTrip(shard, bytes_sent, bytes_received, rtt,
-                              response.ok());
+    metrics_->RecordRoundTrip(shard, telemetry.bytes_sent,
+                              telemetry.bytes_received, rtt, response.ok());
   }
   return response;
 }

@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "net/endpoint_client.h"
 #include "net/frame_conn.h"
 #include "service/metrics.h"
 #include "service/thread_pool.h"
@@ -17,32 +17,6 @@
 
 namespace tsb {
 namespace net {
-
-/// Where one shard's server listens. Unix-domain when `uds_path` is set
-/// (the single-box default: lowest latency, no port juggling), else
-/// TCP host:port.
-struct ShardEndpoint {
-  std::string uds_path;
-  std::string host = "127.0.0.1";
-  uint16_t port = 0;
-
-  static ShardEndpoint Unix(std::string path) {
-    ShardEndpoint endpoint;
-    endpoint.uds_path = std::move(path);
-    return endpoint;
-  }
-  static ShardEndpoint Tcp(std::string host, uint16_t port) {
-    ShardEndpoint endpoint;
-    endpoint.host = std::move(host);
-    endpoint.port = port;
-    return endpoint;
-  }
-
-  std::string ToString() const {
-    return uds_path.empty() ? host + ":" + std::to_string(port)
-                            : "unix:" + uds_path;
-  }
-};
 
 struct SocketTransportConfig {
   /// Blocking-I/O worker threads carrying round-trips; 0 means
@@ -68,23 +42,31 @@ struct SocketTransportConfig {
   /// connect timeout each. A successful dial resets the window.
   double backoff_initial_seconds = 0.01;
   double backoff_max_seconds = 2.0;
+
+  /// The per-endpoint slice of this config (EndpointClient's knobs).
+  EndpointClientConfig EndpointConfig() const {
+    EndpointClientConfig config;
+    config.max_pooled_conns = max_pooled_conns_per_shard;
+    config.connect_timeout_seconds = connect_timeout_seconds;
+    config.max_payload_bytes = max_payload_bytes;
+    config.backoff_initial_seconds = backoff_initial_seconds;
+    config.backoff_max_seconds = backoff_max_seconds;
+    return config;
+  }
 };
 
 /// wire::ShardTransport over real sockets: each shard is a server process
 /// (net::ShardServer behind a ShardFrameHandler) and every sub-query is
-/// one request frame → response frame round-trip on a pooled connection.
+/// one request frame → response frame round-trip on a pooled connection —
+/// one net::EndpointClient per shard carries the pooling, backoff, and
+/// stale-conn-retry discipline.
 ///
 /// Failure semantics match LoopbackTransport exactly from the executor's
 /// point of view: the returned future always becomes ready, and a dead,
 /// hung, or unreachable shard resolves it to a Status — which
-/// ScatterGatherExecutor degrades to partial=true. A round-trip that
-/// fails on a pooled connection retries once on a freshly dialed one
-/// (the pooled conn may simply have outlived a server restart), which is
-/// also the reconnect path: the first query after a shard comes back
-/// heals the pool.
+/// ScatterGatherExecutor degrades to partial=true.
 ///
-/// Thread safety: Send may be called from any thread; the pool and
-/// backoff state are mutex-guarded per shard.
+/// Thread safety: Send may be called from any thread.
 class SocketTransport : public wire::ShardTransport {
  public:
   /// `metrics` (optional, non-owning) receives per-shard round-trip
@@ -98,7 +80,7 @@ class SocketTransport : public wire::ShardTransport {
   SocketTransport(const SocketTransport&) = delete;
   SocketTransport& operator=(const SocketTransport&) = delete;
 
-  size_t num_shards() const override { return endpoints_.size(); }
+  size_t num_shards() const override { return clients_.size(); }
 
   std::future<Result<std::string>> Send(size_t shard,
                                         std::string request) override;
@@ -108,40 +90,13 @@ class SocketTransport : public wire::ShardTransport {
   Result<std::string> RoundTrip(size_t shard, const std::string& request);
 
   const ShardEndpoint& endpoint(size_t shard) const {
-    return endpoints_[shard];
+    return clients_[shard]->endpoint();
   }
 
   /// Drops every pooled connection (tests; forcing reconnects).
   void CloseIdleConnections();
 
  private:
-  struct ShardState {
-    std::mutex mu;
-    std::vector<std::unique_ptr<FrameConn>> idle;
-    /// Backoff gate (guarded by mu).
-    uint64_t consecutive_failures = 0;
-    std::chrono::steady_clock::time_point next_attempt{};
-    /// True after any connection-level failure; the next successful dial
-    /// counts as a reconnect.
-    bool had_failure = false;
-  };
-
-  /// Pops a pooled connection, or dials within the backoff discipline.
-  /// *pooled reports which, so the caller knows a failure may just be a
-  /// stale connection worth one retry.
-  Result<std::unique_ptr<FrameConn>> Checkout(size_t shard,
-                                              const Deadline& deadline,
-                                              bool* pooled);
-  Result<std::unique_ptr<FrameConn>> Dial(size_t shard,
-                                          const Deadline& deadline);
-  void Return(size_t shard, std::unique_ptr<FrameConn> conn);
-  void NoteConnectionFailure(size_t shard);
-
-  /// One attempt: checkout/dial, write, read. Closes the conn on failure.
-  Result<std::string> Attempt(size_t shard, const std::string& request,
-                              const Deadline& deadline, bool* was_pooled,
-                              uint64_t* bytes_sent, uint64_t* bytes_received);
-
   /// The round-trip body; `start` anchors both the request deadline and
   /// the recorded RTT. Send passes its call time so socket RTTs include
   /// I/O-pool queue wait, the same way loopback RTTs include scatter-lane
@@ -150,10 +105,9 @@ class SocketTransport : public wire::ShardTransport {
       size_t shard, const std::string& request,
       std::chrono::steady_clock::time_point start);
 
-  std::vector<ShardEndpoint> endpoints_;
   SocketTransportConfig config_;
   service::TransportMetrics* metrics_;
-  std::unique_ptr<ShardState[]> shards_;
+  std::vector<std::unique_ptr<EndpointClient>> clients_;
   service::ThreadPool io_pool_;
 };
 

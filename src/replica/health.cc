@@ -1,0 +1,151 @@
+#include "replica/health.h"
+
+#include "common/logging.h"
+
+namespace tsb {
+namespace replica {
+
+const char* ReplicaHealthToString(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kSuspect:
+      return "suspect";
+    case ReplicaHealth::kEjected:
+      return "ejected";
+    case ReplicaHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+ReplicaHealthTracker::ReplicaHealthTracker(
+    std::vector<size_t> replicas_per_shard, HealthConfig config,
+    service::ReplicaMetrics* metrics)
+    : config_(config), metrics_(metrics),
+      shards_(replicas_per_shard.size()) {
+  TSB_CHECK_GE(config_.failures_to_eject, 1u);
+  for (size_t s = 0; s < replicas_per_shard.size(); ++s) {
+    TSB_CHECK_GE(replicas_per_shard[s], 1u);
+    shards_[s].replicas.resize(replicas_per_shard[s]);
+  }
+}
+
+void ReplicaHealthTracker::CheckIndex(size_t shard, size_t replica) const {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+}
+
+void ReplicaHealthTracker::OnSuccess(size_t shard, size_t replica,
+                                     uint64_t epoch, TimePoint now) {
+  (void)now;
+  CheckIndex(shard, replica);
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardState& s = shards_[shard];
+  ReplicaState& r = s.replicas[replica];
+  r.consecutive_failures = 0;
+  if (r.health == ReplicaHealth::kEjected ||
+      r.health == ReplicaHealth::kQuarantined) {
+    if (metrics_ != nullptr) metrics_->RecordReinstatement(shard, replica);
+  }
+  r.health = ReplicaHealth::kHealthy;
+  // Epoch bookkeeping after the ladder reset, so a reinstated replica
+  // that is *also* stale lands in quarantine, not healthy.
+  r.last_epoch = epoch;
+  r.epoch_seen = true;
+  if (!s.epoch_seen || epoch > s.max_epoch) {
+    s.max_epoch = epoch;
+    s.epoch_seen = true;
+  }
+  if (epoch < s.max_epoch) {
+    r.health = ReplicaHealth::kQuarantined;
+    if (metrics_ != nullptr) metrics_->RecordQuarantine(shard, replica);
+  }
+}
+
+void ReplicaHealthTracker::OnFailure(size_t shard, size_t replica,
+                                     TimePoint now) {
+  CheckIndex(shard, replica);
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& r = shards_[shard].replicas[replica];
+  ++r.consecutive_failures;
+  if (r.health == ReplicaHealth::kHealthy) {
+    r.health = ReplicaHealth::kSuspect;
+  }
+  // Every failure pushes the probe out one interval. Load routing stops
+  // picking a replica after its first failure (healthier siblings always
+  // rank ahead), so without probe traffic the ladder would freeze at
+  // suspect — probes are what move it, to recovery or to ejection.
+  r.next_probe =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(config_.probe_interval_seconds));
+  if (r.consecutive_failures >= config_.failures_to_eject &&
+      r.health != ReplicaHealth::kEjected) {
+    r.health = ReplicaHealth::kEjected;
+    if (metrics_ != nullptr) metrics_->RecordEjection(shard, replica);
+  }
+}
+
+bool ReplicaHealthTracker::StartProbe(size_t shard, size_t replica,
+                                      TimePoint now) {
+  CheckIndex(shard, replica);
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& r = shards_[shard].replicas[replica];
+  if (r.health != ReplicaHealth::kEjected &&
+      r.health != ReplicaHealth::kSuspect) {
+    return false;
+  }
+  if (now < r.next_probe) return false;
+  r.next_probe =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(config_.probe_interval_seconds));
+  return true;
+}
+
+int ReplicaHealthTracker::Rank(size_t shard, size_t replica,
+                               TimePoint now) const {
+  CheckIndex(shard, replica);
+  std::lock_guard<std::mutex> lock(mu_);
+  const ReplicaState& r = shards_[shard].replicas[replica];
+  switch (r.health) {
+    case ReplicaHealth::kHealthy:
+      return kTierHealthy;
+    case ReplicaHealth::kSuspect:
+      return kTierSuspect;
+    case ReplicaHealth::kQuarantined:
+      return kTierQuarantined;
+    case ReplicaHealth::kEjected:
+      return now >= r.next_probe ? kTierEjectedProbeDue : kTierEjected;
+  }
+  return kTierEjected;
+}
+
+ReplicaHealth ReplicaHealthTracker::state(size_t shard,
+                                          size_t replica) const {
+  CheckIndex(shard, replica);
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_[shard].replicas[replica].health;
+}
+
+uint64_t ReplicaHealthTracker::consecutive_failures(size_t shard,
+                                                    size_t replica) const {
+  CheckIndex(shard, replica);
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_[shard].replicas[replica].consecutive_failures;
+}
+
+uint64_t ReplicaHealthTracker::shard_epoch(size_t shard) const {
+  TSB_CHECK_LT(shard, shards_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_[shard].max_epoch;
+}
+
+uint64_t ReplicaHealthTracker::replica_epoch(size_t shard,
+                                             size_t replica) const {
+  CheckIndex(shard, replica);
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_[shard].replicas[replica].last_epoch;
+}
+
+}  // namespace replica
+}  // namespace tsb

@@ -1,0 +1,134 @@
+#ifndef TSB_REPLICA_HEALTH_H_
+#define TSB_REPLICA_HEALTH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/metrics.h"
+
+namespace tsb {
+namespace replica {
+
+/// Health of one replica, as judged by the sending side.
+///
+///   kHealthy ──failure──▶ kSuspect ──failures ≥ threshold──▶ kEjected
+///      ▲                     │ success                          │
+///      └─────────────────────┴── success (reinstatement) ◀──────┘
+///
+/// kQuarantined is orthogonal to the failure ladder: a replica whose
+/// serving stamp carries an older epoch than the newest this shard has
+/// served (it lags a live rebuild). It answers correctly for its epoch —
+/// the ranked merge tolerates mixed epochs mid-roll — but routing prefers
+/// caught-up siblings; the quarantine clears by itself the moment the
+/// replica serves the current epoch.
+enum class ReplicaHealth {
+  kHealthy,
+  kSuspect,      // At least one recent failure; still routable.
+  kEjected,      // Hit the failure threshold; probed, not routed.
+  kQuarantined,  // Alive but serving a stale epoch.
+};
+
+const char* ReplicaHealthToString(ReplicaHealth health);
+
+struct HealthConfig {
+  /// Consecutive failures that move a replica suspect → ejected.
+  uint64_t failures_to_eject = 3;
+  /// Suspect and ejected replicas receive one probe request per interval.
+  /// A probe that answers reinstates the replica; one that fails advances
+  /// the failure count. Probes are what move the ladder at all: load
+  /// routing stops picking a replica after its first failure, so without
+  /// them a half-dead replica would sit in suspect forever.
+  double probe_interval_seconds = 0.25;
+};
+
+/// Routing tiers, lower is better. The router sorts candidates by
+/// (tier, outstanding, rtt_ewma) and walks the list on failover — an
+/// ejected or quarantined replica is last-resort, never unreachable, so a
+/// shard only degrades to partial when every replica actually failed.
+enum RankTier {
+  kTierHealthy = 0,
+  kTierSuspect = 1,
+  kTierEjectedProbeDue = 2,  // Ejected, and a probe is due — try it.
+  kTierQuarantined = 3,
+  kTierEjected = 4,
+};
+
+/// Tracks per-(shard, replica) health and per-shard epoch high-water
+/// marks. Pure bookkeeping — it never talks to sockets; the transport
+/// feeds it attempt outcomes and serving stamps and reads ranks back.
+///
+/// Thread safety: all methods are safe from any thread (one tracker-wide
+/// mutex; every operation is O(1) field work).
+class ReplicaHealthTracker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// `metrics` (optional, non-owning) receives transition counts
+  /// (ejections, reinstatements, quarantines).
+  explicit ReplicaHealthTracker(std::vector<size_t> replicas_per_shard,
+                                HealthConfig config = HealthConfig{},
+                                service::ReplicaMetrics* metrics = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_replicas(size_t shard) const {
+    return shards_[shard].replicas.size();
+  }
+
+  /// A response arrived from (shard, replica) carrying `epoch` in its
+  /// serving stamp. Clears the failure ladder (reinstating ejected
+  /// replicas), then applies epoch quarantine: an epoch behind the
+  /// shard's high-water mark quarantines the replica; catching up heals
+  /// it.
+  void OnSuccess(size_t shard, size_t replica, uint64_t epoch,
+                 TimePoint now);
+
+  /// An attempt to (shard, replica) produced no response.
+  void OnFailure(size_t shard, size_t replica, TimePoint now);
+
+  /// Claims the due probe of a suspect or ejected replica: returns true
+  /// at most once per probe interval (concurrent senders race for it;
+  /// losers route normally), and pushes the next probe out so one
+  /// straggler can't be flooded. False when the replica is neither
+  /// suspect nor ejected.
+  bool StartProbe(size_t shard, size_t replica, TimePoint now);
+
+  /// Routing tier of (shard, replica) at `now` (see RankTier).
+  int Rank(size_t shard, size_t replica, TimePoint now) const;
+
+  ReplicaHealth state(size_t shard, size_t replica) const;
+  uint64_t consecutive_failures(size_t shard, size_t replica) const;
+  /// Newest epoch any replica of `shard` has served.
+  uint64_t shard_epoch(size_t shard) const;
+  /// Newest epoch this replica itself has served.
+  uint64_t replica_epoch(size_t shard, size_t replica) const;
+
+ private:
+  struct ReplicaState {
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    uint64_t consecutive_failures = 0;
+    uint64_t last_epoch = 0;
+    bool epoch_seen = false;  // last_epoch is meaningful.
+    TimePoint next_probe{};
+  };
+
+  struct ShardState {
+    std::vector<ReplicaState> replicas;
+    uint64_t max_epoch = 0;
+    bool epoch_seen = false;
+  };
+
+  void CheckIndex(size_t shard, size_t replica) const;
+
+  HealthConfig config_;
+  service::ReplicaMetrics* metrics_;
+  mutable std::mutex mu_;
+  std::vector<ShardState> shards_;
+};
+
+}  // namespace replica
+}  // namespace tsb
+
+#endif  // TSB_REPLICA_HEALTH_H_

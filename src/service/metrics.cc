@@ -308,5 +308,224 @@ std::string TransportMetricsSnapshot::ToString() const {
   return out;
 }
 
+ReplicaMetrics::ReplicaMetrics(std::vector<size_t> replicas_per_shard)
+    : shards_(replicas_per_shard.size()) {
+  for (size_t s = 0; s < replicas_per_shard.size(); ++s) {
+    TSB_CHECK_GE(replicas_per_shard[s], 1u);
+    shards_[s].replicas.reserve(replicas_per_shard[s]);
+    for (size_t r = 0; r < replicas_per_shard[s]; ++r) {
+      shards_[s].replicas.push_back(std::make_unique<ReplicaSlot>());
+    }
+  }
+}
+
+void ReplicaMetrics::RecordAttempt(size_t shard, size_t replica,
+                                   bool is_probe, bool is_hedge) {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+  ReplicaSlot& r = *shards_[shard].replicas[replica];
+  r.outstanding.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.attempts;
+  if (is_probe) ++r.probes;
+  if (is_hedge) ++r.hedge_attempts;
+}
+
+void ReplicaMetrics::RecordOutcome(size_t shard, size_t replica,
+                                   double rtt_seconds, bool ok) {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+  ReplicaSlot& r = *shards_[shard].replicas[replica];
+  r.outstanding.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (!ok) ++r.failures;
+    // Failures feed the EWMA too: a replica timing out at the deadline
+    // must look slow to the router, not untouched.
+    r.rtt_ewma = r.rtt_ewma == 0.0
+                     ? rtt_seconds
+                     : kEwmaAlpha * rtt_seconds +
+                           (1.0 - kEwmaAlpha) * r.rtt_ewma;
+    r.rtt.Record(rtt_seconds);
+  }
+  ShardSlot& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.shard_attempts;
+  if (ok) s.shard_rtt.Record(rtt_seconds);
+}
+
+void ReplicaMetrics::RecordHedgeWin(size_t shard, size_t replica) {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+  ReplicaSlot& r = *shards_[shard].replicas[replica];
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.hedge_wins;
+}
+
+void ReplicaMetrics::RecordHedgeLaunched(size_t shard) {
+  TSB_CHECK_LT(shard, shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  ++shards_[shard].hedges_launched;
+}
+
+void ReplicaMetrics::RecordFailover(size_t shard) {
+  TSB_CHECK_LT(shard, shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  ++shards_[shard].failovers;
+}
+
+void ReplicaMetrics::RecordExhausted(size_t shard) {
+  TSB_CHECK_LT(shard, shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  ++shards_[shard].exhausted;
+}
+
+void ReplicaMetrics::RecordEjection(size_t shard, size_t replica) {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+  ReplicaSlot& r = *shards_[shard].replicas[replica];
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.ejections;
+}
+
+void ReplicaMetrics::RecordReinstatement(size_t shard, size_t replica) {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+  ReplicaSlot& r = *shards_[shard].replicas[replica];
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.reinstatements;
+}
+
+void ReplicaMetrics::RecordQuarantine(size_t shard, size_t replica) {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+  ReplicaSlot& r = *shards_[shard].replicas[replica];
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.quarantines;
+}
+
+uint64_t ReplicaMetrics::Outstanding(size_t shard, size_t replica) const {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+  return shards_[shard].replicas[replica]->outstanding.load(
+      std::memory_order_relaxed);
+}
+
+double ReplicaMetrics::RttEwma(size_t shard, size_t replica) const {
+  TSB_CHECK_LT(shard, shards_.size());
+  TSB_CHECK_LT(replica, shards_[shard].replicas.size());
+  const ReplicaSlot& r = *shards_[shard].replicas[replica];
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.rtt_ewma;
+}
+
+double ReplicaMetrics::ShardRttP95(size_t shard,
+                                   uint64_t min_samples) const {
+  TSB_CHECK_LT(shard, shards_.size());
+  const ShardSlot& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.shard_attempts < min_samples) return 0.0;
+  return s.shard_rtt.Summarize().p95;
+}
+
+ReplicaMetricsSnapshot ReplicaMetrics::Snapshot() const {
+  ReplicaMetricsSnapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const ShardSlot& s : shards_) {
+    ReplicaShardSnapshot shard_row;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      shard_row.hedges_launched = s.hedges_launched;
+      shard_row.failovers = s.failovers;
+      shard_row.exhausted = s.exhausted;
+    }
+    shard_row.replicas.reserve(s.replicas.size());
+    for (const std::unique_ptr<ReplicaSlot>& slot : s.replicas) {
+      const ReplicaSlot& r = *slot;
+      std::lock_guard<std::mutex> lock(r.mu);
+      ReplicaSnapshot row;
+      row.attempts = r.attempts;
+      row.failures = r.failures;
+      row.probes = r.probes;
+      row.hedge_attempts = r.hedge_attempts;
+      row.hedge_wins = r.hedge_wins;
+      row.ejections = r.ejections;
+      row.reinstatements = r.reinstatements;
+      row.quarantines = r.quarantines;
+      row.outstanding = r.outstanding.load(std::memory_order_relaxed);
+      row.rtt_ewma = r.rtt_ewma;
+      row.rtt = r.rtt.Summarize();
+      shard_row.replicas.push_back(std::move(row));
+    }
+    snap.shards.push_back(std::move(shard_row));
+  }
+  return snap;
+}
+
+void ReplicaMetrics::Reset() {
+  for (ShardSlot& s : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.hedges_launched = 0;
+      s.failovers = 0;
+      s.exhausted = 0;
+      s.shard_rtt.Reset();
+      s.shard_attempts = 0;
+    }
+    for (std::unique_ptr<ReplicaSlot>& slot : s.replicas) {
+      ReplicaSlot& r = *slot;
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.attempts = 0;
+      r.failures = 0;
+      r.probes = 0;
+      r.hedge_attempts = 0;
+      r.hedge_wins = 0;
+      r.ejections = 0;
+      r.reinstatements = 0;
+      r.quarantines = 0;
+      r.rtt_ewma = 0.0;
+      r.rtt.Reset();
+      // outstanding is owned by in-flight attempts; leave the gauge alone.
+    }
+  }
+}
+
+std::string ReplicaMetricsSnapshot::ToString() const {
+  std::string out =
+      "shard rep  attempts  failed  probes  hedged  h-wins  eject  "
+      "outst  ewma(ms)  rtt p95(ms)\n";
+  char line[200];
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ReplicaShardSnapshot& shard_row = shards[s];
+    for (size_t r = 0; r < shard_row.replicas.size(); ++r) {
+      const ReplicaSnapshot& row = shard_row.replicas[r];
+      if (row.attempts == 0) continue;
+      std::snprintf(
+          line, sizeof(line),
+          "s%-4zu r%-3zu %8llu %7llu %7llu %7llu %7llu %6llu %6llu "
+          "%9.3f %12.3f\n",
+          s, r, static_cast<unsigned long long>(row.attempts),
+          static_cast<unsigned long long>(row.failures),
+          static_cast<unsigned long long>(row.probes),
+          static_cast<unsigned long long>(row.hedge_attempts),
+          static_cast<unsigned long long>(row.hedge_wins),
+          static_cast<unsigned long long>(row.ejections),
+          static_cast<unsigned long long>(row.outstanding),
+          row.rtt_ewma * 1e3, row.rtt.p95 * 1e3);
+      out += line;
+    }
+    if (shard_row.hedges_launched != 0 || shard_row.failovers != 0 ||
+        shard_row.exhausted != 0) {
+      std::snprintf(line, sizeof(line),
+                    "s%-4zu hedges=%llu failovers=%llu exhausted=%llu\n", s,
+                    static_cast<unsigned long long>(shard_row.hedges_launched),
+                    static_cast<unsigned long long>(shard_row.failovers),
+                    static_cast<unsigned long long>(shard_row.exhausted));
+      out += line;
+    }
+  }
+  return out;
+}
+
 }  // namespace service
 }  // namespace tsb

@@ -198,6 +198,112 @@ class TransportMetrics {
   std::unique_ptr<ShardSlot[]> shards_;
 };
 
+/// One replica's serving counters, as observed by the replica-set
+/// transport (the sending side).
+struct ReplicaSnapshot {
+  uint64_t attempts = 0;       // Round-trip attempts routed here.
+  uint64_t failures = 0;       // Attempts that returned no response.
+  uint64_t probes = 0;         // Attempts sent as ejection probes.
+  uint64_t hedge_attempts = 0; // Attempts fired as the hedge copy.
+  uint64_t hedge_wins = 0;     // Hedge copies that answered first.
+  uint64_t ejections = 0;      // healthy/suspect → ejected transitions.
+  uint64_t reinstatements = 0; // ejected/quarantined → healthy.
+  uint64_t quarantines = 0;    // Stale-epoch quarantine entries.
+  uint64_t outstanding = 0;    // In-flight right now (gauge).
+  double rtt_ewma = 0.0;       // Load-routing signal (seconds).
+  LatencyReservoir::Summary rtt;
+};
+
+struct ReplicaShardSnapshot {
+  std::vector<ReplicaSnapshot> replicas;
+  uint64_t hedges_launched = 0;  // Sends that fired a hedge copy.
+  uint64_t failovers = 0;        // Attempts retried on a sibling replica.
+  uint64_t exhausted = 0;        // Sends that failed on every replica.
+};
+
+struct ReplicaMetricsSnapshot {
+  std::vector<ReplicaShardSnapshot> shards;
+
+  /// Multi-line human-readable table (one row per replica with traffic).
+  std::string ToString() const;
+};
+
+/// Thread-safe per-(shard, replica) serving telemetry — the replica
+/// dimension under TransportMetrics' per-shard view. Doubles as the
+/// routing-state source: the replica-set transport picks the least-loaded
+/// healthy replica by (outstanding, rtt_ewma), both read from here, so
+/// the load signal the router acts on is exactly the one the dashboards
+/// show.
+class ReplicaMetrics {
+ public:
+  /// `replicas_per_shard[s]` is shard s's replica count (R may vary).
+  explicit ReplicaMetrics(std::vector<size_t> replicas_per_shard);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_replicas(size_t shard) const {
+    return shards_[shard].replicas.size();
+  }
+
+  /// An attempt was routed to (shard, replica): bumps the outstanding
+  /// gauge. Exactly one RecordOutcome must follow — the transport calls
+  /// it from the attempt task itself, so the pair holds even when the
+  /// logical request was already answered by a sibling (hedge loser) or
+  /// its caller abandoned the future.
+  void RecordAttempt(size_t shard, size_t replica, bool is_probe,
+                     bool is_hedge);
+  void RecordOutcome(size_t shard, size_t replica, double rtt_seconds,
+                     bool ok);
+  void RecordHedgeWin(size_t shard, size_t replica);
+  void RecordHedgeLaunched(size_t shard);
+  void RecordFailover(size_t shard);
+  void RecordExhausted(size_t shard);
+  void RecordEjection(size_t shard, size_t replica);
+  void RecordReinstatement(size_t shard, size_t replica);
+  void RecordQuarantine(size_t shard, size_t replica);
+
+  /// Routing signals (racy snapshots, by design).
+  uint64_t Outstanding(size_t shard, size_t replica) const;
+  double RttEwma(size_t shard, size_t replica) const;
+  /// RTT p95 across all of `shard`'s replicas — the hedge-delay base.
+  /// `min_samples` gates warm-up: returns 0 until the shard has seen that
+  /// many attempts.
+  double ShardRttP95(size_t shard, uint64_t min_samples) const;
+
+  ReplicaMetricsSnapshot Snapshot() const;
+  void Reset();
+
+  /// EWMA smoothing factor for rtt_ewma (weight of the newest sample).
+  static constexpr double kEwmaAlpha = 0.2;
+
+ private:
+  struct ReplicaSlot {
+    mutable std::mutex mu;
+    uint64_t attempts = 0;
+    uint64_t failures = 0;
+    uint64_t probes = 0;
+    uint64_t hedge_attempts = 0;
+    uint64_t hedge_wins = 0;
+    uint64_t ejections = 0;
+    uint64_t reinstatements = 0;
+    uint64_t quarantines = 0;
+    std::atomic<uint64_t> outstanding{0};
+    double rtt_ewma = 0.0;
+    LatencyReservoir rtt;
+  };
+
+  struct ShardSlot {
+    std::vector<std::unique_ptr<ReplicaSlot>> replicas;
+    mutable std::mutex mu;
+    uint64_t hedges_launched = 0;
+    uint64_t failovers = 0;
+    uint64_t exhausted = 0;
+    LatencyReservoir shard_rtt;  // Pooled over replicas (hedge base).
+    uint64_t shard_attempts = 0;
+  };
+
+  std::vector<ShardSlot> shards_;
+};
+
 }  // namespace service
 }  // namespace tsb
 

@@ -12,8 +12,11 @@ namespace shard {
 
 ShardFrameHandler::ShardFrameHandler(storage::Catalog* db,
                                      const engine::Engine* engine,
-                                     SnapshotFn snapshot)
-    : db_(db), engine_(engine), snapshot_(std::move(snapshot)) {
+                                     SnapshotFn snapshot, StampFn stamp)
+    : db_(db),
+      engine_(engine),
+      snapshot_(std::move(snapshot)),
+      stamp_(std::move(stamp)) {
   TSB_CHECK(db_ != nullptr);
   TSB_CHECK(engine_ != nullptr);
   TSB_CHECK(snapshot_ != nullptr);
@@ -29,6 +32,7 @@ Result<std::string> ShardFrameHandler::Handle(
                            wire::DecodeQueryRequest(request, *db_));
       wire::WireResponse response;
       response.request_id = decoded.id;
+      if (stamp_ != nullptr) response.serving_stamp = stamp_();
       Result<engine::QueryResult> result =
           engine_->Execute(decoded.query, decoded.method, decoded.options);
       if (result.ok()) {
@@ -64,6 +68,7 @@ std::string ShardFrameHandler::HandleOrEncodeError(
   Result<std::string> response = Handle(request);
   if (response.ok()) return std::move(*response);
   wire::WireResponse error;
+  if (stamp_ != nullptr) error.serving_stamp = stamp_();
   error.error = wire::WireErrorFromStatus(response.status());
   std::string encoded;
   wire::EncodeQueryResponse(error, &encoded);

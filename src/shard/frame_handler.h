@@ -28,10 +28,16 @@ class ShardFrameHandler {
   /// indirected so the handler follows live epoch swaps of its shard.
   using SnapshotFn = std::function<std::shared_ptr<core::TopologyStore>()>;
 
-  /// `db` and `engine` must outlive the handler; `snapshot` must be safe
-  /// to call from any thread.
+  /// Provider of the serving stamp ("r<replica>:e<epoch>", see
+  /// wire::MakeServingStamp) written into every query response —
+  /// indirected so the epoch component follows live swaps. Null means
+  /// responses carry no stamp (a non-replica-aware server).
+  using StampFn = std::function<std::string()>;
+
+  /// `db` and `engine` must outlive the handler; `snapshot` (and `stamp`,
+  /// when set) must be safe to call from any thread.
   ShardFrameHandler(storage::Catalog* db, const engine::Engine* engine,
-                    SnapshotFn snapshot);
+                    SnapshotFn snapshot, StampFn stamp = nullptr);
 
   /// Synchronous request handling. Engine-level failures come back as an
   /// encoded response carrying a WireError (the request reached the shard
@@ -52,6 +58,7 @@ class ShardFrameHandler {
   storage::Catalog* db_;
   const engine::Engine* engine_;
   SnapshotFn snapshot_;
+  StampFn stamp_;
 };
 
 }  // namespace shard

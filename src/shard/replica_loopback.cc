@@ -1,0 +1,106 @@
+#include "shard/replica_loopback.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "wire/message.h"
+
+namespace tsb {
+namespace shard {
+
+LoopbackReplicaChannel::LoopbackReplicaChannel(ShardFrameHandler handler,
+                                               std::string label)
+    : handler_(std::move(handler)), label_(std::move(label)) {}
+
+void LoopbackReplicaChannel::SetDown(bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_ = down;
+}
+
+void LoopbackReplicaChannel::InjectFailures(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_next_ += count;
+}
+
+void LoopbackReplicaChannel::SetDelay(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  delay_seconds_ = seconds;
+}
+
+void LoopbackReplicaChannel::SetStallEvery(uint64_t nth, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_every_ = nth;
+  stall_seconds_ = seconds;
+}
+
+uint64_t LoopbackReplicaChannel::round_trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return round_trips_;
+}
+
+Result<std::string> LoopbackReplicaChannel::RoundTrip(
+    const std::string& request, const net::Deadline& deadline,
+    net::RoundTripTelemetry* telemetry) {
+  double delay = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++round_trips_;
+    if (fail_next_ > 0) {
+      --fail_next_;
+      return Status::Internal(label_ + ": injected failure");
+    }
+    if (down_) return Status::Internal(label_ + ": replica down");
+    delay = delay_seconds_;
+    if (stall_every_ > 0 && round_trips_ % stall_every_ == 0) {
+      delay += stall_seconds_;
+    }
+  }
+  if (delay > 0.0) {
+    const auto wake =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(delay));
+    if (deadline.has_value() && *deadline < wake) {
+      // The socket analogue: the read blocks until the deadline cuts it.
+      std::this_thread::sleep_until(*deadline);
+      return Status::ResourceExhausted(label_ +
+                                       ": deadline during injected delay");
+    }
+    std::this_thread::sleep_until(wake);
+  }
+  if (telemetry != nullptr) telemetry->bytes_sent += request.size();
+  std::string response = handler_.HandleOrEncodeError(request);
+  if (telemetry != nullptr) telemetry->bytes_received += response.size();
+  return response;
+}
+
+LoopbackReplicaGrid MakeLoopbackReplicaGrid(
+    storage::Catalog* db, const ShardedTopologyStore* store,
+    const std::vector<const engine::Engine*>& engines, size_t replicas) {
+  TSB_CHECK_EQ(engines.size(), store->num_shards());
+  TSB_CHECK_GE(replicas, 1u);
+  LoopbackReplicaGrid grid;
+  grid.channels.resize(store->num_shards());
+  grid.raw.resize(store->num_shards());
+  for (size_t s = 0; s < store->num_shards(); ++s) {
+    std::shared_ptr<core::StoreHandle> handle = store->handle(s);
+    for (size_t r = 0; r < replicas; ++r) {
+      ShardFrameHandler handler(
+          db, engines[s], [handle]() { return handle->Snapshot(); },
+          [handle, r]() {
+            return wire::MakeServingStamp(r, handle->epoch());
+          });
+      auto channel = std::make_unique<LoopbackReplicaChannel>(
+          std::move(handler),
+          "s" + std::to_string(s) + "r" + std::to_string(r));
+      grid.raw[s].push_back(channel.get());
+      grid.channels[s].push_back(std::move(channel));
+    }
+  }
+  return grid;
+}
+
+}  // namespace shard
+}  // namespace tsb

@@ -271,6 +271,7 @@ Result<WireRequest> DecodeQueryRequest(std::string_view frame,
 void EncodeQueryResponse(const WireResponse& response, std::string* out) {
   const size_t frame = BeginFrame(MessageKind::kQueryResponse, out);
   PutU64(out, response.request_id);
+  PutString(out, response.serving_stamp);
   PutU8(out, static_cast<uint8_t>(response.error.code));
   PutString(out, response.error.message);
   engine::EncodeQueryResult(response.result, out);
@@ -285,6 +286,7 @@ Result<WireResponse> DecodeQueryResponse(std::string_view frame) {
   BinaryReader in(payload);
   WireResponse response;
   response.request_id = in.U64();
+  response.serving_stamp = in.String();
   const uint8_t code = in.U8();
   if (code > static_cast<uint8_t>(WireErrorCode::kInternal)) {
     return Status::InvalidArgument("wire response: bad error code " +
@@ -297,6 +299,16 @@ Result<WireResponse> DecodeQueryResponse(std::string_view frame) {
   response.service_seconds = in.F64();
   if (!in.AtEnd()) return in.status("query response payload");
   return response;
+}
+
+Result<std::string> PeekResponseStamp(std::string_view frame) {
+  TSB_ASSIGN_OR_RETURN(std::string_view payload,
+                       OpenFrame(frame, MessageKind::kQueryResponse));
+  BinaryReader in(payload);
+  in.U64();  // request_id
+  std::string stamp = in.String();
+  if (!in.ok()) return in.status("query response stamp");
+  return stamp;
 }
 
 void EncodeTripleCollectRequest(const engine::TripleSelection& selection,

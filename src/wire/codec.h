@@ -108,6 +108,13 @@ Result<WireRequest> DecodeQueryRequest(std::string_view frame,
 void EncodeQueryResponse(const WireResponse& response, std::string* out);
 Result<WireResponse> DecodeQueryResponse(std::string_view frame);
 
+/// Reads only the serving stamp of an encoded kQueryResponse frame
+/// (placed right after the request id for exactly this purpose), without
+/// decoding the result payload — the replica layer's cheap path to
+/// replica provenance and shard epoch. Non-query-response frames (e.g.
+/// triple-collect responses) fail the frame-kind check.
+Result<std::string> PeekResponseStamp(std::string_view frame);
+
 /// --- 3-query scatter phase -------------------------------------------------
 ///
 /// A sharded 3-query resolves its slot selections once, then asks every

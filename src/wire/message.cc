@@ -1,7 +1,33 @@
 #include "wire/message.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 namespace tsb {
 namespace wire {
+
+std::string MakeServingStamp(uint64_t replica_id, uint64_t epoch) {
+  return "r" + std::to_string(replica_id) + ":e" + std::to_string(epoch);
+}
+
+bool ParseServingStamp(const std::string& stamp, uint64_t* replica_id,
+                       uint64_t* epoch) {
+  if (stamp.size() < 4 || stamp[0] != 'r') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long replica = std::strtoull(stamp.c_str() + 1, &end, 10);
+  if (errno != 0 || end == stamp.c_str() + 1 || end[0] != ':' ||
+      end[1] != 'e') {
+    return false;
+  }
+  const char* epoch_begin = end + 2;
+  errno = 0;
+  const unsigned long long parsed_epoch = std::strtoull(epoch_begin, &end, 10);
+  if (errno != 0 || end == epoch_begin || *end != '\0') return false;
+  *replica_id = replica;
+  *epoch = parsed_epoch;
+  return true;
+}
 
 const char* PriorityToString(Priority priority) {
   switch (priority) {

@@ -24,8 +24,13 @@ namespace wire {
 ///   1 — initial: query request/response, triple-collect request/response,
 ///       stream-end frames; structural predicate trees; Priority +
 ///       deadline admission fields.
+///   2 — query responses carry a serving stamp ("r<replica>:e<epoch>")
+///       directly after the request id, so a replica-aware sender can read
+///       replica provenance and shard epoch without decoding the result
+///       payload (wire::PeekResponseStamp) — the signal the replica health
+///       tracker's epoch quarantine runs on.
 
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Admission class of a request. Interactive top-k lookups and batch
 /// SQL-baseline scans differ by orders of magnitude in cost (the paper's
@@ -98,11 +103,24 @@ struct WireRequest {
 /// payload and the error; `request_id` echoes the request.
 struct WireResponse {
   uint64_t request_id = 0;
+  /// Who served this response: "r<replica>:e<epoch>" (replica id + the
+  /// serving shard's store epoch), or empty when the responder is not
+  /// replica-aware. Placed right after the id on the wire so the sender's
+  /// replica layer reads it without decoding the result payload.
+  std::string serving_stamp;
   WireError error;
   engine::QueryResult result;
   bool from_cache = false;
   double service_seconds = 0.0;
 };
+
+/// Builds the canonical serving stamp, e.g. "r1:e3".
+std::string MakeServingStamp(uint64_t replica_id, uint64_t epoch);
+
+/// Parses a canonical serving stamp; false when `stamp` is empty or not in
+/// the "r<replica>:e<epoch>" form.
+bool ParseServingStamp(const std::string& stamp, uint64_t* replica_id,
+                       uint64_t* epoch);
 
 enum class FrameKind : uint8_t {
   /// One completed response (terminal for its request).

@@ -570,6 +570,68 @@ TEST_F(NetFig3Test, ConnectionPoolReusesConnectionsAcrossQueries) {
   EXPECT_FALSE(metrics.ToString().empty());
 }
 
+TEST_F(NetFig3Test, ExpiredDeadlineNeverTouchesTheWire) {
+  // Regression: Attempt used to start its write even when the request
+  // deadline had already expired — a healthy pooled connection's fd polls
+  // ready at poll(0), so the frame reached the wire and a fast server
+  // answered it late. The entry check must fail the attempt before any
+  // dial or write.
+  auto executor = MakeSharded(1, "nx");
+  ServerSet servers = StartServers(executor.get(), "exp");
+  net::EndpointClient client(servers.endpoints[0]);
+  const std::string frame = ExampleFrame();
+
+  // Warm the pool so the expired-deadline call has a healthy, writable
+  // connection at hand — the exact case the entry check must catch.
+  ASSERT_TRUE(client.RoundTrip(frame, net::Deadline{}, nullptr).ok());
+  const uint64_t served_before = servers.servers[0]->frames_served();
+
+  const net::Deadline expired = std::chrono::steady_clock::now() -
+                                std::chrono::milliseconds(1);
+  const auto start = std::chrono::steady_clock::now();
+  auto late = client.RoundTrip(frame, expired, nullptr);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(waited, 0.1);
+  // The discriminating observable: nothing crossed the wire.
+  EXPECT_EQ(servers.servers[0]->frames_served(), served_before);
+
+  // The pooled connection survived untouched: the next round-trip reuses
+  // it (no redial) and serves exactly one more frame.
+  const uint64_t conns = servers.servers[0]->connections_accepted();
+  auto fresh = client.RoundTrip(frame, net::DeadlineAfter(5.0), nullptr);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(servers.servers[0]->frames_served(), served_before + 1);
+  EXPECT_EQ(servers.servers[0]->connections_accepted(), conns);
+  servers.StopAll();
+}
+
+TEST_F(NetFig3Test, NearExpiredDeadlineBoundsBackoffAndRetry) {
+  // The companion regression: connect backoff sleeps and the
+  // fresh-dial retry are charged against the per-request deadline, so a
+  // request with almost no budget left fails in milliseconds instead of
+  // serving out a multi-second backoff window.
+  std::vector<net::ShardEndpoint> endpoints = {
+      net::ShardEndpoint::Unix(UdsPath("nobody-dl", 0))};
+  net::EndpointClientConfig config;
+  config.connect_timeout_seconds = 5.0;
+  config.backoff_initial_seconds = 10.0;
+  net::EndpointClient client(endpoints[0], config);
+
+  const std::string frame = ExampleFrame();
+  const auto start = std::chrono::steady_clock::now();
+  auto result = client.RoundTrip(
+      frame, net::DeadlineAfter(0.05), nullptr);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(result.ok());
+  EXPECT_LT(waited, 1.0) << "deadline did not bound the dial/backoff path";
+}
+
 TEST_F(NetFig3Test, UnreachableShardFailsFastUnderBackoff) {
   // Nothing listens on this endpoint (and never will).
   std::vector<net::ShardEndpoint> endpoints = {

@@ -480,9 +480,10 @@ TEST_F(WireFig3Test, InspectFrameClassifiesPrefixesAndCorruption) {
               wire::FrameError::kMalformedFrame);
   }
 
-  // Unknown future versions are typed distinctly from garbage, and the
-  // Status rendering keeps the distinction (kUnimplemented).
-  for (uint8_t version : {0, 2, 7, 255}) {
+  // Unknown versions — future or outdated (v1 predates serving stamps) —
+  // are typed distinctly from garbage, and the Status rendering keeps the
+  // distinction (kUnimplemented).
+  for (uint8_t version : {0, 1, 7, 255}) {
     std::string bad = frame;
     bad[2] = static_cast<char>(version);
     EXPECT_EQ(wire::InspectFrame(bad, wire::kDefaultMaxFramePayload,

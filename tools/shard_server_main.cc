@@ -13,12 +13,16 @@
 // Flags:
 //   --shard=<i>            shard index served by this process (default 0)
 //   --num-shards=<n>       total shards in the partition (default 1)
+//   --replica-id=<r>       this process's replica id within its shard's
+//                          replica set (default 0); stamped into every
+//                          response ("r<id>:e<epoch>") and into log lines
 //   --uds=<path>           listen on this Unix-domain socket path
 //   --tcp-port=<p>         listen on 127.0.0.1:<p> instead (0 = ephemeral)
 //   --max-path-length=<l>  precompute path-length cap (default 3)
 //   --prune-threshold=<t>  PruneFrequentTopologies threshold (default 0)
 //
-// Example:  shard_server --shard=1 --num-shards=4 --uds=/tmp/shard1.sock
+// Example:  shard_server --shard=1 --num-shards=4 --replica-id=1 \
+//               --uds=/tmp/shard1r1.sock
 
 #include <signal.h>
 #include <unistd.h>
@@ -40,6 +44,7 @@
 #include "net/shard_server.h"
 #include "shard/frame_handler.h"
 #include "shard/sharded_store.h"
+#include "wire/message.h"
 
 namespace {
 
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(FlagLong(argc, argv, "shard", 0));
   const size_t num_shards =
       static_cast<size_t>(FlagLong(argc, argv, "num-shards", 1));
+  const uint64_t replica_id =
+      static_cast<uint64_t>(FlagLong(argc, argv, "replica-id", 0));
   const std::string uds = FlagString(argc, argv, "uds", "");
   const long tcp_port = FlagLong(argc, argv, "tcp-port", -1);
   const size_t max_path_length =
@@ -139,7 +146,11 @@ int main(int argc, char** argv) {
       core::ScoreModel(&handle->Snapshot()->catalog(),
                        biozon::MakeBiozonDomainKnowledge(ids)));
   shard::ShardFrameHandler handler(
-      &db, &engine, [sharded, shard]() { return sharded->Snapshot(shard); });
+      &db, &engine, [sharded, shard]() { return sharded->Snapshot(shard); },
+      [sharded, shard, replica_id]() {
+        return wire::MakeServingStamp(replica_id,
+                                      sharded->handle(shard)->epoch());
+      });
 
   net::ShardServerConfig server_config;
   server_config.uds_path = uds;
@@ -153,9 +164,11 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
-  std::printf("shard_server: serving shard %zu/%zu on %s (%zu catalog "
-              "topologies)\n",
-              shard, num_shards, server.endpoint().c_str(),
+  std::printf("shard_server: serving shard %zu/%zu replica %llu on %s "
+              "(%zu catalog topologies)\n",
+              shard, num_shards,
+              static_cast<unsigned long long>(replica_id),
+              server.endpoint().c_str(),
               sharded->Snapshot(shard)->catalog().size());
   std::fflush(stdout);
 
@@ -175,9 +188,9 @@ int main(int argc, char** argv) {
   sigprocmask(SIG_SETMASK, &unblocked, nullptr);
 
   server.Stop();
-  std::printf("shard_server: shard %zu stopped (%llu connections, %llu "
-              "frames)\n",
-              shard,
+  std::printf("shard_server: shard %zu replica %llu stopped (%llu "
+              "connections, %llu frames)\n",
+              shard, static_cast<unsigned long long>(replica_id),
               static_cast<unsigned long long>(server.connections_accepted()),
               static_cast<unsigned long long>(server.frames_served()));
   return 0;
