@@ -1,0 +1,291 @@
+// Columnar block scan vs the row engine on the ranked hot path: measures
+// single-shard and 4-shard ranked-scan throughput (AllTops/LeftTops rows
+// per second) for the top-k methods with the block cursor on and off, and
+// verifies — every run — that the two paths return byte-identical entries
+// for all nine methods at N ∈ {1, 4}.
+//
+// The run FAILS (non-zero exit) unless the single-shard ranked scan is at
+// least --min-speedup (default 4x) faster columnar than row, so CI catches
+// a regression of the tentpole claim, not just a drift in the numbers.
+// Results also land in BENCH_scan.json (machine-readable, for CI
+// artifacts).
+//
+// Flags: --scale=<f> (default 1.0), --reps=<n> (default 5),
+// --k=<n> (default 25), --min-speedup=<f> (default 4.0).
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "columnar/blocks.h"
+#include "common/table_printer.h"
+#include "shard/scatter_gather.h"
+#include "shard/sharded_store.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+const std::vector<engine::MethodKind> kAllMethods = {
+    engine::MethodKind::kSql,         engine::MethodKind::kFullTop,
+    engine::MethodKind::kFastTop,     engine::MethodKind::kFullTopK,
+    engine::MethodKind::kFastTopK,    engine::MethodKind::kFullTopKEt,
+    engine::MethodKind::kFastTopKEt,  engine::MethodKind::kFullTopKOpt,
+    engine::MethodKind::kFastTopKOpt,
+};
+
+/// The ranked-scan methods whose hot path the columnar cursor serves; the
+/// throughput gate runs over these.
+const std::vector<engine::MethodKind> kRankedMethods = {
+    engine::MethodKind::kFullTopK,
+    engine::MethodKind::kFastTopK,
+};
+
+struct QueryCase {
+  engine::TopologyQuery query;
+  engine::MethodKind method;
+};
+
+std::vector<engine::TopologyQuery> MakeQueries(const World& world, size_t k) {
+  std::vector<engine::TopologyQuery> queries;
+  for (const char* tier : {"selective", "medium", "unselective"}) {
+    engine::TopologyQuery q;
+    q.entity_set1 = "Protein";
+    q.pred1 = biozon::SelectivityPredicate(world.db, "Protein", tier);
+    q.entity_set2 = "DNA";
+    q.scheme = core::RankScheme::kFreq;
+    q.k = k;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+engine::ExecOptions Options(bool use_columnar) {
+  engine::ExecOptions options;
+  options.use_columnar = use_columnar;
+  return options;
+}
+
+/// One throughput leg: run every (query, ranked method) case `reps` times,
+/// return scanned tops rows per second. `run` executes one case and
+/// returns its result for stats accounting.
+struct Throughput {
+  double seconds = 0.0;
+  double rows_per_sec = 0.0;
+  uint64_t blocks_total = 0;
+  uint64_t blocks_skipped = 0;
+};
+
+template <typename RunFn>
+Throughput MeasureScan(const std::vector<QueryCase>& cases,
+                       uint64_t corpus_rows, int reps, const RunFn& run) {
+  Throughput t;
+  engine::ExecStats stats;
+  t.seconds = MeasureSeconds(
+      [&]() {
+        for (const QueryCase& c : cases) {
+          engine::QueryResult result = run(c);
+          stats += result.stats;
+        }
+      },
+      reps);
+  t.rows_per_sec =
+      static_cast<double>(corpus_rows) * static_cast<double>(cases.size()) /
+      t.seconds;
+  t.blocks_total = stats.blocks_total;
+  t.blocks_skipped = stats.blocks_skipped;
+  return t;
+}
+
+int Main(int argc, char** argv) {
+  const double scale = FlagValue(argc, argv, "scale", 1.0);
+  const int reps = static_cast<int>(FlagValue(argc, argv, "reps", 5));
+  const size_t k = static_cast<size_t>(FlagValue(argc, argv, "k", 25));
+  const double min_speedup = FlagValue(argc, argv, "min-speedup", 4.0);
+
+  WorldConfig config;
+  config.scale = scale;
+  config.pairs = {{"Protein", "DNA"}};
+  std::unique_ptr<World> world = MakeWorld(config);
+
+  const core::PairTopologyData& pair = world->Pair("Protein", "DNA");
+  TSB_CHECK(pair.alltops_blocks != nullptr) << "columnar mirror missing";
+  const uint64_t corpus_rows = pair.alltops_blocks->num_rows();
+  std::printf(
+      "Columnar scan: synthetic Biozon scale=%.2f, AllTops rows=%llu "
+      "(%zu blocks, %.1f MiB columnar), k=%zu, reps=%d\n\n",
+      scale, static_cast<unsigned long long>(corpus_rows),
+      pair.alltops_blocks->num_blocks(),
+      static_cast<double>(pair.alltops_blocks->MemoryBytes()) / (1u << 20),
+      k, reps);
+
+  const std::vector<engine::TopologyQuery> queries = MakeQueries(*world, k);
+  std::vector<QueryCase> ranked_cases;
+  for (const engine::TopologyQuery& q : queries) {
+    for (engine::MethodKind method : kRankedMethods) {
+      ranked_cases.push_back({q, method});
+    }
+  }
+
+  // --- Identity: all nine methods, columnar vs row, N = 1 ----------------
+  size_t identity_checks = 0;
+  for (const engine::TopologyQuery& q : queries) {
+    for (engine::MethodKind method : kAllMethods) {
+      auto col = world->engine->Execute(q, method, Options(true));
+      auto row = world->engine->Execute(q, method, Options(false));
+      TSB_CHECK(col.ok()) << col.status();
+      TSB_CHECK(row.ok()) << row.status();
+      TSB_CHECK(col->entries == row->entries)
+          << "columnar diverged: " << engine::MethodKindToString(method);
+      ++identity_checks;
+    }
+  }
+  std::printf("identity N=1: %zu method/query cases byte-identical\n",
+              identity_checks);
+
+  // --- Identity: N = 4 sharded scatter-gather ----------------------------
+  const size_t kShards = 4;
+  auto sharded = std::make_shared<shard::ShardedTopologyStore>(kShards);
+  {
+    core::TopologyBuilder builder(&world->db, world->schema.get(),
+                                  world->view.get());
+    core::BuildConfig build;
+    build.max_path_length = config.max_path_length;
+    build.max_class_representatives = config.max_class_representatives;
+    build.max_union_combinations = config.max_union_combinations;
+    build.max_paths_per_source = config.max_paths_per_source;
+    build.table_namespace = "n4.";
+    std::vector<core::TopologyStore*> raw;
+    std::vector<std::shared_ptr<core::TopologyStore>> pinned;
+    for (size_t i = 0; i < kShards; ++i) {
+      pinned.push_back(sharded->Snapshot(i));
+      raw.push_back(pinned.back().get());
+    }
+    TSB_CHECK(builder
+                  .BuildPair(world->Type("Protein"), world->Type("DNA"),
+                             build, raw)
+                  .ok());
+    for (size_t i = 0; i < kShards; ++i) {
+      std::shared_ptr<core::TopologyStore> snapshot = sharded->Snapshot(i);
+      for (const auto& [key, p] : world->store.pairs()) {
+        core::PruneConfig prune;
+        prune.frequency_threshold = p.prune_threshold;
+        TSB_CHECK(core::PruneFrequentTopologies(&world->db, snapshot.get(),
+                                                key.first, key.second, prune)
+                      .ok());
+      }
+    }
+  }
+  engine::SqlBaselineOptions sql_options;
+  sql_options.max_candidates = config.sql_max_candidates;
+  shard::ScatterGatherExecutor executor(
+      &world->db, sharded, world->schema.get(), world->view.get(),
+      biozon::MakeBiozonDomainKnowledge(world->ids), sql_options);
+  executor.PrepareIndexes("Protein", "DNA");
+
+  size_t sharded_checks = 0;
+  for (const engine::TopologyQuery& q : queries) {
+    for (engine::MethodKind method : kAllMethods) {
+      auto col = executor.Execute(q, method, Options(true));
+      auto row = executor.Execute(q, method, Options(false));
+      TSB_CHECK(col.ok()) << col.status();
+      TSB_CHECK(row.ok()) << row.status();
+      TSB_CHECK(col->entries == row->entries)
+          << "sharded columnar diverged: "
+          << engine::MethodKindToString(method);
+      ++sharded_checks;
+    }
+  }
+  std::printf("identity N=4: %zu method/query cases byte-identical\n\n",
+              sharded_checks);
+
+  // --- Throughput: ranked scan, row vs block ------------------------------
+  auto run_direct = [&](bool columnar) {
+    return MeasureScan(ranked_cases, corpus_rows, reps,
+                       [&](const QueryCase& c) {
+                         auto result = world->engine->Execute(
+                             c.query, c.method, Options(columnar));
+                         TSB_CHECK(result.ok());
+                         return std::move(result.value());
+                       });
+  };
+  auto run_sharded = [&](bool columnar) {
+    return MeasureScan(ranked_cases, corpus_rows, reps,
+                       [&](const QueryCase& c) {
+                         auto result = executor.Execute(c.query, c.method,
+                                                        Options(columnar));
+                         TSB_CHECK(result.ok());
+                         return std::move(result.value());
+                       });
+  };
+
+  const Throughput row1 = run_direct(false);
+  const Throughput col1 = run_direct(true);
+  const Throughput row4 = run_sharded(false);
+  const Throughput col4 = run_sharded(true);
+  const double speedup1 = row1.seconds / col1.seconds;
+  const double speedup4 = row4.seconds / col4.seconds;
+
+  TablePrinter table({"shards", "path", "query set", "scan rows/s",
+                      "vs row", "blocks skipped"});
+  auto add = [&](const char* shards, const char* path, const Throughput& t,
+                 double speedup) {
+    const double skip_pct =
+        t.blocks_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(t.blocks_skipped) /
+                  static_cast<double>(t.blocks_total);
+    table.AddRow({shards, path, TablePrinter::Num(1e3 * t.seconds, 1) + "ms",
+                  TablePrinter::Num(t.rows_per_sec / 1e6, 2) + "M",
+                  speedup > 0.0 ? TablePrinter::Num(speedup, 2) + "x" : "-",
+                  t.blocks_total == 0
+                      ? "-"
+                      : TablePrinter::Num(skip_pct, 1) + "%"});
+  };
+  add("1", "row", row1, 0.0);
+  add("1", "block", col1, speedup1);
+  add("4", "row", row4, 0.0);
+  add("4", "block", col4, speedup4);
+  table.Print(std::cout);
+
+  FILE* json = std::fopen("BENCH_scan.json", "w");
+  TSB_CHECK(json != nullptr);
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"bench\": \"columnar_scan\",\n"
+      "  \"scale\": %.3f,\n"
+      "  \"corpus_rows\": %llu,\n"
+      "  \"identity\": {\"n1_cases\": %zu, \"n4_cases\": %zu, "
+      "\"all_identical\": true},\n"
+      "  \"throughput_rows_per_sec\": {\n"
+      "    \"n1\": {\"row\": %.0f, \"block\": %.0f, \"speedup\": %.2f},\n"
+      "    \"n4\": {\"row\": %.0f, \"block\": %.0f, \"speedup\": %.2f}\n"
+      "  },\n"
+      "  \"blocks\": {\"total\": %llu, \"skipped\": %llu},\n"
+      "  \"min_speedup_gate\": %.2f\n"
+      "}\n",
+      scale, static_cast<unsigned long long>(corpus_rows), identity_checks,
+      sharded_checks, row1.rows_per_sec, col1.rows_per_sec, speedup1,
+      row4.rows_per_sec, col4.rows_per_sec, speedup4,
+      static_cast<unsigned long long>(col1.blocks_total),
+      static_cast<unsigned long long>(col1.blocks_skipped), min_speedup);
+  std::fclose(json);
+  std::printf("\nwrote BENCH_scan.json\n");
+
+  TSB_CHECK(speedup1 >= min_speedup)
+      << "single-shard ranked scan speedup " << speedup1 << "x below the "
+      << min_speedup << "x gate";
+  std::printf("single-shard ranked scan: %.2fx (gate %.2fx)\nOK\n", speedup1,
+              min_speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) { return tsb::bench::Main(argc, argv); }

@@ -1,0 +1,394 @@
+#include "columnar/blocks.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+namespace tsb {
+namespace columnar {
+namespace {
+
+/// id -> entity-table row for an entity set's key column. False when the
+/// column is missing, mistyped, or carries duplicate ids — any of which
+/// means the dictionary gather could diverge from the row path's index
+/// join, so the caller declines to build a slice.
+bool BuildIdRowMap(const storage::Table& table,
+                   const storage::EntitySetDef& es,
+                   std::unordered_map<int64_t, uint32_t>* out) {
+  std::optional<size_t> idx = table.schema().FindColumn(es.id_column);
+  if (!idx.has_value()) return false;
+  const storage::Column& c = table.column(*idx);
+  if (c.type() != storage::ColumnType::kInt64) return false;
+  const std::vector<int64_t>& ids = c.ints();
+  out->reserve(ids.size());
+  for (size_t r = 0; r < ids.size(); ++r) {
+    if (!out->emplace(ids[r], static_cast<uint32_t>(r)).second) return false;
+  }
+  return true;
+}
+
+/// Dictionary-encodes `id`, assigning codes in first-encounter order and
+/// resolving the entity-table row (kNoRow when the id is absent there).
+uint32_t InternEndpoint(int64_t id,
+                        const std::unordered_map<int64_t, uint32_t>& id_row,
+                        std::unordered_map<int64_t, uint32_t>* code_of,
+                        std::vector<int64_t>* dict_id,
+                        std::vector<uint32_t>* dict_row) {
+  auto [it, inserted] =
+      code_of->emplace(id, static_cast<uint32_t>(dict_id->size()));
+  if (inserted) {
+    dict_id->push_back(id);
+    auto row = id_row.find(id);
+    dict_row->push_back(row == id_row.end() ? ColumnarSlice::kNoRow
+                                            : row->second);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+size_t ColumnarSlice::MemoryBytes() const {
+  size_t bytes = score.capacity() * sizeof(double) +
+                 tid.capacity() * sizeof(int64_t) +
+                 (class_id.capacity() + e1_code.capacity() +
+                  e2_code.capacity() + e1_dict_row.capacity() +
+                  e2_dict_row.capacity()) *
+                     sizeof(uint32_t) +
+                 (e1_dict_id.capacity() + e2_dict_id.capacity()) *
+                     sizeof(int64_t) +
+                 zones.capacity() * sizeof(BlockZone) +
+                 groups.capacity() * sizeof(GroupRange);
+  for (const std::string& key : class_keys) bytes += key.capacity();
+  return bytes;
+}
+
+std::shared_ptr<const ColumnarSlice> BuildSlice(
+    const storage::Catalog& db, const core::TopologyCatalog& topos,
+    const core::PairTopologyData& pair, const std::string& tops_table) {
+  if (tops_table.empty()) return nullptr;
+  const storage::Table* tops = db.FindTable(tops_table);
+  if (tops == nullptr) return nullptr;
+  if (pair.t1 >= db.entity_sets().size() ||
+      pair.t2 >= db.entity_sets().size()) {
+    return nullptr;
+  }
+  const storage::EntitySetDef& es1 = db.entity_set(pair.t1);
+  const storage::EntitySetDef& es2 = db.entity_set(pair.t2);
+  const storage::Table* table1 = db.FindTable(es1.table_name);
+  const storage::Table* table2 = db.FindTable(es2.table_name);
+  if (table1 == nullptr || table2 == nullptr) return nullptr;
+
+  std::optional<size_t> e1_col = tops->schema().FindColumn("E1");
+  std::optional<size_t> e2_col = tops->schema().FindColumn("E2");
+  std::optional<size_t> tid_col = tops->schema().FindColumn("TID");
+  if (!e1_col || !e2_col || !tid_col) return nullptr;
+  const storage::Column& ce1 = tops->column(*e1_col);
+  const storage::Column& ce2 = tops->column(*e2_col);
+  const storage::Column& ctid = tops->column(*tid_col);
+  if (ce1.type() != storage::ColumnType::kInt64 ||
+      ce2.type() != storage::ColumnType::kInt64 ||
+      ctid.type() != storage::ColumnType::kInt64) {
+    return nullptr;
+  }
+
+  std::unordered_map<int64_t, uint32_t> id_row1;
+  std::unordered_map<int64_t, uint32_t> id_row2;
+  if (!BuildIdRowMap(*table1, es1, &id_row1) ||
+      !BuildIdRowMap(*table2, es2, &id_row2)) {
+    return nullptr;
+  }
+
+  const std::vector<int64_t>& e1s = ce1.ints();
+  const std::vector<int64_t>& e2s = ce2.ints();
+  const std::vector<int64_t>& tids = ctid.ints();
+  const size_t n = tops->num_rows();
+
+  auto score_of = [&pair](int64_t tid) {
+    auto it = pair.freq.find(tid);
+    return it == pair.freq.end() ? 0.0 : static_cast<double>(it->second);
+  };
+
+  // Global result order: the kFreq score ranks groups; tid breaks score
+  // ties; endpoints order rows within a group deterministically.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const double sa = score_of(tids[a]);
+    const double sb = score_of(tids[b]);
+    if (sa != sb) return sa > sb;
+    if (tids[a] != tids[b]) return tids[a] < tids[b];
+    if (e1s[a] != e1s[b]) return e1s[a] < e1s[b];
+    return e2s[a] < e2s[b];
+  });
+
+  auto slice = std::make_shared<ColumnarSlice>();
+  slice->source_table = tops_table;
+  slice->e1_table = es1.table_name;
+  slice->e2_table = es2.table_name;
+  slice->score.reserve(n);
+  slice->tid.reserve(n);
+  slice->class_id.reserve(n);
+  slice->e1_code.reserve(n);
+  slice->e2_code.reserve(n);
+
+  std::unordered_map<int64_t, uint32_t> code1;
+  std::unordered_map<int64_t, uint32_t> code2;
+  const size_t catalog_size = topos.size();
+  for (uint32_t r : order) {
+    const int64_t t = tids[r];
+    if (slice->groups.empty() || slice->groups.back().tid != t) {
+      GroupRange g;
+      g.tid = t;
+      g.build_score = score_of(t);
+      g.begin = static_cast<uint32_t>(slice->tid.size());
+      g.count = 0;
+      slice->groups.push_back(g);
+      slice->class_keys.push_back(
+          t >= 1 && static_cast<size_t>(t) <= catalog_size ? topos.Get(t).code
+                                                           : std::string());
+    }
+    GroupRange& g = slice->groups.back();
+    ++g.count;
+    slice->score.push_back(g.build_score);
+    slice->tid.push_back(t);
+    slice->class_id.push_back(static_cast<uint32_t>(slice->groups.size() - 1));
+    slice->e1_code.push_back(InternEndpoint(e1s[r], id_row1, &code1,
+                                            &slice->e1_dict_id,
+                                            &slice->e1_dict_row));
+    slice->e2_code.push_back(InternEndpoint(e2s[r], id_row2, &code2,
+                                            &slice->e2_dict_id,
+                                            &slice->e2_dict_row));
+  }
+
+  const size_t num_blocks = (n + kBlockRows - 1) / kBlockRows;
+  slice->zones.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t lo = b * kBlockRows;
+    const size_t hi = std::min(n, lo + kBlockRows);
+    BlockZone z;
+    z.min_score = slice->score[hi - 1];  // Scores are nonincreasing.
+    z.max_score = slice->score[lo];
+    z.min_class = slice->class_id[lo];   // Classes are nondecreasing.
+    z.max_class = slice->class_id[hi - 1];
+    slice->zones.push_back(z);
+  }
+
+  if (!ValidateSlice(*slice)) return nullptr;
+  return slice;
+}
+
+void AttachSlices(const storage::Catalog& db,
+                  const core::TopologyCatalog& topos,
+                  core::PairTopologyData* pair) {
+  if (pair->alltops_blocks == nullptr) {
+    pair->alltops_blocks = BuildSlice(db, topos, *pair, pair->alltops_table);
+  }
+  if (pair->pruned && pair->lefttops_blocks == nullptr) {
+    pair->lefttops_blocks = BuildSlice(db, topos, *pair, pair->lefttops_table);
+  }
+}
+
+bool CheckSliceShape(const ColumnarSlice& slice) {
+  const size_t n = slice.tid.size();
+  if (slice.source_table.empty()) return false;
+  if (slice.score.size() != n || slice.class_id.size() != n ||
+      slice.e1_code.size() != n || slice.e2_code.size() != n) {
+    return false;
+  }
+  if (slice.zones.size() != (n + kBlockRows - 1) / kBlockRows) return false;
+  if (slice.class_keys.size() != slice.groups.size()) return false;
+  if (slice.e1_dict_id.size() != slice.e1_dict_row.size() ||
+      slice.e2_dict_id.size() != slice.e2_dict_row.size()) {
+    return false;
+  }
+  uint64_t next_begin = 0;
+  for (const GroupRange& g : slice.groups) {
+    if (g.count == 0 || g.begin != next_begin) return false;
+    next_begin += g.count;
+  }
+  if (next_begin != n) return false;
+  for (const BlockZone& z : slice.zones) {
+    if (z.min_class > z.max_class ||
+        z.max_class >= slice.groups.size() ||
+        z.min_score > z.max_score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidateSlice(const ColumnarSlice& slice) {
+  if (!CheckSliceShape(slice)) return false;
+  const size_t n = slice.tid.size();
+  // Group sequence is the global rank order.
+  for (size_t g = 1; g < slice.groups.size(); ++g) {
+    const GroupRange& prev = slice.groups[g - 1];
+    const GroupRange& cur = slice.groups[g];
+    const bool ordered = prev.build_score > cur.build_score ||
+                         (prev.build_score == cur.build_score &&
+                          prev.tid < cur.tid);
+    if (!ordered) return false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t cls = slice.class_id[i];
+    if (cls >= slice.groups.size()) return false;
+    const GroupRange& g = slice.groups[cls];
+    if (i < g.begin || i >= static_cast<size_t>(g.begin) + g.count) {
+      return false;
+    }
+    if (slice.tid[i] != g.tid || slice.score[i] != g.build_score) {
+      return false;
+    }
+    if (slice.e1_code[i] >= slice.e1_dict_id.size() ||
+        slice.e2_code[i] >= slice.e2_dict_id.size()) {
+      return false;
+    }
+  }
+  // Rows within a group ascend by (e1 id, e2 id).
+  for (const GroupRange& g : slice.groups) {
+    for (size_t i = g.begin + 1; i < static_cast<size_t>(g.begin) + g.count;
+         ++i) {
+      const int64_t prev1 = slice.e1_dict_id[slice.e1_code[i - 1]];
+      const int64_t cur1 = slice.e1_dict_id[slice.e1_code[i]];
+      if (prev1 > cur1) return false;
+      if (prev1 == cur1 &&
+          slice.e2_dict_id[slice.e2_code[i - 1]] >
+              slice.e2_dict_id[slice.e2_code[i]]) {
+        return false;
+      }
+    }
+  }
+  for (size_t b = 0; b < slice.zones.size(); ++b) {
+    const size_t lo = b * kBlockRows;
+    const size_t hi = std::min(n, lo + kBlockRows);
+    double min_score = slice.score[lo];
+    double max_score = slice.score[lo];
+    uint32_t min_class = slice.class_id[lo];
+    uint32_t max_class = slice.class_id[lo];
+    for (size_t i = lo; i < hi; ++i) {
+      min_score = std::min(min_score, slice.score[i]);
+      max_score = std::max(max_score, slice.score[i]);
+      min_class = std::min(min_class, slice.class_id[i]);
+      max_class = std::max(max_class, slice.class_id[i]);
+    }
+    const BlockZone& z = slice.zones[b];
+    if (z.min_score != min_score || z.max_score != max_score ||
+        z.min_class != min_class || z.max_class != max_class) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BlockScanCursor::BlockScanCursor(std::shared_ptr<const ColumnarSlice> slice,
+                                 Masks masks)
+    : slice_(std::move(slice)), masks_(std::move(masks)) {
+  TSB_CHECK(slice_ != nullptr);
+  TSB_CHECK(masks_.e1_first.size() == slice_->e1_dict_id.size() &&
+            masks_.e2_second.size() == slice_->e2_dict_id.size())
+      << "cursor masks sized against the wrong dictionaries";
+  if (masks_.both_orientations) {
+    TSB_CHECK(masks_.e1_second.size() == slice_->e1_dict_id.size() &&
+              masks_.e2_first.size() == slice_->e2_dict_id.size());
+  }
+  touched_.assign(slice_->num_blocks(), 0);
+}
+
+void BlockScanCursor::TouchRows(size_t begin, size_t end) {
+  if (begin >= end) return;
+  const size_t first = begin / kBlockRows;
+  const size_t last = (end - 1) / kBlockRows;
+  for (size_t b = first; b <= last; ++b) touched_[b] = 1;
+}
+
+bool BlockScanCursor::GroupQualifies(uint32_t g) {
+  const GroupRange& group = slice_->groups[g];
+  const size_t begin = group.begin;
+  const size_t end = begin + group.count;
+  const uint32_t* c1 = slice_->e1_code.data();
+  const uint32_t* c2 = slice_->e2_code.data();
+  const uint8_t* m1 = masks_.e1_first.data();
+  const uint8_t* m2 = masks_.e2_second.data();
+  bool found = false;
+  size_t i = begin;
+  if (!masks_.both_orientations) {
+    for (; i < end; ++i) {
+      if (m1[c1[i]] & m2[c2[i]]) {
+        found = true;
+        ++i;
+        break;
+      }
+    }
+  } else {
+    const uint8_t* m3 = masks_.e1_second.data();
+    const uint8_t* m4 = masks_.e2_first.data();
+    for (; i < end; ++i) {
+      if ((m1[c1[i]] & m2[c2[i]]) | (m3[c1[i]] & m4[c2[i]])) {
+        found = true;
+        ++i;
+        break;
+      }
+    }
+  }
+  rows_scanned_ += i - begin;
+  TouchRows(begin, i);
+  return found;
+}
+
+void BlockScanCursor::QualifyAllGroups(std::vector<uint8_t>* qualified) {
+  qualified->assign(slice_->groups.size(), 0);
+  const size_t n = slice_->num_rows();
+  const size_t num_blocks = slice_->num_blocks();
+  const uint32_t* c1 = slice_->e1_code.data();
+  const uint32_t* c2 = slice_->e2_code.data();
+  const uint32_t* cls = slice_->class_id.data();
+  const uint8_t* m1 = masks_.e1_first.data();
+  const uint8_t* m2 = masks_.e2_second.data();
+  uint8_t* q = qualified->data();
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const BlockZone& z = slice_->zones[b];
+    // Zone skip: every group overlapping this block already has a witness.
+    bool resolved = true;
+    for (uint32_t g = z.min_class; g <= z.max_class; ++g) {
+      if (!q[g]) {
+        resolved = false;
+        break;
+      }
+    }
+    if (resolved) continue;
+    touched_[b] = 1;
+    const size_t lo = b * kBlockRows;
+    const size_t hi = std::min(n, lo + kBlockRows);
+    if (!masks_.both_orientations) {
+      for (size_t i = lo; i < hi; ++i) {
+        q[cls[i]] |= static_cast<uint8_t>(m1[c1[i]] & m2[c2[i]]);
+      }
+    } else {
+      const uint8_t* m3 = masks_.e1_second.data();
+      const uint8_t* m4 = masks_.e2_first.data();
+      for (size_t i = lo; i < hi; ++i) {
+        q[cls[i]] |= static_cast<uint8_t>((m1[c1[i]] & m2[c2[i]]) |
+                                          (m3[c1[i]] & m4[c2[i]]));
+      }
+    }
+    rows_scanned_ += hi - lo;
+  }
+}
+
+ScanCounters BlockScanCursor::Counters() const {
+  ScanCounters c;
+  c.rows_scanned = rows_scanned_;
+  c.blocks_total = touched_.size();
+  for (uint8_t t : touched_) {
+    if (t == 0) ++c.blocks_skipped;
+  }
+  return c;
+}
+
+}  // namespace columnar
+}  // namespace tsb

@@ -1,0 +1,164 @@
+#ifndef TSB_COLUMNAR_BLOCKS_H_
+#define TSB_COLUMNAR_BLOCKS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/store.h"
+#include "core/topology.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace columnar {
+
+/// Rows per block. Small enough that a block's score/tid/class/code arrays
+/// fit comfortably in L1/L2 for the tight scan loops, large enough that
+/// zone-map bookkeeping is negligible.
+constexpr size_t kBlockRows = 4096;
+
+/// Per-block summary consulted before any row is touched: a block whose
+/// class range is already fully resolved (or outside interest) is skipped
+/// without reading its rows.
+struct BlockZone {
+  double min_score = 0.0;
+  double max_score = 0.0;
+  uint32_t min_class = 0;
+  uint32_t max_class = 0;
+};
+
+/// One topology group: the contiguous row range of a single TID. Rows are
+/// sorted by (build_score desc, tid asc), so groups are contiguous and the
+/// group sequence equals the kFreq ranked order; class_id[] below is the
+/// group index and is monotone nondecreasing across rows.
+struct GroupRange {
+  core::Tid tid = core::kNoTid;
+  double build_score = 0.0;  // freq(T) as a double (the kFreq score).
+  uint32_t begin = 0;
+  uint32_t count = 0;
+};
+
+/// Immutable columnar mirror of one AllTops/LeftTops table, materialized at
+/// epoch commit (builder), prune, and snapshot load. Parallel arrays in
+/// global result order plus per-block zone maps; entity endpoints are
+/// dictionary-encoded so a per-query predicate becomes one bitmap indexed
+/// by code. Shared out as shared_ptr<const> — readers on retired epochs
+/// keep their slice alive exactly like catalog tables.
+struct ColumnarSlice {
+  /// Name of the source tops table and of the two entity tables the
+  /// dictionaries were resolved against; cursors cross-check these before
+  /// trusting the slice for a query.
+  std::string source_table;
+  std::string e1_table;
+  std::string e2_table;
+
+  /// Parallel row arrays, length n, sorted (build_score desc, tid asc,
+  /// e1 asc, e2 asc).
+  std::vector<double> score;      // freq score of the row's TID.
+  std::vector<int64_t> tid;
+  std::vector<uint32_t> class_id; // Group index (dense, nondecreasing).
+  std::vector<uint32_t> e1_code;  // Dictionary code of the E1 entity id.
+  std::vector<uint32_t> e2_code;
+
+  std::vector<BlockZone> zones;   // ceil(n / kBlockRows) entries.
+  std::vector<GroupRange> groups;
+  /// Group index -> canonical topology code (TopologyCatalog), the class
+  /// key dictionary of the slice.
+  std::vector<std::string> class_keys;
+
+  /// Sentinel in e?_dict_row for an entity id absent from its entity
+  /// table: such rows can never satisfy a predicate join, matching the
+  /// row path's empty index probe.
+  static constexpr uint32_t kNoRow = UINT32_MAX;
+  std::vector<int64_t> e1_dict_id;    // code -> entity id.
+  std::vector<uint32_t> e1_dict_row;  // code -> entity-table row (or kNoRow).
+  std::vector<int64_t> e2_dict_id;
+  std::vector<uint32_t> e2_dict_row;
+
+  size_t num_rows() const { return tid.size(); }
+  size_t num_blocks() const { return zones.size(); }
+  /// Approximate heap footprint, for metrics and bench reporting.
+  size_t MemoryBytes() const;
+};
+
+/// Materializes the columnar mirror of `tops_table` for `pair`. Returns
+/// nullptr when the slice cannot be built (table or entity metadata
+/// missing) — callers treat null as "row path only", never an error. An
+/// existing-but-empty table yields a valid empty slice.
+std::shared_ptr<const ColumnarSlice> BuildSlice(
+    const storage::Catalog& db, const core::TopologyCatalog& topos,
+    const core::PairTopologyData& pair, const std::string& tops_table);
+
+/// Builds and attaches the AllTops slice (and the LeftTops slice once the
+/// pair is pruned) onto `pair`, skipping slices already present. Idempotent;
+/// called from builder commit, prune, and snapshot load.
+void AttachSlices(const storage::Catalog& db, const core::TopologyCatalog& topos,
+                  core::PairTopologyData* pair);
+
+/// Cheap structural screen (O(blocks + groups + dicts)): array lengths
+/// agree, groups exactly partition the rows, zone class ranges are sane.
+/// Run per query before a cursor trusts a slice.
+bool CheckSliceShape(const ColumnarSlice& slice);
+
+/// Full validation (O(rows)): everything CheckSliceShape covers plus
+/// per-row invariants — sort order, class/group agreement, dictionary code
+/// bounds, and zone min/max exactness. Run after BuildSlice and in tests.
+bool ValidateSlice(const ColumnarSlice& slice);
+
+/// Scan-side counters surfaced into ExecStats: zone-map effectiveness is
+/// blocks_skipped / blocks_total.
+struct ScanCounters {
+  uint64_t rows_scanned = 0;
+  uint64_t blocks_total = 0;
+  uint64_t blocks_skipped = 0;
+};
+
+/// Evaluates entity-qualification bitmaps over a slice block-at-a-time.
+/// The per-side masks are indexed by dictionary code and already carry the
+/// query's predicate verdicts (computed once per query by the engine); the
+/// cursor's job is the branch-light row walk. A block is charged to
+/// rows_scanned only when its rows are actually read; blocks never touched
+/// (zone-skipped, or past an early top-k stop) count as skipped.
+class BlockScanCursor {
+ public:
+  struct Masks {
+    /// Orientation 1: predicate of the query's first side applied to E1,
+    /// second side to E2 (already side-mapped by the caller).
+    std::vector<uint8_t> e1_first;
+    std::vector<uint8_t> e2_second;
+    /// Orientation 2, self pairs only: rows are stored once but match in
+    /// either sweep direction.
+    std::vector<uint8_t> e1_second;
+    std::vector<uint8_t> e2_first;
+    bool both_orientations = false;
+  };
+
+  BlockScanCursor(std::shared_ptr<const ColumnarSlice> slice, Masks masks);
+
+  /// True when group `g` has at least one row whose endpoints both qualify.
+  /// Scans the group's row range forward and early-outs on the first
+  /// witness (the ranked lazy path).
+  bool GroupQualifies(uint32_t g);
+
+  /// Resolves every group in one forward block walk (the eager join path).
+  /// `qualified` is resized to groups.size(); a block whose zone range is
+  /// already fully qualified is skipped without touching rows.
+  void QualifyAllGroups(std::vector<uint8_t>* qualified);
+
+  /// Totals so far; blocks_skipped counts blocks never touched by any walk.
+  ScanCounters Counters() const;
+
+ private:
+  void TouchRows(size_t begin, size_t end);
+
+  std::shared_ptr<const ColumnarSlice> slice_;
+  Masks masks_;
+  std::vector<uint8_t> touched_;  // Per block.
+  uint64_t rows_scanned_ = 0;
+};
+
+}  // namespace columnar
+}  // namespace tsb
+
+#endif  // TSB_COLUMNAR_BLOCKS_H_

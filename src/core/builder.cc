@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "columnar/blocks.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "graph/canonical.h"
@@ -257,6 +258,7 @@ Status TopologyBuilder::CommitStaged(PairBuildStaging staging,
     (void)db_->DropTable(pairclasses->name());
     return added.status();
   }
+  columnar::AttachSlices(*db_, store->catalog(), added.value());
   return Status::OK();
 }
 

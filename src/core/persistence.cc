@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "columnar/blocks.h"
 #include "common/str_util.h"
 #include "graph/canonical.h"
 #include "storage/csv.h"
@@ -432,7 +433,9 @@ Status LoadTopologyArtifacts(storage::Catalog* db, TopologyStore* store,
                                       root / ("table_" + name + ".csv"))
                               .status());
     }
-    TSB_RETURN_IF_ERROR(store->AddPair(std::move(pair)).status());
+    Result<PairTopologyData*> added = store->AddPair(std::move(pair));
+    TSB_RETURN_IF_ERROR(added.status());
+    columnar::AttachSlices(*db, store->catalog(), added.value());
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "columnar/blocks.h"
 #include "common/logging.h"
 
 namespace tsb {
@@ -98,6 +99,7 @@ Result<PruneStats> PruneFrequentTopologies(storage::Catalog* db,
     pair->pruned_class_of_tid.emplace(tid, tid_to_class[tid]);
   }
   std::sort(pair->pruned_tids.begin(), pair->pruned_tids.end());
+  columnar::AttachSlices(*db, catalog, pair);
   return stats;
 }
 

@@ -17,6 +17,9 @@
 #include "storage/catalog.h"
 
 namespace tsb {
+namespace columnar {
+struct ColumnarSlice;
+}  // namespace columnar
 namespace core {
 
 /// One path equivalence class between an entity-set pair.
@@ -69,6 +72,13 @@ struct PairTopologyData {
   std::string excptops_table;    // (E1, E2, TID)
   std::vector<Tid> pruned_tids;
   std::unordered_map<Tid, uint32_t> pruned_class_of_tid;
+
+  /// Immutable columnar mirrors of the tops tables (columnar::BuildSlice),
+  /// attached at builder commit / prune / snapshot load and carried by the
+  /// epoch machinery like every other precompute artifact. Null means the
+  /// mirror is unavailable and queries stay on the row path.
+  std::shared_ptr<const columnar::ColumnarSlice> alltops_blocks;
+  std::shared_ptr<const columnar::ColumnarSlice> lefttops_blocks;
 
   /// All observed TIDs, ascending (freq keys, materialized for iteration).
   std::vector<Tid> ObservedTids() const;

@@ -6,6 +6,7 @@
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "core/weak_filter.h"
+#include "engine/columnar_scan.h"
 #include "engine/methods_internal.h"
 #include "exec/joins.h"
 #include "exec/scans.h"
@@ -198,7 +199,36 @@ Result<QueryResult> Engine::Execute(const TopologyQuery& query,
       break;
   }
   result.stats.seconds = watch.ElapsedSeconds();
+  if (ctx.used_columnar && !result.stats.plan.empty()) {
+    result.stats.plan += " [columnar]";
+  }
   return result;
+}
+
+Engine::EtOffsets Engine::ResolveEtOffsets(
+    const exec::OutputSchema& schema) const {
+  const uint64_t epoch = store_handle_->epoch();
+  {
+    std::lock_guard<std::mutex> lock(et_offsets_mu_);
+    if (et_offsets_.has_value() && et_offsets_->first == epoch) {
+      return et_offsets_->second;
+    }
+  }
+  // Resolve outside the lock; the group-source layout is fixed by
+  // BuildEtPlan, so a racing resolution (or an epoch swap in between)
+  // lands on identical offsets.
+  EtOffsets offsets;
+  offsets.tid_col = schema.IndexOf("TI.TID");
+  offsets.score_col = schema.IndexOf("TI.SCORE");
+  std::lock_guard<std::mutex> lock(et_offsets_mu_);
+  et_offsets_ = {epoch, offsets};
+  return offsets;
+}
+
+std::optional<std::pair<uint64_t, Engine::EtOffsets>>
+Engine::CachedEtOffsetsForTest() const {
+  std::lock_guard<std::mutex> lock(et_offsets_mu_);
+  return et_offsets_;
 }
 
 Result<std::vector<core::TopologyInstance>> Engine::Instances(
@@ -387,6 +417,15 @@ std::vector<ResultEntry> MethodContext::RankTids(
 }
 
 std::vector<core::Tid> MethodContext::JoinTops(const std::string& tops_table) {
+  // Columnar fast path: one eager block walk over the slice replaces the
+  // hash-join plan (and the self-pair loop); identical distinct-TID set.
+  if (std::unique_ptr<ColumnarScan> scan =
+          ColumnarScan::TryCreate(this, tops_table)) {
+    std::vector<core::Tid> out = scan->QualifiedTids();
+    scan->FoldCounters(&stats);
+    return out;
+  }
+
   const storage::Table& tops = *db->GetTable(tops_table);
   std::unordered_set<core::Tid> distinct;
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -21,6 +22,9 @@
 #include "storage/catalog.h"
 
 namespace tsb {
+namespace exec {
+class OutputSchema;
+}  // namespace exec
 namespace engine {
 
 /// Configuration of the SQL baseline (Section 3.1). The baseline issues one
@@ -96,6 +100,20 @@ class Engine {
 
   const core::DomainKnowledge& knowledge() const { return knowledge_; }
 
+  /// Column offsets of the ET group-source schema ("TI.TID", "TI.SCORE"),
+  /// resolved once per store epoch instead of per query construction (the
+  /// schema layout is fixed by BuildEtPlan, so every query of an epoch
+  /// shares them). Thread-safe; racing resolutions compute identical
+  /// values.
+  struct EtOffsets {
+    size_t tid_col = 0;
+    size_t score_col = 0;
+  };
+  EtOffsets ResolveEtOffsets(const exec::OutputSchema& schema) const;
+
+  /// Test hook: (epoch, offsets) currently cached, if any.
+  std::optional<std::pair<uint64_t, EtOffsets>> CachedEtOffsetsForTest() const;
+
  private:
   friend struct MethodContext;
 
@@ -143,6 +161,10 @@ class Engine {
   const std::unordered_set<core::Tid>& WeakTids(
       const core::TopologyCatalog& catalog,
       const core::PairTopologyData& pair) const;
+
+  /// ET group-source offsets for the current epoch (see ResolveEtOffsets).
+  mutable std::mutex et_offsets_mu_;
+  mutable std::optional<std::pair<uint64_t, EtOffsets>> et_offsets_;
 };
 
 /// Internal: a query resolved against the catalog and topology store.

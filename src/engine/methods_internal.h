@@ -28,6 +28,9 @@ struct MethodContext {
   ResolvedQuery rq;
   ExecOptions options;
   ExecStats stats;
+  /// Set when any scan of this query ran on the columnar block path;
+  /// Execute() annotates the plan string with it.
+  bool used_columnar = false;
   /// Non-null when the query excludes weak topologies (Section 6.2.3).
   const std::unordered_set<core::Tid>* weak_tids = nullptr;
 

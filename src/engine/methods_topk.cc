@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "engine/columnar_scan.h"
 #include "engine/methods_internal.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/join_enum.h"
@@ -41,9 +42,13 @@ class EtDriver {
  public:
   EtDriver(MethodContext* ctx, const std::string& tops_table,
            const std::vector<ResultEntry>& groups)
-      : plan_(ctx->BuildEtPlan(tops_table, groups)),
-        tid_col_(plan_->schema().IndexOf("TI.TID")),
-        score_col_(plan_->schema().IndexOf("TI.SCORE")) {
+      : plan_(ctx->BuildEtPlan(tops_table, groups)) {
+    // Column offsets are cached per store epoch on the engine rather than
+    // re-resolved by name for every query construction.
+    const Engine::EtOffsets offsets =
+        ctx->engine->ResolveEtOffsets(plan_->schema());
+    tid_col_ = offsets.tid_col;
+    score_col_ = offsets.score_col;
     plan_->Open();
   }
 
@@ -66,8 +71,47 @@ class EtDriver {
 
  private:
   std::unique_ptr<exec::GroupedOperator> plan_;
-  size_t tid_col_;
-  size_t score_col_;
+  size_t tid_col_ = 0;
+  size_t score_col_ = 0;
+};
+
+/// Ranked qualified-group source for the ET methods: the columnar block
+/// cursor when the serving snapshot carries a slice for `tops_table`, the
+/// DGJ driver otherwise. Both enumerate qualified, non-excluded groups in
+/// (score desc, tid asc) order and stop pulling when the consumer has k.
+class RankedSource {
+ public:
+  RankedSource(MethodContext* ctx, const std::string& tops_table,
+               bool unpruned) {
+    // An explicit DGJ algorithm or join-order choice selects a specific row
+    // ET plan; taking the columnar cursor would silently ignore it, so
+    // honor the request and run the plan it configures.
+    const bool default_et_plan = ctx->options.dgj_algs.empty() &&
+                                 ctx->options.et_side_order ==
+                                     std::vector<size_t>{0, 1};
+    if (default_et_plan) scan_ = ColumnarScan::TryCreate(ctx, tops_table);
+    if (scan_ == nullptr) {
+      driver_.emplace(ctx, tops_table, RankedCandidates(ctx, unpruned));
+    }
+  }
+
+  bool columnar() const { return scan_ != nullptr; }
+
+  std::optional<ResultEntry> Next() {
+    return scan_ != nullptr ? scan_->NextRanked() : driver_->NextMatch();
+  }
+
+  void FoldCounters(ExecStats* stats) {
+    if (scan_ != nullptr) {
+      scan_->FoldCounters(stats);
+    } else {
+      driver_->FoldCounters(stats);
+    }
+  }
+
+ private:
+  std::unique_ptr<ColumnarScan> scan_;
+  std::optional<EtDriver> driver_;
 };
 
 std::string DgjPlanString(const MethodContext& ctx) {
@@ -86,6 +130,24 @@ std::string DgjPlanString(const MethodContext& ctx) {
 }  // namespace
 
 QueryResult RunFullTopK(MethodContext* ctx) {
+  // Columnar: the ranked block cursor probes groups in score order and
+  // stops at k, instead of resolving every group before truncating.
+  // Identical entries — the cursor enumerates exactly
+  // RankTids(JoinTops(AllTops)).
+  if (std::unique_ptr<ColumnarScan> scan =
+          ColumnarScan::TryCreate(ctx, ctx->rq.pair->alltops_table)) {
+    QueryResult result;
+    while (result.entries.size() < ctx->rq.k) {
+      std::optional<ResultEntry> next = scan->NextRanked();
+      if (!next.has_value()) break;
+      result.entries.push_back(*next);
+    }
+    scan->FoldCounters(&ctx->stats);
+    result.stats = ctx->stats;
+    result.stats.plan = "AllTops block cursor -> ranked walk -> fetch-k";
+    return result;
+  }
+
   // SQL4 without pruned sub-queries: all topologies joined, then sort and
   // fetch the first k.
   std::vector<core::Tid> tids = ctx->JoinTops(ctx->rq.pair->alltops_table);
@@ -99,30 +161,54 @@ QueryResult RunFullTopK(MethodContext* ctx) {
 }
 
 QueryResult RunFastTopK(MethodContext* ctx) {
-  // SQL4: top-k of the unpruned sub-query first...
-  std::vector<ResultEntry> top =
-      ctx->RankTids(ctx->JoinTops(ctx->rq.pair->lefttops_table));
+  // SQL4: top-k of the unpruned sub-query first. On the columnar path the
+  // ranked cursor feeds the merge lazily (only groups that can still make
+  // the top-k are probed); the row path materializes the whole ranking.
+  // Both produce the identical (score desc, tid asc) sequence.
+  std::unique_ptr<ColumnarScan> scan =
+      ColumnarScan::TryCreate(ctx, ctx->rq.pair->lefttops_table);
+  std::vector<ResultEntry> top;
+  if (scan == nullptr) {
+    top = ctx->RankTids(ctx->JoinTops(ctx->rq.pair->lefttops_table));
+  }
+  size_t i = 0;
+  std::optional<ResultEntry> next_top;
+  auto advance_top = [&]() {
+    if (scan != nullptr) {
+      next_top = scan->NextRanked();
+    } else if (i < top.size()) {
+      next_top = top[i++];
+    } else {
+      next_top.reset();
+    }
+  };
+  advance_top();
+
   // ...then SQL5 for each pruned topology that could still enter the top-k,
   // in score order.
   std::vector<ResultEntry> pruned = RankedPruned(ctx);
 
   std::vector<ResultEntry> merged;
-  size_t i = 0;
   size_t j = 0;
-  while (merged.size() < ctx->rq.k && (i < top.size() || j < pruned.size())) {
+  while (merged.size() < ctx->rq.k &&
+         (next_top.has_value() || j < pruned.size())) {
     if (j >= pruned.size() ||
-        (i < top.size() && Before(top[i], pruned[j]))) {
-      merged.push_back(top[i++]);
+        (next_top.has_value() && Before(*next_top, pruned[j]))) {
+      merged.push_back(*next_top);
+      advance_top();
     } else {
       const ResultEntry candidate = pruned[j++];
       if (ctx->OnlineCheckPruned(candidate.tid)) merged.push_back(candidate);
     }
   }
+  if (scan != nullptr) scan->FoldCounters(&ctx->stats);
   QueryResult result;
   result.entries = std::move(merged);
   result.stats = ctx->stats;
   result.stats.plan =
-      "LeftTops join -> sort -> fetch-k, + SQL5 checks for pruned";
+      scan != nullptr
+          ? "LeftTops block cursor -> merge-k, + SQL5 checks for pruned"
+          : "LeftTops join -> sort -> fetch-k, + SQL5 checks for pruned";
   return result;
 }
 
@@ -134,17 +220,18 @@ QueryResult RunFullTopKEt(MethodContext* ctx) {
     result.stats.plan += " (self-pair fallback from ET)";
     return result;
   }
-  std::vector<ResultEntry> groups = RankedCandidates(ctx, /*unpruned=*/false);
-  EtDriver driver(ctx, ctx->rq.pair->alltops_table, groups);
+  RankedSource source(ctx, ctx->rq.pair->alltops_table, /*unpruned=*/false);
   QueryResult result;
   while (result.entries.size() < ctx->rq.k) {
-    std::optional<ResultEntry> match = driver.NextMatch();
+    std::optional<ResultEntry> match = source.Next();
     if (!match.has_value()) break;
     result.entries.push_back(*match);
   }
-  driver.FoldCounters(&ctx->stats);
+  source.FoldCounters(&ctx->stats);
   result.stats = ctx->stats;
-  result.stats.plan = DgjPlanString(*ctx) + " over AllTops";
+  result.stats.plan = source.columnar()
+                          ? "AllTops block cursor (ET order) -> fetch-k"
+                          : DgjPlanString(*ctx) + " over AllTops";
   return result;
 }
 
@@ -154,22 +241,21 @@ QueryResult RunFastTopKEt(MethodContext* ctx) {
     result.stats.plan += " (self-pair fallback from ET)";
     return result;
   }
-  // Unpruned topologies flow through the DGJ plan in score order; pruned
-  // candidates are interleaved by score and verified with SQL5-style
-  // online checks.
-  std::vector<ResultEntry> groups = RankedCandidates(ctx, /*unpruned=*/true);
-  EtDriver driver(ctx, ctx->rq.pair->lefttops_table, groups);
+  // Unpruned topologies flow through the ranked source in score order;
+  // pruned candidates are interleaved by score and verified with
+  // SQL5-style online checks.
+  RankedSource source(ctx, ctx->rq.pair->lefttops_table, /*unpruned=*/true);
   std::vector<ResultEntry> pruned = RankedPruned(ctx);
 
   QueryResult result;
-  std::optional<ResultEntry> next_match = driver.NextMatch();
+  std::optional<ResultEntry> next_match = source.Next();
   size_t j = 0;
   while (result.entries.size() < ctx->rq.k &&
          (next_match.has_value() || j < pruned.size())) {
     if (j >= pruned.size() ||
         (next_match.has_value() && Before(*next_match, pruned[j]))) {
       result.entries.push_back(*next_match);
-      next_match = driver.NextMatch();
+      next_match = source.Next();
     } else {
       const ResultEntry candidate = pruned[j++];
       if (ctx->OnlineCheckPruned(candidate.tid)) {
@@ -177,9 +263,12 @@ QueryResult RunFastTopKEt(MethodContext* ctx) {
       }
     }
   }
-  driver.FoldCounters(&ctx->stats);
+  source.FoldCounters(&ctx->stats);
   result.stats = ctx->stats;
-  result.stats.plan = DgjPlanString(*ctx) + " over LeftTops + pruned checks";
+  result.stats.plan =
+      source.columnar()
+          ? "LeftTops block cursor (ET order) -> merge-k + pruned checks"
+          : DgjPlanString(*ctx) + " over LeftTops + pruned checks";
   return result;
 }
 

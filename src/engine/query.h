@@ -66,6 +66,11 @@ struct ExecStats {
   uint64_t builds = 0;
   /// Online existence checks issued for pruned topologies / SQL candidates.
   uint64_t subqueries = 0;
+  /// Columnar block scan: blocks in the slices this query consulted, and
+  /// how many of those were never read (zone-map or early-termination
+  /// skips). Zero when the query ran on the row path.
+  uint64_t blocks_total = 0;
+  uint64_t blocks_skipped = 0;
   std::string plan;
 
   /// Accumulates counters and time across runs (batch totals, per-method
@@ -77,6 +82,8 @@ struct ExecStats {
     rows_out += o.rows_out;
     builds += o.builds;
     subqueries += o.subqueries;
+    blocks_total += o.blocks_total;
+    blocks_skipped += o.blocks_skipped;
     return *this;
   }
 };
@@ -112,6 +119,12 @@ struct ExecOptions {
   /// shard rather than pay the check N times. Never set on a full query —
   /// pruned topologies would silently vanish from Fast-* results.
   bool skip_pruned_checks = false;
+  /// Serve ranked scans from the columnar block mirrors (src/columnar/)
+  /// when the serving snapshot carries them; results are byte-identical to
+  /// the row path, which remains both the fallback and the identity oracle
+  /// in tests. Travels the wire so scatter sub-queries take the same path
+  /// as the coordinator.
+  bool use_columnar = true;
 };
 
 }  // namespace engine

@@ -22,6 +22,8 @@ void EncodeExecStats(const ExecStats& stats, std::string* out) {
   PutU64(out, stats.rows_out);
   PutU64(out, stats.builds);
   PutU64(out, stats.subqueries);
+  PutU64(out, stats.blocks_total);
+  PutU64(out, stats.blocks_skipped);
   PutString(out, stats.plan);
 }
 
@@ -33,6 +35,8 @@ Result<ExecStats> DecodeExecStats(BinaryReader* in) {
   stats.rows_out = in->U64();
   stats.builds = in->U64();
   stats.subqueries = in->U64();
+  stats.blocks_total = in->U64();
+  stats.blocks_skipped = in->U64();
   stats.plan = in->String();
   if (!in->ok()) return in->status("ExecStats");
   return stats;

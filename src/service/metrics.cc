@@ -98,6 +98,15 @@ void ServiceMetrics::RecordClassLatency(size_t cls, double seconds) {
   classes_[cls].latency.Record(seconds);
 }
 
+void ServiceMetrics::RecordScanStats(uint64_t rows_scanned,
+                                     uint64_t blocks_total,
+                                     uint64_t blocks_skipped) {
+  std::lock_guard<std::mutex> lock(scan_mu_);
+  scan_rows_scanned_ += rows_scanned;
+  scan_blocks_total_ += blocks_total;
+  scan_blocks_skipped_ += blocks_skipped;
+}
+
 void ServiceMetrics::SetShardRows(std::vector<uint64_t> rows) {
   std::lock_guard<std::mutex> lock(shard_mu_);
   shard_rows_ = std::move(rows);
@@ -122,6 +131,12 @@ void ServiceMetrics::Reset() {
   {
     std::lock_guard<std::mutex> lock(shard_mu_);
     shard_rows_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(scan_mu_);
+    scan_rows_scanned_ = 0;
+    scan_blocks_total_ = 0;
+    scan_blocks_skipped_ = 0;
   }
   std::lock_guard<std::mutex> lock(rejected_mu_);
   rejected_ = 0;
@@ -162,6 +177,12 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     snap.shard_rows = shard_rows_;
   }
   snap.shard_skew = shard::ShardRowSkew(snap.shard_rows);
+  {
+    std::lock_guard<std::mutex> lock(scan_mu_);
+    snap.scan_rows_scanned = scan_rows_scanned_;
+    snap.scan_blocks_total = scan_blocks_total_;
+    snap.scan_blocks_skipped = scan_blocks_skipped_;
+  }
   std::lock_guard<std::mutex> lock(rejected_mu_);
   snap.total_rejected = rejected_;
   return snap;
@@ -205,6 +226,20 @@ std::string MetricsSnapshot::ToString() const {
       out += line;
     }
     std::snprintf(line, sizeof(line), "  skew(max/mean)=%.2f\n", shard_skew);
+    out += line;
+  }
+  if (scan_rows_scanned > 0 || scan_blocks_total > 0) {
+    const double skip_pct =
+        scan_blocks_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(scan_blocks_skipped) /
+                  static_cast<double>(scan_blocks_total);
+    std::snprintf(line, sizeof(line),
+                  "scan: %llu rows, %llu blocks, %llu skipped (%.1f%%)\n",
+                  static_cast<unsigned long long>(scan_rows_scanned),
+                  static_cast<unsigned long long>(scan_blocks_total),
+                  static_cast<unsigned long long>(scan_blocks_skipped),
+                  skip_pct);
     out += line;
   }
   std::snprintf(line, sizeof(line),

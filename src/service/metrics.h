@@ -80,6 +80,12 @@ struct MetricsSnapshot {
   std::vector<uint64_t> shard_rows;
   double shard_skew = 0.0;
 
+  /// Aggregate scan counters from executed queries (ExecStats), so the
+  /// columnar zone-map skip rate is observable at the service level.
+  uint64_t scan_rows_scanned = 0;
+  uint64_t scan_blocks_total = 0;
+  uint64_t scan_blocks_skipped = 0;
+
   /// Multi-line human-readable table.
   std::string ToString() const;
 };
@@ -102,6 +108,10 @@ class ServiceMetrics {
   void RecordDeadlineShed(size_t cls);
   void RecordCancelled(size_t cls);
   void RecordClassLatency(size_t cls, double seconds);
+  /// Folds one executed query's scan counters (ExecStats) into the
+  /// service-level aggregates.
+  void RecordScanStats(uint64_t rows_scanned, uint64_t blocks_total,
+                       uint64_t blocks_skipped);
   /// Publishes the per-shard row counts the skew metric derives from.
   void SetShardRows(std::vector<uint64_t> rows);
   void Reset();
@@ -137,6 +147,10 @@ class ServiceMetrics {
   uint64_t rejected_ = 0;
   mutable std::mutex shard_mu_;
   std::vector<uint64_t> shard_rows_;
+  mutable std::mutex scan_mu_;
+  uint64_t scan_rows_scanned_ = 0;
+  uint64_t scan_blocks_total_ = 0;
+  uint64_t scan_blocks_skipped_ = 0;
 };
 
 /// One shard's transport counters, as observed by the sending side.

@@ -391,6 +391,11 @@ ServiceResponse TopologyService::RunQuery(
   // 2-queries, 3-queries, and rebuild staging coexist freely.
   Result<engine::QueryResult> result = Evaluate(query, method, options);
   const bool ok = result.ok();
+  if (ok) {
+    metrics_.RecordScanStats(result->stats.rows_scanned,
+                             result->stats.blocks_total,
+                             result->stats.blocks_skipped);
+  }
   // Degraded answers (a shard failed or timed out; partial=true) are
   // never cached: the blip is transient, but a cached partial would keep
   // serving the incomplete ranking until the next epoch swap.

@@ -1,5 +1,8 @@
 #include "storage/predicate.h"
 
+#include <cctype>
+#include <string_view>
+
 #include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -67,6 +70,8 @@ bool GrammarSafe(const std::string& s) {
          s.find("&&") == std::string::npos;
 }
 
+using ProgOp = ColumnPredicateProgram::Op;
+
 class TruePredicate : public Predicate {
  public:
   bool Eval(const Table&, RowIdx) const override { return true; }
@@ -75,6 +80,12 @@ class TruePredicate : public Predicate {
   /// TRUE appends nothing: the grammar expresses it as an absent pred=
   /// field, which Format omits.
   bool AppendGrammar(std::string*) const override { return true; }
+
+  void Compile(ColumnPredicateProgram* prog) const override {
+    ProgOp op;
+    op.kind = ProgOp::kConstTrue;
+    prog->ops.push_back(std::move(op));
+  }
 };
 
 class EqualsPredicate : public Predicate {
@@ -122,6 +133,28 @@ class EqualsPredicate : public Predicate {
     return false;
   }
 
+  void Compile(ColumnPredicateProgram* prog) const override {
+    ProgOp op;
+    op.col = col_;
+    // The typed ops re-check the column type at EvalAll time and drop to
+    // this per-row fallback on mismatch, so a value/column type disagreement
+    // keeps the row path's always-false variant comparison.
+    op.row_pred = this;
+    if (value_.is_int64()) {
+      op.kind = ProgOp::kEqI64;
+      op.lo = value_.AsInt64();
+    } else if (value_.is_double()) {
+      op.kind = ProgOp::kEqF64;
+      op.f64 = value_.AsDouble();
+    } else if (value_.is_string()) {
+      op.kind = ProgOp::kEqStr;
+      op.str = value_.AsString();
+    } else {
+      op.kind = ProgOp::kRowEval;
+    }
+    prog->ops.push_back(std::move(op));
+  }
+
  private:
   size_t col_;
   std::string col_name_;
@@ -159,6 +192,15 @@ class ContainsKeywordPredicate : public Predicate {
     return true;
   }
 
+  void Compile(ColumnPredicateProgram* prog) const override {
+    ProgOp op;
+    op.kind = ProgOp::kContains;
+    op.col = col_;
+    op.str = keyword_;
+    op.row_pred = this;
+    prog->ops.push_back(std::move(op));
+  }
+
  private:
   size_t col_;
   std::string col_name_;
@@ -192,6 +234,16 @@ class Int64BetweenPredicate : public Predicate {
     out->append(col_name_ + ".between(" + std::to_string(lo_) + "," +
                 std::to_string(hi_) + ")");
     return true;
+  }
+
+  void Compile(ColumnPredicateProgram* prog) const override {
+    ProgOp op;
+    op.kind = ProgOp::kBetweenI64;
+    op.col = col_;
+    op.lo = lo_;
+    op.hi = hi_;
+    op.row_pred = this;
+    prog->ops.push_back(std::move(op));
   }
 
  private:
@@ -234,6 +286,14 @@ class AndPredicate : public Predicate {
     return true;
   }
 
+  void Compile(ColumnPredicateProgram* prog) const override {
+    lhs_->Compile(prog);
+    rhs_->Compile(prog);
+    ProgOp op;
+    op.kind = ProgOp::kAnd;
+    prog->ops.push_back(std::move(op));
+  }
+
  private:
   PredicateRef lhs_;
   PredicateRef rhs_;
@@ -256,6 +316,14 @@ class OrPredicate : public Predicate {
     rhs_->EncodeWire(out);
   }
 
+  void Compile(ColumnPredicateProgram* prog) const override {
+    lhs_->Compile(prog);
+    rhs_->Compile(prog);
+    ProgOp op;
+    op.kind = ProgOp::kOr;
+    prog->ops.push_back(std::move(op));
+  }
+
  private:
   PredicateRef lhs_;
   PredicateRef rhs_;
@@ -274,6 +342,13 @@ class NotPredicate : public Predicate {
   void EncodeWire(std::string* out) const override {
     PutU8(out, kTagNot);
     inner_->EncodeWire(out);
+  }
+
+  void Compile(ColumnPredicateProgram* prog) const override {
+    inner_->Compile(prog);
+    ProgOp op;
+    op.kind = ProgOp::kNot;
+    prog->ops.push_back(std::move(op));
   }
 
  private:
@@ -364,6 +439,192 @@ Result<PredicateRef> DecodePredicateAtDepth(const TableSchema& schema,
 }
 
 }  // namespace
+
+void Predicate::Compile(ColumnPredicateProgram* prog) const {
+  ColumnPredicateProgram::Op op;
+  op.kind = ColumnPredicateProgram::Op::kRowEval;
+  op.row_pred = this;
+  prog->ops.push_back(std::move(op));
+}
+
+namespace {
+
+/// Allocation-free equivalent of ContainsKeyword for the columnar inner
+/// loop: walks the text's alphanumeric runs in place instead of
+/// materializing a token vector per row. `needle` must already be
+/// lowercase (ContainsKeywordPredicate stores its keyword that way), and
+/// runs are compared case-insensitively, so the verdict matches
+/// ContainsKeyword(text, needle) exactly.
+bool TokenMatchLower(std::string_view text, std::string_view needle) {
+  const size_t n = text.size();
+  size_t i = 0;
+  while (i < n) {
+    while (i < n &&
+           !std::isalnum(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < n && std::isalnum(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const size_t len = i - start;
+    if (len != needle.size() || len == 0) continue;
+    bool equal = true;
+    for (size_t j = 0; j < len; ++j) {
+      const char c = static_cast<char>(std::tolower(
+          static_cast<unsigned char>(text[start + j])));
+      if (c != needle[j]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ColumnPredicateProgram::EvalAll(const Table& table,
+                                     std::vector<uint8_t>* out) const {
+  const size_t n = table.num_rows();
+  TSB_CHECK(!ops.empty()) << "empty column-predicate program";
+  // Each op pushes/pops whole 0/1 masks; a well-formed postfix program
+  // leaves exactly one on the stack.
+  std::vector<std::vector<uint8_t>> stack;
+  auto row_fallback = [&](const Op& op, std::vector<uint8_t>& m) {
+    TSB_CHECK(op.row_pred != nullptr) << "column op without row fallback";
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = op.row_pred->Eval(table, static_cast<RowIdx>(i)) ? 1 : 0;
+    }
+  };
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kConstTrue:
+        stack.emplace_back(n, uint8_t{1});
+        break;
+      case Op::kEqI64: {
+        std::vector<uint8_t> m(n, 0);
+        const Column& c = table.column(op.col);
+        if (c.type() == ColumnType::kInt64) {
+          const int64_t* v = c.ints().data();
+          const int64_t x = op.lo;
+          for (size_t i = 0; i < n; ++i) {
+            m[i] = static_cast<uint8_t>(v[i] == x);
+          }
+        } else {
+          row_fallback(op, m);
+        }
+        stack.push_back(std::move(m));
+        break;
+      }
+      case Op::kEqF64: {
+        std::vector<uint8_t> m(n, 0);
+        const Column& c = table.column(op.col);
+        if (c.type() == ColumnType::kDouble) {
+          const double* v = c.doubles().data();
+          const double x = op.f64;
+          // Exact == matches the row path's Value variant comparison.
+          for (size_t i = 0; i < n; ++i) {
+            m[i] = static_cast<uint8_t>(v[i] == x);
+          }
+        } else {
+          row_fallback(op, m);
+        }
+        stack.push_back(std::move(m));
+        break;
+      }
+      case Op::kEqStr: {
+        std::vector<uint8_t> m(n, 0);
+        const Column& c = table.column(op.col);
+        if (c.type() == ColumnType::kString) {
+          const std::vector<std::string>& v = c.strings();
+          for (size_t i = 0; i < n; ++i) {
+            m[i] = static_cast<uint8_t>(v[i] == op.str);
+          }
+        } else {
+          row_fallback(op, m);
+        }
+        stack.push_back(std::move(m));
+        break;
+      }
+      case Op::kContains: {
+        std::vector<uint8_t> m(n, 0);
+        const Column& c = table.column(op.col);
+        if (c.type() == ColumnType::kString) {
+          const std::vector<std::string>& v = c.strings();
+          for (size_t i = 0; i < n; ++i) {
+            m[i] = static_cast<uint8_t>(TokenMatchLower(v[i], op.str));
+          }
+        } else {
+          row_fallback(op, m);
+        }
+        stack.push_back(std::move(m));
+        break;
+      }
+      case Op::kBetweenI64: {
+        std::vector<uint8_t> m(n, 0);
+        const Column& c = table.column(op.col);
+        if (c.type() == ColumnType::kInt64) {
+          const int64_t* v = c.ints().data();
+          const int64_t lo = op.lo;
+          const int64_t hi = op.hi;
+          for (size_t i = 0; i < n; ++i) {
+            m[i] = static_cast<uint8_t>(v[i] >= lo && v[i] <= hi);
+          }
+        } else {
+          row_fallback(op, m);
+        }
+        stack.push_back(std::move(m));
+        break;
+      }
+      case Op::kAnd: {
+        TSB_CHECK(stack.size() >= 2) << "malformed predicate program";
+        std::vector<uint8_t> b = std::move(stack.back());
+        stack.pop_back();
+        std::vector<uint8_t>& a = stack.back();
+        for (size_t i = 0; i < n; ++i) a[i] &= b[i];
+        break;
+      }
+      case Op::kOr: {
+        TSB_CHECK(stack.size() >= 2) << "malformed predicate program";
+        std::vector<uint8_t> b = std::move(stack.back());
+        stack.pop_back();
+        std::vector<uint8_t>& a = stack.back();
+        for (size_t i = 0; i < n; ++i) a[i] |= b[i];
+        break;
+      }
+      case Op::kNot: {
+        TSB_CHECK(!stack.empty()) << "malformed predicate program";
+        std::vector<uint8_t>& a = stack.back();
+        for (size_t i = 0; i < n; ++i) a[i] ^= uint8_t{1};
+        break;
+      }
+      case Op::kRowEval: {
+        std::vector<uint8_t> m(n, 0);
+        row_fallback(op, m);
+        stack.push_back(std::move(m));
+        break;
+      }
+    }
+  }
+  TSB_CHECK(stack.size() == 1) << "unbalanced predicate program";
+  *out = std::move(stack.back());
+}
+
+size_t ColumnPredicateProgram::NumRowFallbacks() const {
+  size_t count = 0;
+  for (const Op& op : ops) {
+    if (op.kind == Op::kRowEval) ++count;
+  }
+  return count;
+}
+
+ColumnPredicateProgram CompilePredicate(const Predicate& pred) {
+  ColumnPredicateProgram prog;
+  pred.Compile(&prog);
+  return prog;
+}
 
 Result<PredicateRef> DecodePredicate(const TableSchema& schema,
                                      BinaryReader* in) {

@@ -15,6 +15,50 @@ class BinaryReader;
 
 namespace storage {
 
+class Predicate;
+
+/// A predicate tree flattened into a postfix program of column operations,
+/// compiled once per query and evaluated over whole columns at a time
+/// (src/columnar/ block scans). Leaf ops read the typed column vectors in
+/// tight branch-light loops; predicate kinds without a columnar form fall
+/// back to a per-row op that calls Predicate::Eval, so every tree compiles
+/// and the program's verdict is bit-identical to row-at-a-time evaluation.
+class ColumnPredicateProgram {
+ public:
+  struct Op {
+    enum Kind : uint8_t {
+      kConstTrue,    // push all-ones
+      kEqI64,        // push ints[col] == lo
+      kEqF64,        // push doubles[col] == f64
+      kEqStr,        // push strings[col] == str
+      kContains,     // push ContainsKeyword(strings[col], str)
+      kBetweenI64,   // push lo <= ints[col] <= hi
+      kAnd,          // pop b, pop a, push a & b
+      kOr,           // pop b, pop a, push a | b
+      kNot,          // pop a, push !a
+      kRowEval,      // push row_pred->Eval per row (fallback)
+    };
+    Kind kind = kRowEval;
+    size_t col = 0;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    double f64 = 0.0;
+    std::string str;
+    /// Borrowed for kRowEval; the root PredicateRef the program was
+    /// compiled from must outlive the program.
+    const Predicate* row_pred = nullptr;
+  };
+
+  std::vector<Op> ops;
+
+  /// Evaluates every row of `table` into a 0/1 mask (resized to
+  /// table.num_rows()). Equivalent to calling Predicate::Eval per row.
+  void EvalAll(const Table& table, std::vector<uint8_t>* out) const;
+
+  /// Ops that could not be vectorized (kRowEval count), for telemetry.
+  size_t NumRowFallbacks() const;
+};
+
 /// A boolean expression over the columns of a single table, evaluated per
 /// row. This models the paper's query constraints (`con_i`): structured
 /// predicates such as `DNA.type = 'mRNA'` and keyword-containment clauses
@@ -39,9 +83,19 @@ class Predicate {
   /// string value containing a quote); callers fall back to the binary
   /// codec for those.
   virtual bool AppendGrammar(std::string*) const { return false; }
+
+  /// Appends this predicate's postfix ops to `prog`. The default emits the
+  /// per-row fallback op, so every predicate kind compiles; typed leaves
+  /// override with column ops. The compiled program borrows `this`.
+  virtual void Compile(ColumnPredicateProgram* prog) const;
 };
 
 using PredicateRef = std::shared_ptr<const Predicate>;
+
+/// Flattens `pred` into a postfix column program. The program borrows
+/// `pred` (for per-row fallback ops), so `pred` must outlive it; engine
+/// queries hold their PredicateRefs for the query's duration.
+ColumnPredicateProgram CompilePredicate(const Predicate& pred);
 
 /// Rebuilds a predicate tree from its EncodeWire image, re-resolving column
 /// names against `schema` (the decoding side's replica of the table). Fails

@@ -195,6 +195,7 @@ void EncodeQueryRequest(const WireRequest& request, std::string* out) {
     PutU64(out, side);
   }
   PutBool(out, request.options.skip_pruned_checks);
+  PutBool(out, request.options.use_columnar);
   EndFrame(frame, out);
 }
 
@@ -264,6 +265,7 @@ Result<WireRequest> DecodeQueryRequest(std::string_view frame,
     request.options.et_side_order.push_back(static_cast<size_t>(side));
   }
   request.options.skip_pruned_checks = in.Bool();
+  request.options.use_columnar = in.Bool();
   if (!in.AtEnd()) return in.status("query request payload");
   return request;
 }

@@ -29,8 +29,11 @@ namespace wire {
 ///       replica provenance and shard epoch without decoding the result
 ///       payload (wire::PeekResponseStamp) — the signal the replica health
 ///       tracker's epoch quarantine runs on.
+///   3 — query requests carry ExecOptions::use_columnar (columnar block-scan
+///       gate) and ExecStats gained blocks_total/blocks_skipped counters, so
+///       zone-map effectiveness is observable across the wire.
 
-inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersion = 3;
 
 /// Admission class of a request. Interactive top-k lookups and batch
 /// SQL-baseline scans differ by orders of magnitude in cost (the paper's
