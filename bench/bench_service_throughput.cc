@@ -85,9 +85,19 @@ struct PhaseResult {
   size_t mismatches = 0;
   size_t failures = 0;
   StatsAccumulator engine_stats;
+  std::vector<double> latencies;  // Per-request service_seconds.
 
   double Qps() const {
     return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+
+  /// Latency percentile in seconds (p in [0,1]); 0 when empty.
+  double Percentile(double p) {
+    if (latencies.empty()) return 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    size_t index = static_cast<size_t>(p * latencies.size());
+    if (index >= latencies.size()) index = latencies.size() - 1;
+    return latencies[index];
   }
 };
 
@@ -99,6 +109,7 @@ PhaseResult RunPhase(service::TopologyService* svc,
   std::atomic<size_t> mismatches{0};
   std::atomic<size_t> failures{0};
   std::vector<StatsAccumulator> per_client(threads);
+  std::vector<std::vector<double>> per_client_latency(threads);
 
   Stopwatch watch;
   std::vector<std::thread> clients;
@@ -119,6 +130,7 @@ PhaseResult RunPhase(service::TopologyService* svc,
           }
           if (response.result->entries != item.expected) ++mismatches;
           per_client[t].Add(response.result->stats);
+          per_client_latency[t].push_back(response.service_seconds);
         }
       }
     });
@@ -132,6 +144,9 @@ PhaseResult RunPhase(service::TopologyService* svc,
   for (const StatsAccumulator& acc : per_client) {
     phase.engine_stats.total += acc.total;
     phase.engine_stats.runs += acc.runs;
+  }
+  for (const std::vector<double>& lat : per_client_latency) {
+    phase.latencies.insert(phase.latencies.end(), lat.begin(), lat.end());
   }
   return phase;
 }
@@ -152,7 +167,7 @@ void Run(int argc, char** argv) {
               workload.size(), sweeps);
 
   TablePrinter table({"clients", "cold q/s", "warm q/s", "speedup",
-                      "warm hit%", "bad"});
+                      "warm p95(us)", "warm p99(us)", "warm hit%", "bad"});
   size_t total_bad = 0;
   double min_speedup = -1.0;
   for (size_t threads = 1; threads <= max_threads; threads *= 2) {
@@ -188,6 +203,8 @@ void Run(int argc, char** argv) {
     table.AddRow({std::to_string(threads), TablePrinter::Num(cold.Qps(), 1),
                   TablePrinter::Num(warm.Qps(), 1),
                   TablePrinter::Num(speedup, 1) + "x",
+                  TablePrinter::Num(warm.Percentile(0.95) * 1e6, 1),
+                  TablePrinter::Num(warm.Percentile(0.99) * 1e6, 1),
                   TablePrinter::Num(hit_rate, 1), std::to_string(bad)});
   }
   table.Print(std::cout);
@@ -198,6 +215,39 @@ void Run(int argc, char** argv) {
               "(target >= 5x)\n", min_speedup);
   TSB_CHECK_EQ(total_bad, 0u)
       << "concurrent results diverged from sequential ground truth";
+
+  // --- Tracing overhead gate ------------------------------------------------
+  // One warm service runs the same phase twice — sampling off, then 1-in-64
+  // — and the traced warm p95 must stay within 5% of untraced (plus a
+  // 50µs absolute floor: warm cache hits complete in single-digit
+  // microseconds, where a 5% relative band is below scheduler noise).
+  {
+    const size_t threads = max_threads;
+    service::ServiceConfig traced_config;
+    traced_config.num_threads = threads;
+    traced_config.max_in_flight = 4096;
+    service::TopologyService svc(world->engine.get(), &world->db,
+                                 traced_config);
+    RunPhase(&svc, workload, 1, 1);  // Pre-warm the cache.
+
+    svc.tracer().set_sample_every(0);
+    PhaseResult untraced = RunPhase(&svc, workload, threads, sweeps);
+    svc.tracer().set_sample_every(64);
+    PhaseResult traced = RunPhase(&svc, workload, threads, sweeps);
+    svc.Shutdown();
+
+    const double p95_off = untraced.Percentile(0.95);
+    const double p95_on = traced.Percentile(0.95);
+    const double bound = p95_off * 1.05 + 50e-6;
+    std::printf("\ntracing overhead (1-in-64 sampling, %zu clients): warm "
+                "p95 %.1fus untraced -> %.1fus traced (bound %.1fus)\n",
+                threads, p95_off * 1e6, p95_on * 1e6, bound * 1e6);
+    TSB_CHECK_EQ(traced.mismatches + traced.failures, 0u)
+        << "traced responses diverged from ground truth";
+    TSB_CHECK(p95_on <= bound)
+        << "tracing at 1-in-64 sampling regressed warm p95 by more than 5%: "
+        << p95_off * 1e6 << "us -> " << p95_on * 1e6 << "us";
+  }
 }
 
 }  // namespace

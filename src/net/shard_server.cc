@@ -14,7 +14,16 @@ namespace net {
 
 ShardServer::ShardServer(const shard::ShardFrameHandler* handler,
                          ShardServerConfig config)
-    : handler_(handler), config_(std::move(config)) {
+    : ShardServer(
+          [handler](const std::string& request) {
+            return handler->HandleOrEncodeError(request);
+          },
+          std::move(config)) {
+  TSB_CHECK(handler != nullptr);
+}
+
+ShardServer::ShardServer(FrameHandlerFn handler, ShardServerConfig config)
+    : handler_(std::move(handler)), config_(std::move(config)) {
   TSB_CHECK(handler_ != nullptr);
 }
 
@@ -92,7 +101,7 @@ void ShardServer::Serve(std::unique_ptr<FrameConn> conn) {
       // every read failure ends the connection.
       break;
     }
-    const std::string response = handler_->HandleOrEncodeError(request);
+    const std::string response = handler_(request);
     // Counted before the write so the increment happens-before any client
     // observes the response — tests read frames_served() right after a
     // round-trip returns.

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,9 +53,21 @@ struct ShardServerConfig {
 /// and serves one shard of N as a standalone process).
 class ShardServer {
  public:
+  /// One received frame in, one encoded response frame out. Must never
+  /// fail (encode errors as response frames — the contract of
+  /// ShardFrameHandler::HandleOrEncodeError) and must be safe to call
+  /// from any number of connection threads.
+  using FrameHandlerFn = std::function<std::string(const std::string&)>;
+
   /// `handler` must outlive the server.
   ShardServer(const shard::ShardFrameHandler* handler,
               ShardServerConfig config);
+
+  /// Serves an arbitrary frame function instead of a shard handler — the
+  /// seam a frontend uses to expose an admin-only endpoint (metrics /
+  /// trace pulls) without being a shard.
+  ShardServer(FrameHandlerFn handler, ShardServerConfig config);
+
   ~ShardServer();
 
   ShardServer(const ShardServer&) = delete;
@@ -85,7 +98,7 @@ class ShardServer {
   /// connections does not accumulate unjoined threads.
   void ReapFinishedThreads();
 
-  const shard::ShardFrameHandler* handler_;
+  FrameHandlerFn handler_;
   ShardServerConfig config_;
   Listener listener_;
   uint16_t port_ = 0;

@@ -1,0 +1,57 @@
+#include "obs/admin.h"
+
+namespace tsb {
+namespace obs {
+
+wire::AdminResponse HandleAdmin(const AdminState& state,
+                                const wire::AdminRequest& request) {
+  wire::AdminResponse response;
+  switch (request.command) {
+    case wire::AdminCommand::kPing:
+      response.body = "pong";
+      break;
+    case wire::AdminCommand::kMetricsPrometheus:
+      if (state.registry != nullptr) {
+        response.body = state.registry->RenderPrometheus();
+      }
+      break;
+    case wire::AdminCommand::kMetricsJson:
+      if (state.registry != nullptr) {
+        response.body = state.registry->RenderJson();
+      }
+      break;
+    case wire::AdminCommand::kMetricsText:
+      if (state.text_renderer) {
+        response.body = state.text_renderer();
+      }
+      break;
+    case wire::AdminCommand::kTraces:
+      if (state.tracer != nullptr) {
+        response.body = state.tracer->RenderRecent();
+      }
+      break;
+    case wire::AdminCommand::kSlowQueries:
+      if (state.slow_log != nullptr) {
+        response.body = state.slow_log->ToString();
+      }
+      break;
+  }
+  return response;
+}
+
+std::string HandleAdminFrame(const AdminState& state,
+                             const std::string& frame) {
+  wire::AdminResponse response;
+  Result<wire::AdminRequest> request = wire::DecodeAdminRequest(frame);
+  if (request.ok()) {
+    response = HandleAdmin(state, request.value());
+  } else {
+    response.error = wire::WireErrorFromStatus(request.status());
+  }
+  std::string encoded;
+  wire::EncodeAdminResponse(response, &encoded);
+  return encoded;
+}
+
+}  // namespace obs
+}  // namespace tsb

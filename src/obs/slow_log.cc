@@ -1,0 +1,62 @@
+#include "obs/slow_log.h"
+
+#include <cstdio>
+
+namespace tsb {
+namespace obs {
+
+std::string SlowQueryRecord::ToString() const {
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "slow-query %10.3fms (queue %8.3fms) %-14s %s%s%s\n"
+                "  rows_scanned=%llu rows_out=%llu blocks=%llu/%llu "
+                "trace=%016llx\n",
+                service_seconds * 1e3, queue_seconds * 1e3, method.c_str(),
+                request.c_str(), from_cache ? " [cache]" : "",
+                ok ? "" : " [error]",
+                static_cast<unsigned long long>(rows_scanned),
+                static_cast<unsigned long long>(rows_out),
+                static_cast<unsigned long long>(blocks_skipped),
+                static_cast<unsigned long long>(blocks_total),
+                static_cast<unsigned long long>(trace_id));
+  std::string out = line;
+  if (!plan.empty()) {
+    out += "  plan: ";
+    out += plan;
+    out += "\n";
+  }
+  if (!span_tree.empty()) {
+    out += span_tree;
+  }
+  return out;
+}
+
+SlowQueryLog::SlowQueryLog(SlowQueryConfig config)
+    : threshold_seconds_(config.threshold_seconds),
+      capacity_(config.capacity == 0 ? 1 : config.capacity) {}
+
+void SlowQueryLog::Record(SlowQueryRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_recorded_;
+  recent_.push_back(std::move(record));
+  while (recent_.size() > capacity_) recent_.pop_front();
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryRecord>(recent_.begin(), recent_.end());
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_recorded_;
+}
+
+std::string SlowQueryLog::ToString() const {
+  std::string out;
+  for (const SlowQueryRecord& record : Recent()) out += record.ToString();
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tsb

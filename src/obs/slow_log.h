@@ -1,0 +1,74 @@
+#ifndef TSB_OBS_SLOW_LOG_H_
+#define TSB_OBS_SLOW_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsb {
+namespace obs {
+
+struct SlowQueryConfig {
+  /// Queries at or above this service latency are recorded. 0 disables
+  /// the log entirely.
+  double threshold_seconds = 0.0;
+  /// Records retained (ring buffer, oldest evicted first).
+  size_t capacity = 64;
+};
+
+/// One structured record of a slow query: the canonical request text,
+/// where the time went, what the plan did, and (when sampled) the full
+/// span tree.
+struct SlowQueryRecord {
+  double unix_seconds = 0.0;      // wall clock at completion
+  double service_seconds = 0.0;   // submit -> response
+  double queue_seconds = 0.0;     // admission-queue wait portion
+  std::string request;            // RequestParser::Format canonical line
+  std::string method;
+  std::string plan;               // executor plan tags
+  uint64_t rows_scanned = 0;
+  uint64_t rows_out = 0;
+  uint64_t blocks_total = 0;
+  uint64_t blocks_skipped = 0;
+  bool from_cache = false;
+  bool ok = true;
+  uint64_t trace_id = 0;          // 0 when the query was not sampled
+  std::string span_tree;          // rendered tree, "" when not sampled
+
+  std::string ToString() const;
+};
+
+/// Thread-safe ring of the most recent slow-query records. The latency
+/// test (`threshold_seconds`) is the caller's job — Record stores
+/// unconditionally so callers can also log forced records (e.g. errors).
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowQueryConfig config = SlowQueryConfig{});
+
+  bool enabled() const { return threshold_seconds_ > 0.0; }
+  double threshold_seconds() const { return threshold_seconds_; }
+
+  void Record(SlowQueryRecord record);
+
+  /// Oldest-first snapshot.
+  std::vector<SlowQueryRecord> Recent() const;
+
+  uint64_t total_recorded() const;
+
+  /// Every retained record rendered via SlowQueryRecord::ToString.
+  std::string ToString() const;
+
+ private:
+  const double threshold_seconds_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t total_recorded_ = 0;
+  std::deque<SlowQueryRecord> recent_;
+};
+
+}  // namespace obs
+}  // namespace tsb
+
+#endif  // TSB_OBS_SLOW_LOG_H_

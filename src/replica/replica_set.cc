@@ -67,6 +67,12 @@ struct ReplicaSetTransport::SendState {
   // Wire bytes over all attempts (for the logical TransportMetrics row).
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
+
+  // Tracing sink (null for untraced traffic). QueryTrace is internally
+  // synchronized and attempts hold the shared_ptr, so a hedge loser that
+  // settles after the logical request still records its span safely.
+  std::shared_ptr<obs::QueryTrace> trace;
+  uint64_t parent_span_id = 0;
 };
 
 ReplicaSetTransport::ReplicaSetTransport(
@@ -132,16 +138,20 @@ bool ReplicaSetTransport::PickReplica(
 
 bool ReplicaSetTransport::LaunchAttempt(
     size_t shard, size_t rep, const std::shared_ptr<SendState>& state,
-    bool is_probe, bool is_hedge, const net::Deadline& deadline) {
+    bool is_probe, bool is_hedge, bool is_failover,
+    const net::Deadline& deadline) {
   {
     std::lock_guard<std::mutex> lock(state->mu);
     ++state->launched;
   }
-  auto task = [this, shard, rep, state, is_probe, is_hedge, deadline]() {
+  auto task = [this, shard, rep, state, is_probe, is_hedge, is_failover,
+               deadline]() {
     // Attempt/outcome pairing lives inside the task: the gauges settle
     // even when the logical request already finished (hedge loser) or its
     // caller abandoned the future (cancellation-safe accounting).
     replica_metrics_.RecordAttempt(shard, rep, is_probe, is_hedge);
+    const double start_unix =
+        state->trace != nullptr ? obs::UnixSeconds() : 0.0;
     const auto attempt_start = std::chrono::steady_clock::now();
     net::RoundTripTelemetry telemetry;
     Result<std::string> response =
@@ -151,6 +161,16 @@ bool ReplicaSetTransport::LaunchAttempt(
     const double rtt =
         std::chrono::duration<double>(now - attempt_start).count();
     replica_metrics_.RecordOutcome(shard, rep, rtt, response.ok());
+    if (state->trace != nullptr) {
+      std::string tags = "shard=" + std::to_string(shard) +
+                         ",replica=" + std::to_string(rep) +
+                         (response.ok() ? ",ok=1" : ",ok=0");
+      if (is_hedge) tags += ",hedge=1";
+      if (is_probe) tags += ",probe=1";
+      if (is_failover) tags += ",failover=1";
+      state->trace->AddSpan("replica.attempt", state->parent_span_id,
+                            start_unix, rtt, std::move(tags));
+    }
     if (transport_metrics_ != nullptr) {
       for (uint64_t i = 0; i < telemetry.reconnects; ++i) {
         transport_metrics_->RecordReconnect(shard);
@@ -205,7 +225,9 @@ Result<std::string> ReplicaSetTransport::RoundTrip(
 
 Result<std::string> ReplicaSetTransport::RoundTripFrom(
     size_t shard, const std::string& request,
-    std::chrono::steady_clock::time_point start) {
+    std::chrono::steady_clock::time_point start,
+    const std::shared_ptr<obs::QueryTrace>& trace,
+    uint64_t parent_span_id) {
   if (shard >= channels_.size()) {
     return Status::InvalidArgument("no shard " + std::to_string(shard));
   }
@@ -219,6 +241,8 @@ Result<std::string> ReplicaSetTransport::RoundTripFrom(
 
   auto state = std::make_shared<SendState>();
   state->request = request;
+  state->trace = trace;
+  state->parent_span_id = parent_span_id;
   std::vector<bool> tried(num_replicas, false);
   const auto untried_left = [&tried]() {
     for (bool t : tried) {
@@ -233,7 +257,7 @@ Result<std::string> ReplicaSetTransport::RoundTripFrom(
   tried[primary] = true;
   if (!LaunchAttempt(shard, primary, state,
                      tracker_.StartProbe(shard, primary, now),
-                     /*is_hedge=*/false, deadline)) {
+                     /*is_hedge=*/false, /*is_failover=*/false, deadline)) {
     return Status::FailedPrecondition("replica transport shutting down");
   }
   // Piggyback at most one recovery probe: a suspect or ejected sibling
@@ -248,7 +272,7 @@ Result<std::string> ReplicaSetTransport::RoundTripFrom(
         tracker_.StartProbe(shard, rep, now)) {
       tried[rep] = true;
       LaunchAttempt(shard, rep, state, /*is_probe=*/true,
-                    /*is_hedge=*/false, deadline);
+                    /*is_hedge=*/false, /*is_failover=*/false, deadline);
       break;
     }
   }
@@ -284,7 +308,8 @@ Result<std::string> ReplicaSetTransport::RoundTripFrom(
         const bool launched =
             LaunchAttempt(shard, next, state,
                           tracker_.StartProbe(shard, next, now),
-                          /*is_hedge=*/false, deadline);
+                          /*is_hedge=*/false, /*is_failover=*/true,
+                          deadline);
         lock.lock();
         if (launched) continue;
         result = Status::FailedPrecondition(
@@ -313,7 +338,7 @@ Result<std::string> ReplicaSetTransport::RoundTripFrom(
         replica_metrics_.RecordHedgeLaunched(shard);
         LaunchAttempt(shard, next, state,
                       tracker_.StartProbe(shard, next, now),
-                      /*is_hedge=*/true, deadline);
+                      /*is_hedge=*/true, /*is_failover=*/false, deadline);
       }
       lock.lock();
       continue;
@@ -344,10 +369,17 @@ Result<std::string> ReplicaSetTransport::RoundTripFrom(
 
 std::future<Result<std::string>> ReplicaSetTransport::Send(
     size_t shard, std::string request) {
+  return SendTraced(shard, std::move(request), nullptr, 0);
+}
+
+std::future<Result<std::string>> ReplicaSetTransport::SendTraced(
+    size_t shard, std::string request,
+    const std::shared_ptr<obs::QueryTrace>& trace,
+    uint64_t parent_span_id) {
   const auto start = std::chrono::steady_clock::now();
-  auto task = [this, shard, start,
+  auto task = [this, shard, start, trace, parent_span_id,
                request = std::move(request)]() -> Result<std::string> {
-    return RoundTripFrom(shard, request, start);
+    return RoundTripFrom(shard, request, start, trace, parent_span_id);
   };
   std::future<Result<std::string>> future =
       coordinator_pool_.Submit(std::move(task));

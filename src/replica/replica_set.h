@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "net/endpoint_client.h"
+#include "obs/trace.h"
 #include "replica/health.h"
 #include "service/metrics.h"
 #include "service/thread_pool.h"
@@ -145,6 +146,17 @@ class ReplicaSetTransport : public wire::ShardTransport {
   std::future<Result<std::string>> Send(size_t shard,
                                         std::string request) override;
 
+  /// Traced Send: every physical attempt under this logical request —
+  /// primary, piggybacked probe, hedge, failovers — records a
+  /// "replica.attempt" span into `trace` under `parent_span_id`, tagged
+  /// with the replica and what kind of attempt it was. Spans settle from
+  /// the attempt tasks themselves, so a hedge loser that finishes after
+  /// the logical request is still traced.
+  std::future<Result<std::string>> SendTraced(
+      size_t shard, std::string request,
+      const std::shared_ptr<obs::QueryTrace>& trace,
+      uint64_t parent_span_id) override;
+
   /// Synchronous logical round-trip (what Send runs on a coordinator
   /// thread): routing, hedging, and failover included.
   Result<std::string> RoundTrip(size_t shard, const std::string& request);
@@ -168,7 +180,9 @@ class ReplicaSetTransport : public wire::ShardTransport {
 
   Result<std::string> RoundTripFrom(
       size_t shard, const std::string& request,
-      std::chrono::steady_clock::time_point start);
+      std::chrono::steady_clock::time_point start,
+      const std::shared_ptr<obs::QueryTrace>& trace = nullptr,
+      uint64_t parent_span_id = 0);
 
   /// Best untried replica by (tier, outstanding, RTT EWMA); returns false
   /// when every replica was tried.
@@ -179,7 +193,8 @@ class ReplicaSetTransport : public wire::ShardTransport {
   /// Submits one physical attempt; false if the attempt pool is gone.
   bool LaunchAttempt(size_t shard, size_t rep,
                      const std::shared_ptr<SendState>& state, bool is_probe,
-                     bool is_hedge, const net::Deadline& deadline);
+                     bool is_hedge, bool is_failover,
+                     const net::Deadline& deadline);
 
   std::vector<std::vector<std::unique_ptr<ReplicaChannel>>> channels_;
   ReplicaSetConfig config_;

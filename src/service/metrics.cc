@@ -38,6 +38,7 @@ LatencyReservoir::Summary LatencyReservoir::Summarize() const {
   };
   s.p50 = percentile(0.50);
   s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
   return s;
 }
 
@@ -190,16 +191,18 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
 
 std::string MetricsSnapshot::ToString() const {
   std::string out =
-      "method              requests   hits  errors    p50(ms)    p95(ms)\n";
-  char line[160];
+      "method              requests   hits  errors    p50(ms)    p95(ms)"
+      "    p99(ms)\n";
+  char line[200];
   for (const MethodStatsSnapshot& row : methods) {
     std::snprintf(line, sizeof(line),
-                  "%-18s %9llu %6llu %7llu %10.3f %10.3f\n",
+                  "%-18s %9llu %6llu %7llu %10.3f %10.3f %10.3f\n",
                   row.method.c_str(),
                   static_cast<unsigned long long>(row.requests),
                   static_cast<unsigned long long>(row.cache_hits),
                   static_cast<unsigned long long>(row.errors),
-                  row.latency.p50 * 1e3, row.latency.p95 * 1e3);
+                  row.latency.p50 * 1e3, row.latency.p95 * 1e3,
+                  row.latency.p99 * 1e3);
     out += line;
   }
   for (const PriorityClassSnapshot& row : classes) {
@@ -209,13 +212,13 @@ std::string MetricsSnapshot::ToString() const {
     }
     std::snprintf(line, sizeof(line),
                   "class %-12s %9llu admitted %6llu rejected %5llu shed "
-                  "%5llu cancelled  p95 %8.3fms\n",
+                  "%5llu cancelled  p95 %8.3fms  p99 %8.3fms\n",
                   row.name.c_str(),
                   static_cast<unsigned long long>(row.admitted),
                   static_cast<unsigned long long>(row.rejected),
                   static_cast<unsigned long long>(row.deadline_shed),
                   static_cast<unsigned long long>(row.cancelled),
-                  row.latency.p95 * 1e3);
+                  row.latency.p95 * 1e3, row.latency.p99 * 1e3);
     out += line;
   }
   if (!shard_rows.empty()) {
@@ -316,19 +319,20 @@ void TransportMetrics::Reset() {
 std::string TransportMetricsSnapshot::ToString() const {
   std::string out =
       "shard   requests  failed  reconn      sent B      recv B  "
-      "rtt p50(ms)  rtt p95(ms)\n";
-  char line[160];
+      "rtt p50(ms)  rtt p95(ms)  rtt p99(ms)\n";
+  char line[200];
   for (size_t i = 0; i < shards.size(); ++i) {
     const TransportShardSnapshot& row = shards[i];
     if (row.requests == 0 && row.reconnects == 0) continue;
-    std::snprintf(line, sizeof(line),
-                  "s%-5zu %9llu %7llu %7llu %11llu %11llu %12.3f %12.3f\n",
-                  i, static_cast<unsigned long long>(row.requests),
-                  static_cast<unsigned long long>(row.failures),
-                  static_cast<unsigned long long>(row.reconnects),
-                  static_cast<unsigned long long>(row.bytes_sent),
-                  static_cast<unsigned long long>(row.bytes_received),
-                  row.rtt.p50 * 1e3, row.rtt.p95 * 1e3);
+    std::snprintf(
+        line, sizeof(line),
+        "s%-5zu %9llu %7llu %7llu %11llu %11llu %12.3f %12.3f %12.3f\n",
+        i, static_cast<unsigned long long>(row.requests),
+        static_cast<unsigned long long>(row.failures),
+        static_cast<unsigned long long>(row.reconnects),
+        static_cast<unsigned long long>(row.bytes_sent),
+        static_cast<unsigned long long>(row.bytes_received),
+        row.rtt.p50 * 1e3, row.rtt.p95 * 1e3, row.rtt.p99 * 1e3);
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -528,8 +532,8 @@ void ReplicaMetrics::Reset() {
 std::string ReplicaMetricsSnapshot::ToString() const {
   std::string out =
       "shard rep  attempts  failed  probes  hedged  h-wins  eject  "
-      "outst  ewma(ms)  rtt p95(ms)\n";
-  char line[200];
+      "outst  ewma(ms)  rtt p95(ms)  rtt p99(ms)\n";
+  char line[220];
   for (size_t s = 0; s < shards.size(); ++s) {
     const ReplicaShardSnapshot& shard_row = shards[s];
     for (size_t r = 0; r < shard_row.replicas.size(); ++r) {
@@ -538,7 +542,7 @@ std::string ReplicaMetricsSnapshot::ToString() const {
       std::snprintf(
           line, sizeof(line),
           "s%-4zu r%-3zu %8llu %7llu %7llu %7llu %7llu %6llu %6llu "
-          "%9.3f %12.3f\n",
+          "%9.3f %12.3f %12.3f\n",
           s, r, static_cast<unsigned long long>(row.attempts),
           static_cast<unsigned long long>(row.failures),
           static_cast<unsigned long long>(row.probes),
@@ -546,7 +550,7 @@ std::string ReplicaMetricsSnapshot::ToString() const {
           static_cast<unsigned long long>(row.hedge_wins),
           static_cast<unsigned long long>(row.ejections),
           static_cast<unsigned long long>(row.outstanding),
-          row.rtt_ewma * 1e3, row.rtt.p95 * 1e3);
+          row.rtt_ewma * 1e3, row.rtt.p95 * 1e3, row.rtt.p99 * 1e3);
       out += line;
     }
     if (shard_row.hedges_launched != 0 || shard_row.failovers != 0 ||
@@ -560,6 +564,150 @@ std::string ReplicaMetricsSnapshot::ToString() const {
     }
   }
   return out;
+}
+
+/// --- obs::MetricsSource exports --------------------------------------------
+///
+/// The registry collectors walk the same Snapshot() state the ToString
+/// views render, so the Prometheus/JSON exports and the human tables can
+/// never disagree.
+
+void ServiceMetrics::Collect(obs::MetricsSink* sink) const {
+  const MetricsSnapshot snap = Snapshot();
+  using Labels = obs::MetricsSink::Labels;
+  for (const MethodStatsSnapshot& row : snap.methods) {
+    const Labels labels = {{"method", row.method}};
+    sink->Counter("tsb_service_requests_total", "Admitted requests",
+                  labels, static_cast<double>(row.requests));
+    sink->Counter("tsb_service_cache_hits_total", "Cache hits", labels,
+                  static_cast<double>(row.cache_hits));
+    sink->Counter("tsb_service_errors_total", "Engine failures", labels,
+                  static_cast<double>(row.errors));
+    sink->Summary("tsb_service_latency_seconds",
+                  "End-to-end service latency", labels,
+                  row.latency.ToSummaryValue());
+  }
+  for (const PriorityClassSnapshot& row : snap.classes) {
+    const Labels labels = {{"class", row.name}};
+    sink->Counter("tsb_service_admitted_total",
+                  "Requests entering the class queue", labels,
+                  static_cast<double>(row.admitted));
+    sink->Counter("tsb_service_rejected_total",
+                  "Requests bounced at the class bound", labels,
+                  static_cast<double>(row.rejected));
+    sink->Counter("tsb_service_deadline_shed_total",
+                  "Requests shed after deadline expiry", labels,
+                  static_cast<double>(row.deadline_shed));
+    sink->Counter("tsb_service_cancelled_total",
+                  "Requests cancelled before execution", labels,
+                  static_cast<double>(row.cancelled));
+    sink->Summary("tsb_service_class_latency_seconds",
+                  "End-to-end latency per admission class", labels,
+                  row.latency.ToSummaryValue());
+  }
+  for (size_t s = 0; s < snap.shard_rows.size(); ++s) {
+    sink->Gauge("tsb_service_shard_rows", "AllTops rows per shard",
+                {{"shard", std::to_string(s)}},
+                static_cast<double>(snap.shard_rows[s]));
+  }
+  if (!snap.shard_rows.empty()) {
+    sink->Gauge("tsb_service_shard_skew", "Shard row skew (max/mean)", {},
+                snap.shard_skew);
+  }
+  sink->Counter("tsb_service_scan_rows_total", "Rows scanned by executed "
+                "queries", {}, static_cast<double>(snap.scan_rows_scanned));
+  sink->Counter("tsb_service_scan_blocks_total",
+                "Columnar blocks considered", {},
+                static_cast<double>(snap.scan_blocks_total));
+  sink->Counter("tsb_service_scan_blocks_skipped_total",
+                "Columnar blocks skipped by zone maps", {},
+                static_cast<double>(snap.scan_blocks_skipped));
+}
+
+void TransportMetrics::Collect(obs::MetricsSink* sink) const {
+  const TransportMetricsSnapshot snap = Snapshot();
+  using Labels = obs::MetricsSink::Labels;
+  for (size_t s = 0; s < snap.shards.size(); ++s) {
+    const TransportShardSnapshot& row = snap.shards[s];
+    if (row.requests == 0 && row.reconnects == 0) continue;
+    const Labels labels = {{"shard", std::to_string(s)}};
+    sink->Counter("tsb_transport_requests_total",
+                  "Sub-query round-trips attempted", labels,
+                  static_cast<double>(row.requests));
+    sink->Counter("tsb_transport_failures_total",
+                  "Round-trips without a response", labels,
+                  static_cast<double>(row.failures));
+    sink->Counter("tsb_transport_bytes_sent_total",
+                  "Encoded request bytes sent", labels,
+                  static_cast<double>(row.bytes_sent));
+    sink->Counter("tsb_transport_bytes_received_total",
+                  "Encoded response bytes received", labels,
+                  static_cast<double>(row.bytes_received));
+    sink->Counter("tsb_transport_reconnects_total",
+                  "Successful dials after a failure", labels,
+                  static_cast<double>(row.reconnects));
+    sink->Summary("tsb_transport_rtt_seconds",
+                  "Send-to-response round-trip time", labels,
+                  row.rtt.ToSummaryValue());
+  }
+}
+
+void ReplicaMetrics::Collect(obs::MetricsSink* sink) const {
+  const ReplicaMetricsSnapshot snap = Snapshot();
+  using Labels = obs::MetricsSink::Labels;
+  for (size_t s = 0; s < snap.shards.size(); ++s) {
+    const ReplicaShardSnapshot& shard_row = snap.shards[s];
+    const std::string shard_label = std::to_string(s);
+    for (size_t r = 0; r < shard_row.replicas.size(); ++r) {
+      const ReplicaSnapshot& row = shard_row.replicas[r];
+      if (row.attempts == 0) continue;
+      const Labels labels = {{"shard", shard_label},
+                             {"replica", std::to_string(r)}};
+      sink->Counter("tsb_replica_attempts_total",
+                    "Round-trip attempts routed to this replica", labels,
+                    static_cast<double>(row.attempts));
+      sink->Counter("tsb_replica_failures_total",
+                    "Attempts without a response", labels,
+                    static_cast<double>(row.failures));
+      sink->Counter("tsb_replica_probes_total",
+                    "Attempts sent as ejection probes", labels,
+                    static_cast<double>(row.probes));
+      sink->Counter("tsb_replica_hedge_attempts_total",
+                    "Attempts fired as the hedge copy", labels,
+                    static_cast<double>(row.hedge_attempts));
+      sink->Counter("tsb_replica_hedge_wins_total",
+                    "Hedge copies answering first", labels,
+                    static_cast<double>(row.hedge_wins));
+      sink->Counter("tsb_replica_ejections_total",
+                    "Health-ladder ejections", labels,
+                    static_cast<double>(row.ejections));
+      sink->Counter("tsb_replica_reinstatements_total",
+                    "Recoveries back to healthy", labels,
+                    static_cast<double>(row.reinstatements));
+      sink->Counter("tsb_replica_quarantines_total",
+                    "Stale-epoch quarantine entries", labels,
+                    static_cast<double>(row.quarantines));
+      sink->Gauge("tsb_replica_outstanding", "In-flight attempts right now",
+                  labels, static_cast<double>(row.outstanding));
+      sink->Gauge("tsb_replica_rtt_ewma_seconds",
+                  "Load-routing RTT EWMA", labels, row.rtt_ewma);
+      sink->Summary("tsb_replica_rtt_seconds", "Attempt round-trip time",
+                    labels, row.rtt.ToSummaryValue());
+    }
+    const Labels labels = {{"shard", shard_label}};
+    if (shard_row.hedges_launched != 0 || shard_row.failovers != 0 ||
+        shard_row.exhausted != 0) {
+      sink->Counter("tsb_replica_hedges_launched_total",
+                    "Sends that fired a hedge copy", labels,
+                    static_cast<double>(shard_row.hedges_launched));
+      sink->Counter("tsb_replica_failovers_total",
+                    "Attempts retried on a sibling replica", labels,
+                    static_cast<double>(shard_row.failovers));
+      sink->Counter("tsb_replica_exhausted_total",
+                    "Sends that failed on every replica", labels,
+                    static_cast<double>(shard_row.exhausted));
+    }
+  }
 }
 
 }  // namespace service

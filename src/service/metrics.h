@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "engine/query.h"
+#include "obs/registry.h"
 
 namespace tsb {
 namespace service {
@@ -28,7 +29,20 @@ class LatencyReservoir {
     double mean = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
+    double p99 = 0.0;
     double max = 0.0;
+
+    /// The registry-facing view of this summary (field-by-field copy).
+    obs::SummaryValue ToSummaryValue() const {
+      obs::SummaryValue value;
+      value.count = count;
+      value.mean = mean;
+      value.p50 = p50;
+      value.p95 = p95;
+      value.p99 = p99;
+      value.max = max;
+      return value;
+    }
   };
   /// Percentiles come from the reservoir sample; count/mean/max are exact.
   Summary Summarize() const;
@@ -91,8 +105,13 @@ struct MetricsSnapshot {
 };
 
 /// Thread-safe serving metrics: requests, cache hits, errors, rejections,
-/// and per-method p50/p95 latency via reservoir sampling.
-class ServiceMetrics {
+/// and per-method p50/p95/p99 latency via reservoir sampling.
+///
+/// Also an obs::MetricsSource: registered with a process's
+/// obs::MetricsRegistry it exports every counter under tsb_service_*
+/// (Prometheus / JSON); the Snapshot()+ToString view stays as the human
+/// rendering of the same state.
+class ServiceMetrics : public obs::MetricsSource {
  public:
   /// Slot used for TripleQuery traffic (engine methods use their enum
   /// value as the slot).
@@ -117,6 +136,10 @@ class ServiceMetrics {
   void Reset();
 
   MetricsSnapshot Snapshot() const;
+
+  /// obs::MetricsSource: exports the snapshot as typed tsb_service_*
+  /// samples.
+  void Collect(obs::MetricsSink* sink) const override;
 
   static size_t SlotOf(engine::MethodKind method) {
     return static_cast<size_t>(method);
@@ -178,7 +201,7 @@ struct TransportMetricsSnapshot {
 /// shared by every wire::ShardTransport — the in-process LoopbackTransport
 /// and the cross-process net::SocketTransport record through the same
 /// object, so swapping transports keeps the dashboards comparable.
-class TransportMetrics {
+class TransportMetrics : public obs::MetricsSource {
  public:
   explicit TransportMetrics(size_t num_shards);
 
@@ -196,6 +219,9 @@ class TransportMetrics {
 
   TransportMetricsSnapshot Snapshot() const;
   void Reset();
+
+  /// obs::MetricsSource: exports per-shard tsb_transport_* samples.
+  void Collect(obs::MetricsSink* sink) const override;
 
  private:
   struct ShardSlot {
@@ -248,7 +274,7 @@ struct ReplicaMetricsSnapshot {
 /// healthy replica by (outstanding, rtt_ewma), both read from here, so
 /// the load signal the router acts on is exactly the one the dashboards
 /// show.
-class ReplicaMetrics {
+class ReplicaMetrics : public obs::MetricsSource {
  public:
   /// `replicas_per_shard[s]` is shard s's replica count (R may vary).
   explicit ReplicaMetrics(std::vector<size_t> replicas_per_shard);
@@ -285,6 +311,10 @@ class ReplicaMetrics {
 
   ReplicaMetricsSnapshot Snapshot() const;
   void Reset();
+
+  /// obs::MetricsSource: exports per-(shard, replica) tsb_replica_*
+  /// samples.
+  void Collect(obs::MetricsSink* sink) const override;
 
   /// EWMA smoothing factor for rtt_ewma (weight of the newest sample).
   static constexpr double kEwmaAlpha = 0.2;

@@ -44,6 +44,8 @@ TopologyService::TopologyService(const engine::Engine* engine,
       parser_(db),
       cache_(MainCacheConfig(config.cache)),
       triple_cache_(TripleCacheConfig(config.cache)),
+      tracer_(config.trace),
+      slow_log_(config.slow_query),
       pool_(ResolveThreads(config.num_threads)) {
   TSB_CHECK(engine_ != nullptr);
   TSB_CHECK(db_ != nullptr);
@@ -58,6 +60,8 @@ TopologyService::TopologyService(shard::ScatterGatherExecutor* executor,
       parser_(db),
       cache_(MainCacheConfig(config.cache)),
       triple_cache_(TripleCacheConfig(config.cache)),
+      tracer_(config.trace),
+      slow_log_(config.slow_query),
       pool_(ResolveThreads(config.num_threads)) {
   TSB_CHECK(sharded_exec_ != nullptr);
   TSB_CHECK(db_ != nullptr);
@@ -126,8 +130,11 @@ std::string TopologyService::EpochFingerprint(std::string fingerprint) const {
 
 Result<engine::QueryResult> TopologyService::Evaluate(
     const engine::TopologyQuery& query, engine::MethodKind method,
-    const engine::ExecOptions& options) const {
-  if (sharded()) return sharded_exec_->Execute(query, method, options);
+    const engine::ExecOptions& options,
+    const std::shared_ptr<obs::QueryTrace>& trace) const {
+  if (sharded()) {
+    return sharded_exec_->Execute(query, method, options, trace);
+  }
   return engine_->Execute(query, method, options);
 }
 
@@ -376,21 +383,44 @@ ServiceResponse TopologyService::RunQuery(
     const engine::TopologyQuery& query, engine::MethodKind method,
     const engine::ExecOptions& options,
     std::shared_ptr<const engine::QueryResult> cached,
-    std::string fingerprint, Stopwatch watch) {
+    std::string fingerprint, Stopwatch watch,
+    const std::shared_ptr<obs::QueryTrace>& trace, double queue_seconds) {
   if (cached != nullptr) {
     ServiceResponse response{*cached, /*from_cache=*/true,
                              watch.ElapsedSeconds()};
     metrics_.RecordRequest(ServiceMetrics::SlotOf(method),
                            response.service_seconds, /*cache_hit=*/true,
                            /*ok=*/true);
+    if (trace != nullptr) {
+      trace->AddSpan("cache.lookup", trace->root_span_id(),
+                     obs::UnixSeconds(), response.service_seconds, "hit=1");
+    }
+    FinishQueryObservation(query, method, options, response, trace,
+                           queue_seconds);
     return response;
+  }
+
+  if (trace != nullptr) {
+    // Miss spans cost one map probe; recorded only for sampled queries.
+    trace->AddSpan("cache.lookup", trace->root_span_id(),
+                   obs::UnixSeconds(), 0.0, "hit=0");
   }
 
   // No service-level lock: Execute pins store snapshots (one per routed
   // shard when sharded) and the catalog interns under its own mutex, so
   // 2-queries, 3-queries, and rebuild staging coexist freely.
-  Result<engine::QueryResult> result = Evaluate(query, method, options);
+  const double exec_start_unix =
+      trace != nullptr ? obs::UnixSeconds() : 0.0;
+  Stopwatch exec_watch;
+  Result<engine::QueryResult> result =
+      Evaluate(query, method, options, trace);
   const bool ok = result.ok();
+  if (trace != nullptr) {
+    std::string tags = ok ? wire::ExecStatsTraceTags(result->stats)
+                          : std::string("ok=0");
+    trace->AddSpan("execute", trace->root_span_id(), exec_start_unix,
+                   exec_watch.ElapsedSeconds(), std::move(tags));
+  }
   if (ok) {
     metrics_.RecordScanStats(result->stats.rows_scanned,
                              result->stats.blocks_total,
@@ -407,7 +437,50 @@ ServiceResponse TopologyService::RunQuery(
                            watch.ElapsedSeconds()};
   metrics_.RecordRequest(ServiceMetrics::SlotOf(method),
                          response.service_seconds, /*cache_hit=*/false, ok);
+  FinishQueryObservation(query, method, options, response, trace,
+                         queue_seconds);
   return response;
+}
+
+void TopologyService::FinishQueryObservation(
+    const engine::TopologyQuery& query, engine::MethodKind method,
+    const engine::ExecOptions& options, const ServiceResponse& response,
+    const std::shared_ptr<obs::QueryTrace>& trace, double queue_seconds) {
+  if (trace != nullptr) {
+    trace->Finish(response.service_seconds);
+    tracer_.Record(trace);
+  }
+  if (!slow_log_.enabled() ||
+      response.service_seconds < slow_log_.threshold_seconds()) {
+    return;
+  }
+  obs::SlowQueryRecord record;
+  record.unix_seconds = obs::UnixSeconds();
+  record.service_seconds = response.service_seconds;
+  record.queue_seconds = queue_seconds;
+  ParsedRequest parsed;
+  parsed.query = query;
+  parsed.method = method;
+  parsed.options = options;
+  Result<std::string> line = RequestParser::Format(parsed);
+  record.request = line.ok() ? std::move(*line)
+                             : query.entity_set1 + " / " + query.entity_set2;
+  record.method = engine::MethodKindToString(method);
+  record.from_cache = response.from_cache;
+  record.ok = response.result.ok();
+  if (record.ok) {
+    const engine::ExecStats& stats = response.result->stats;
+    record.plan = stats.plan;
+    record.rows_scanned = stats.rows_scanned;
+    record.rows_out = stats.rows_out;
+    record.blocks_total = stats.blocks_total;
+    record.blocks_skipped = stats.blocks_skipped;
+  }
+  if (trace != nullptr) {
+    record.trace_id = trace->trace_id();
+    record.span_tree = obs::FormatSpanTree(trace->Spans());
+  }
+  slow_log_.Record(std::move(record));
 }
 
 /// --- The wire surface ------------------------------------------------------
@@ -491,6 +564,14 @@ void TopologyService::SubmitToStream(
   std::string fingerprint = EpochFingerprint(
       FingerprintQuery(request.query, request.method, request.options));
 
+  // Sampling decision up front so the cache fast path is traced too. A
+  // request arriving with an active trace context (a traced upstream)
+  // is always traced and joins the upstream's trace.
+  std::shared_ptr<obs::QueryTrace> trace =
+      request.trace.active()
+          ? tracer_.StartTrace("service.query", request.trace)
+          : tracer_.StartTrace("service.query");
+
   // Fast path: answer hits on the caller's thread, no pool hop, no
   // admission charge.
   if (config_.enable_cache) {
@@ -498,7 +579,8 @@ void TopologyService::SubmitToStream(
             cache_.Lookup(fingerprint)) {
       ServiceResponse response =
           RunQuery(request.query, request.method, request.options,
-                   std::move(hit), std::move(fingerprint), watch);
+                   std::move(hit), std::move(fingerprint), watch, trace,
+                   /*queue_seconds=*/0.0);
       DeliverResponse(stream, ToWire(request.id, std::move(response)));
       return;
     }
@@ -531,6 +613,7 @@ void TopologyService::SubmitToStream(
     item.stream = stream;
     item.fingerprint = std::move(fingerprint);
     item.watch = watch;
+    item.trace = std::move(trace);
     queues_[cls].push_back(std::move(item));
   }
   // One drain token per queued item; a worker completes the
@@ -597,13 +680,19 @@ void TopologyService::DrainOne(
                      "s exceeded after " + std::to_string(waited) +
                      "s in queue");
   } else {
+    if (item.trace != nullptr) {
+      item.trace->AddSpan(
+          "queue.wait", item.trace->root_span_id(),
+          obs::UnixSeconds() - waited, waited,
+          "class=" + std::string(wire::PriorityToString(item.req.priority)));
+    }
     // Re-check the cache: an identical request may have completed while
     // this one sat in the queue.
     std::shared_ptr<const engine::QueryResult> hit;
     if (config_.enable_cache) hit = cache_.Lookup(item.fingerprint);
     ServiceResponse response = RunQuery(
         item.req.query, item.req.method, item.req.options, std::move(hit),
-        std::move(item.fingerprint), item.watch);
+        std::move(item.fingerprint), item.watch, item.trace, waited);
     metrics_.RecordClassLatency(cls, response.service_seconds);
     DeliverResponse(item.stream, ToWire(item.req.id, std::move(response)));
   }

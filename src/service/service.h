@@ -18,6 +18,8 @@
 #include "engine/engine.h"
 #include "engine/nquery.h"
 #include "engine/query.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "service/metrics.h"
 #include "service/query_cache.h"
 #include "service/request_parser.h"
@@ -54,6 +56,15 @@ struct ServiceConfig {
   /// goes to the 2-query cache, 1/8 to the 3-query cache.
   bool enable_cache = true;
   QueryCacheConfig cache;
+  /// Distributed tracing: trace.sample_every = N traces one query in N
+  /// (0 disables, the default); sampled queries record a span tree —
+  /// queue wait, cache lookup, scatter fan-out, per-replica attempts,
+  /// shard executions, merge — assembled across processes via the wire's
+  /// v4 trace fields. Hot-adjustable at runtime via tracer().
+  obs::TracerConfig trace;
+  /// Slow-query log: queries at or above slow_query.threshold_seconds
+  /// emit a structured record (0 disables, the default).
+  obs::SlowQueryConfig slow_query;
 };
 
 /// One served answer. `result` carries the engine outcome (or the
@@ -276,6 +287,15 @@ class TopologyService {
 
   MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
   QueryCache::Stats CacheStats() const { return cache_.GetStats(); }
+  /// The service's tracer (sampling knob, recent traces). Thread-safe;
+  /// set_sample_every takes effect for subsequent submissions.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::SlowQueryLog& slow_query_log() { return slow_log_; }
+  const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
+  /// This service's metrics as a registry source (register it with an
+  /// obs::MetricsRegistry for Prometheus/JSON export).
+  const obs::MetricsSource& metrics_source() const { return metrics_; }
   const RequestParser& parser() const { return parser_; }
   size_t num_threads() const { return pool_.num_threads(); }
   size_t InFlight() const { return in_flight_.load(); }
@@ -309,6 +329,7 @@ class TopologyService {
     std::shared_ptr<StreamState> stream;
     std::string fingerprint;
     Stopwatch watch;  // Started at submission (deadline + latency basis).
+    std::shared_ptr<obs::QueryTrace> trace;  // Null when unsampled.
   };
 
   /// Core submission path: cache fast path, per-class admission, enqueue +
@@ -350,12 +371,24 @@ class TopologyService {
                            engine::MethodKind method,
                            const engine::ExecOptions& options,
                            std::shared_ptr<const engine::QueryResult> cached,
-                           std::string fingerprint, Stopwatch watch);
+                           std::string fingerprint, Stopwatch watch,
+                           const std::shared_ptr<obs::QueryTrace>& trace,
+                           double queue_seconds);
+
+  /// Finishes a sampled query's trace and applies the slow-query
+  /// threshold (both no-ops when disabled).
+  void FinishQueryObservation(const engine::TopologyQuery& query,
+                              engine::MethodKind method,
+                              const engine::ExecOptions& options,
+                              const ServiceResponse& response,
+                              const std::shared_ptr<obs::QueryTrace>& trace,
+                              double queue_seconds);
 
   /// Engine dispatch: scatter-gather when sharded, else the single engine.
   Result<engine::QueryResult> Evaluate(
       const engine::TopologyQuery& query, engine::MethodKind method,
-      const engine::ExecOptions& options) const;
+      const engine::ExecOptions& options,
+      const std::shared_ptr<obs::QueryTrace>& trace) const;
 
   Result<RebuildStats> RebuildSharded(const RebuildOptions& options);
 
@@ -396,6 +429,8 @@ class TopologyService {
   QueryCache cache_;
   TripleQueryCache triple_cache_;
   ServiceMetrics metrics_;
+  obs::Tracer tracer_;
+  obs::SlowQueryLog slow_log_;
   ThreadPool pool_;
 
   /// Per-class admission queues: workers always drain interactive before

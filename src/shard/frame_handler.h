@@ -8,10 +8,29 @@
 #include "common/result.h"
 #include "core/store.h"
 #include "engine/engine.h"
+#include "obs/admin.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace tsb {
+
+namespace service {
+class ServiceMetrics;
+}  // namespace service
+
 namespace shard {
+
+/// Optional observability hooks of a serving shard. All pointers are
+/// non-owning and may be null individually; the referenced objects must
+/// outlive every handler copy. With `admin` set the handler also answers
+/// kAdminRequest frames (the topctl pull channel).
+struct ShardObservability {
+  service::ServiceMetrics* metrics = nullptr;  // Per-frame request metrics.
+  obs::Tracer* tracer = nullptr;     // Records shard-side trace fragments.
+  obs::SlowQueryLog* slow_log = nullptr;
+  const obs::AdminState* admin = nullptr;
+};
 
 /// The server side of the shard wire protocol, independent of how the
 /// request frame arrived: decodes one request frame against the local
@@ -39,6 +58,13 @@ class ShardFrameHandler {
   ShardFrameHandler(storage::Catalog* db, const engine::Engine* engine,
                     SnapshotFn snapshot, StampFn stamp = nullptr);
 
+  /// Attaches observability hooks (see ShardObservability). Handlers are
+  /// frequently copied (loopback channels); copies share the referenced
+  /// objects.
+  void set_observability(ShardObservability observability) {
+    observability_ = observability;
+  }
+
   /// Synchronous request handling. Engine-level failures come back as an
   /// encoded response carrying a WireError (the request reached the shard
   /// and was understood); only transport-level problems — an undecodable
@@ -59,6 +85,7 @@ class ShardFrameHandler {
   const engine::Engine* engine_;
   SnapshotFn snapshot_;
   StampFn stamp_;
+  ShardObservability observability_;
 };
 
 }  // namespace shard

@@ -130,8 +130,11 @@ Result<std::string> ScatterGatherExecutor::AwaitFrame(
 
 Result<engine::QueryResult> ScatterGatherExecutor::Execute(
     const engine::TopologyQuery& query, engine::MethodKind method,
-    const engine::ExecOptions& options) const {
+    const engine::ExecOptions& options,
+    const std::shared_ptr<obs::QueryTrace>& trace) const {
   Stopwatch watch;
+  const bool traced = trace != nullptr;
+  const double start_unix = traced ? obs::UnixSeconds() : 0.0;
   const storage::EntitySetDef* es1 = db_->FindEntitySet(query.entity_set1);
   const storage::EntitySetDef* es2 = db_->FindEntitySet(query.entity_set2);
   if (es1 == nullptr) {
@@ -153,6 +156,16 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
     // directly (the designated role implies full pruned checks).
     Result<engine::QueryResult> result =
         engines_[route.designated]->Execute(query, method, options);
+    if (traced) {
+      std::string tags = "shard=" + std::to_string(route.designated);
+      if (result.ok()) {
+        tags += "," + wire::ExecStatsTraceTags(result->stats);
+      } else {
+        tags += ",ok=0";
+      }
+      trace->AddSpan("designated.exec", trace->root_span_id(), start_unix,
+                     watch.ElapsedSeconds(), std::move(tags));
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.queries;
@@ -176,11 +189,16 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
   // designated shard's verdicts already cover the whole store.
   struct SubQuery {
     size_t shard;
+    uint64_t rpc_span_id;
     std::future<Result<std::string>> future;
   };
   std::vector<SubQuery> scattered;
   scattered.reserve(route.shards.size() - 1);
   const GatherDeadline deadline = StartGatherDeadline();
+  // The scatter span id is allocated before fan-out so every rpc span —
+  // and through the sub-request's trace context, every shard-side span —
+  // can parent under it before the span itself is recorded.
+  const uint64_t scatter_span_id = traced ? obs::NewSpanId() : 0;
   uint64_t bytes_sent = 0;
   for (size_t shard : route.shards) {
     if (shard == route.designated) continue;
@@ -190,14 +208,33 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
     sub.method = method;
     sub.options = options;
     sub.options.skip_pruned_checks = true;
+    uint64_t rpc_span_id = 0;
+    if (traced) {
+      rpc_span_id = obs::NewSpanId();
+      sub.trace = trace->ContextUnder(rpc_span_id);
+    }
     std::string encoded;
     wire::EncodeQueryRequest(sub, &encoded);
     bytes_sent += encoded.size();
-    scattered.push_back(
-        {shard, transport_->Send(shard, std::move(encoded))});
+    scattered.push_back({shard, rpc_span_id,
+                         transport_->SendTraced(shard, std::move(encoded),
+                                                trace, rpc_span_id)});
   }
+  const double designated_start_unix = traced ? obs::UnixSeconds() : 0.0;
+  Stopwatch designated_watch;
   Result<engine::QueryResult> designated =
       engines_[route.designated]->Execute(query, method, options);
+  if (traced) {
+    std::string tags = "shard=" + std::to_string(route.designated);
+    if (designated.ok()) {
+      tags += "," + wire::ExecStatsTraceTags(designated->stats);
+    } else {
+      tags += ",ok=0";
+    }
+    trace->AddSpan("designated.exec", scatter_span_id,
+                   designated_start_unix, designated_watch.ElapsedSeconds(),
+                   std::move(tags));
+  }
 
   // Gather every partial (drain even after an error so no future leaks).
   std::vector<std::vector<engine::ResultEntry>> partials;
@@ -225,12 +262,30 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
           bytes_received += frame->size();
           TSB_ASSIGN_OR_RETURN(wire::WireResponse response,
                                wire::DecodeQueryResponse(*frame));
+          // Shard-side spans piggybacked on the response join this
+          // frontend's trace (they already parent under the rpc span).
+          if (traced) trace->Absorb(std::move(response.spans));
           if (!response.error.ok()) {
             return wire::StatusFromWireError(response.error);
           }
           return std::move(response.result);
         }()
                    : Result<engine::QueryResult>(frame.status());
+    if (traced) {
+      // Duration is gather-observed: from fan-out to the moment this
+      // slot's frame was consumed (includes any wait behind earlier
+      // slots — the latency the merge actually paid).
+      obs::Span rpc;
+      rpc.span_id = sub.rpc_span_id;
+      rpc.parent_span_id = scatter_span_id;
+      rpc.name = "rpc";
+      rpc.start_unix_seconds = designated_start_unix;
+      rpc.duration_seconds = watch.ElapsedSeconds();
+      rpc.tags = "shard=" + std::to_string(sub.shard) +
+                 (partial.ok() ? ",ok=1" : ",ok=0") +
+                 (sub_timed_out ? ",timeout=1" : "");
+      trace->AddSpanWithId(std::move(rpc));
+    }
     if (!partial.ok()) {
       if (sub_timed_out) ++timed_out;
       ++failed;
@@ -255,12 +310,29 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
   if (!first_error.ok()) return first_error;
 
   Stopwatch merge_watch;
+  const double merge_start_unix = traced ? obs::UnixSeconds() : 0.0;
   const size_t limit =
       engine::MethodIsTopK(method) ? query.k : std::numeric_limits<size_t>::max();
   engine::QueryResult result;
   result.entries = MergeRankedPartials(partials, limit);
   result.partial = lost_shards > 0;
   const double merge_seconds = merge_watch.ElapsedSeconds();
+  if (traced) {
+    trace->AddSpan("merge", scatter_span_id, merge_start_unix,
+                   merge_seconds,
+                   "partials=" + std::to_string(partials.size()) +
+                       ",entries=" + std::to_string(result.entries.size()));
+    obs::Span scatter;
+    scatter.span_id = scatter_span_id;
+    scatter.parent_span_id = trace->root_span_id();
+    scatter.name = "scatter";
+    scatter.start_unix_seconds = start_unix;
+    scatter.duration_seconds = watch.ElapsedSeconds();
+    scatter.tags = "shards=" + std::to_string(route.shards.size()) +
+                   ",designated=" + std::to_string(route.designated) +
+                   ",lost=" + std::to_string(lost_shards);
+    trace->AddSpanWithId(std::move(scatter));
+  }
 
   result.stats = total;
   result.stats.seconds = watch.ElapsedSeconds();

@@ -14,6 +14,7 @@
 #include "engine/engine.h"
 #include "engine/nquery.h"
 #include "engine/query.h"
+#include "obs/trace.h"
 #include "service/thread_pool.h"
 #include "shard/loopback_transport.h"
 #include "shard/router.h"
@@ -128,9 +129,17 @@ class ScatterGatherExecutor {
   /// Scatter-gather evaluation of a 2-query. Result entries are
   /// byte-identical to single-store Engine::Execute; stats are summed over
   /// the sub-queries (plus wall-clock seconds and a scatter plan line).
+  ///
+  /// With `trace` set the execution records its span tree into it —
+  /// scatter fan-out, one rpc span per remote sub-query (the sub-request
+  /// carries the rpc span as its trace parent, so shard-side spans
+  /// piggybacked on the response nest under it), the designated shard's
+  /// inline execution, and the k-way merge. Tracing never changes the
+  /// result bytes.
   Result<engine::QueryResult> Execute(
       const engine::TopologyQuery& query, engine::MethodKind method,
-      const engine::ExecOptions& options = engine::ExecOptions{}) const;
+      const engine::ExecOptions& options = engine::ExecOptions{},
+      const std::shared_ptr<obs::QueryTrace>& trace = nullptr) const;
 
   /// Scatter-gather evaluation of a 3-query (see class comment).
   Result<engine::TripleQueryResult> ExecuteTriple(

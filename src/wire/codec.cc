@@ -43,8 +43,11 @@ void EndFrame(size_t start, std::string* out) {
 /// Validates the header and hands back the payload slice. The caller
 /// holds the complete message, so kIncomplete is truncation (malformed),
 /// and trailing bytes beyond the framed length are rejected too.
+/// `version` (optional) receives the frame's header version so decoders
+/// can branch on which tail fields the payload carries.
 Result<std::string_view> OpenFrame(std::string_view frame,
-                                   MessageKind expected) {
+                                   MessageKind expected,
+                                   uint8_t* version = nullptr) {
   FrameHeader header;
   const FrameError error =
       InspectFrame(frame, /*max_payload_bytes=*/frame.size(), &header);
@@ -61,6 +64,7 @@ Result<std::string_view> OpenFrame(std::string_view frame,
         std::to_string(header.payload_bytes) + ", got " +
         std::to_string(frame.size() - kHeaderBytes) + ")");
   }
+  if (version != nullptr) *version = header.version;
   return frame.substr(kHeaderBytes);
 }
 
@@ -119,12 +123,13 @@ FrameError InspectFrame(std::string_view buffer, size_t max_payload_bytes,
     return FrameError::kMalformedFrame;
   }
   if (buffer.size() >= 3 &&
-      static_cast<uint8_t>(buffer[2]) != kWireVersion) {
+      (static_cast<uint8_t>(buffer[2]) < kMinWireVersion ||
+       static_cast<uint8_t>(buffer[2]) > kWireVersion)) {
     return FrameError::kUnsupportedVersion;
   }
   if (buffer.size() >= 4 &&
       static_cast<uint8_t>(buffer[3]) >
-          static_cast<uint8_t>(MessageKind::kTripleCollectResponse)) {
+          static_cast<uint8_t>(MessageKind::kAdminResponse)) {
     return FrameError::kMalformedFrame;
   }
   if (buffer.size() < kFrameHeaderBytes) return FrameError::kIncomplete;
@@ -196,13 +201,19 @@ void EncodeQueryRequest(const WireRequest& request, std::string* out) {
   }
   PutBool(out, request.options.skip_pruned_checks);
   PutBool(out, request.options.use_columnar);
+  // v4 tail: trace context.
+  PutU64(out, request.trace.trace_id);
+  PutU64(out, request.trace.parent_span_id);
+  PutBool(out, request.trace.sampled);
   EndFrame(frame, out);
 }
 
 Result<WireRequest> DecodeQueryRequest(std::string_view frame,
                                        const storage::Catalog& db) {
-  TSB_ASSIGN_OR_RETURN(std::string_view payload,
-                       OpenFrame(frame, MessageKind::kQueryRequest));
+  uint8_t version = kWireVersion;
+  TSB_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      OpenFrame(frame, MessageKind::kQueryRequest, &version));
   BinaryReader in(payload);
   WireRequest request;
   request.id = in.U64();
@@ -266,6 +277,11 @@ Result<WireRequest> DecodeQueryRequest(std::string_view frame,
   }
   request.options.skip_pruned_checks = in.Bool();
   request.options.use_columnar = in.Bool();
+  if (version >= 4) {
+    request.trace.trace_id = in.U64();
+    request.trace.parent_span_id = in.U64();
+    request.trace.sampled = in.Bool();
+  }
   if (!in.AtEnd()) return in.status("query request payload");
   return request;
 }
@@ -279,12 +295,16 @@ void EncodeQueryResponse(const WireResponse& response, std::string* out) {
   engine::EncodeQueryResult(response.result, out);
   PutBool(out, response.from_cache);
   PutF64(out, response.service_seconds);
+  // v4 tail: piggybacked responder spans.
+  obs::EncodeSpans(response.spans, out);
   EndFrame(frame, out);
 }
 
 Result<WireResponse> DecodeQueryResponse(std::string_view frame) {
-  TSB_ASSIGN_OR_RETURN(std::string_view payload,
-                       OpenFrame(frame, MessageKind::kQueryResponse));
+  uint8_t version = kWireVersion;
+  TSB_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      OpenFrame(frame, MessageKind::kQueryResponse, &version));
   BinaryReader in(payload);
   WireResponse response;
   response.request_id = in.U64();
@@ -299,6 +319,9 @@ Result<WireResponse> DecodeQueryResponse(std::string_view frame) {
   TSB_ASSIGN_OR_RETURN(response.result, engine::DecodeQueryResult(&in));
   response.from_cache = in.Bool();
   response.service_seconds = in.F64();
+  if (version >= 4) {
+    TSB_RETURN_IF_ERROR(obs::DecodeSpans(&in, &response.spans));
+  }
   if (!in.AtEnd()) return in.status("query response payload");
   return response;
 }
@@ -382,6 +405,53 @@ Result<engine::TripleRelatedSets> DecodeTripleCollectResponse(
                        engine::DecodeTripleRelatedSets(&in));
   if (!in.AtEnd()) return in.status("triple-collect response payload");
   return related;
+}
+
+void EncodeAdminRequest(const AdminRequest& request, std::string* out) {
+  const size_t frame = BeginFrame(MessageKind::kAdminRequest, out);
+  PutU8(out, static_cast<uint8_t>(request.command));
+  EndFrame(frame, out);
+}
+
+Result<AdminRequest> DecodeAdminRequest(std::string_view frame) {
+  TSB_ASSIGN_OR_RETURN(std::string_view payload,
+                       OpenFrame(frame, MessageKind::kAdminRequest));
+  BinaryReader in(payload);
+  AdminRequest request;
+  const uint8_t command = in.U8();
+  if (!in.ok()) return in.status("admin request payload");
+  if (command > kMaxAdminCommand) {
+    return Status::InvalidArgument("admin request: bad command " +
+                                   std::to_string(command));
+  }
+  request.command = static_cast<AdminCommand>(command);
+  if (!in.AtEnd()) return in.status("admin request payload");
+  return request;
+}
+
+void EncodeAdminResponse(const AdminResponse& response, std::string* out) {
+  const size_t frame = BeginFrame(MessageKind::kAdminResponse, out);
+  PutU8(out, static_cast<uint8_t>(response.error.code));
+  PutString(out, response.error.message);
+  PutString(out, response.body);
+  EndFrame(frame, out);
+}
+
+Result<AdminResponse> DecodeAdminResponse(std::string_view frame) {
+  TSB_ASSIGN_OR_RETURN(std::string_view payload,
+                       OpenFrame(frame, MessageKind::kAdminResponse));
+  BinaryReader in(payload);
+  AdminResponse response;
+  const uint8_t code = in.U8();
+  if (code > static_cast<uint8_t>(WireErrorCode::kInternal)) {
+    return Status::InvalidArgument("admin response: bad error code " +
+                                   std::to_string(code));
+  }
+  response.error.code = static_cast<WireErrorCode>(code);
+  response.error.message = in.String();
+  response.body = in.String();
+  if (!in.AtEnd()) return in.status("admin response payload");
+  return response;
 }
 
 }  // namespace wire

@@ -22,6 +22,11 @@ namespace wire {
 /// Decoders reject bad magic, unknown versions/kinds, length mismatches,
 /// and trailing payload bytes.
 ///
+/// Encoders always emit kWireVersion; decoders accept every version in
+/// [kMinWireVersion, kWireVersion]. Fields added by a newer version sit at
+/// the payload tail, so an older payload simply ends before them and the
+/// decoder fills the defaults (empty trace context, no spans).
+///
 /// Requests carry predicates as structural trees
 /// (storage::DecodePredicate), re-resolved against the decoding side's
 /// catalog — the seam that lets a sub-query cross a process boundary to a
@@ -39,6 +44,8 @@ enum class MessageKind : uint8_t {
   kQueryResponse = 1,
   kTripleCollectRequest = 2,
   kTripleCollectResponse = 3,
+  kAdminRequest = 4,
+  kAdminResponse = 5,
 };
 
 /// Bytes of every frame header: magic 'T' 'W', version u8, kind u8,
@@ -132,6 +139,14 @@ void EncodeTripleCollectResponse(const engine::TripleRelatedSets& related,
                                  std::string* out);
 Result<engine::TripleRelatedSets> DecodeTripleCollectResponse(
     std::string_view frame);
+
+/// --- Admin channel ---------------------------------------------------------
+
+void EncodeAdminRequest(const AdminRequest& request, std::string* out);
+Result<AdminRequest> DecodeAdminRequest(std::string_view frame);
+
+void EncodeAdminResponse(const AdminResponse& response, std::string* out);
+Result<AdminResponse> DecodeAdminResponse(std::string_view frame);
 
 }  // namespace wire
 }  // namespace tsb

@@ -6,6 +6,18 @@
 namespace tsb {
 namespace wire {
 
+std::string ExecStatsTraceTags(const engine::ExecStats& stats) {
+  const bool columnar = stats.plan.find("columnar") != std::string::npos;
+  std::string tags = columnar ? "path=columnar" : "path=row";
+  tags += ",rows_scanned=" + std::to_string(stats.rows_scanned);
+  tags += ",rows_out=" + std::to_string(stats.rows_out);
+  if (stats.blocks_total > 0) {
+    tags += ",blocks=" + std::to_string(stats.blocks_skipped) + "/" +
+            std::to_string(stats.blocks_total);
+  }
+  return tags;
+}
+
 std::string MakeServingStamp(uint64_t replica_id, uint64_t epoch) {
   return "r" + std::to_string(replica_id) + ":e" + std::to_string(epoch);
 }
@@ -37,6 +49,35 @@ const char* PriorityToString(Priority priority) {
       return "batch";
   }
   return "unknown";
+}
+
+const char* AdminCommandToString(AdminCommand command) {
+  switch (command) {
+    case AdminCommand::kPing:
+      return "ping";
+    case AdminCommand::kMetricsPrometheus:
+      return "metrics";
+    case AdminCommand::kMetricsJson:
+      return "metrics-json";
+    case AdminCommand::kMetricsText:
+      return "metrics-text";
+    case AdminCommand::kTraces:
+      return "traces";
+    case AdminCommand::kSlowQueries:
+      return "slowlog";
+  }
+  return "unknown";
+}
+
+bool ParseAdminCommand(const std::string& name, AdminCommand* command) {
+  for (uint8_t c = 0; c <= kMaxAdminCommand; ++c) {
+    const AdminCommand candidate = static_cast<AdminCommand>(c);
+    if (name == AdminCommandToString(candidate)) {
+      *command = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 const char* WireErrorCodeToString(WireErrorCode code) {

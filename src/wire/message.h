@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "engine/nquery.h"
 #include "engine/query.h"
+#include "obs/trace.h"
 
 namespace tsb {
 namespace wire {
@@ -32,8 +33,21 @@ namespace wire {
 ///   3 — query requests carry ExecOptions::use_columnar (columnar block-scan
 ///       gate) and ExecStats gained blocks_total/blocks_skipped counters, so
 ///       zone-map effectiveness is observable across the wire.
+///   4 — distributed tracing + admin channel: query requests carry a
+///       TraceContext (trace id, parent span id, sampled flag) appended at
+///       the payload tail; query responses piggyback the responder's span
+///       list after service_seconds, so a frontend assembles one
+///       cross-process trace per sampled query. New kAdminRequest /
+///       kAdminResponse frames let tools/topctl pull metrics, traces, and
+///       slow-query records from a live server. v3 frames still decode
+///       (empty trace context, no spans): trace fields sit at the payload
+///       tail, so a v3 payload simply ends before them.
 
-inline constexpr uint8_t kWireVersion = 3;
+inline constexpr uint8_t kWireVersion = 4;
+
+/// Oldest version this build still decodes. Encoders always emit
+/// kWireVersion; decoders branch on the received header version.
+inline constexpr uint8_t kMinWireVersion = 3;
 
 /// Admission class of a request. Interactive top-k lookups and batch
 /// SQL-baseline scans differ by orders of magnitude in cost (the paper's
@@ -100,6 +114,10 @@ struct WireRequest {
   engine::TopologyQuery query;
   engine::MethodKind method = engine::MethodKind::kFastTopKEt;
   engine::ExecOptions options;
+
+  /// Distributed-tracing context (v4+). Inactive for untraced traffic and
+  /// for every frame decoded from a v3 peer.
+  obs::TraceContext trace;
 };
 
 /// One response on the wire. `error.ok()` selects between the result
@@ -115,7 +133,17 @@ struct WireResponse {
   engine::QueryResult result;
   bool from_cache = false;
   double service_seconds = 0.0;
+
+  /// Spans the responder recorded while serving a traced request (v4+),
+  /// piggybacked so the requesting frontend absorbs them into its own
+  /// trace. Empty for untraced traffic and v3 frames.
+  std::vector<obs::Span> spans;
 };
+
+/// Renders one execution's ExecStats as span tags for the tracing layer:
+/// "path=columnar|row" (from the plan's columnar marker), rows scanned /
+/// emitted, and block skip counts when the columnar path ran.
+std::string ExecStatsTraceTags(const engine::ExecStats& stats);
 
 /// Builds the canonical serving stamp, e.g. "r1:e3".
 std::string MakeServingStamp(uint64_t replica_id, uint64_t epoch);
@@ -124,6 +152,40 @@ std::string MakeServingStamp(uint64_t replica_id, uint64_t epoch);
 /// the "r<replica>:e<epoch>" form.
 bool ParseServingStamp(const std::string& stamp, uint64_t* replica_id,
                        uint64_t* epoch);
+
+/// --- Admin channel (v4) ----------------------------------------------------
+///
+/// The out-of-band observability pull: tools/topctl sends one
+/// kAdminRequest frame to a live server and gets the requested snapshot
+/// back as an opaque text body (Prometheus exposition, JSON, rendered
+/// traces, or the slow-query log).
+
+enum class AdminCommand : uint8_t {
+  kPing = 0,               // Body "pong" — liveness probe.
+  kMetricsPrometheus = 1,  // Prometheus text exposition.
+  kMetricsJson = 2,        // JSON dump of the same samples.
+  kMetricsText = 3,        // Human tables (the ToString renderings).
+  kTraces = 4,             // Recent sampled traces as span trees.
+  kSlowQueries = 5,        // Recent slow-query records.
+};
+
+inline constexpr uint8_t kMaxAdminCommand =
+    static_cast<uint8_t>(AdminCommand::kSlowQueries);
+
+const char* AdminCommandToString(AdminCommand command);
+
+/// Parses a topctl-style command name ("metrics", "metrics-json",
+/// "metrics-text", "traces", "slowlog", "ping"); false on unknown names.
+bool ParseAdminCommand(const std::string& name, AdminCommand* command);
+
+struct AdminRequest {
+  AdminCommand command = AdminCommand::kPing;
+};
+
+struct AdminResponse {
+  WireError error;
+  std::string body;
+};
 
 enum class FrameKind : uint8_t {
   /// One completed response (terminal for its request).

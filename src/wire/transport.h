@@ -2,11 +2,17 @@
 #define TSB_WIRE_TRANSPORT_H_
 
 #include <future>
+#include <memory>
 #include <string>
 
 #include "common/result.h"
 
 namespace tsb {
+
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 namespace wire {
 
 /// The process-boundary seam of the sharded executor: sub-queries travel
@@ -36,6 +42,21 @@ class ShardTransport {
   /// Dispatches one encoded request frame to `shard`.
   virtual std::future<Result<std::string>> Send(size_t shard,
                                                 std::string request) = 0;
+
+  /// Traced dispatch: implementations that make routing decisions of
+  /// their own (replica selection, hedging, failover) record one span per
+  /// attempt into `trace`, parented under `parent_span_id`. The default
+  /// forwards to Send — a transport with nothing to add needs no change.
+  /// `trace` may outlive the query; implementations hold the shared_ptr
+  /// from their attempt tasks.
+  virtual std::future<Result<std::string>> SendTraced(
+      size_t shard, std::string request,
+      const std::shared_ptr<obs::QueryTrace>& trace,
+      uint64_t parent_span_id) {
+    (void)trace;
+    (void)parent_span_id;
+    return Send(shard, std::move(request));
+  }
 };
 
 }  // namespace wire

@@ -1,0 +1,541 @@
+// The observability subsystem (src/obs/): trace ids and span trees, the
+// sampling tracer, the span-list wire codec and its corruption handling,
+// the unified MetricsRegistry renderings (Prometheus text exposition and
+// JSON), the slow-query ring, and the admin channel both at the struct
+// level (HandleAdmin) and the frame level (HandleAdminFrame + codecs).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "obs/admin.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
+#include "wire/codec.h"
+#include "wire/message.h"
+
+namespace tsb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ids and QueryTrace
+// ---------------------------------------------------------------------------
+
+TEST(TraceIdTest, IdsAreNonZeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t trace_id = obs::NewTraceId();
+    const uint64_t span_id = obs::NewSpanId();
+    EXPECT_NE(trace_id, 0u);
+    EXPECT_NE(span_id, 0u);
+    seen.insert(trace_id);
+    seen.insert(span_id);
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(QueryTraceTest, RootFirstSpansAndFinishSetsRootDuration) {
+  obs::QueryTrace trace(obs::NewTraceId(), "service.query");
+  EXPECT_EQ(trace.size(), 1u);
+
+  const uint64_t child =
+      trace.AddSpan("execute", trace.root_span_id(), 1.0, 0.5, "ok=1");
+  EXPECT_NE(child, 0u);
+  trace.Finish(2.5);
+
+  std::vector<obs::Span> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].span_id, trace.root_span_id());
+  EXPECT_EQ(spans[0].name, "service.query");
+  EXPECT_DOUBLE_EQ(spans[0].duration_seconds, 2.5);
+  EXPECT_EQ(spans[1].span_id, child);
+  EXPECT_EQ(spans[1].parent_span_id, trace.root_span_id());
+  EXPECT_EQ(spans[1].tags, "ok=1");
+}
+
+TEST(QueryTraceTest, ContextUnderCarriesTraceIdAndParent) {
+  obs::QueryTrace trace(42, "root");
+  const uint64_t rpc_span = obs::NewSpanId();
+  obs::TraceContext context = trace.ContextUnder(rpc_span);
+  EXPECT_TRUE(context.active());
+  EXPECT_EQ(context.trace_id, 42u);
+  EXPECT_EQ(context.parent_span_id, rpc_span);
+}
+
+TEST(QueryTraceTest, AbsorbAndPreAllocatedIdsLinkCrossProcessSpans) {
+  // The scatter pattern: the rpc span id is drawn before the sub-request
+  // ships, the shard parents its spans under that id, and the rpc span
+  // itself is recorded after the response returns.
+  obs::QueryTrace trace(obs::NewTraceId(), "root");
+  const uint64_t rpc_span_id = obs::NewSpanId();
+
+  obs::Span shard_span;
+  shard_span.span_id = obs::NewSpanId();
+  shard_span.parent_span_id = rpc_span_id;
+  shard_span.name = "shard.exec";
+  trace.Absorb({shard_span});
+
+  obs::Span rpc;
+  rpc.span_id = rpc_span_id;
+  rpc.parent_span_id = trace.root_span_id();
+  rpc.name = "rpc";
+  trace.AddSpanWithId(rpc);
+
+  // The tree renders the shard span under the rpc span even though the
+  // parent arrived after the child: root (depth 0) -> rpc (depth 1) ->
+  // shard.exec (depth 2).
+  const std::string tree = obs::FormatSpanTree(trace.Spans());
+  EXPECT_NE(tree.find("\n  rpc"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("\n    shard.exec"), std::string::npos) << tree;
+}
+
+TEST(FormatSpanTreeTest, NestsChildrenAndKeepsOrphansVisible) {
+  std::vector<obs::Span> spans;
+  obs::Span root;
+  root.span_id = 1;
+  root.name = "root";
+  spans.push_back(root);
+  obs::Span child;
+  child.span_id = 2;
+  child.parent_span_id = 1;
+  child.name = "child";
+  child.tags = "k=v";
+  spans.push_back(child);
+  obs::Span grandchild;
+  grandchild.span_id = 3;
+  grandchild.parent_span_id = 2;
+  grandchild.name = "grandchild";
+  spans.push_back(grandchild);
+  obs::Span orphan;
+  orphan.span_id = 4;
+  orphan.parent_span_id = 999;  // Unknown parent: renders at root level.
+  orphan.name = "orphan";
+  spans.push_back(orphan);
+
+  const std::string tree = obs::FormatSpanTree(spans);
+  EXPECT_NE(tree.find("root"), std::string::npos);
+  EXPECT_NE(tree.find("  child"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("    grandchild"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("[k=v]"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("\norphan"), std::string::npos) << tree;
+  // Every span printed exactly once.
+  EXPECT_EQ(std::count(tree.begin(), tree.end(), '\n'), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer sampling
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, SampleEveryZeroDisablesLocalSampling) {
+  obs::Tracer tracer;  // Default sample_every = 0.
+  EXPECT_EQ(tracer.StartTrace("q"), nullptr);
+  EXPECT_EQ(tracer.traces_started(), 0u);
+}
+
+TEST(TracerTest, SampleEveryOneTracesEverything) {
+  obs::TracerConfig config;
+  config.sample_every = 1;
+  obs::Tracer tracer(config);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NE(tracer.StartTrace("q"), nullptr);
+  }
+  EXPECT_EQ(tracer.traces_started(), 10u);
+}
+
+TEST(TracerTest, SampleEveryNTracesOneInN) {
+  obs::TracerConfig config;
+  config.sample_every = 4;
+  obs::Tracer tracer(config);
+  size_t sampled = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (tracer.StartTrace("q") != nullptr) ++sampled;
+  }
+  EXPECT_EQ(sampled, 10u);
+}
+
+TEST(TracerTest, InheritedContextBypassesSamplingAndAdoptsIds) {
+  // A shard receiving a sampled sub-request must trace it even with local
+  // sampling off — the decision was made upstream.
+  obs::Tracer tracer;  // sample_every = 0.
+  obs::TraceContext inherited;
+  inherited.trace_id = 77;
+  inherited.parent_span_id = 123;
+  inherited.sampled = true;
+  auto trace = tracer.StartTrace("shard.handle", inherited);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->trace_id(), 77u);
+  EXPECT_EQ(trace->Spans()[0].parent_span_id, 123u);
+
+  // An inactive context falls back to the local sampling decision.
+  EXPECT_EQ(tracer.StartTrace("shard.handle", obs::TraceContext{}), nullptr);
+}
+
+TEST(TracerTest, RecentRingEvictsOldestAndRenders) {
+  obs::TracerConfig config;
+  config.sample_every = 1;
+  config.max_recent = 2;
+  obs::Tracer tracer(config);
+  auto a = tracer.StartTrace("a");
+  auto b = tracer.StartTrace("b");
+  auto c = tracer.StartTrace("c");
+  tracer.Record(a);
+  tracer.Record(b);
+  tracer.Record(c);
+  tracer.Record(nullptr);  // No-op.
+
+  auto recent = tracer.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0]->Spans()[0].name, "b");
+  EXPECT_EQ(recent[1]->Spans()[0].name, "c");
+  EXPECT_EQ(tracer.traces_recorded(), 3u);
+
+  const std::string rendered = tracer.RenderRecent();
+  EXPECT_NE(rendered.find("trace "), std::string::npos);
+  EXPECT_NE(rendered.find("c  "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Span-list codec
+// ---------------------------------------------------------------------------
+
+TEST(SpanCodecTest, RoundTripsByteIdentically) {
+  std::vector<obs::Span> spans;
+  obs::Span span;
+  span.span_id = 0xdeadbeefcafef00dULL;
+  span.parent_span_id = 7;
+  span.name = "replica.attempt";
+  span.tags = "shard=1,replica=0,hedge=1";
+  span.start_unix_seconds = 1723100000.125;
+  span.duration_seconds = 0.0625;
+  spans.push_back(span);
+  spans.push_back(obs::Span{});  // All-defaults span survives too.
+
+  std::string bytes;
+  obs::EncodeSpans(spans, &bytes);
+  BinaryReader in(bytes);
+  std::vector<obs::Span> decoded;
+  ASSERT_TRUE(obs::DecodeSpans(&in, &decoded).ok());
+  EXPECT_TRUE(in.AtEnd());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].span_id, span.span_id);
+  EXPECT_EQ(decoded[0].name, span.name);
+  EXPECT_EQ(decoded[0].tags, span.tags);
+
+  std::string again;
+  obs::EncodeSpans(decoded, &again);
+  EXPECT_EQ(bytes, again);
+}
+
+TEST(SpanCodecTest, CorruptedCountFailsBeforeAllocation) {
+  // A count claiming more spans than the payload can hold must be
+  // rejected up front, not discovered after reserving gigabytes.
+  std::string bytes;
+  PutU32(&bytes, 0xffffffffu);
+  BinaryReader in(bytes);
+  std::vector<obs::Span> decoded;
+  EXPECT_FALSE(obs::DecodeSpans(&in, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(SpanCodecTest, TruncatedSpanBodyFails) {
+  std::vector<obs::Span> spans(2);
+  spans[0].name = "a";
+  spans[1].name = "b";
+  std::string bytes;
+  obs::EncodeSpans(spans, &bytes);
+  for (size_t len = 4; len < bytes.size(); ++len) {
+    const std::string truncated = bytes.substr(0, len);
+    BinaryReader in(truncated);
+    std::vector<obs::Span> decoded;
+    EXPECT_FALSE(obs::DecodeSpans(&in, &decoded).ok()) << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RendersPrometheusFamiliesWithHeaders) {
+  obs::CallbackSource source([](obs::MetricsSink* sink) {
+    sink->Counter("tsb_requests_total", "Requests served.",
+                  {{"method", "full-topk"}}, 12);
+    sink->Counter("tsb_requests_total", "Requests served.",
+                  {{"method", "fast-topk"}}, 3);
+    sink->Gauge("tsb_queue_depth", "Queued requests.", {}, 5);
+    obs::SummaryValue latency;
+    latency.count = 100;
+    latency.mean = 0.002;
+    latency.p50 = 0.001;
+    latency.p95 = 0.004;
+    latency.p99 = 0.009;
+    latency.max = 0.05;
+    sink->Summary("tsb_latency_seconds", "Service latency.", {}, latency);
+  });
+  obs::MetricsRegistry registry;
+  registry.Register(&source);
+  EXPECT_EQ(registry.num_sources(), 1u);
+
+  const std::string text = registry.RenderPrometheus();
+  // One HELP/TYPE header per family, both samples under it.
+  EXPECT_EQ(text.find("# HELP tsb_requests_total Requests served."),
+            text.rfind("# HELP tsb_requests_total"));
+  EXPECT_NE(text.find("# TYPE tsb_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsb_requests_total{method=\"full-topk\"} 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsb_requests_total{method=\"fast-topk\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tsb_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("tsb_queue_depth 5"), std::string::npos);
+  // Summaries expand to quantile-labelled samples plus _count and _sum.
+  EXPECT_NE(text.find("tsb_latency_seconds{quantile=\"0.5\"} 0.001"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsb_latency_seconds{quantile=\"0.99\"} 0.009"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsb_latency_seconds_count 100"), std::string::npos);
+  EXPECT_NE(text.find("tsb_latency_seconds_sum 0.2"), std::string::npos);
+
+  registry.Unregister(&source);
+  EXPECT_EQ(registry.num_sources(), 0u);
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+}
+
+TEST(MetricsRegistryTest, EscapesLabelValues) {
+  obs::CallbackSource source([](obs::MetricsSink* sink) {
+    sink->Gauge("tsb_gauge", "h", {{"path", "a\"b\\c\nd"}}, 1);
+  });
+  obs::MetricsRegistry registry;
+  registry.Register(&source);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, DoubleRegisterIsIdempotent) {
+  obs::CallbackSource source([](obs::MetricsSink* sink) {
+    sink->Counter("tsb_once_total", "h", {}, 1);
+  });
+  obs::MetricsRegistry registry;
+  registry.Register(&source);
+  registry.Register(&source);
+  EXPECT_EQ(registry.num_sources(), 1u);
+  const std::string text = registry.RenderPrometheus();
+  // The sample appears once, not twice.
+  EXPECT_EQ(text.find("tsb_once_total 1"), text.rfind("tsb_once_total 1"));
+  registry.Register(nullptr);  // No-op.
+  EXPECT_EQ(registry.num_sources(), 1u);
+}
+
+TEST(MetricsRegistryTest, RendersJsonWithSummaryObjects) {
+  obs::CallbackSource source([](obs::MetricsSink* sink) {
+    sink->Counter("tsb_c", "h", {{"k", "v"}}, 2);
+    obs::SummaryValue latency;
+    latency.count = 4;
+    latency.p99 = 0.5;
+    sink->Summary("tsb_s", "h", {}, latency);
+  });
+  obs::MetricsRegistry registry;
+  registry.Register(&source);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("{\"name\":\"tsb_c\",\"type\":\"counter\","
+                      "\"labels\":{\"k\":\"v\"},\"value\":2}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p99\":0.5"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+// ---------------------------------------------------------------------------
+// SlowQueryLog
+// ---------------------------------------------------------------------------
+
+TEST(SlowQueryLogTest, DisabledAtZeroThreshold) {
+  obs::SlowQueryLog log;
+  EXPECT_FALSE(log.enabled());
+  EXPECT_DOUBLE_EQ(log.threshold_seconds(), 0.0);
+}
+
+TEST(SlowQueryLogTest, RingEvictsOldestFirst) {
+  obs::SlowQueryConfig config;
+  config.threshold_seconds = 0.001;
+  config.capacity = 2;
+  obs::SlowQueryLog log(config);
+  EXPECT_TRUE(log.enabled());
+  for (int i = 0; i < 3; ++i) {
+    obs::SlowQueryRecord record;
+    record.request = "TOPK set1=Protein set2=DNA k=" + std::to_string(i);
+    record.service_seconds = 0.01 * (i + 1);
+    log.Record(std::move(record));
+  }
+  auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_NE(recent[0].request.find("k=1"), std::string::npos);
+  EXPECT_NE(recent[1].request.find("k=2"), std::string::npos);
+  EXPECT_EQ(log.total_recorded(), 3u);
+}
+
+TEST(SlowQueryLogTest, ToStringCarriesTheStructuredFields) {
+  obs::SlowQueryLog log(obs::SlowQueryConfig{0.001, 8});
+  obs::SlowQueryRecord record;
+  record.service_seconds = 0.25;
+  record.queue_seconds = 0.01;
+  record.request = "TOPK set1=Protein set2=DNA";
+  record.method = "full-topk";
+  record.plan = "scan | merge";
+  record.rows_scanned = 1000;
+  record.trace_id = 0xabcdef;
+  record.span_tree = "root  250.000ms\n";
+  log.Record(record);
+  const std::string text = log.ToString();
+  EXPECT_NE(text.find("TOPK set1=Protein set2=DNA"), std::string::npos);
+  EXPECT_NE(text.find("full-topk"), std::string::npos);
+  EXPECT_NE(text.find("scan | merge"), std::string::npos);
+  EXPECT_NE(text.find("root  250.000ms"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Admin channel: codecs and handler
+// ---------------------------------------------------------------------------
+
+TEST(AdminCodecTest, RequestRoundTripsEveryCommand) {
+  for (uint8_t c = 0; c <= wire::kMaxAdminCommand; ++c) {
+    wire::AdminRequest request;
+    request.command = static_cast<wire::AdminCommand>(c);
+    std::string frame;
+    wire::EncodeAdminRequest(request, &frame);
+    auto kind = wire::PeekMessageKind(frame);
+    ASSERT_TRUE(kind.ok());
+    EXPECT_EQ(*kind, wire::MessageKind::kAdminRequest);
+    auto decoded = wire::DecodeAdminRequest(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->command, request.command);
+    std::string again;
+    wire::EncodeAdminRequest(*decoded, &again);
+    EXPECT_EQ(frame, again);
+  }
+}
+
+TEST(AdminCodecTest, ResponseRoundTripsBodyAndError) {
+  wire::AdminResponse response;
+  response.body = "# HELP tsb_x h\ntsb_x 1\n";
+  std::string frame;
+  wire::EncodeAdminResponse(response, &frame);
+  auto decoded = wire::DecodeAdminResponse(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->error.ok());
+  EXPECT_EQ(decoded->body, response.body);
+
+  wire::AdminResponse failed;
+  failed.error = wire::WireError{wire::WireErrorCode::kInvalidRequest,
+                                 "unknown admin command"};
+  frame.clear();
+  wire::EncodeAdminResponse(failed, &frame);
+  decoded = wire::DecodeAdminResponse(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->error.code, wire::WireErrorCode::kInvalidRequest);
+  EXPECT_EQ(decoded->error.message, "unknown admin command");
+}
+
+TEST(AdminCodecTest, CommandNamesRoundTrip) {
+  for (uint8_t c = 0; c <= wire::kMaxAdminCommand; ++c) {
+    const auto command = static_cast<wire::AdminCommand>(c);
+    wire::AdminCommand parsed;
+    ASSERT_TRUE(
+        wire::ParseAdminCommand(wire::AdminCommandToString(command), &parsed))
+        << wire::AdminCommandToString(command);
+    EXPECT_EQ(parsed, command);
+  }
+  wire::AdminCommand ignored;
+  EXPECT_FALSE(wire::ParseAdminCommand("warp9", &ignored));
+  EXPECT_FALSE(wire::ParseAdminCommand("", &ignored));
+}
+
+TEST(AdminHandlerTest, PingAnswersEvenWithNoSurfaces) {
+  obs::AdminState state;  // All members null.
+  wire::AdminRequest request;
+  request.command = wire::AdminCommand::kPing;
+  wire::AdminResponse response = obs::HandleAdmin(state, request);
+  EXPECT_TRUE(response.error.ok());
+  EXPECT_EQ(response.body, "pong");
+
+  // Absent surfaces answer with an empty body, never an error.
+  for (uint8_t c = 1; c <= wire::kMaxAdminCommand; ++c) {
+    request.command = static_cast<wire::AdminCommand>(c);
+    response = obs::HandleAdmin(state, request);
+    EXPECT_TRUE(response.error.ok()) << static_cast<int>(c);
+    EXPECT_EQ(response.body, "") << static_cast<int>(c);
+  }
+}
+
+TEST(AdminHandlerTest, ServesMetricsTracesAndSlowLog) {
+  obs::CallbackSource source([](obs::MetricsSink* sink) {
+    sink->Counter("tsb_admin_test_total", "h", {}, 9);
+  });
+  obs::MetricsRegistry registry;
+  registry.Register(&source);
+
+  obs::TracerConfig tracer_config;
+  tracer_config.sample_every = 1;
+  obs::Tracer tracer(tracer_config);
+  auto trace = tracer.StartTrace("q");
+  trace->Finish(0.001);
+  tracer.Record(trace);
+
+  obs::SlowQueryLog slow_log(obs::SlowQueryConfig{0.001, 8});
+  obs::SlowQueryRecord record;
+  record.request = "TOPK set1=Protein set2=DNA";
+  slow_log.Record(record);
+
+  obs::AdminState state;
+  state.registry = &registry;
+  state.tracer = &tracer;
+  state.slow_log = &slow_log;
+  state.text_renderer = []() { return "human tables"; };
+
+  wire::AdminRequest request;
+  request.command = wire::AdminCommand::kMetricsPrometheus;
+  EXPECT_NE(obs::HandleAdmin(state, request).body.find(
+                "tsb_admin_test_total 9"),
+            std::string::npos);
+  request.command = wire::AdminCommand::kMetricsJson;
+  EXPECT_NE(obs::HandleAdmin(state, request).body.find(
+                "\"tsb_admin_test_total\""),
+            std::string::npos);
+  request.command = wire::AdminCommand::kMetricsText;
+  EXPECT_EQ(obs::HandleAdmin(state, request).body, "human tables");
+  request.command = wire::AdminCommand::kTraces;
+  EXPECT_NE(obs::HandleAdmin(state, request).body.find("trace "),
+            std::string::npos);
+  request.command = wire::AdminCommand::kSlowQueries;
+  EXPECT_NE(obs::HandleAdmin(state, request).body.find(
+                "TOPK set1=Protein set2=DNA"),
+            std::string::npos);
+}
+
+TEST(AdminHandlerTest, FrameEntryPointAnswersInBandOnGarbage) {
+  obs::AdminState state;
+  // A valid round-trip.
+  wire::AdminRequest request;
+  request.command = wire::AdminCommand::kPing;
+  std::string frame;
+  wire::EncodeAdminRequest(request, &frame);
+  auto response = wire::DecodeAdminResponse(obs::HandleAdminFrame(state, frame));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "pong");
+
+  // Garbage still yields a decodable error response — the server can
+  // always answer in-band instead of dropping the connection.
+  response = wire::DecodeAdminResponse(obs::HandleAdminFrame(state, "junk"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->error.ok());
+}
+
+}  // namespace
+}  // namespace tsb

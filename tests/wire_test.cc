@@ -517,6 +517,180 @@ TEST_F(WireFig3Test, InspectFrameClassifiesPrefixesAndCorruption) {
             wire::FrameError::kMalformedFrame);
 }
 
+// ---------------------------------------------------------------------------
+// Wire v3 -> v4 compatibility (trace context and span piggyback)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rewrites a v4 frame into its v3 twin: drops `tail_bytes` from the end
+/// of the payload (the v4 trailing fields), patches the version byte and
+/// the little-endian payload length.
+std::string StripToV3(const std::string& frame, size_t tail_bytes) {
+  std::string v3 = frame.substr(0, frame.size() - tail_bytes);
+  v3[2] = 3;  // Version byte.
+  uint32_t len = static_cast<uint8_t>(v3[4]) |
+                 (static_cast<uint8_t>(v3[5]) << 8) |
+                 (static_cast<uint8_t>(v3[6]) << 16) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(v3[7])) << 24);
+  len -= static_cast<uint32_t>(tail_bytes);
+  v3[4] = static_cast<char>(len & 0xff);
+  v3[5] = static_cast<char>((len >> 8) & 0xff);
+  v3[6] = static_cast<char>((len >> 16) & 0xff);
+  v3[7] = static_cast<char>((len >> 24) & 0xff);
+  return v3;
+}
+
+// v4 request tail: trace_id u64 + parent_span_id u64 + sampled bool.
+constexpr size_t kRequestTraceTailBytes = 8 + 8 + 1;
+// v4 response tail when no spans piggyback: the u32 span count alone.
+constexpr size_t kEmptySpanListBytes = 4;
+
+}  // namespace
+
+TEST_F(WireFig3Test, V3RequestFramesDecodeWithEmptyTraceContext) {
+  wire::WireRequest request = ExampleRequest(MethodKind::kFastTopKEt);
+  request.trace.trace_id = 0xabcdef0123456789ULL;
+  request.trace.parent_span_id = 42;
+  request.trace.sampled = true;
+  std::string v4_frame;
+  wire::EncodeQueryRequest(request, &v4_frame);
+
+  // The v4 decode sees the context...
+  auto v4_decoded = wire::DecodeQueryRequest(v4_frame, db_);
+  ASSERT_TRUE(v4_decoded.ok());
+  EXPECT_TRUE(v4_decoded->trace.active());
+  EXPECT_EQ(v4_decoded->trace.trace_id, request.trace.trace_id);
+  EXPECT_EQ(v4_decoded->trace.parent_span_id, 42u);
+
+  // ... while the same payload reframed as v3 decodes cleanly with an
+  // empty context — an old peer's frames keep working.
+  const std::string v3_frame = StripToV3(v4_frame, kRequestTraceTailBytes);
+  EXPECT_EQ(wire::InspectFrame(v3_frame, wire::kDefaultMaxFramePayload,
+                               nullptr),
+            wire::FrameError::kOk);
+  auto v3_decoded = wire::DecodeQueryRequest(v3_frame, db_);
+  ASSERT_TRUE(v3_decoded.ok()) << v3_decoded.status();
+  EXPECT_FALSE(v3_decoded->trace.active());
+  EXPECT_EQ(v3_decoded->trace.trace_id, 0u);
+  EXPECT_EQ(v3_decoded->trace.parent_span_id, 0u);
+  // Everything before the tail survives untouched.
+  EXPECT_EQ(v3_decoded->id, request.id);
+  EXPECT_EQ(v3_decoded->method, request.method);
+  EXPECT_EQ(v3_decoded->query.pred1->ToString(),
+            request.query.pred1->ToString());
+}
+
+TEST_F(WireFig3Test, V3ResponseFramesDecodeWithNoSpans) {
+  wire::WireResponse response;
+  response.request_id = 9;
+  response.serving_stamp = "r1:e2";
+  response.result.entries = {{3, 2.5}, {1, 1.0}};
+  response.result.stats.plan = "scan";
+  response.service_seconds = 0.125;
+  std::string v4_frame;
+  wire::EncodeQueryResponse(response, &v4_frame);
+
+  const std::string v3_frame = StripToV3(v4_frame, kEmptySpanListBytes);
+  auto decoded = wire::DecodeQueryResponse(v3_frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->spans.empty());
+  EXPECT_EQ(decoded->result.entries, response.result.entries);
+  EXPECT_EQ(decoded->serving_stamp, "r1:e2");
+  EXPECT_DOUBLE_EQ(decoded->service_seconds, 0.125);
+}
+
+TEST_F(WireFig3Test, CorruptedTraceFieldsErrorWithoutOverread) {
+  wire::WireRequest request = ExampleRequest(MethodKind::kFullTop);
+  request.trace.trace_id = 7;
+  request.trace.sampled = true;
+  std::string frame;
+  wire::EncodeQueryRequest(request, &frame);
+
+  // A v4 frame whose payload ends mid-trace-tail (length field patched to
+  // match) is a truncation error, not a silent empty context.
+  for (size_t strip = 1; strip < kRequestTraceTailBytes; ++strip) {
+    std::string bad = StripToV3(frame, strip);
+    bad[2] = 4;  // Keep claiming v4: the tail is then mandatory.
+    EXPECT_FALSE(wire::DecodeQueryRequest(bad, db_).ok()) << strip;
+  }
+
+  // A response whose span count claims more spans than the payload holds
+  // fails before any allocation.
+  wire::WireResponse response;
+  response.request_id = 1;
+  std::string resp_frame;
+  wire::EncodeQueryResponse(response, &resp_frame);
+  // The empty span list (count=0) is the last 4 payload bytes.
+  for (size_t i = resp_frame.size() - 4; i < resp_frame.size(); ++i) {
+    resp_frame[i] = static_cast<char>(0xff);
+  }
+  EXPECT_FALSE(wire::DecodeQueryResponse(resp_frame).ok());
+}
+
+TEST_F(WireFig3Test, MalformedSweepOverSpanCarryingFrames) {
+  // The byte-corruption sweep of MalformedBytesSweepNeverCrashesTheDecoders,
+  // pointed at a response that actually piggybacks spans — the v4 surface.
+  wire::WireResponse response;
+  response.request_id = 11;
+  response.result.entries = {{3, 2.5}};
+  obs::Span span;
+  span.span_id = obs::NewSpanId();
+  span.parent_span_id = obs::NewSpanId();
+  span.name = "shard.exec";
+  span.tags = "method=Full-Top,rows=5";
+  span.duration_seconds = 0.004;
+  response.spans.push_back(span);
+  response.spans.push_back(obs::Span{});
+  std::string frame;
+  wire::EncodeQueryResponse(response, &frame);
+
+  auto round = wire::DecodeQueryResponse(frame);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->spans.size(), 2u);
+  EXPECT_EQ(round->spans[0].name, "shard.exec");
+  std::string again;
+  wire::EncodeQueryResponse(*round, &again);
+  EXPECT_EQ(frame, again);
+
+  for (size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(wire::DecodeQueryResponse(frame.substr(0, len)).ok())
+        << len;
+  }
+  for (size_t pos = 0; pos < frame.size(); ++pos) {
+    std::string bad = frame;
+    bad[pos] = static_cast<char>(bad[pos] ^ (0x80 | (pos % 0x7f)));
+    auto decoded = wire::DecodeQueryResponse(bad);
+    if (decoded.ok()) {
+      std::string reencoded;
+      wire::EncodeQueryResponse(*decoded, &reencoded);
+    }
+  }
+}
+
+TEST_F(WireFig3Test, InspectFrameAcceptsBothLiveVersions) {
+  wire::WireRequest request = ExampleRequest(MethodKind::kFullTop);
+  std::string frame;
+  wire::EncodeQueryRequest(request, &frame);
+  EXPECT_EQ(static_cast<uint8_t>(frame[2]), wire::kWireVersion);
+
+  // Version 3 headers pass inspection (the payload length is not v3-sized
+  // here, but InspectFrame only validates the header); 2 and 5 sit
+  // outside [kMinWireVersion, kWireVersion].
+  std::string v3 = frame;
+  v3[2] = 3;
+  EXPECT_EQ(wire::InspectFrame(v3, wire::kDefaultMaxFramePayload, nullptr),
+            wire::FrameError::kOk);
+  for (uint8_t version : {2, 5}) {
+    std::string bad = frame;
+    bad[2] = static_cast<char>(version);
+    EXPECT_EQ(wire::InspectFrame(bad, wire::kDefaultMaxFramePayload,
+                                 nullptr),
+              wire::FrameError::kUnsupportedVersion)
+        << static_cast<int>(version);
+  }
+}
+
 TEST_F(WireFig3Test, MalformedBytesSweepNeverCrashesTheDecoders) {
   // Decoders must return a typed error — never read past the buffer or
   // abort — for truncations and byte corruptions of valid frames.

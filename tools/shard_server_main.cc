@@ -20,6 +20,16 @@
 //   --tcp-port=<p>         listen on 127.0.0.1:<p> instead (0 = ephemeral)
 //   --max-path-length=<l>  precompute path-length cap (default 3)
 //   --prune-threshold=<t>  PruneFrequentTopologies threshold (default 0)
+//   --slow-query-ms=<ms>   slow-query log threshold in milliseconds
+//                          (default 0 = disabled)
+//   --trace-recent=<n>     ring of recent shard-side trace fragments kept
+//                          for the admin channel (default 32)
+//
+// Observability: the process serves the kAdminRequest admin channel
+// (tools/topctl pulls Prometheus metrics, JSON, traces, and the slow-query
+// log over the same socket it serves queries on), dumps its full
+// metrics/trace snapshot to stderr on SIGUSR1, and again at clean
+// SIGTERM/SIGINT shutdown.
 //
 // Example:  shard_server --shard=1 --num-shards=4 --replica-id=1 \
 //               --uds=/tmp/shard1r1.sock
@@ -42,6 +52,11 @@
 #include "graph/data_graph.h"
 #include "graph/schema_graph.h"
 #include "net/shard_server.h"
+#include "obs/admin.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
+#include "service/metrics.h"
 #include "shard/frame_handler.h"
 #include "shard/sharded_store.h"
 #include "wire/message.h"
@@ -49,8 +64,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+
+void HandleDumpSignal(int) { g_dump = 1; }
 
 /// "--name=value" flag lookup; returns `fallback` when absent.
 std::string FlagString(int argc, char** argv, const std::string& name,
@@ -87,6 +105,9 @@ int main(int argc, char** argv) {
       static_cast<size_t>(FlagLong(argc, argv, "max-path-length", 3));
   const size_t prune_threshold =
       static_cast<size_t>(FlagLong(argc, argv, "prune-threshold", 0));
+  const long slow_query_ms = FlagLong(argc, argv, "slow-query-ms", 0);
+  const size_t trace_recent =
+      static_cast<size_t>(FlagLong(argc, argv, "trace-recent", 32));
 
   if (shard >= num_shards) {
     std::fprintf(stderr, "shard_server: --shard=%zu out of range (%zu)\n",
@@ -152,12 +173,60 @@ int main(int argc, char** argv) {
                                       sharded->handle(shard)->epoch());
       });
 
+  // Observability: per-frame metrics, shard-side trace fragments, the
+  // slow-query log, and the admin channel topctl pulls them through.
+  service::ServiceMetrics metrics;
+  obs::TracerConfig tracer_config;
+  tracer_config.max_recent = trace_recent;
+  obs::Tracer tracer(tracer_config);
+  obs::SlowQueryConfig slow_config;
+  slow_config.threshold_seconds = slow_query_ms / 1000.0;
+  obs::SlowQueryLog slow_log(slow_config);
+  obs::MetricsRegistry registry;
+  registry.Register(&metrics);
+  net::ShardServer* server_ptr = nullptr;
+  obs::CallbackSource server_source([&server_ptr, shard, replica_id](
+                                        obs::MetricsSink* sink) {
+    if (server_ptr == nullptr) return;
+    const obs::MetricsSink::Labels labels = {
+        {"shard", std::to_string(shard)},
+        {"replica", std::to_string(replica_id)}};
+    sink->Counter("tsb_server_connections_accepted_total",
+                  "Connections accepted by the shard server.", labels,
+                  static_cast<double>(server_ptr->connections_accepted()));
+    sink->Counter("tsb_server_frames_served_total",
+                  "Wire frames served by the shard server.", labels,
+                  static_cast<double>(server_ptr->frames_served()));
+  });
+  registry.Register(&server_source);
+  obs::AdminState admin;
+  admin.registry = &registry;
+  admin.tracer = &tracer;
+  admin.slow_log = &slow_log;
+  admin.text_renderer = [&metrics]() { return metrics.Snapshot().ToString(); };
+  shard::ShardObservability observability;
+  observability.metrics = &metrics;
+  observability.tracer = &tracer;
+  observability.slow_log = &slow_log;
+  observability.admin = &admin;
+  handler.set_observability(observability);
+
+  const auto dump_snapshot = [&](const char* reason) {
+    std::fprintf(stderr,
+                 "shard_server: --- observability dump (%s) ---\n%s\n%s%s"
+                 "shard_server: --- end dump ---\n",
+                 reason, metrics.Snapshot().ToString().c_str(),
+                 tracer.RenderRecent().c_str(), slow_log.ToString().c_str());
+    std::fflush(stderr);
+  };
+
   net::ShardServerConfig server_config;
   server_config.uds_path = uds;
   if (tcp_port >= 0) {
     server_config.tcp_port = static_cast<uint16_t>(tcp_port);
   }
   net::ShardServer server(&handler, server_config);
+  server_ptr = &server;
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "shard_server: %s\n",
@@ -180,14 +249,24 @@ int main(int argc, char** argv) {
   sigemptyset(&mask);
   sigaddset(&mask, SIGINT);
   sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGUSR1);
   sigset_t unblocked;
   sigprocmask(SIG_BLOCK, &mask, &unblocked);
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  while (!g_stop) sigsuspend(&unblocked);
+  std::signal(SIGUSR1, HandleDumpSignal);
+  while (!g_stop) {
+    sigsuspend(&unblocked);
+    if (g_dump) {
+      // SIGUSR1: dump the live metrics/trace snapshot without stopping.
+      g_dump = 0;
+      dump_snapshot("SIGUSR1");
+    }
+  }
   sigprocmask(SIG_SETMASK, &unblocked, nullptr);
 
   server.Stop();
+  dump_snapshot("shutdown");
   std::printf("shard_server: shard %zu replica %llu stopped (%llu "
               "connections, %llu frames)\n",
               shard, static_cast<unsigned long long>(replica_id),

@@ -1,0 +1,127 @@
+// topctl: the observability pull client. Sends one kAdminRequest frame to
+// a live shard_server (or any process serving the admin channel) and
+// prints the response body — Prometheus metrics, a JSON dump, the classic
+// ToString tables, recent sampled traces, or the slow-query log.
+//
+// Usage:  topctl [--uds=<path> | --host=<h> --tcp-port=<p>] <command>
+//
+// Commands (wire::AdminCommand names):
+//   ping          liveness probe; prints "pong"
+//   metrics       Prometheus text exposition
+//   metrics-json  the same samples as JSON
+//   metrics-text  human-readable metric tables
+//   traces        recent sampled traces as span trees
+//   slowlog       recent slow-query records
+//
+// Flags:
+//   --uds=<path>       connect over this Unix-domain socket
+//   --host=<h>         TCP host (default 127.0.0.1)
+//   --tcp-port=<p>     TCP port
+//   --timeout-ms=<ms>  round-trip deadline (default 5000)
+//
+// Exit status: 0 on success, 1 on usage/transport errors, 2 when the
+// server answered with an admin-level error.
+//
+// Example:  topctl --uds=/tmp/shard0.sock metrics
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/endpoint_client.h"
+#include "wire/codec.h"
+#include "wire/message.h"
+
+namespace {
+
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+long FlagLong(int argc, char** argv, const std::string& name,
+              long fallback) {
+  const std::string value = FlagString(argc, argv, name, "");
+  return value.empty() ? fallback : std::atol(value.c_str());
+}
+
+/// The first non-flag argument is the command name.
+std::string PositionalCommand(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return argv[i];
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsb;
+
+  const std::string uds = FlagString(argc, argv, "uds", "");
+  const std::string host = FlagString(argc, argv, "host", "127.0.0.1");
+  const long tcp_port = FlagLong(argc, argv, "tcp-port", -1);
+  const long timeout_ms = FlagLong(argc, argv, "timeout-ms", 5000);
+  const std::string command_name = PositionalCommand(argc, argv);
+
+  if (command_name.empty() || (uds.empty() && tcp_port < 0)) {
+    std::fprintf(stderr,
+                 "usage: topctl [--uds=<path> | --host=<h> --tcp-port=<p>] "
+                 "<ping|metrics|metrics-json|metrics-text|traces|slowlog>\n");
+    return 1;
+  }
+  wire::AdminCommand command;
+  if (!wire::ParseAdminCommand(command_name, &command)) {
+    std::fprintf(stderr, "topctl: unknown command '%s'\n",
+                 command_name.c_str());
+    return 1;
+  }
+
+  net::ShardEndpoint endpoint =
+      uds.empty()
+          ? net::ShardEndpoint::Tcp(host, static_cast<uint16_t>(tcp_port))
+          : net::ShardEndpoint::Unix(uds);
+  net::EndpointClient client(endpoint);
+
+  wire::AdminRequest request;
+  request.command = command;
+  std::string encoded;
+  wire::EncodeAdminRequest(request, &encoded);
+
+  net::Deadline deadline;
+  if (timeout_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(timeout_ms);
+  }
+  Result<std::string> frame = client.RoundTrip(encoded, deadline);
+  if (!frame.ok()) {
+    std::fprintf(stderr, "topctl: %s: %s\n", endpoint.ToString().c_str(),
+                 frame.status().ToString().c_str());
+    return 1;
+  }
+  Result<wire::AdminResponse> response = wire::DecodeAdminResponse(*frame);
+  if (!response.ok()) {
+    std::fprintf(stderr, "topctl: bad response frame: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->error.ok()) {
+    std::fprintf(stderr, "topctl: server error %s: %s\n",
+                 wire::WireErrorCodeToString(response->error.code),
+                 response->error.message.c_str());
+    return 2;
+  }
+  std::fputs(response->body.c_str(), stdout);
+  if (!response->body.empty() && response->body.back() != '\n') {
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
