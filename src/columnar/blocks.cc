@@ -69,7 +69,9 @@ size_t ColumnarSlice::MemoryBytes() const {
 
 std::shared_ptr<const ColumnarSlice> BuildSlice(
     const storage::Catalog& db, const core::TopologyCatalog& topos,
-    const core::PairTopologyData& pair, const std::string& tops_table) {
+    const core::PairTopologyData& pair, const std::string& tops_table,
+    const std::string& e1_table_override,
+    const std::string& e2_table_override) {
   if (tops_table.empty()) return nullptr;
   const storage::Table* tops = db.FindTable(tops_table);
   if (tops == nullptr) return nullptr;
@@ -79,8 +81,12 @@ std::shared_ptr<const ColumnarSlice> BuildSlice(
   }
   const storage::EntitySetDef& es1 = db.entity_set(pair.t1);
   const storage::EntitySetDef& es2 = db.entity_set(pair.t2);
-  const storage::Table* table1 = db.FindTable(es1.table_name);
-  const storage::Table* table2 = db.FindTable(es2.table_name);
+  const std::string& e1_table_name =
+      e1_table_override.empty() ? es1.table_name : e1_table_override;
+  const std::string& e2_table_name =
+      e2_table_override.empty() ? es2.table_name : e2_table_override;
+  const storage::Table* table1 = db.FindTable(e1_table_name);
+  const storage::Table* table2 = db.FindTable(e2_table_name);
   if (table1 == nullptr || table2 == nullptr) return nullptr;
 
   std::optional<size_t> e1_col = tops->schema().FindColumn("E1");
@@ -128,8 +134,8 @@ std::shared_ptr<const ColumnarSlice> BuildSlice(
 
   auto slice = std::make_shared<ColumnarSlice>();
   slice->source_table = tops_table;
-  slice->e1_table = es1.table_name;
-  slice->e2_table = es2.table_name;
+  slice->e1_table = e1_table_name;
+  slice->e2_table = e2_table_name;
   slice->score.reserve(n);
   slice->tid.reserve(n);
   slice->class_id.reserve(n);
@@ -184,12 +190,16 @@ std::shared_ptr<const ColumnarSlice> BuildSlice(
 
 void AttachSlices(const storage::Catalog& db,
                   const core::TopologyCatalog& topos,
-                  core::PairTopologyData* pair) {
+                  core::PairTopologyData* pair,
+                  const std::string& e1_table_override,
+                  const std::string& e2_table_override) {
   if (pair->alltops_blocks == nullptr) {
-    pair->alltops_blocks = BuildSlice(db, topos, *pair, pair->alltops_table);
+    pair->alltops_blocks = BuildSlice(db, topos, *pair, pair->alltops_table,
+                                      e1_table_override, e2_table_override);
   }
   if (pair->pruned && pair->lefttops_blocks == nullptr) {
-    pair->lefttops_blocks = BuildSlice(db, topos, *pair, pair->lefttops_table);
+    pair->lefttops_blocks = BuildSlice(db, topos, *pair, pair->lefttops_table,
+                                       e1_table_override, e2_table_override);
   }
 }
 

@@ -86,15 +86,24 @@ struct ColumnarSlice {
 /// nullptr when the slice cannot be built (table or entity metadata
 /// missing) — callers treat null as "row path only", never an error. An
 /// existing-but-empty table yields a valid empty slice.
+/// `e1_table_override`/`e2_table_override` name copy-on-write versioned
+/// entity tables to read endpoint rows from instead of the entity set's
+/// default table (empty = default); set by the mutation path so slices built
+/// against an overlay store dictionary-encode the mutated entity rows.
 std::shared_ptr<const ColumnarSlice> BuildSlice(
     const storage::Catalog& db, const core::TopologyCatalog& topos,
-    const core::PairTopologyData& pair, const std::string& tops_table);
+    const core::PairTopologyData& pair, const std::string& tops_table,
+    const std::string& e1_table_override = std::string(),
+    const std::string& e2_table_override = std::string());
 
 /// Builds and attaches the AllTops slice (and the LeftTops slice once the
 /// pair is pruned) onto `pair`, skipping slices already present. Idempotent;
-/// called from builder commit, prune, and snapshot load.
+/// called from builder commit, prune, and snapshot load. The optional
+/// overrides flow through to BuildSlice.
 void AttachSlices(const storage::Catalog& db, const core::TopologyCatalog& topos,
-                  core::PairTopologyData* pair);
+                  core::PairTopologyData* pair,
+                  const std::string& e1_table_override = std::string(),
+                  const std::string& e2_table_override = std::string());
 
 /// Cheap structural screen (O(blocks + groups + dicts)): array lengths
 /// agree, groups exactly partition the rows, zone class ranges are sane.

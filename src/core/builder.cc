@@ -258,7 +258,11 @@ Status TopologyBuilder::CommitStaged(PairBuildStaging staging,
     (void)db_->DropTable(pairclasses->name());
     return added.status();
   }
-  columnar::AttachSlices(*db_, store->catalog(), added.value());
+  PairTopologyData* pair = added.value();
+  columnar::AttachSlices(
+      *db_, store->catalog(), pair,
+      store->ResolveDataTable(db_->entity_set(pair->t1).table_name),
+      store->ResolveDataTable(db_->entity_set(pair->t2).table_name));
   return Status::OK();
 }
 

@@ -99,7 +99,10 @@ Result<PruneStats> PruneFrequentTopologies(storage::Catalog* db,
     pair->pruned_class_of_tid.emplace(tid, tid_to_class[tid]);
   }
   std::sort(pair->pruned_tids.begin(), pair->pruned_tids.end());
-  columnar::AttachSlices(*db, catalog, pair);
+  columnar::AttachSlices(
+      *db, catalog, pair,
+      store->ResolveDataTable(db->entity_set(pair->t1).table_name),
+      store->ResolveDataTable(db->entity_set(pair->t2).table_name));
   return stats;
 }
 

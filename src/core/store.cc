@@ -44,6 +44,13 @@ TopologyStore::~TopologyStore() {
   if (cleanup_) cleanup_();
 }
 
+void TopologyStore::adopt_catalog(std::shared_ptr<TopologyCatalog> catalog) {
+  TSB_CHECK(catalog != nullptr);
+  TSB_CHECK(pairs_.empty())
+      << "adopt_catalog must run before any pair is registered";
+  catalog_ = std::move(catalog);
+}
+
 std::pair<storage::EntityTypeId, storage::EntityTypeId>
 TopologyStore::NormalizePair(storage::EntityTypeId a,
                              storage::EntityTypeId b) {
@@ -107,7 +114,7 @@ void TopologyStore::ExportTopInfoTable(storage::Catalog* db,
   auto table_or = db->CreateTable(name, std::move(table_schema));
   TSB_CHECK(table_or.ok()) << table_or.status();
   storage::Table* table = table_or.value();
-  for (const TopologyInfo& info : catalog_.infos()) {
+  for (const TopologyInfo& info : catalog_->infos()) {
     table->AppendRowOrDie({
         storage::Value(info.tid),
         storage::Value(static_cast<int64_t>(info.graph.num_nodes())),
@@ -115,7 +122,7 @@ void TopologyStore::ExportTopInfoTable(storage::Catalog* db,
         storage::Value(static_cast<int64_t>(info.num_classes)),
         storage::Value(static_cast<int64_t>(info.is_path ? 1 : 0)),
         storage::Value(graph::CodeDigest(info.code)),
-        storage::Value(catalog_.Describe(info.tid, schema)),
+        storage::Value(catalog_->Describe(info.tid, schema)),
     });
   }
 }

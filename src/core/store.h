@@ -20,6 +20,9 @@ namespace tsb {
 namespace columnar {
 struct ColumnarSlice;
 }  // namespace columnar
+namespace graph {
+class DataGraphView;
+}  // namespace graph
 namespace core {
 
 /// One path equivalence class between an entity-set pair.
@@ -111,8 +114,19 @@ class TopologyStore {
   TopologyStore(const TopologyStore&) = delete;
   TopologyStore& operator=(const TopologyStore&) = delete;
 
-  TopologyCatalog* mutable_catalog() { return &catalog_; }
-  const TopologyCatalog& catalog() const { return catalog_; }
+  TopologyCatalog* mutable_catalog() { return catalog_.get(); }
+  const TopologyCatalog& catalog() const { return *catalog_; }
+
+  /// The catalog as a shareable handle. A mutation overlay store adopts
+  /// the base epoch's catalog (adopt_catalog) instead of interning from
+  /// scratch, so TIDs stay stable across incremental swaps — the invariant
+  /// that keeps overlay reads byte-identical to a from-scratch rebuild.
+  const std::shared_ptr<TopologyCatalog>& shared_catalog() const {
+    return catalog_;
+  }
+  /// Replaces this store's catalog with a shared one. Only valid while the
+  /// store is still private (no pairs registered, not yet published).
+  void adopt_catalog(std::shared_ptr<TopologyCatalog> catalog);
 
   /// Canonical unordered-pair key.
   static std::pair<storage::EntityTypeId, storage::EntityTypeId>
@@ -139,12 +153,60 @@ class TopologyStore {
   /// catalog (AllTops/PairClasses and, when pruned, LeftTops/ExcpTops).
   std::vector<std::string> PrecomputeTableNames() const;
 
+  /// Copy-on-write redirection for base data tables. A mutation batch never
+  /// edits an entity/relationship table in place (snapshots of the old
+  /// epoch keep reading it); it writes a versioned copy and records
+  /// `original table name -> versioned name` here. Query resolution and
+  /// slice building go through ResolveDataTable so reads against this store
+  /// see the mutated data while retired epochs keep the original.
+  void set_data_table_override(const std::string& base_table,
+                               const std::string& versioned_table) {
+    data_table_overrides_[base_table] = versioned_table;
+  }
+  const std::string& ResolveDataTable(const std::string& base_table) const {
+    auto it = data_table_overrides_.find(base_table);
+    return it == data_table_overrides_.end() ? base_table : it->second;
+  }
+  const std::unordered_map<std::string, std::string>& data_table_overrides()
+      const {
+    return data_table_overrides_;
+  }
+
+  /// Graph view matching this store's data-table overrides. Null for base
+  /// epochs (the engine falls back to its own view built from the original
+  /// tables); set on mutation overlay stores so path verification and
+  /// 3-queries traverse the mutated graph.
+  const std::shared_ptr<const graph::DataGraphView>& data_view() const {
+    return data_view_;
+  }
+  void set_data_view(std::shared_ptr<const graph::DataGraphView> view) {
+    data_view_ = std::move(view);
+  }
+
   /// Hook run by the destructor. The service points a retired epoch's hook
   /// at dropping its precompute tables, so they disappear exactly when the
   /// last snapshot referencing them is released (the captured catalog must
-  /// outlive the store).
+  /// outlive the store). Mutation overlay stores set their own hook at
+  /// composition time (dropping restaged tables and chaining to the store
+  /// they overlaid); has_cleanup lets the rebuild path respect that.
   void set_cleanup(std::function<void()> cleanup) {
     cleanup_ = std::move(cleanup);
+  }
+  bool has_cleanup() const { return static_cast<bool>(cleanup_); }
+
+  /// Chains `extra` after any existing hook instead of replacing it — how
+  /// Rebuild retires a store that is a mutation overlay: the overlay's own
+  /// hook (restaged tables + chain to the base) runs first, then the
+  /// rebuild's epoch-table drop.
+  void add_cleanup(std::function<void()> extra) {
+    if (!cleanup_) {
+      cleanup_ = std::move(extra);
+      return;
+    }
+    cleanup_ = [first = std::move(cleanup_), extra = std::move(extra)]() {
+      first();
+      extra();
+    };
   }
 
   /// Writes/refreshes the global TopInfo table (TID, NUM_NODES, NUM_EDGES,
@@ -153,10 +215,13 @@ class TopologyStore {
                           const graph::SchemaGraph& schema) const;
 
  private:
-  TopologyCatalog catalog_;
+  std::shared_ptr<TopologyCatalog> catalog_ =
+      std::make_shared<TopologyCatalog>();
   std::map<std::pair<storage::EntityTypeId, storage::EntityTypeId>,
            PairTopologyData>
       pairs_;
+  std::unordered_map<std::string, std::string> data_table_overrides_;
+  std::shared_ptr<const graph::DataGraphView> data_view_;
   std::function<void()> cleanup_;
 };
 

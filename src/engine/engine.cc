@@ -123,8 +123,11 @@ Result<ResolvedQuery> ResolveQuery(const storage::Catalog& db,
         "topologies not built for pair (" + query.entity_set1 + ", " +
         query.entity_set2 + "); run TopologyBuilder first");
   }
-  rq.table_a = db.GetTable(es1->table_name);
-  rq.table_b = db.GetTable(es2->table_name);
+  // Honor the store's copy-on-write data-table overrides: a mutation
+  // overlay store reads the versioned entity tables; base epochs resolve
+  // to the original names unchanged.
+  rq.table_a = db.GetTable(store.ResolveDataTable(es1->table_name));
+  rq.table_b = db.GetTable(store.ResolveDataTable(es2->table_name));
   rq.pred_a = query.pred1 != nullptr ? query.pred1 : storage::MakeTrue();
   rq.pred_b = query.pred2 != nullptr ? query.pred2 : storage::MakeTrue();
   rq.type_a = es1->id;
@@ -150,7 +153,9 @@ Result<QueryResult> Engine::Execute(const TopologyQuery& query,
   ctx.db = db_;
   ctx.store = snapshot->store.get();
   ctx.schema = schema_;
-  ctx.view = view_;
+  ctx.view = snapshot->store->data_view() != nullptr
+                 ? snapshot->store->data_view().get()
+                 : view_;
   ctx.scores = &snapshot->scores;
   ctx.sql_options = &sql_options_;
   ctx.options = options;
@@ -241,7 +246,9 @@ Result<std::vector<core::TopologyInstance>> Engine::Instances(
   ctx.db = db_;
   ctx.store = snapshot->store.get();
   ctx.schema = schema_;
-  ctx.view = view_;
+  ctx.view = snapshot->store->data_view() != nullptr
+                 ? snapshot->store->data_view().get()
+                 : view_;
   ctx.scores = &snapshot->scores;
   ctx.sql_options = &sql_options_;
 
@@ -281,7 +288,7 @@ Result<std::vector<core::TopologyInstance>> Engine::Instances(
     ++pairs_done;
 
     core::PairComputation computed = core::ComputePairTopologies(
-        *view_, *schema_, e1[i], e2[i], compute_limits);
+        *ctx.view, *schema_, e1[i], e2[i], compute_limits);
     size_t emitted = 0;
     for (core::ComputedTopology& topo : computed.topologies) {
       if (topo.code != target_code) continue;

@@ -5,10 +5,25 @@
 namespace tsb {
 namespace graph {
 
-DataGraphView::DataGraphView(const storage::Catalog& catalog) {
+DataGraphView::DataGraphView(const storage::Catalog& catalog)
+    : DataGraphView(catalog, {}) {}
+
+namespace {
+const std::string& ResolveTable(
+    const std::unordered_map<std::string, std::string>& overrides,
+    const std::string& base) {
+  auto it = overrides.find(base);
+  return it == overrides.end() ? base : it->second;
+}
+}  // namespace
+
+DataGraphView::DataGraphView(
+    const storage::Catalog& catalog,
+    const std::unordered_map<std::string, std::string>& table_overrides) {
   entities_by_type_.resize(catalog.entity_sets().size());
   for (const storage::EntitySetDef& def : catalog.entity_sets()) {
-    const storage::Table& table = *catalog.GetTable(def.table_name);
+    const storage::Table& table =
+        *catalog.GetTable(ResolveTable(table_overrides, def.table_name));
     size_t id_col = table.schema().ColumnIndexOrDie(def.id_column);
     const std::vector<int64_t>& ids = table.column(id_col).ints();
     entities_by_type_[def.id].reserve(ids.size());
@@ -20,7 +35,8 @@ DataGraphView::DataGraphView(const storage::Catalog& catalog) {
     }
   }
   for (const storage::RelationshipSetDef& def : catalog.relationship_sets()) {
-    const storage::Table& table = *catalog.GetTable(def.table_name);
+    const storage::Table& table =
+        *catalog.GetTable(ResolveTable(table_overrides, def.table_name));
     size_t id_col = table.schema().ColumnIndexOrDie(def.id_column);
     size_t from_col = table.schema().ColumnIndexOrDie(def.from_column);
     size_t to_col = table.schema().ColumnIndexOrDie(def.to_column);

@@ -2,6 +2,7 @@
 #define TSB_GRAPH_DATA_GRAPH_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +31,13 @@ class DataGraphView {
   /// Aborts if a relationship references an unknown entity id (referential
   /// integrity is an invariant of the generator and fixtures).
   explicit DataGraphView(const storage::Catalog& catalog);
+
+  /// Same, but reads each set from `table_overrides[def.table_name]` when
+  /// present (copy-on-write versioned tables written by a mutation batch)
+  /// and from `def.table_name` otherwise.
+  DataGraphView(
+      const storage::Catalog& catalog,
+      const std::unordered_map<std::string, std::string>& table_overrides);
 
   bool HasNode(EntityId id) const { return node_types_.count(id) > 0; }
   storage::EntityTypeId NodeType(EntityId id) const;

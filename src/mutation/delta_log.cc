@@ -1,0 +1,121 @@
+#include "mutation/delta_log.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/binary_io.h"
+#include "common/hash.h"
+
+namespace tsb {
+namespace mutation {
+
+namespace {
+constexpr size_t kRecordHeaderBytes = 8;  // u32 len + u32 checksum.
+// A record claiming a payload bigger than this is treated as corruption,
+// not allocation guidance (a torn header can decode as any length).
+constexpr uint32_t kMaxRecordPayload = 64u << 20;
+}  // namespace
+
+DeltaLog::~DeltaLog() { Close(); }
+
+uint32_t DeltaLog::Checksum(std::string_view payload) {
+  return static_cast<uint32_t>(StableHasher().Add(payload).Digest().lo);
+}
+
+Result<ReplayStats> DeltaLog::Open(const std::string& path,
+                                   std::vector<MutationBatch>* replayed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("delta log already open: " + path_);
+  }
+
+  ReplayStats stats;
+  std::string contents;
+  if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), existing)) > 0) {
+      contents.append(buf, n);
+    }
+    std::fclose(existing);
+  }
+
+  // Replay: accept records until the first truncated or corrupt one, then
+  // drop everything from that point (a torn tail must not shadow later
+  // appends, so the file is cut back to the last valid boundary).
+  size_t valid_end = 0;
+  while (contents.size() - valid_end >= kRecordHeaderBytes) {
+    BinaryReader header(
+        std::string_view(contents).substr(valid_end, kRecordHeaderBytes));
+    const uint32_t len = header.U32();
+    const uint32_t checksum = header.U32();
+    if (len > kMaxRecordPayload ||
+        contents.size() - valid_end - kRecordHeaderBytes < len) {
+      break;  // Torn record.
+    }
+    std::string_view payload =
+        std::string_view(contents).substr(valid_end + kRecordHeaderBytes, len);
+    if (Checksum(payload) != checksum) break;  // Corrupt payload.
+    Result<MutationBatch> batch = DecodeMutationBatch(payload);
+    if (!batch.ok()) break;  // Checksum matched but the body is malformed.
+    ++stats.batches;
+    stats.ops += batch.value().ops.size();
+    if (replayed != nullptr) replayed->push_back(std::move(batch).value());
+    valid_end += kRecordHeaderBytes + len;
+  }
+  stats.truncated_bytes = contents.size() - valid_end;
+
+  if (stats.truncated_bytes > 0) {
+    if (truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
+      return Status::Internal("failed to truncate corrupt WAL tail of " +
+                              path + ": " + std::strerror(errno));
+    }
+  }
+
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("failed to open WAL " + path + ": " +
+                            std::strerror(errno));
+  }
+  path_ = path;
+  return stats;
+}
+
+Status DeltaLog::Append(const MutationBatch& batch) {
+  std::string payload;
+  EncodeMutationBatch(batch, &payload);
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, Checksum(payload));
+  record += payload;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("delta log not open");
+  }
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::Internal("WAL write failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+    return Status::Internal("WAL fsync failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  ++appended_records_;
+  appended_bytes_ += record.size();
+  return Status::OK();
+}
+
+void DeltaLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace mutation
+}  // namespace tsb

@@ -1,0 +1,111 @@
+#include "mutation/dirty_tracker.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+
+namespace tsb {
+namespace mutation {
+
+DirtyPairTracker::DirtyPairTracker(const graph::SchemaGraph* schema,
+                                   const storage::Catalog* db)
+    : schema_(schema), db_(db) {
+  const size_t n = schema_->num_entity_types();
+  std::vector<std::vector<storage::EntityTypeId>> adj(n);
+  for (storage::RelTypeId r = 0; r < schema_->num_rel_types(); ++r) {
+    const storage::EntityTypeId a = schema_->rel_from(r);
+    const storage::EntityTypeId b = schema_->rel_to(r);
+    adj[a].push_back(b);
+    if (a != b) adj[b].push_back(a);
+  }
+  const size_t unreachable = std::numeric_limits<size_t>::max();
+  dist_.assign(n, std::vector<size_t>(n, unreachable));
+  for (storage::EntityTypeId start = 0; start < n; ++start) {
+    std::deque<storage::EntityTypeId> frontier{start};
+    dist_[start][start] = 0;
+    while (!frontier.empty()) {
+      const storage::EntityTypeId u = frontier.front();
+      frontier.pop_front();
+      for (storage::EntityTypeId v : adj[u]) {
+        if (dist_[start][v] != unreachable) continue;
+        dist_[start][v] = dist_[start][u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+}
+
+Result<DirtyPairs> DirtyPairTracker::Classify(
+    const MutationBatch& batch, const std::vector<TypePair>& built_pairs,
+    size_t max_path_length) const {
+  // Touched types, split by whether the mutation changes graph structure
+  // (node/edge add/remove) or only attribute bytes.
+  std::set<storage::EntityTypeId> structural_types;
+  std::set<storage::EntityTypeId> attr_types;
+  for (const Mutation& op : batch.ops) {
+    switch (op.kind) {
+      case MutationKind::kAddNode:
+      case MutationKind::kRemoveNode:
+      case MutationKind::kUpdateAttribute: {
+        const storage::EntitySetDef* es = db_->FindEntitySet(op.set_name);
+        if (es == nullptr) {
+          return Status::NotFound("unknown entity set '" + op.set_name + "'");
+        }
+        if (op.kind == MutationKind::kUpdateAttribute) {
+          attr_types.insert(es->id);
+        } else {
+          structural_types.insert(es->id);
+        }
+        break;
+      }
+      case MutationKind::kAddEdge:
+      case MutationKind::kRemoveEdge: {
+        const storage::RelationshipSetDef* rs =
+            db_->FindRelationshipSet(op.set_name);
+        if (rs == nullptr) {
+          return Status::NotFound("unknown relationship set '" + op.set_name +
+                                  "'");
+        }
+        // Any path using the edge passes nodes of both endpoint types, so
+        // the node rule with both types covers every affected pair.
+        structural_types.insert(rs->from_type);
+        structural_types.insert(rs->to_type);
+        break;
+      }
+    }
+  }
+
+  const size_t unreachable = std::numeric_limits<size_t>::max();
+  DirtyPairs out;
+  for (const TypePair& pair : built_pairs) {
+    bool structural = false;
+    for (storage::EntityTypeId t : structural_types) {
+      const size_t da = Distance(pair.first, t);
+      const size_t db = Distance(t, pair.second);
+      if (da != unreachable && db != unreachable &&
+          da + db <= max_path_length) {
+        structural = true;
+        break;
+      }
+    }
+    if (structural) {
+      out.structural.push_back(pair);
+      continue;
+    }
+    // Attribute-only reach: predicates evaluate over the pair's endpoint
+    // entity tables, so a pair is cache-dirty iff a mutated type is one of
+    // its endpoints. (Structural types also rewrite their entity table;
+    // a pair endpointed on one that escaped the distance rule still reads
+    // the versioned table, so it must drop cached results too.)
+    bool endpoint_touched =
+        attr_types.count(pair.first) > 0 || attr_types.count(pair.second) > 0 ||
+        structural_types.count(pair.first) > 0 ||
+        structural_types.count(pair.second) > 0;
+    if (endpoint_touched) out.cache_only.push_back(pair);
+  }
+  return out;
+}
+
+}  // namespace mutation
+}  // namespace tsb

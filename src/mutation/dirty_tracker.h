@@ -1,0 +1,72 @@
+#ifndef TSB_MUTATION_DIRTY_TRACKER_H_
+#define TSB_MUTATION_DIRTY_TRACKER_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+#include "mutation/mutation.h"
+#include "storage/catalog.h"
+
+namespace tsb {
+namespace mutation {
+
+/// Canonical (t1 <= t2) entity-type pair.
+using TypePair = std::pair<storage::EntityTypeId, storage::EntityTypeId>;
+
+/// The pairs a mutation batch invalidates, split by what must happen:
+///  - structural: AllTops/LeftTops rows can change — these pairs get
+///    re-staged into the overlay and their cache entries evicted.
+///  - cache_only: precompute rows are unaffected but entity attribute
+///    bytes changed (predicates may now match differently), so cached
+///    query results for these pairs are evicted without re-staging.
+struct DirtyPairs {
+  std::vector<TypePair> structural;
+  std::vector<TypePair> cache_only;
+
+  size_t total() const { return structural.size() + cache_only.size(); }
+};
+
+/// Maps mutations to the entity pairs whose precompute they invalidate.
+///
+/// Soundness rule: a built pair (X, Y) is structurally dirty when some
+/// touched entity type T sits on a schema walk of length <= max_path_length
+/// between X and Y, i.e. dist(X, T) + dist(T, Y) <= l over the schema graph
+/// (dist(T, T) = 0). Touched types are the mutated node's type for node
+/// mutations, and BOTH endpoint types of the relationship for edge
+/// mutations — sound because any instance path using the edge passes
+/// through nodes of both endpoint types. Attribute updates touch no
+/// structure; they only dirty caches of pairs that can see the mutated
+/// entity's table.
+class DirtyPairTracker {
+ public:
+  /// `schema` and `db` must outlive the tracker. Distances are computed
+  /// once (the schema is immutable for the process lifetime).
+  DirtyPairTracker(const graph::SchemaGraph* schema,
+                   const storage::Catalog* db);
+
+  /// Classifies every built pair in `built_pairs` (canonical order) against
+  /// `batch`. Unknown set names fail with NotFound — callers validate
+  /// batches before logging them.
+  Result<DirtyPairs> Classify(const MutationBatch& batch,
+                              const std::vector<TypePair>& built_pairs,
+                              size_t max_path_length) const;
+
+ private:
+  /// Hop distance between entity types over the schema graph's
+  /// relationship edges; SIZE_MAX when disconnected.
+  size_t Distance(storage::EntityTypeId a, storage::EntityTypeId b) const {
+    return dist_[a][b];
+  }
+
+  const graph::SchemaGraph* schema_;
+  const storage::Catalog* db_;
+  std::vector<std::vector<size_t>> dist_;  // [type][type] hop counts.
+};
+
+}  // namespace mutation
+}  // namespace tsb
+
+#endif  // TSB_MUTATION_DIRTY_TRACKER_H_

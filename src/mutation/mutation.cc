@@ -1,0 +1,157 @@
+#include "mutation/mutation.h"
+
+#include "common/binary_io.h"
+
+namespace tsb {
+namespace mutation {
+
+namespace {
+
+constexpr uint8_t kNullTag = 0xff;
+constexpr uint8_t kMaxKind = static_cast<uint8_t>(MutationKind::kUpdateAttribute);
+
+void PutValue(std::string* out, const storage::Value& v) {
+  if (v.is_null()) {
+    PutU8(out, kNullTag);
+  } else if (v.is_int64()) {
+    PutU8(out, static_cast<uint8_t>(storage::ColumnType::kInt64));
+    PutI64(out, v.AsInt64());
+  } else if (v.is_double()) {
+    PutU8(out, static_cast<uint8_t>(storage::ColumnType::kDouble));
+    PutF64(out, v.AsDouble());
+  } else {
+    PutU8(out, static_cast<uint8_t>(storage::ColumnType::kString));
+    PutString(out, v.AsString());
+  }
+}
+
+storage::Value ReadValue(BinaryReader* r) {
+  const uint8_t tag = r->U8();
+  if (tag == kNullTag) return storage::Value();
+  switch (static_cast<storage::ColumnType>(tag)) {
+    case storage::ColumnType::kInt64:
+      return storage::Value(r->I64());
+    case storage::ColumnType::kDouble:
+      return storage::Value(r->F64());
+    case storage::ColumnType::kString:
+      return storage::Value(r->String());
+  }
+  r->Fail();
+  return storage::Value();
+}
+
+}  // namespace
+
+const char* MutationKindToString(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kAddNode:
+      return "add_node";
+    case MutationKind::kRemoveNode:
+      return "remove_node";
+    case MutationKind::kAddEdge:
+      return "add_edge";
+    case MutationKind::kRemoveEdge:
+      return "remove_edge";
+    case MutationKind::kUpdateAttribute:
+      return "update_attribute";
+  }
+  return "unknown";
+}
+
+Mutation AddNode(std::string set_name, int64_t id,
+                 std::vector<std::pair<std::string, storage::Value>>
+                     attributes) {
+  Mutation m;
+  m.kind = MutationKind::kAddNode;
+  m.set_name = std::move(set_name);
+  m.id = id;
+  m.attributes = std::move(attributes);
+  return m;
+}
+
+Mutation RemoveNode(std::string set_name, int64_t id) {
+  Mutation m;
+  m.kind = MutationKind::kRemoveNode;
+  m.set_name = std::move(set_name);
+  m.id = id;
+  return m;
+}
+
+Mutation AddEdge(std::string set_name, int64_t id, int64_t from, int64_t to) {
+  Mutation m;
+  m.kind = MutationKind::kAddEdge;
+  m.set_name = std::move(set_name);
+  m.id = id;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+Mutation RemoveEdge(std::string set_name, int64_t id) {
+  Mutation m;
+  m.kind = MutationKind::kRemoveEdge;
+  m.set_name = std::move(set_name);
+  m.id = id;
+  return m;
+}
+
+Mutation UpdateAttribute(std::string set_name, int64_t id, std::string column,
+                         storage::Value value) {
+  Mutation m;
+  m.kind = MutationKind::kUpdateAttribute;
+  m.set_name = std::move(set_name);
+  m.id = id;
+  m.attributes.emplace_back(std::move(column), std::move(value));
+  return m;
+}
+
+void EncodeMutationBatch(const MutationBatch& batch, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(batch.ops.size()));
+  for (const Mutation& m : batch.ops) {
+    PutU8(out, static_cast<uint8_t>(m.kind));
+    PutString(out, m.set_name);
+    PutI64(out, m.id);
+    PutI64(out, m.from);
+    PutI64(out, m.to);
+    PutU32(out, static_cast<uint32_t>(m.attributes.size()));
+    for (const auto& [column, value] : m.attributes) {
+      PutString(out, column);
+      PutValue(out, value);
+    }
+  }
+}
+
+Result<MutationBatch> DecodeMutationBatch(std::string_view bytes) {
+  BinaryReader r(bytes);
+  MutationBatch batch;
+  const uint32_t num_ops = r.U32();
+  // Each op needs at least kind + 3 ids + two u32 lengths.
+  if (num_ops > bytes.size()) r.Fail();
+  for (uint32_t i = 0; r.ok() && i < num_ops; ++i) {
+    Mutation m;
+    const uint8_t kind = r.U8();
+    if (kind > kMaxKind) {
+      r.Fail();
+      break;
+    }
+    m.kind = static_cast<MutationKind>(kind);
+    m.set_name = r.String();
+    m.id = r.I64();
+    m.from = r.I64();
+    m.to = r.I64();
+    const uint32_t num_attrs = r.U32();
+    if (num_attrs > bytes.size()) r.Fail();
+    for (uint32_t a = 0; r.ok() && a < num_attrs; ++a) {
+      std::string column = r.String();
+      storage::Value value = ReadValue(&r);
+      m.attributes.emplace_back(std::move(column), std::move(value));
+    }
+    batch.ops.push_back(std::move(m));
+  }
+  if (!r.AtEnd()) r.Fail();
+  TSB_RETURN_IF_ERROR(r.status("mutation batch"));
+  return batch;
+}
+
+}  // namespace mutation
+}  // namespace tsb

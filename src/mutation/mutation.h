@@ -1,0 +1,90 @@
+#ifndef TSB_MUTATION_MUTATION_H_
+#define TSB_MUTATION_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace tsb {
+namespace mutation {
+
+/// The five data-graph mutations of the incremental write path. The
+/// numeric values are the on-disk WAL / on-wire encoding and must never be
+/// reordered.
+enum class MutationKind : uint8_t {
+  kAddNode = 0,
+  kRemoveNode = 1,
+  kAddEdge = 2,
+  kRemoveEdge = 3,
+  kUpdateAttribute = 4,
+};
+
+const char* MutationKindToString(MutationKind kind);
+
+/// One data-graph mutation. Field use by kind:
+///  - kAddNode: set_name = entity set, id = new entity id, attributes =
+///    non-id column values (unnamed columns default to null).
+///  - kRemoveNode: set_name = entity set, id = entity id. Incident edges
+///    are removed as an automatic cascade (referential integrity is a
+///    DataGraphView invariant).
+///  - kAddEdge: set_name = relationship set, id = new edge row id,
+///    from/to = endpoint entity ids.
+///  - kRemoveEdge: set_name = relationship set, id = edge row id.
+///  - kUpdateAttribute: set_name = entity set, id = entity id,
+///    attributes = column -> new value (non-structural: never touches the
+///    id column).
+struct Mutation {
+  MutationKind kind = MutationKind::kAddNode;
+  std::string set_name;
+  int64_t id = 0;
+  int64_t from = 0;
+  int64_t to = 0;
+  std::vector<std::pair<std::string, storage::Value>> attributes;
+
+  bool operator==(const Mutation& other) const {
+    return kind == other.kind && set_name == other.set_name &&
+           id == other.id && from == other.from && to == other.to &&
+           attributes == other.attributes;
+  }
+  bool operator!=(const Mutation& other) const { return !(*this == other); }
+};
+
+/// A batch is the atomic unit of logging, application, and replay: it is
+/// fsync'd as one WAL record and becomes visible through one store swap.
+struct MutationBatch {
+  std::vector<Mutation> ops;
+
+  bool operator==(const MutationBatch& other) const {
+    return ops == other.ops;
+  }
+  bool operator!=(const MutationBatch& other) const {
+    return !(*this == other);
+  }
+};
+
+// Construction helpers (tests, demos, tools).
+Mutation AddNode(std::string set_name, int64_t id,
+                 std::vector<std::pair<std::string, storage::Value>>
+                     attributes = {});
+Mutation RemoveNode(std::string set_name, int64_t id);
+Mutation AddEdge(std::string set_name, int64_t id, int64_t from, int64_t to);
+Mutation RemoveEdge(std::string set_name, int64_t id);
+Mutation UpdateAttribute(std::string set_name, int64_t id, std::string column,
+                         storage::Value value);
+
+/// Binary codec over common/binary_io.h. Values carry a one-byte type tag
+/// (0xff = null, else storage::ColumnType) followed by the typed payload,
+/// so encode -> decode -> encode is byte-identical. Shared by the WAL
+/// record format and the kMutationRequest wire frame.
+void EncodeMutationBatch(const MutationBatch& batch, std::string* out);
+Result<MutationBatch> DecodeMutationBatch(std::string_view bytes);
+
+}  // namespace mutation
+}  // namespace tsb
+
+#endif  // TSB_MUTATION_MUTATION_H_

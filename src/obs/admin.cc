@@ -35,6 +35,11 @@ wire::AdminResponse HandleAdmin(const AdminState& state,
         response.body = state.slow_log->ToString();
       }
       break;
+    case wire::AdminCommand::kCompaction:
+      if (state.compaction_renderer) {
+        response.body = state.compaction_renderer();
+      }
+      break;
   }
   return response;
 }

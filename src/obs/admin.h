@@ -25,6 +25,10 @@ struct AdminState {
   /// Optional human-readable rendering (the classic ToString tables) for
   /// kMetricsText; processes compose it from their snapshot views.
   std::function<std::string()> text_renderer;
+  /// Optional mutation-engine status block for kCompaction (generation,
+  /// pending pairs, last fold, WAL counters); processes with a mutation
+  /// engine point this at MutationEngine::StatusString.
+  std::function<std::string()> compaction_renderer;
 };
 
 /// Executes one admin command against the state.

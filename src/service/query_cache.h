@@ -124,6 +124,31 @@ class ShardedLruCache {
     return true;
   }
 
+  /// Drops every entry whose key starts with `prefix` — the targeted
+  /// invalidation hook of the mutation path, which prefixes keys with a
+  /// per-pair generation stamp. Scans all shards (a prefix spans them, as
+  /// shard selection hashes the full key); with entry counts bounded by
+  /// the byte budget this stays far cheaper than re-running the evicted
+  /// queries. Returns the number of entries dropped.
+  size_t EvictByPrefix(const std::string& prefix) {
+    size_t dropped = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        if (it->first.compare(0, prefix.size(), prefix) == 0) {
+          shard.bytes -= it->second.cost;
+          shard.lru.erase(it->second.lru_pos);
+          it = shard.map.erase(it);
+          ++shard.evictions;
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return dropped;
+  }
+
   /// Drops every entry (invalidation on store rebuild).
   void Clear() {
     for (Shard& shard : shards_) {

@@ -119,13 +119,104 @@ std::string TopologyService::EpochFingerprint(std::string fingerprint) const {
   // Shard-aware keys: the per-shard epoch stamp replaces the single epoch,
   // so rolling any one shard forward orphans cached results derived from
   // its retired slice (a late Insert from an in-flight pre-roll query
-  // lands under the old stamp, which no post-roll lookup reads).
+  // lands under the old stamp, which no post-roll lookup reads). Only the
+  // 3-query path keys on epochs now — 2-queries key on PairStamp, whose
+  // rebuild/pair generations invalidate selectively across mutation swaps.
   if (sharded()) {
     return sharded_exec_->store().EpochStamp() + "|" +
            std::move(fingerprint);
   }
   return "e" + std::to_string(engine_->store_handle()->epoch()) + "|" +
          std::move(fingerprint);
+}
+
+std::string TopologyService::PairPrefix(const mutation::TypePair& pair,
+                                        uint64_t generation) const {
+  return "r" + std::to_string(rebuild_gen_.load(std::memory_order_relaxed)) +
+         "|p" + std::to_string(pair.first) + "_" +
+         std::to_string(pair.second) + "g" + std::to_string(generation) +
+         "|";
+}
+
+std::string TopologyService::PairStamp(
+    const engine::TopologyQuery& query) const {
+  const storage::EntitySetDef* e1 = db_->FindEntitySet(query.entity_set1);
+  const storage::EntitySetDef* e2 = db_->FindEntitySet(query.entity_set2);
+  if (e1 == nullptr || e2 == nullptr) {
+    return "r" +
+           std::to_string(rebuild_gen_.load(std::memory_order_relaxed)) +
+           "|p?|";
+  }
+  mutation::TypePair pair{std::min(e1->id, e2->id),
+                          std::max(e1->id, e2->id)};
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(pair_gen_mu_);
+    auto it = pair_gens_.find(pair);
+    if (it != pair_gens_.end()) generation = it->second;
+  }
+  return PairPrefix(pair, generation);
+}
+
+void TopologyService::BumpRebuildGeneration() {
+  rebuild_gen_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(pair_gen_mu_);
+  pair_gens_.clear();
+}
+
+void TopologyService::EvictMutatedPairs(const mutation::DirtyPairs& dirty) {
+  std::lock_guard<std::mutex> lock(pair_gen_mu_);
+  for (const std::vector<mutation::TypePair>* pairs :
+       {&dirty.structural, &dirty.cache_only}) {
+    for (const mutation::TypePair& pair : *pairs) {
+      const uint64_t old_gen = pair_gens_[pair]++;
+      cache_.EvictByPrefix(PairPrefix(pair, old_gen));
+    }
+  }
+  if (dirty.total() > 0) triple_cache_.Clear();
+}
+
+Status TopologyService::EnableMutations(
+    mutation::MutationEngine::Options options, mutation::DeltaLog* log) {
+  std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
+  if (mutation_engine_ != nullptr) {
+    return Status::FailedPrecondition("mutations already enabled");
+  }
+  std::vector<std::shared_ptr<core::StoreHandle>> handles;
+  const graph::SchemaGraph* schema = nullptr;
+  if (sharded()) {
+    shard::ShardedTopologyStore* sstore = sharded_exec_->mutable_store();
+    for (size_t i = 0; i < sstore->num_shards(); ++i) {
+      handles.push_back(sstore->handle(i));
+    }
+    schema = sharded_exec_->schema();
+  } else {
+    if (live_handle_ == nullptr) {
+      return Status::FailedPrecondition(
+          "mutations need a live store; call AttachLiveStore first");
+    }
+    handles.push_back(live_handle_);
+    schema = triple_schema_;
+  }
+  mutation_engine_ = std::make_unique<mutation::MutationEngine>(
+      db_, schema, std::move(handles), std::move(options));
+  mutation_engine_->set_delta_log(log);
+  mutation_log_ = log;
+  return Status::OK();
+}
+
+Result<mutation::ApplyStats> TopologyService::ApplyMutations(
+    const mutation::MutationBatch& batch) {
+  if (mutation_engine_ == nullptr) {
+    return Status::FailedPrecondition(
+        "mutations not enabled; call EnableMutations first");
+  }
+  std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
+  auto stats = mutation_log_ != nullptr ? mutation_engine_->ApplyLogged(batch)
+                                        : mutation_engine_->Apply(batch);
+  if (!stats.ok()) return stats;
+  EvictMutatedPairs(stats.value().dirty);
+  return stats;
 }
 
 Result<engine::QueryResult> TopologyService::Evaluate(
@@ -277,12 +368,17 @@ Result<RebuildStats> TopologyService::Rebuild(const RebuildOptions& options) {
   std::shared_ptr<core::TopologyStore> retired = live_handle_->Swap(next);
   std::vector<std::string> retired_tables = retired->PrecomputeTableNames();
   storage::Catalog* db = db_;
-  retired->set_cleanup([db, retired_tables]() {
+  // add_cleanup, not set_cleanup: a retired mutation overlay already has a
+  // hook chaining down to the epoch base store, and this drop list covers
+  // every table the chain still exposes (re-drops of the overlay's own
+  // tables fail harmlessly).
+  retired->add_cleanup([db, retired_tables]() {
     for (const std::string& name : retired_tables) {
       (void)db->DropTable(name);
     }
   });
   retired.reset();
+  BumpRebuildGeneration();
   InvalidateCache();
   return stats;
 }
@@ -365,7 +461,8 @@ Result<RebuildStats> TopologyService::RebuildSharded(
     std::vector<std::string> retired_tables =
         retired->PrecomputeTableNames();
     storage::Catalog* db = db_;
-    retired->set_cleanup([db, retired_tables]() {
+    // add_cleanup: see the unsharded Rebuild for why (mutation overlays).
+    retired->add_cleanup([db, retired_tables]() {
       for (const std::string& name : retired_tables) {
         (void)db->DropTable(name);
       }
@@ -373,6 +470,7 @@ Result<RebuildStats> TopologyService::RebuildSharded(
     retired.reset();
     ++stats.shards_swapped;
   }
+  BumpRebuildGeneration();
   InvalidateCache();
   // Refresh the skew observables for the new epoch.
   metrics_.SetShardRows(stats.shard_rows);
@@ -561,8 +659,15 @@ void TopologyService::SubmitToStream(
     return;
   }
 
-  std::string fingerprint = EpochFingerprint(
-      FingerprintQuery(request.query, request.method, request.options));
+  // No epoch component here: mutation overlays swap the store on every
+  // batch, and an epoch-keyed entry would miss after a swap even for pairs
+  // the batch never touched. The PairStamp's rebuild generation (bumped
+  // before Rebuild's cache clear) orphans late inserts from in-flight
+  // pre-rebuild queries, and its per-pair generation does the same for
+  // mutated pairs — so clean-pair entries survive mutation swaps.
+  std::string fingerprint =
+      PairStamp(request.query) +
+      FingerprintQuery(request.query, request.method, request.options);
 
   // Sampling decision up front so the cache fast path is traced too. A
   // request arriving with an active trace context (a traced upstream)

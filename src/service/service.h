@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -18,6 +19,8 @@
 #include "engine/engine.h"
 #include "engine/nquery.h"
 #include "engine/query.h"
+#include "mutation/delta_log.h"
+#include "mutation/mutation_engine.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
 #include "service/metrics.h"
@@ -216,6 +219,30 @@ class TopologyService {
   /// first post-swap queries pay nothing.
   Result<RebuildStats> Rebuild(const RebuildOptions& options);
 
+  /// --- Incremental updates -------------------------------------------------
+
+  /// Enables ApplyMutations: constructs a MutationEngine over the live
+  /// store (every shard handle when sharded; the AttachLiveStore handle
+  /// otherwise — call AttachLiveStore first). `log` (not owned, may be
+  /// null) makes applies durable: each accepted batch is fsync'd to the
+  /// WAL before its overlay epoch becomes visible.
+  Status EnableMutations(mutation::MutationEngine::Options options,
+                         mutation::DeltaLog* log = nullptr);
+
+  /// Applies one mutation batch through the mutation engine — WAL append,
+  /// overlay re-stage of the dirtied pairs, store swap — then evicts
+  /// exactly the dirtied pairs' cached results (per-pair generation bump;
+  /// clean pairs' entries survive). Serialized against Rebuild; queries
+  /// keep flowing off snapshots throughout.
+  Result<mutation::ApplyStats> ApplyMutations(
+      const mutation::MutationBatch& batch);
+
+  /// The mutation engine (compaction control, status, metrics source);
+  /// null until EnableMutations.
+  mutation::MutationEngine* mutation_engine() {
+    return mutation_engine_.get();
+  }
+
   /// --- The wire surface ----------------------------------------------------
 
   /// Submits one wire request. The sink receives exactly one terminal
@@ -408,6 +435,24 @@ class TopologyService {
   /// lookup ever reads.
   std::string EpochFingerprint(std::string fingerprint) const;
 
+  /// The mutation-aware key prefix: "r<rebuild>|p<t1>_<t2>g<gen>|", where
+  /// <gen> is the pair's mutation generation. A mutation bumps the
+  /// generations of exactly the pairs it dirtied, so their cached entries
+  /// become unreachable (and are reclaimed with EvictByPrefix) while every
+  /// clean pair's entries keep hitting. Unresolvable queries stamp "p?"
+  /// (they never produce cacheable results anyway).
+  std::string PairStamp(const engine::TopologyQuery& query) const;
+  std::string PairPrefix(const mutation::TypePair& pair,
+                         uint64_t generation) const;
+
+  /// Per-pair generation bump + targeted eviction for a batch's dirty
+  /// pairs (3-query results may span any pair set, so the triple cache is
+  /// cleared wholesale).
+  void EvictMutatedPairs(const mutation::DirtyPairs& dirty);
+
+  /// Rebuild epilogue: new rebuild generation, per-pair generations reset.
+  void BumpRebuildGeneration();
+
   /// The store 3-queries run against: the live epoch when attached via
   /// AttachLiveStore, else the fixed EnableTripleQueries store (wrapped
   /// non-owning). Null when neither was called.
@@ -462,8 +507,19 @@ class TopologyService {
 
   /// Live-rebuild state (null until AttachLiveStore).
   std::shared_ptr<core::StoreHandle> live_handle_;
-  /// Serializes Rebuild() calls; never taken on the query path.
+  /// Serializes Rebuild() and ApplyMutations() — the two store writers —
+  /// against each other; never taken on the query path.
   std::mutex rebuild_mu_;
+
+  /// Incremental-update state (null until EnableMutations).
+  std::unique_ptr<mutation::MutationEngine> mutation_engine_;
+  mutation::DeltaLog* mutation_log_ = nullptr;
+  /// Full-rebuild generation in every cache key: Rebuild bumps it (and
+  /// resets the per-pair generations), so mutation-era prefixes can never
+  /// collide across rebuild epochs.
+  std::atomic<uint64_t> rebuild_gen_{0};
+  mutable std::mutex pair_gen_mu_;
+  std::map<mutation::TypePair, uint64_t> pair_gens_;
 };
 
 }  // namespace service

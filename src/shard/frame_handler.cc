@@ -145,6 +145,29 @@ Result<std::string> ShardFrameHandler::Handle(
       }
       return obs::HandleAdminFrame(*observability_.admin, request);
     }
+    case wire::MessageKind::kMutationRequest: {
+      TSB_ASSIGN_OR_RETURN(wire::MutationWireRequest decoded,
+                           wire::DecodeMutationRequest(request));
+      wire::MutationWireResponse response;
+      response.request_id = decoded.id;
+      if (mutation_apply_ == nullptr) {
+        response.error =
+            wire::WireError{wire::WireErrorCode::kFailedPrecondition,
+                            "this server does not accept mutations"};
+      } else {
+        Result<mutation::ApplyStats> applied = mutation_apply_(decoded.batch);
+        if (applied.ok()) {
+          response.applied_ops = applied.value().applied_ops;
+          response.dirty_pairs = applied.value().dirty.total();
+          response.apply_seconds = applied.value().apply_seconds;
+        } else {
+          response.error = wire::WireErrorFromStatus(applied.status());
+        }
+      }
+      std::string encoded;
+      wire::EncodeMutationResponse(response, &encoded);
+      return encoded;
+    }
     default:
       return Status::InvalidArgument(
           "shard frame handler: unexpected message kind");

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "core/store.h"
 #include "engine/engine.h"
+#include "mutation/mutation_engine.h"
 #include "obs/admin.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
@@ -53,6 +54,12 @@ class ShardFrameHandler {
   /// responses carry no stamp (a non-replica-aware server).
   using StampFn = std::function<std::string()>;
 
+  /// Applies one mutation batch to this shard's store (the server wires it
+  /// at MutationEngine::ApplyLogged). Unset means kMutationRequest frames
+  /// answer kFailedPrecondition — a read-only server.
+  using MutationApplyFn = std::function<Result<mutation::ApplyStats>(
+      const mutation::MutationBatch&)>;
+
   /// `db` and `engine` must outlive the handler; `snapshot` (and `stamp`,
   /// when set) must be safe to call from any thread.
   ShardFrameHandler(storage::Catalog* db, const engine::Engine* engine,
@@ -63,6 +70,12 @@ class ShardFrameHandler {
   /// objects.
   void set_observability(ShardObservability observability) {
     observability_ = observability;
+  }
+
+  /// Enables the v5 mutation channel (see MutationApplyFn). Must be safe
+  /// to call from any transport thread.
+  void set_mutation_apply(MutationApplyFn apply) {
+    mutation_apply_ = std::move(apply);
   }
 
   /// Synchronous request handling. Engine-level failures come back as an
@@ -85,6 +98,7 @@ class ShardFrameHandler {
   const engine::Engine* engine_;
   SnapshotFn snapshot_;
   StampFn stamp_;
+  MutationApplyFn mutation_apply_;
   ShardObservability observability_;
 };
 

@@ -129,7 +129,7 @@ FrameError InspectFrame(std::string_view buffer, size_t max_payload_bytes,
   }
   if (buffer.size() >= 4 &&
       static_cast<uint8_t>(buffer[3]) >
-          static_cast<uint8_t>(MessageKind::kAdminResponse)) {
+          static_cast<uint8_t>(MessageKind::kMutationResponse)) {
     return FrameError::kMalformedFrame;
   }
   if (buffer.size() < kFrameHeaderBytes) return FrameError::kIncomplete;
@@ -451,6 +451,62 @@ Result<AdminResponse> DecodeAdminResponse(std::string_view frame) {
   response.error.message = in.String();
   response.body = in.String();
   if (!in.AtEnd()) return in.status("admin response payload");
+  return response;
+}
+
+void EncodeMutationRequest(const MutationWireRequest& request,
+                           std::string* out) {
+  const size_t frame = BeginFrame(MessageKind::kMutationRequest, out);
+  PutU64(out, request.id);
+  std::string batch;
+  mutation::EncodeMutationBatch(request.batch, &batch);
+  PutString(out, batch);
+  EndFrame(frame, out);
+}
+
+Result<MutationWireRequest> DecodeMutationRequest(std::string_view frame) {
+  TSB_ASSIGN_OR_RETURN(std::string_view payload,
+                       OpenFrame(frame, MessageKind::kMutationRequest));
+  BinaryReader in(payload);
+  MutationWireRequest request;
+  request.id = in.U64();
+  const std::string batch = in.String();
+  if (!in.ok()) return in.status("mutation request payload");
+  TSB_ASSIGN_OR_RETURN(request.batch, mutation::DecodeMutationBatch(batch));
+  if (!in.AtEnd()) return in.status("mutation request payload");
+  return request;
+}
+
+void EncodeMutationResponse(const MutationWireResponse& response,
+                            std::string* out) {
+  const size_t frame = BeginFrame(MessageKind::kMutationResponse, out);
+  PutU64(out, response.request_id);
+  PutU8(out, static_cast<uint8_t>(response.error.code));
+  PutString(out, response.error.message);
+  PutU64(out, response.applied_ops);
+  PutU64(out, response.dirty_pairs);
+  PutF64(out, response.apply_seconds);
+  EndFrame(frame, out);
+}
+
+Result<MutationWireResponse> DecodeMutationResponse(std::string_view frame) {
+  TSB_ASSIGN_OR_RETURN(std::string_view payload,
+                       OpenFrame(frame, MessageKind::kMutationResponse));
+  BinaryReader in(payload);
+  MutationWireResponse response;
+  response.request_id = in.U64();
+  const uint8_t code = in.U8();
+  if (!in.ok()) return in.status("mutation response payload");
+  if (code > static_cast<uint8_t>(WireErrorCode::kInternal)) {
+    return Status::InvalidArgument("mutation response: bad error code " +
+                                   std::to_string(code));
+  }
+  response.error.code = static_cast<WireErrorCode>(code);
+  response.error.message = in.String();
+  response.applied_ops = in.U64();
+  response.dirty_pairs = in.U64();
+  response.apply_seconds = in.F64();
+  if (!in.AtEnd()) return in.status("mutation response payload");
   return response;
 }
 

@@ -46,6 +46,8 @@ enum class MessageKind : uint8_t {
   kTripleCollectResponse = 3,
   kAdminRequest = 4,
   kAdminResponse = 5,
+  kMutationRequest = 6,
+  kMutationResponse = 7,
 };
 
 /// Bytes of every frame header: magic 'T' 'W', version u8, kind u8,
@@ -147,6 +149,20 @@ Result<AdminRequest> DecodeAdminRequest(std::string_view frame);
 
 void EncodeAdminResponse(const AdminResponse& response, std::string* out);
 Result<AdminResponse> DecodeAdminResponse(std::string_view frame);
+
+/// --- Mutation channel (v5) --------------------------------------------------
+///
+/// The batch payload rides as one nested MutationBatch encoding
+/// (mutation/mutation.h), so the WAL record body and the wire body share
+/// one format.
+
+void EncodeMutationRequest(const MutationWireRequest& request,
+                           std::string* out);
+Result<MutationWireRequest> DecodeMutationRequest(std::string_view frame);
+
+void EncodeMutationResponse(const MutationWireResponse& response,
+                            std::string* out);
+Result<MutationWireResponse> DecodeMutationResponse(std::string_view frame);
 
 }  // namespace wire
 }  // namespace tsb

@@ -65,6 +65,8 @@ const char* AdminCommandToString(AdminCommand command) {
       return "traces";
     case AdminCommand::kSlowQueries:
       return "slowlog";
+    case AdminCommand::kCompaction:
+      return "compaction";
   }
   return "unknown";
 }

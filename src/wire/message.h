@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "engine/nquery.h"
 #include "engine/query.h"
+#include "mutation/mutation.h"
 #include "obs/trace.h"
 
 namespace tsb {
@@ -42,8 +43,15 @@ namespace wire {
 ///       slow-query records from a live server. v3 frames still decode
 ///       (empty trace context, no spans): trace fields sit at the payload
 ///       tail, so a v3 payload simply ends before them.
+///   5 — incremental updates: new kMutationRequest / kMutationResponse
+///       frames carry a MutationBatch to a serving process and return the
+///       apply outcome (TopologyService::ApplyMutations / the shard
+///       servers' mutation hook), so the data graph mutates in place
+///       without a full rebuild. New AdminCommand::kCompaction pulls the
+///       mutation engine's delta/overlay/compaction status. Query frames
+///       are unchanged from v4.
 
-inline constexpr uint8_t kWireVersion = 4;
+inline constexpr uint8_t kWireVersion = 5;
 
 /// Oldest version this build still decodes. Encoders always emit
 /// kWireVersion; decoders branch on the received header version.
@@ -167,10 +175,12 @@ enum class AdminCommand : uint8_t {
   kMetricsText = 3,        // Human tables (the ToString renderings).
   kTraces = 4,             // Recent sampled traces as span trees.
   kSlowQueries = 5,        // Recent slow-query records.
+  kCompaction = 6,         // Mutation engine status (v5+): generation,
+                           // pending pairs, last fold, WAL counters.
 };
 
 inline constexpr uint8_t kMaxAdminCommand =
-    static_cast<uint8_t>(AdminCommand::kSlowQueries);
+    static_cast<uint8_t>(AdminCommand::kCompaction);
 
 const char* AdminCommandToString(AdminCommand command);
 
@@ -185,6 +195,27 @@ struct AdminRequest {
 struct AdminResponse {
   WireError error;
   std::string body;
+};
+
+/// --- Mutation channel (v5) -------------------------------------------------
+///
+/// The incremental write path on the wire: a client (or the service's
+/// scatter layer) sends one batch of graph mutations to a serving process,
+/// which applies it through its MutationEngine — WAL append, overlay
+/// re-stage of the dirtied pairs, store swap — and answers with the apply
+/// outcome. `id` is caller-chosen and echoed like a query request's.
+
+struct MutationWireRequest {
+  uint64_t id = 0;
+  mutation::MutationBatch batch;
+};
+
+struct MutationWireResponse {
+  uint64_t request_id = 0;
+  WireError error;
+  uint64_t applied_ops = 0;   // Ops applied (0 on error).
+  uint64_t dirty_pairs = 0;   // structural + cache-only pairs invalidated.
+  double apply_seconds = 0.0;
 };
 
 enum class FrameKind : uint8_t {

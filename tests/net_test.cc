@@ -23,6 +23,10 @@
 #include "core/builder.h"
 #include "core/pruner.h"
 #include "engine/engine.h"
+#include "mutation/delta_log.h"
+#include "mutation/mutation.h"
+#include "mutation/mutation_engine.h"
+#include "net/endpoint_client.h"
 #include "net/frame_conn.h"
 #include "net/shard_server.h"
 #include "net/socket_transport.h"
@@ -486,6 +490,130 @@ TEST_F(NetFig3Test, KilledShardServerDegradesToPartialAndRecovers) {
   svc.Shutdown();
   executor->set_transport(nullptr);
   servers.StopAll();
+}
+
+TEST_F(NetFig3Test, AcknowledgedMutationsSurviveServerKillViaWalReplay) {
+  // The v5 write path end to end: kMutationRequest frames over sockets,
+  // WAL-before-visible application, then a kill (no shutdown handshake —
+  // only the fsync'd log survives) and a restart that rebuilds the base
+  // precompute and replays the WAL, exactly as shard_server --wal-dir
+  // does. Acknowledged batches must be visible after recovery.
+  const std::string wal_path = "/tmp/tsb_net_test_" +
+                               std::to_string(::getpid()) + "_mut.wal";
+  std::remove(wal_path.c_str());
+
+  mutation::MutationBatch first;
+  first.ops = {
+      mutation::AddNode(
+          "Protein", 500,
+          {{"DESC", storage::Value(std::string(
+                        "ubiquitin-conjugating enzyme variant X"))}}),
+      mutation::AddEdge("Encodes", 600, 500, 742),
+  };
+  mutation::MutationBatch second;
+  second.ops = {mutation::RemoveEdge("Uni_contains", 93)};
+
+  std::vector<engine::ResultEntry> mutated_truth;
+  {
+    auto executor = MakeSharded(2, "mw");
+    ServerSet servers = StartServers(executor.get(), "mw");
+
+    // Before the hook is wired, every server is read-only: the frame is
+    // understood but answered with a typed refusal.
+    {
+      wire::MutationWireRequest request;
+      request.id = 1;
+      request.batch = first;
+      std::string frame;
+      wire::EncodeMutationRequest(request, &frame);
+      net::EndpointClient client(servers.endpoints[0]);
+      auto reply = client.RoundTrip(frame, net::DeadlineAfter(5.0));
+      ASSERT_TRUE(reply.ok()) << reply.status();
+      auto decoded = wire::DecodeMutationResponse(*reply);
+      ASSERT_TRUE(decoded.ok()) << decoded.status();
+      EXPECT_EQ(decoded->error.code,
+                wire::WireErrorCode::kFailedPrecondition);
+    }
+
+    // Wire the WAL'd mutation engine into every handler, shard_server
+    // style: one engine over all shard handles, ApplyLogged per frame.
+    mutation::DeltaLog wal;
+    std::vector<mutation::MutationBatch> replayed;
+    ASSERT_TRUE(wal.Open(wal_path, &replayed).ok());
+    EXPECT_TRUE(replayed.empty());
+    std::vector<std::shared_ptr<core::StoreHandle>> handles;
+    for (size_t i = 0; i < 2; ++i) {
+      handles.push_back(executor->mutable_store()->handle(i));
+    }
+    mutation::MutationEngine::Options options;
+    options.build.max_path_length = 3;
+    mutation::MutationEngine mutator(&db_, schema_.get(), handles, options);
+    mutator.set_delta_log(&wal);
+    for (auto& handler : servers.handlers) {
+      handler->set_mutation_apply(
+          [&mutator](const mutation::MutationBatch& batch) {
+            return mutator.ApplyLogged(batch);
+          });
+    }
+
+    // One batch to each server: any shard server accepts mutations.
+    for (size_t s = 0; s < 2; ++s) {
+      wire::MutationWireRequest request;
+      request.id = 10 + s;
+      request.batch = s == 0 ? first : second;
+      std::string frame;
+      wire::EncodeMutationRequest(request, &frame);
+      net::EndpointClient client(servers.endpoints[s]);
+      auto reply = client.RoundTrip(frame, net::DeadlineAfter(5.0));
+      ASSERT_TRUE(reply.ok()) << s << ": " << reply.status();
+      auto decoded = wire::DecodeMutationResponse(*reply);
+      ASSERT_TRUE(decoded.ok()) << decoded.status();
+      ASSERT_TRUE(decoded->error.ok()) << decoded->error.message;
+      EXPECT_EQ(decoded->request_id, 10 + s);
+      EXPECT_EQ(decoded->applied_ops, request.batch.ops.size());
+      EXPECT_GT(decoded->dirty_pairs, 0u);
+    }
+    EXPECT_EQ(wal.appended_records(), 2u);
+
+    auto result = executor->Execute(ScatteringQuery(), MethodKind::kFullTop);
+    ASSERT_TRUE(result.ok()) << result.status();
+    mutated_truth = result->entries;
+
+    servers.StopAll();
+  }
+
+  // Restart: fresh base build plus WAL replay.
+  auto executor = MakeSharded(2, "mw2");
+  mutation::DeltaLog wal;
+  std::vector<mutation::MutationBatch> replayed;
+  auto stats = wal.Open(wal_path, &replayed);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->truncated_bytes, 0u);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0], first);
+  EXPECT_EQ(replayed[1], second);
+  std::vector<std::shared_ptr<core::StoreHandle>> handles;
+  for (size_t i = 0; i < 2; ++i) {
+    handles.push_back(executor->mutable_store()->handle(i));
+  }
+  mutation::MutationEngine::Options options;
+  options.build.max_path_length = 3;
+  mutation::MutationEngine mutator(&db_, schema_.get(), handles, options);
+  ASSERT_TRUE(mutator.Replay(replayed).ok());
+  EXPECT_EQ(mutator.generation(), 2u);
+
+  // Served over sockets again: the acknowledged state survived the kill.
+  ServerSet servers = StartServers(executor.get(), "mw3");
+  net::SocketTransport transport(servers.endpoints);
+  executor->set_transport(&transport);
+  auto recovered = executor->Execute(ScatteringQuery(), MethodKind::kFullTop);
+  executor->set_transport(nullptr);
+  servers.StopAll();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(recovered->partial);
+  EXPECT_EQ(recovered->entries, mutated_truth);
+  wal.Close();
+  std::remove(wal_path.c_str());
 }
 
 TEST_F(NetFig3Test, HungShardServerTimesOutUnderTheRequestDeadline) {

@@ -675,13 +675,13 @@ TEST_F(WireFig3Test, InspectFrameAcceptsBothLiveVersions) {
   EXPECT_EQ(static_cast<uint8_t>(frame[2]), wire::kWireVersion);
 
   // Version 3 headers pass inspection (the payload length is not v3-sized
-  // here, but InspectFrame only validates the header); 2 and 5 sit
+  // here, but InspectFrame only validates the header); 2 and 6 sit
   // outside [kMinWireVersion, kWireVersion].
   std::string v3 = frame;
   v3[2] = 3;
   EXPECT_EQ(wire::InspectFrame(v3, wire::kDefaultMaxFramePayload, nullptr),
             wire::FrameError::kOk);
-  for (uint8_t version : {2, 5}) {
+  for (uint8_t version : {2, 6}) {
     std::string bad = frame;
     bad[2] = static_cast<char>(version);
     EXPECT_EQ(wire::InspectFrame(bad, wire::kDefaultMaxFramePayload,

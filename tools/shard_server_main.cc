@@ -24,6 +24,15 @@
 //                          (default 0 = disabled)
 //   --trace-recent=<n>     ring of recent shard-side trace fragments kept
 //                          for the admin channel (default 32)
+//   --wal-dir=<dir>        enable the durable mutation WAL: batches are
+//                          fsync'd to <dir>/shard<i>_r<r>.wal before they
+//                          become visible, and the log is replayed on
+//                          startup — a SIGKILL'd server recovers every
+//                          acknowledged mutation by rebuilding the fixture
+//                          and re-applying the log. Without the flag the
+//                          mutation channel still works, non-durably.
+//   --compaction-min-gens=<n>  background-fold trigger: compact once this
+//                          many overlay generations accumulate (default 4)
 //
 // Observability: the process serves the kAdminRequest admin channel
 // (tools/topctl pulls Prometheus metrics, JSON, traces, and the slow-query
@@ -51,6 +60,9 @@
 #include "engine/engine.h"
 #include "graph/data_graph.h"
 #include "graph/schema_graph.h"
+#include "mutation/delta_log.h"
+#include "mutation/mutation.h"
+#include "mutation/mutation_engine.h"
 #include "net/shard_server.h"
 #include "obs/admin.h"
 #include "obs/registry.h"
@@ -108,6 +120,9 @@ int main(int argc, char** argv) {
   const long slow_query_ms = FlagLong(argc, argv, "slow-query-ms", 0);
   const size_t trace_recent =
       static_cast<size_t>(FlagLong(argc, argv, "trace-recent", 32));
+  const std::string wal_dir = FlagString(argc, argv, "wal-dir", "");
+  const size_t compaction_min_gens = static_cast<size_t>(
+      FlagLong(argc, argv, "compaction-min-gens", 4));
 
   if (shard >= num_shards) {
     std::fprintf(stderr, "shard_server: --shard=%zu out of range (%zu)\n",
@@ -173,6 +188,48 @@ int main(int argc, char** argv) {
                                       sharded->handle(shard)->epoch());
       });
 
+  // The incremental write path: every replica holds all N shard stores
+  // (built above for catalog determinism), so the mutation engine applies
+  // each batch to the full set with the same SplitStagingForShards routing
+  // as the base build — replicas that apply the same batches in the same
+  // order stay byte-identical, and this process keeps serving its slice.
+  mutation::MutationEngine::Options mutation_options;
+  mutation_options.build = build;
+  mutation_options.compaction_min_generations = compaction_min_gens;
+  std::vector<std::shared_ptr<core::StoreHandle>> handles;
+  for (size_t i = 0; i < num_shards; ++i) handles.push_back(sharded->handle(i));
+  mutation::MutationEngine mutation_engine(&db, &schema, std::move(handles),
+                                           mutation_options);
+  mutation::DeltaLog wal;
+  if (!wal_dir.empty()) {
+    const std::string wal_path = wal_dir + "/shard" + std::to_string(shard) +
+                                 "_r" + std::to_string(replica_id) + ".wal";
+    std::vector<mutation::MutationBatch> replayed;
+    auto opened = wal.Open(wal_path, &replayed);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "shard_server: WAL open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    Status recovered = mutation_engine.Replay(replayed);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "shard_server: WAL replay failed: %s\n",
+                   recovered.ToString().c_str());
+      return 1;
+    }
+    mutation_engine.set_delta_log(&wal);
+    std::printf("shard_server: WAL %s replayed %zu batches (%zu ops, %zu "
+                "bytes truncated)\n",
+                wal_path.c_str(), opened.value().batches, opened.value().ops,
+                opened.value().truncated_bytes);
+  }
+  handler.set_mutation_apply(
+      [&mutation_engine, &wal](const mutation::MutationBatch& batch) {
+        return wal.is_open() ? mutation_engine.ApplyLogged(batch)
+                             : mutation_engine.Apply(batch);
+      });
+  mutation_engine.StartCompaction();
+
   // Observability: per-frame metrics, shard-side trace fragments, the
   // slow-query log, and the admin channel topctl pulls them through.
   service::ServiceMetrics metrics;
@@ -199,11 +256,15 @@ int main(int argc, char** argv) {
                   static_cast<double>(server_ptr->frames_served()));
   });
   registry.Register(&server_source);
+  registry.Register(&mutation_engine);
   obs::AdminState admin;
   admin.registry = &registry;
   admin.tracer = &tracer;
   admin.slow_log = &slow_log;
   admin.text_renderer = [&metrics]() { return metrics.Snapshot().ToString(); };
+  admin.compaction_renderer = [&mutation_engine]() {
+    return mutation_engine.StatusString();
+  };
   shard::ShardObservability observability;
   observability.metrics = &metrics;
   observability.tracer = &tracer;

@@ -12,6 +12,8 @@
 //   metrics-text  human-readable metric tables
 //   traces        recent sampled traces as span trees
 //   slowlog       recent slow-query records
+//   compaction    mutation-engine status: generation, pending dirty pairs,
+//                 last background fold, WAL counters
 //
 // Flags:
 //   --uds=<path>       connect over this Unix-domain socket
@@ -75,7 +77,8 @@ int main(int argc, char** argv) {
   if (command_name.empty() || (uds.empty() && tcp_port < 0)) {
     std::fprintf(stderr,
                  "usage: topctl [--uds=<path> | --host=<h> --tcp-port=<p>] "
-                 "<ping|metrics|metrics-json|metrics-text|traces|slowlog>\n");
+                 "<ping|metrics|metrics-json|metrics-text|traces|slowlog|"
+                 "compaction>\n");
     return 1;
   }
   wire::AdminCommand command;
