@@ -27,6 +27,7 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "obs/cost.h"
 #include "service/service.h"
 
 namespace tsb {
@@ -247,6 +248,64 @@ void Run(int argc, char** argv) {
     TSB_CHECK(p95_on <= bound)
         << "tracing at 1-in-64 sampling regressed warm p95 by more than 5%: "
         << p95_off * 1e6 << "us -> " << p95_on * 1e6 << "us";
+  }
+
+  // --- Cost-accounting overhead gate ---------------------------------------
+  // Same shape as the tracing gate: one warm service runs the phase with
+  // the CostTracker disabled, then enabled (the shipping default), and the
+  // accounted warm p95 must stay within 5% of unaccounted plus the same
+  // 50µs absolute floor. Responses must also stay byte-equal to ground
+  // truth either way — the bill rides beside the results, never in them.
+  {
+    const size_t threads = max_threads;
+    service::ServiceConfig cost_config;
+    cost_config.num_threads = threads;
+    cost_config.max_in_flight = 4096;
+    service::TopologyService svc(world->engine.get(), &world->db,
+                                 cost_config);
+    RunPhase(&svc, workload, 1, 1);  // Pre-warm the cache.
+
+    obs::CostTracker::set_enabled(false);
+    PhaseResult unaccounted = RunPhase(&svc, workload, threads, sweeps);
+    obs::CostTracker::set_enabled(true);
+    PhaseResult accounted = RunPhase(&svc, workload, threads, sweeps);
+    svc.Shutdown();
+
+    const double p95_off = unaccounted.Percentile(0.95);
+    const double p95_on = accounted.Percentile(0.95);
+    const double bound = p95_off * 1.05 + 50e-6;
+    std::printf("\ncost-accounting overhead (%zu clients): warm p95 %.1fus "
+                "off -> %.1fus on (bound %.1fus)\n",
+                threads, p95_off * 1e6, p95_on * 1e6, bound * 1e6);
+    TSB_CHECK_EQ(unaccounted.mismatches + unaccounted.failures, 0u)
+        << "responses diverged with cost accounting disabled";
+    TSB_CHECK_EQ(accounted.mismatches + accounted.failures, 0u)
+        << "responses diverged with cost accounting enabled";
+    TSB_CHECK(p95_on <= bound)
+        << "cost accounting regressed warm p95 by more than 5%: "
+        << p95_off * 1e6 << "us -> " << p95_on * 1e6 << "us";
+
+    FILE* json = std::fopen("BENCH_obs.json", "w");
+    TSB_CHECK(json != nullptr);
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"service_throughput\",\n"
+        "  \"scale\": %.3f,\n"
+        "  \"clients\": %zu,\n"
+        "  \"integrity\": {\"bad_responses\": %zu, \"must_be\": 0},\n"
+        "  \"min_warm_cold_speedup\": %.2f,\n"
+        "  \"cost_accounting\": {\n"
+        "    \"warm_p95_us_off\": %.1f,\n"
+        "    \"warm_p95_us_on\": %.1f,\n"
+        "    \"bound_us\": %.1f,\n"
+        "    \"requests_per_phase\": %zu\n"
+        "  }\n"
+        "}\n",
+        config.scale, threads, total_bad, min_speedup, p95_off * 1e6,
+        p95_on * 1e6, bound * 1e6, accounted.requests);
+    std::fclose(json);
+    std::printf("wrote BENCH_obs.json\nOK\n");
   }
 }
 

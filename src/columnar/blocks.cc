@@ -397,6 +397,7 @@ ScanCounters BlockScanCursor::Counters() const {
   for (uint8_t t : touched_) {
     if (t == 0) ++c.blocks_skipped;
   }
+  c.bytes_read = rows_scanned_ * ScanCounters::kBytesPerRow;
   return c;
 }
 

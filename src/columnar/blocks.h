@@ -118,9 +118,16 @@ bool ValidateSlice(const ColumnarSlice& slice);
 /// Scan-side counters surfaced into ExecStats: zone-map effectiveness is
 /// blocks_skipped / blocks_total.
 struct ScanCounters {
+  /// Column bytes one scanned row pulls through the cache: the five
+  /// parallel arrays (score, tid, class_id, e1_code, e2_code).
+  static constexpr uint64_t kBytesPerRow =
+      sizeof(double) + sizeof(int64_t) + 3 * sizeof(uint32_t);
+
   uint64_t rows_scanned = 0;
   uint64_t blocks_total = 0;
   uint64_t blocks_skipped = 0;
+  /// rows_scanned × kBytesPerRow — the cost-accounting view of the scan.
+  uint64_t bytes_read = 0;
 };
 
 /// Evaluates entity-qualification bitmaps over a slice block-at-a-time.

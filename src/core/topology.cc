@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "graph/canonical.h"
+#include "obs/cost.h"
 
 namespace tsb {
 namespace core {
@@ -96,6 +97,7 @@ Tid TopologyCatalog::Intern(const graph::LabeledGraph& g, size_t num_classes) {
 Tid TopologyCatalog::InternWithCode(const graph::LabeledGraph& g,
                                     std::string code, size_t num_classes,
                                     std::vector<std::string> class_keys) {
+  obs::CostTracker::ChargeCatalogInterns(1);
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_code_.find(code);
   if (it != by_code_.end()) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "engine/methods_internal.h"
+#include "obs/cost.h"
 #include "storage/predicate.h"
 
 namespace tsb {
@@ -15,6 +16,7 @@ namespace {
 /// never qualifies, matching the row path's empty join probe.
 std::vector<uint8_t> GatherCodes(const std::vector<uint8_t>& row_mask,
                                  const std::vector<uint32_t>& dict_row) {
+  obs::CostTracker::ChargeHeapBytes(dict_row.size());
   std::vector<uint8_t> mask(dict_row.size(), 0);
   for (size_t code = 0; code < dict_row.size(); ++code) {
     const uint32_t row = dict_row[code];
@@ -79,6 +81,8 @@ std::unique_ptr<ColumnarScan> ColumnarScan::TryCreate(
     masks.both_orientations = true;
   }
 
+  // The per-row verdict masks above cost one byte per entity row.
+  obs::CostTracker::ChargeHeapBytes(entity_rows);
   ctx->used_columnar = true;
   return std::unique_ptr<ColumnarScan>(new ColumnarScan(
       ctx, std::move(slice), std::move(masks), entity_rows));
@@ -107,6 +111,8 @@ std::vector<core::Tid> ColumnarScan::QualifiedTids() {
 void ColumnarScan::EnsureRanked() {
   if (ranked_built_) return;
   ranked_built_ = true;
+  obs::CostTracker::ChargeHeapBytes(slice_->groups.size() *
+                                    sizeof(RankedGroup));
   ranked_.reserve(slice_->groups.size());
   for (uint32_t g = 0; g < slice_->groups.size(); ++g) {
     const core::Tid tid = slice_->groups[g].tid;
@@ -138,6 +144,9 @@ void ColumnarScan::FoldCounters(ExecStats* stats) {
   stats->rows_scanned += entity_rows_ + c.rows_scanned;
   stats->blocks_total += c.blocks_total;
   stats->blocks_skipped += c.blocks_skipped;
+  if (obs::CostTracker::enabled()) {
+    stats->bytes_deserialized += c.bytes_read;
+  }
 }
 
 }  // namespace engine

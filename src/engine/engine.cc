@@ -12,6 +12,7 @@
 #include "exec/scans.h"
 #include "exec/shaping.h"
 #include "graph/path_enum.h"
+#include "obs/cost.h"
 
 namespace tsb {
 namespace engine {
@@ -172,6 +173,11 @@ Result<QueryResult> Engine::Execute(const TopologyQuery& query,
         "pair");
   }
 
+  // Resource accounting brackets exactly the method dispatch: CPU burned
+  // on this thread plus any catalog-intern / reserve-site charges made
+  // below fold into the stats that travel with the result (and sum
+  // correctly through scatter-gather's `total += partial->stats`).
+  obs::CostTracker::Section cost_section;
   Stopwatch watch;
   QueryResult result;
   switch (method) {
@@ -204,6 +210,11 @@ Result<QueryResult> Engine::Execute(const TopologyQuery& query,
       break;
   }
   result.stats.seconds = watch.ElapsedSeconds();
+  const obs::CostCounters cost = cost_section.Drain();
+  result.stats.cpu_ns += cost.cpu_ns;
+  result.stats.bytes_deserialized += cost.bytes_deserialized;
+  result.stats.catalog_interns += cost.catalog_interns;
+  result.stats.heap_bytes += cost.heap_bytes;
   if (ctx.used_columnar && !result.stats.plan.empty()) {
     result.stats.plan += " [columnar]";
   }

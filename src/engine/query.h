@@ -71,6 +71,14 @@ struct ExecStats {
   /// skips). Zero when the query ran on the row path.
   uint64_t blocks_total = 0;
   uint64_t blocks_skipped = 0;
+  /// Resource bill (obs::CostTracker, folded in by Engine::Execute):
+  /// thread CPU actually burned, columnar/wire bytes deserialized, catalog
+  /// intern calls, and heap bytes requested at tracked reserve sites.
+  /// Purely observational — accounting on or off never changes entries.
+  uint64_t cpu_ns = 0;
+  uint64_t bytes_deserialized = 0;
+  uint64_t catalog_interns = 0;
+  uint64_t heap_bytes = 0;
   std::string plan;
 
   /// Accumulates counters and time across runs (batch totals, per-method
@@ -84,6 +92,10 @@ struct ExecStats {
     subqueries += o.subqueries;
     blocks_total += o.blocks_total;
     blocks_skipped += o.blocks_skipped;
+    cpu_ns += o.cpu_ns;
+    bytes_deserialized += o.bytes_deserialized;
+    catalog_interns += o.catalog_interns;
+    heap_bytes += o.heap_bytes;
     return *this;
   }
 };

@@ -138,6 +138,15 @@ class MutationEngine : public obs::MetricsSource {
   bool compaction_running() const {
     return compacting_.load(std::memory_order_relaxed);
   }
+  uint64_t batches_applied() const {
+    return batches_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t ops_applied() const {
+    return ops_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t compaction_rounds() const {
+    return compaction_round_.load(std::memory_order_relaxed);
+  }
 
   /// Human-readable status block for `topctl compaction`.
   std::string StatusString() const;

@@ -40,6 +40,11 @@ wire::AdminResponse HandleAdmin(const AdminState& state,
         response.body = state.compaction_renderer();
       }
       break;
+    case wire::AdminCommand::kCostSnapshot:
+      if (state.cost_snapshot) {
+        EncodeFleetSnapshot(state.cost_snapshot(), &response.body);
+      }
+      break;
   }
   return response;
 }

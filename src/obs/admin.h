@@ -4,6 +4,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/fleet.h"
 #include "obs/registry.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
@@ -29,6 +30,10 @@ struct AdminState {
   /// pending pairs, last fold, WAL counters); processes with a mutation
   /// engine point this at MutationEngine::StatusString.
   std::function<std::string()> compaction_renderer;
+  /// Optional fleet cost view for kCostSnapshot: the process's mergeable
+  /// histograms + cost counters, binary-encoded into the response body
+  /// (`topctl top` merges snapshots from every endpoint it polls).
+  std::function<FleetSnapshot()> cost_snapshot;
 };
 
 /// Executes one admin command against the state.

@@ -1,0 +1,43 @@
+#include "obs/cost.h"
+
+#include <ctime>
+
+namespace tsb {
+namespace obs {
+
+thread_local CostCounters CostTracker::tls_;
+std::atomic<bool> CostTracker::enabled_{true};
+
+uint64_t ThreadCpuNanos() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+CostTracker::Section::Section() {
+  enabled_at_start_ = CostTracker::enabled();
+  if (!enabled_at_start_) return;
+  baseline_ = CostTracker::tls_;
+  cpu_start_ns_ = ThreadCpuNanos();
+}
+
+CostCounters CostTracker::Section::Drain() {
+  if (!enabled_at_start_ || !CostTracker::enabled()) return CostCounters();
+  CostCounters& tls = CostTracker::tls_;
+  CostCounters delta;
+  delta.bytes_deserialized =
+      tls.bytes_deserialized - baseline_.bytes_deserialized;
+  delta.catalog_interns = tls.catalog_interns - baseline_.catalog_interns;
+  delta.heap_bytes = tls.heap_bytes - baseline_.heap_bytes;
+  const uint64_t cpu_now = ThreadCpuNanos();
+  delta.cpu_ns = cpu_now > cpu_start_ns_ ? cpu_now - cpu_start_ns_ : 0;
+  // Rewind so an enclosing section does not bill this work again, and a
+  // second Drain on this section reports only fresh charges.
+  tls = baseline_;
+  cpu_start_ns_ = cpu_now;
+  return delta;
+}
+
+}  // namespace obs
+}  // namespace tsb

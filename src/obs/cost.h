@@ -1,0 +1,94 @@
+#ifndef TSB_OBS_COST_H_
+#define TSB_OBS_COST_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace tsb {
+namespace obs {
+
+/// One query's (or one span's) resource bill beyond wall-clock time.
+/// Every field is additive: merging partial results across shards, or
+/// fleet snapshots across processes, is plain summation.
+struct CostCounters {
+  uint64_t cpu_ns = 0;             // Thread CPU time actually burned.
+  uint64_t bytes_deserialized = 0; // Columnar block payload + wire frames.
+  uint64_t catalog_interns = 0;    // Topology catalog intern calls.
+  uint64_t heap_bytes = 0;         // Bytes requested at tracked reserve sites.
+
+  CostCounters& operator+=(const CostCounters& other) {
+    cpu_ns += other.cpu_ns;
+    bytes_deserialized += other.bytes_deserialized;
+    catalog_interns += other.catalog_interns;
+    heap_bytes += other.heap_bytes;
+    return *this;
+  }
+
+  bool IsZero() const {
+    return cpu_ns == 0 && bytes_deserialized == 0 && catalog_interns == 0 &&
+           heap_bytes == 0;
+  }
+};
+
+/// This thread's CPU clock (CLOCK_THREAD_CPUTIME_ID) in nanoseconds.
+uint64_t ThreadCpuNanos();
+
+/// Thread-local resource accounting, charged from hot paths that have no
+/// ExecStats in reach (catalog interning deep inside core, vector reserves
+/// inside the columnar scan). A Section brackets one logical unit of work
+/// — Engine::Execute opens one around the method dispatch — and Drain()
+/// returns the delta charged since the Section began, restoring the
+/// baseline so sections on the same thread never bill each other.
+///
+/// Accounting is on by default; benches flip it off to measure the
+/// overhead of the accounting itself. Disabled charges are dropped at the
+/// call site (one relaxed atomic load), and a disabled Section drains to
+/// zeros without touching the CPU clock — the toggle never changes any
+/// query result, only the bill attached to it.
+class CostTracker {
+ public:
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  static void ChargeBytesDeserialized(uint64_t bytes) {
+    if (enabled()) tls_.bytes_deserialized += bytes;
+  }
+  static void ChargeCatalogInterns(uint64_t count) {
+    if (enabled()) tls_.catalog_interns += count;
+  }
+  static void ChargeHeapBytes(uint64_t bytes) {
+    if (enabled()) tls_.heap_bytes += bytes;
+  }
+
+  /// Brackets one unit of attributable work on this thread. Constructing
+  /// snapshots the thread's counters and CPU clock; Drain() returns the
+  /// delta and rewinds the thread counters to the snapshot, so a charge is
+  /// billed to exactly one section no matter how sections nest or follow
+  /// each other on a pooled thread.
+  class Section {
+   public:
+    Section();
+    /// The cost charged since construction (plus CPU burned). Idempotent:
+    /// a second Drain returns only what was charged after the first.
+    CostCounters Drain();
+
+   private:
+    CostCounters baseline_;
+    uint64_t cpu_start_ns_ = 0;
+    bool enabled_at_start_ = false;
+  };
+
+ private:
+  friend class Section;
+  static thread_local CostCounters tls_;
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace obs
+}  // namespace tsb
+
+#endif  // TSB_OBS_COST_H_

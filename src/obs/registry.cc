@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <map>
 
 namespace tsb {
@@ -9,7 +10,7 @@ namespace obs {
 
 namespace {
 
-enum class SampleType { kCounter, kGauge, kSummary };
+enum class SampleType { kCounter, kGauge, kSummary, kHistogram };
 
 struct Sample {
   std::string name;
@@ -18,6 +19,7 @@ struct Sample {
   MetricsSink::Labels labels;
   double value = 0.0;
   SummaryValue summary;
+  HistogramValue histogram;
 };
 
 /// Collects every source's samples into a flat list, preserving emission
@@ -35,6 +37,10 @@ class VectorSink : public MetricsSink {
   void Summary(std::string_view name, std::string_view help,
                const Labels& labels, const SummaryValue& value) override {
     Push(name, help, SampleType::kSummary, labels).summary = value;
+  }
+  void Histogram(std::string_view name, std::string_view help,
+                 const Labels& labels, const HistogramValue& value) override {
+    Push(name, help, SampleType::kHistogram, labels).histogram = value;
   }
 
   std::vector<Sample> samples;
@@ -102,8 +108,16 @@ const char* TypeName(SampleType type) {
     case SampleType::kCounter: return "counter";
     case SampleType::kGauge: return "gauge";
     case SampleType::kSummary: return "summary";
+    case SampleType::kHistogram: return "histogram";
   }
   return "untyped";
+}
+
+/// Prometheus `le` label values: finite bounds in %.9g, +Inf spelled the
+/// way the exposition format expects.
+std::string FormatBound(double bound) {
+  if (bound == std::numeric_limits<double>::infinity()) return "+Inf";
+  return FormatNumber(bound);
 }
 
 std::string EscapeJson(const std::string& value) {
@@ -184,6 +198,18 @@ std::string MetricsRegistry::RenderPrometheus() const {
                FormatNumber(static_cast<double>(s.count)) + "\n";
         out += name + "_sum" + RenderLabels(sample->labels) + " " +
                FormatNumber(s.mean * static_cast<double>(s.count)) + "\n";
+      } else if (sample->type == SampleType::kHistogram) {
+        const HistogramValue& h = sample->histogram;
+        for (const auto& [bound, cumulative] : h.buckets) {
+          out += name + "_bucket" +
+                 RenderLabels(sample->labels, "le",
+                              FormatBound(bound).c_str()) +
+                 " " + FormatNumber(static_cast<double>(cumulative)) + "\n";
+        }
+        out += name + "_count" + RenderLabels(sample->labels) + " " +
+               FormatNumber(static_cast<double>(h.count)) + "\n";
+        out += name + "_sum" + RenderLabels(sample->labels) + " " +
+               FormatNumber(h.sum) + "\n";
       } else {
         out += name + RenderLabels(sample->labels) + " " +
                FormatNumber(sample->value) + "\n";
@@ -222,6 +248,19 @@ std::string MetricsRegistry::RenderJson() const {
              ",\"p95\":" + FormatNumber(s.p95) +
              ",\"p99\":" + FormatNumber(s.p99) +
              ",\"max\":" + FormatNumber(s.max) + "}";
+    } else if (sample.type == SampleType::kHistogram) {
+      const HistogramValue& h = sample.histogram;
+      out += "\"value\":{\"count\":" +
+             FormatNumber(static_cast<double>(h.count)) +
+             ",\"sum\":" + FormatNumber(h.sum) + ",\"buckets\":[";
+      bool first_bucket = true;
+      for (const auto& [bound, cumulative] : h.buckets) {
+        if (!first_bucket) out += ",";
+        first_bucket = false;
+        out += "[\"" + FormatBound(bound) + "\"," +
+               FormatNumber(static_cast<double>(cumulative)) + "]";
+      }
+      out += "]}";
     } else {
       out += "\"value\":" + FormatNumber(sample.value);
     }

@@ -29,6 +29,19 @@ struct SummaryValue {
   double max = 0.0;
 };
 
+/// A bucketed latency distribution (obs::LatencyHistogram's export form):
+/// cumulative (upper_bound, count) pairs ending with the +Inf bucket,
+/// exported as Prometheus histogram series (`_bucket{le=..}` samples plus
+/// _count and _sum). Unlike SummaryValue, bucket counts merge exactly
+/// across processes.
+struct HistogramValue {
+  uint64_t count = 0;
+  double sum = 0.0;
+  /// Cumulative buckets: (upper bound in seconds, observations <= bound).
+  /// The last entry is always (+Inf, count).
+  std::vector<std::pair<double, uint64_t>> buckets;
+};
+
 /// Receives one sample per call during collection. Label sets are small
 /// ordered lists of key/value pairs; values are escaped by the renderers.
 class MetricsSink {
@@ -44,6 +57,10 @@ class MetricsSink {
   /// (quantile-labelled samples plus _count and _sum).
   virtual void Summary(std::string_view name, std::string_view help,
                        const Labels& labels, const SummaryValue& value) = 0;
+  /// A bucketed distribution, exported as Prometheus histogram series.
+  virtual void Histogram(std::string_view name, std::string_view help,
+                         const Labels& labels,
+                         const HistogramValue& value) = 0;
 };
 
 /// Anything that can describe its current state as typed samples.

@@ -20,6 +20,14 @@ std::string SlowQueryRecord::ToString() const {
                 static_cast<unsigned long long>(blocks_total),
                 static_cast<unsigned long long>(trace_id));
   std::string out = line;
+  if (cpu_ns > 0 || bytes_deserialized > 0 || heap_bytes > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  cost: cpu=%.3fms deser=%lluB heap=%lluB\n",
+                  static_cast<double>(cpu_ns) / 1e6,
+                  static_cast<unsigned long long>(bytes_deserialized),
+                  static_cast<unsigned long long>(heap_bytes));
+    out += line;
+  }
   if (!plan.empty()) {
     out += "  plan: ";
     out += plan;

@@ -32,6 +32,11 @@ struct SlowQueryRecord {
   uint64_t rows_out = 0;
   uint64_t blocks_total = 0;
   uint64_t blocks_skipped = 0;
+  // Resource bill (obs::CostTracker via ExecStats): what the query paid,
+  // not just how long it sat. Feeds the top-cost ranking in `topctl top`.
+  uint64_t cpu_ns = 0;
+  uint64_t bytes_deserialized = 0;
+  uint64_t heap_bytes = 0;
   bool from_cache = false;
   bool ok = true;
   uint64_t trace_id = 0;          // 0 when the query was not sampled

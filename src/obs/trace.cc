@@ -35,10 +35,21 @@ uint64_t NewId() {
 }
 
 // Minimum encoded size of one span: two u64 ids, two u32 string lengths,
-// two f64 times. Used to bound a decoded span count before allocation.
+// two f64 times — plus the cpu_ns u64 in with_cpu (wire v6) mode. Used to
+// bound a decoded span count before allocation.
 constexpr size_t kMinEncodedSpanBytes = 8 + 8 + 4 + 4 + 8 + 8;
+constexpr size_t kMinEncodedSpanBytesWithCpu = kMinEncodedSpanBytes + 8;
 
 }  // namespace
+
+std::string TagValueSafe(std::string_view value) {
+  std::string out(value);
+  for (char& c : out) {
+    if (c == ',') c = ';';
+    if (c == '\n' || c == '[' || c == ']') c = ' ';
+  }
+  return out;
+}
 
 uint64_t NewTraceId() { return NewId(); }
 uint64_t NewSpanId() { return NewId(); }
@@ -58,13 +69,16 @@ void EncodeSpans(const std::vector<Span>& spans, std::string* out) {
     PutString(out, span.tags);
     PutF64(out, span.start_unix_seconds);
     PutF64(out, span.duration_seconds);
+    PutU64(out, span.cpu_ns);
   }
 }
 
-Status DecodeSpans(BinaryReader* in, std::vector<Span>* out) {
+Status DecodeSpans(BinaryReader* in, std::vector<Span>* out, bool with_cpu) {
   const uint32_t count = in->U32();
   if (!in->ok()) return in->status("span list count");
-  if (static_cast<size_t>(count) * kMinEncodedSpanBytes > in->remaining()) {
+  const size_t min_span_bytes =
+      with_cpu ? kMinEncodedSpanBytesWithCpu : kMinEncodedSpanBytes;
+  if (static_cast<size_t>(count) * min_span_bytes > in->remaining()) {
     return Status::InvalidArgument("span list count exceeds payload");
   }
   out->reserve(out->size() + count);
@@ -76,6 +90,7 @@ Status DecodeSpans(BinaryReader* in, std::vector<Span>* out) {
     span.tags = in->String();
     span.start_unix_seconds = in->F64();
     span.duration_seconds = in->F64();
+    if (with_cpu) span.cpu_ns = in->U64();
     if (in->ok()) out->push_back(std::move(span));
   }
   if (!in->ok()) return in->status("span list");
@@ -95,7 +110,8 @@ QueryTrace::QueryTrace(uint64_t trace_id, std::string root_name,
 
 uint64_t QueryTrace::AddSpan(std::string name, uint64_t parent_span_id,
                              double start_unix_seconds,
-                             double duration_seconds, std::string tags) {
+                             double duration_seconds, std::string tags,
+                             uint64_t cpu_ns) {
   Span span;
   span.span_id = NewSpanId();
   span.parent_span_id = parent_span_id;
@@ -103,6 +119,7 @@ uint64_t QueryTrace::AddSpan(std::string name, uint64_t parent_span_id,
   span.tags = std::move(tags);
   span.start_unix_seconds = start_unix_seconds;
   span.duration_seconds = duration_seconds;
+  span.cpu_ns = cpu_ns;
   const uint64_t id = span.span_id;
   std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(span));
@@ -166,6 +183,11 @@ std::string FormatSpanTree(const std::vector<Span>& spans) {
     std::snprintf(line, sizeof(line), "%*s%s  %.3fms", depth * 2, "",
                   span.name.c_str(), span.duration_seconds * 1e3);
     out += line;
+    if (span.cpu_ns > 0) {
+      std::snprintf(line, sizeof(line), " (cpu %.3fms)",
+                    static_cast<double>(span.cpu_ns) / 1e6);
+      out += line;
+    }
     if (!span.tags.empty()) {
       out += "  [";
       out += span.tags;

@@ -50,7 +50,17 @@ struct Span {
   std::string tags;
   double start_unix_seconds = 0.0;
   double duration_seconds = 0.0;
+  /// Thread CPU actually burned inside this span (obs::CostTracker), so a
+  /// span that waited can be told apart from one that computed. 0 when
+  /// the stage carries no CPU attribution (queue waits, rpc waits) and
+  /// for spans decoded from pre-v6 frames.
+  uint64_t cpu_ns = 0;
 };
+
+/// Makes a free-form string safe to embed as one tag value in a span's
+/// comma-separated "key=value" list: commas become ';', newlines and
+/// brackets become spaces. Used for error messages on failed spans.
+std::string TagValueSafe(std::string_view value);
 
 /// Process-unique non-zero 64-bit ids (shared generator for trace and
 /// span ids): an atomic counter seeded from the clock and pid, whitened
@@ -62,13 +72,16 @@ uint64_t NewSpanId();
 /// Wall-clock now, seconds since the Unix epoch.
 double UnixSeconds();
 
-/// Span-list codec (the piggyback payload of wire v4 query responses):
+/// Span-list codec (the piggyback payload of wire v4+ query responses):
 /// u32 count, then per span: span_id u64, parent u64, name string,
-/// tags string, start f64, duration f64. DecodeSpans validates the count
-/// against the remaining payload before any allocation, so a corrupted
-/// count fails fast instead of reserving gigabytes.
+/// tags string, start f64, duration f64, cpu_ns u64 (wire v6; decoders
+/// pass with_cpu=false for v4/v5 frames, whose span records end at the
+/// duration). DecodeSpans validates the count against the remaining
+/// payload before any allocation, so a corrupted count fails fast instead
+/// of reserving gigabytes.
 void EncodeSpans(const std::vector<Span>& spans, std::string* out);
-Status DecodeSpans(BinaryReader* in, std::vector<Span>* out);
+Status DecodeSpans(BinaryReader* in, std::vector<Span>* out,
+                   bool with_cpu = true);
 
 /// One query's trace under assembly: the root span plus every stage span,
 /// local and absorbed from shard responses. Held by shared_ptr and
@@ -98,9 +111,10 @@ class QueryTrace {
   }
 
   /// Records one completed span and returns its (freshly drawn) id.
+  /// `cpu_ns` is the stage's thread-CPU bill when the caller measured one.
   uint64_t AddSpan(std::string name, uint64_t parent_span_id,
                    double start_unix_seconds, double duration_seconds,
-                   std::string tags = std::string());
+                   std::string tags = std::string(), uint64_t cpu_ns = 0);
 
   /// Records a span whose id the caller drew up front (a scatter rpc span
   /// allocates its id before the sub-request is encoded, so the shard's

@@ -9,6 +9,19 @@
 namespace tsb {
 namespace service {
 
+namespace {
+
+/// The registry-facing view of a LatencyHistogram (cumulative buckets).
+obs::HistogramValue HistValue(const obs::LatencyHistogram& hist) {
+  obs::HistogramValue value;
+  value.count = hist.count();
+  value.sum = hist.sum();
+  value.buckets = hist.CumulativeBuckets();
+  return value;
+}
+
+}  // namespace
+
 void LatencyReservoir::Record(double seconds) {
   ++count_;
   sum_ += seconds;
@@ -63,6 +76,14 @@ void ServiceMetrics::RecordRequest(size_t slot, double seconds,
   if (cache_hit) ++s.cache_hits;
   if (!ok) ++s.errors;
   s.latency.Record(seconds);
+  s.latency_hist.Record(seconds);
+}
+
+void ServiceMetrics::RecordCost(size_t slot, const obs::CostCounters& cost) {
+  TSB_CHECK_LT(slot, kNumSlots);
+  Slot& s = slots_[slot];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.cost += cost;
 }
 
 void ServiceMetrics::RecordRejected(size_t cls) {
@@ -97,6 +118,7 @@ void ServiceMetrics::RecordClassLatency(size_t cls, double seconds) {
   TSB_CHECK_LT(cls, kNumClasses);
   std::lock_guard<std::mutex> lock(classes_[cls].mu);
   classes_[cls].latency.Record(seconds);
+  classes_[cls].latency_hist.Record(seconds);
 }
 
 void ServiceMetrics::RecordScanStats(uint64_t rows_scanned,
@@ -120,6 +142,8 @@ void ServiceMetrics::Reset() {
     s.cache_hits = 0;
     s.errors = 0;
     s.latency.Reset();
+    s.latency_hist.Reset();
+    s.cost = obs::CostCounters{};
   }
   for (ClassSlot& c : classes_) {
     std::lock_guard<std::mutex> lock(c.mu);
@@ -128,6 +152,7 @@ void ServiceMetrics::Reset() {
     c.deadline_shed = 0;
     c.cancelled = 0;
     c.latency.Reset();
+    c.latency_hist.Reset();
   }
   {
     std::lock_guard<std::mutex> lock(shard_mu_);
@@ -155,6 +180,8 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     row.cache_hits = s.cache_hits;
     row.errors = s.errors;
     row.latency = s.latency.Summarize();
+    row.latency_hist = s.latency_hist;
+    row.cost = s.cost;
     snap.total_requests += row.requests;
     snap.total_cache_hits += row.cache_hits;
     snap.total_errors += row.errors;
@@ -171,6 +198,7 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     row.deadline_shed = c.deadline_shed;
     row.cancelled = c.cancelled;
     row.latency = c.latency.Summarize();
+    row.latency_hist = c.latency_hist;
     snap.classes.push_back(std::move(row));
   }
   {
@@ -271,6 +299,7 @@ void TransportMetrics::RecordRoundTrip(size_t shard, uint64_t bytes_sent,
   s.bytes_sent += bytes_sent;
   s.bytes_received += bytes_received;
   s.rtt.Record(rtt_seconds);
+  s.rtt_hist.Record(rtt_seconds);
 }
 
 void TransportMetrics::RecordReconnect(size_t shard) {
@@ -293,6 +322,7 @@ TransportMetricsSnapshot TransportMetrics::Snapshot() const {
     row.bytes_received = s.bytes_received;
     row.reconnects = s.reconnects;
     row.rtt = s.rtt.Summarize();
+    row.rtt_hist = s.rtt_hist;
     snap.total.requests += row.requests;
     snap.total.failures += row.failures;
     snap.total.bytes_sent += row.bytes_sent;
@@ -313,6 +343,7 @@ void TransportMetrics::Reset() {
     s.bytes_received = 0;
     s.reconnects = 0;
     s.rtt.Reset();
+    s.rtt_hist.Reset();
   }
 }
 
@@ -386,6 +417,7 @@ void ReplicaMetrics::RecordOutcome(size_t shard, size_t replica,
                      : kEwmaAlpha * rtt_seconds +
                            (1.0 - kEwmaAlpha) * r.rtt_ewma;
     r.rtt.Record(rtt_seconds);
+    r.rtt_hist.Record(rtt_seconds);
   }
   ShardSlot& s = shards_[shard];
   std::lock_guard<std::mutex> lock(s.mu);
@@ -494,6 +526,7 @@ ReplicaMetricsSnapshot ReplicaMetrics::Snapshot() const {
       row.outstanding = r.outstanding.load(std::memory_order_relaxed);
       row.rtt_ewma = r.rtt_ewma;
       row.rtt = r.rtt.Summarize();
+      row.rtt_hist = r.rtt_hist;
       shard_row.replicas.push_back(std::move(row));
     }
     snap.shards.push_back(std::move(shard_row));
@@ -524,6 +557,7 @@ void ReplicaMetrics::Reset() {
       r.quarantines = 0;
       r.rtt_ewma = 0.0;
       r.rtt.Reset();
+      r.rtt_hist.Reset();
       // outstanding is owned by in-flight attempts; leave the gauge alone.
     }
   }
@@ -586,6 +620,21 @@ void ServiceMetrics::Collect(obs::MetricsSink* sink) const {
     sink->Summary("tsb_service_latency_seconds",
                   "End-to-end service latency", labels,
                   row.latency.ToSummaryValue());
+    sink->Histogram("tsb_service_latency_hist_seconds",
+                    "End-to-end service latency (mergeable buckets)",
+                    labels, HistValue(row.latency_hist));
+    sink->Counter("tsb_service_cpu_seconds_total",
+                  "Thread CPU burned executing this method", labels,
+                  static_cast<double>(row.cost.cpu_ns) / 1e9);
+    sink->Counter("tsb_service_deserialized_bytes_total",
+                  "Bytes decoded from storage and the wire", labels,
+                  static_cast<double>(row.cost.bytes_deserialized));
+    sink->Counter("tsb_service_catalog_interns_total",
+                  "Catalog symbol interns", labels,
+                  static_cast<double>(row.cost.catalog_interns));
+    sink->Counter("tsb_service_heap_bytes_total",
+                  "Bytes reserved in engine scratch buffers", labels,
+                  static_cast<double>(row.cost.heap_bytes));
   }
   for (const PriorityClassSnapshot& row : snap.classes) {
     const Labels labels = {{"class", row.name}};
@@ -604,6 +653,9 @@ void ServiceMetrics::Collect(obs::MetricsSink* sink) const {
     sink->Summary("tsb_service_class_latency_seconds",
                   "End-to-end latency per admission class", labels,
                   row.latency.ToSummaryValue());
+    sink->Histogram("tsb_service_class_latency_hist_seconds",
+                    "Per-class latency (mergeable buckets)", labels,
+                    HistValue(row.latency_hist));
   }
   for (size_t s = 0; s < snap.shard_rows.size(); ++s) {
     sink->Gauge("tsb_service_shard_rows", "AllTops rows per shard",
@@ -649,6 +701,9 @@ void TransportMetrics::Collect(obs::MetricsSink* sink) const {
     sink->Summary("tsb_transport_rtt_seconds",
                   "Send-to-response round-trip time", labels,
                   row.rtt.ToSummaryValue());
+    sink->Histogram("tsb_transport_rtt_hist_seconds",
+                    "Round-trip time (mergeable buckets)", labels,
+                    HistValue(row.rtt_hist));
   }
 }
 
@@ -693,6 +748,9 @@ void ReplicaMetrics::Collect(obs::MetricsSink* sink) const {
                   "Load-routing RTT EWMA", labels, row.rtt_ewma);
       sink->Summary("tsb_replica_rtt_seconds", "Attempt round-trip time",
                     labels, row.rtt.ToSummaryValue());
+      sink->Histogram("tsb_replica_rtt_hist_seconds",
+                      "Attempt round-trip time (mergeable buckets)",
+                      labels, HistValue(row.rtt_hist));
     }
     const Labels labels = {{"shard", shard_label}};
     if (shard_row.hedges_launched != 0 || shard_row.failovers != 0 ||
@@ -708,6 +766,54 @@ void ReplicaMetrics::Collect(obs::MetricsSink* sink) const {
                     static_cast<double>(shard_row.exhausted));
     }
   }
+}
+
+obs::FleetSnapshot BuildFleetSnapshot(const MetricsSnapshot& service,
+                                      const ReplicaMetricsSnapshot* replicas,
+                                      const obs::SlowQueryLog* slow_log) {
+  obs::FleetSnapshot snap;
+  snap.processes = 1;
+  for (const MethodStatsSnapshot& row : service.methods) {
+    obs::FleetMethodStats method;
+    method.method = row.method;
+    method.requests = row.requests;
+    method.cache_hits = row.cache_hits;
+    method.errors = row.errors;
+    method.latency = row.latency_hist;
+    method.cost = row.cost;
+    snap.methods.push_back(std::move(method));
+  }
+  snap.total_requests = service.total_requests;
+  snap.total_cache_hits = service.total_cache_hits;
+  snap.total_errors = service.total_errors;
+  snap.total_rejected = service.total_rejected;
+  snap.scan_rows = service.scan_rows_scanned;
+  snap.scan_blocks_total = service.scan_blocks_total;
+  snap.scan_blocks_skipped = service.scan_blocks_skipped;
+  snap.shard_rows = service.shard_rows;
+  if (replicas != nullptr) {
+    for (const ReplicaShardSnapshot& shard : replicas->shards) {
+      snap.hedges_launched += shard.hedges_launched;
+      snap.failovers += shard.failovers;
+      snap.exhausted += shard.exhausted;
+    }
+  }
+  if (slow_log != nullptr) {
+    for (const obs::SlowQueryRecord& record : slow_log->Recent()) {
+      const uint64_t bytes =
+          record.bytes_deserialized + record.heap_bytes;
+      if (record.cpu_ns == 0 && bytes == 0) continue;
+      obs::FleetTopQuery query;
+      query.request = record.request;
+      query.method = record.method;
+      query.service_seconds = record.service_seconds;
+      query.cpu_ns = record.cpu_ns;
+      query.bytes = bytes;
+      snap.top_queries.push_back(std::move(query));
+    }
+  }
+  snap.Normalize();
+  return snap;
 }
 
 }  // namespace service

@@ -9,7 +9,11 @@
 #include <vector>
 
 #include "engine/query.h"
+#include "obs/cost.h"
+#include "obs/fleet.h"
+#include "obs/histogram.h"
 #include "obs/registry.h"
+#include "obs/slow_log.h"
 
 namespace tsb {
 namespace service {
@@ -64,6 +68,11 @@ struct MethodStatsSnapshot {
   uint64_t cache_hits = 0;
   uint64_t errors = 0;       // Admitted but failed in the engine.
   LatencyReservoir::Summary latency;  // End-to-end service latency.
+  /// Same latencies in fixed log buckets: unlike the reservoir summary,
+  /// bucket counts merge exactly across processes (`topctl top`).
+  obs::LatencyHistogram latency_hist;
+  /// Aggregate resource bill for this method (obs::CostTracker).
+  obs::CostCounters cost;
 };
 
 /// Per-admission-class serving counters (wire::Priority classes).
@@ -74,6 +83,7 @@ struct PriorityClassSnapshot {
   uint64_t deadline_shed = 0;  // Dequeued after the deadline expired.
   uint64_t cancelled = 0;      // Stream cancelled before execution.
   LatencyReservoir::Summary latency;  // End-to-end, executed requests.
+  obs::LatencyHistogram latency_hist;  // Mergeable bucket view.
 };
 
 struct MetricsSnapshot {
@@ -121,6 +131,9 @@ class ServiceMetrics : public obs::MetricsSource {
   static constexpr size_t kNumClasses = 2;  // wire::Priority cardinality.
 
   void RecordRequest(size_t slot, double seconds, bool cache_hit, bool ok);
+  /// Folds one executed query's resource bill (ExecStats cost fields)
+  /// into the method's aggregate CostCounters.
+  void RecordCost(size_t slot, const obs::CostCounters& cost);
   /// `cls` is the admission class (static_cast of wire::Priority).
   void RecordRejected(size_t cls);
   void RecordAdmitted(size_t cls);
@@ -153,6 +166,8 @@ class ServiceMetrics : public obs::MetricsSource {
     uint64_t cache_hits = 0;
     uint64_t errors = 0;
     LatencyReservoir latency;
+    obs::LatencyHistogram latency_hist;
+    obs::CostCounters cost;
   };
 
   struct ClassSlot {
@@ -162,6 +177,7 @@ class ServiceMetrics : public obs::MetricsSource {
     uint64_t deadline_shed = 0;
     uint64_t cancelled = 0;
     LatencyReservoir latency;
+    obs::LatencyHistogram latency_hist;
   };
 
   std::array<Slot, kNumSlots> slots_;
@@ -184,6 +200,7 @@ struct TransportShardSnapshot {
   uint64_t bytes_received = 0;  // Encoded response frame bytes.
   uint64_t reconnects = 0;      // Successful dials after a failure.
   LatencyReservoir::Summary rtt;  // Send-to-response round-trip time.
+  obs::LatencyHistogram rtt_hist;  // Mergeable bucket view of the same.
 };
 
 struct TransportMetricsSnapshot {
@@ -232,6 +249,7 @@ class TransportMetrics : public obs::MetricsSource {
     uint64_t bytes_received = 0;
     uint64_t reconnects = 0;
     LatencyReservoir rtt;
+    obs::LatencyHistogram rtt_hist;
   };
 
   size_t num_shards_;
@@ -252,6 +270,7 @@ struct ReplicaSnapshot {
   uint64_t outstanding = 0;    // In-flight right now (gauge).
   double rtt_ewma = 0.0;       // Load-routing signal (seconds).
   LatencyReservoir::Summary rtt;
+  obs::LatencyHistogram rtt_hist;  // Mergeable bucket view.
 };
 
 struct ReplicaShardSnapshot {
@@ -333,6 +352,7 @@ class ReplicaMetrics : public obs::MetricsSource {
     std::atomic<uint64_t> outstanding{0};
     double rtt_ewma = 0.0;
     LatencyReservoir rtt;
+    obs::LatencyHistogram rtt_hist;
   };
 
   struct ShardSlot {
@@ -347,6 +367,17 @@ class ReplicaMetrics : public obs::MetricsSource {
 
   std::vector<ShardSlot> shards_;
 };
+
+/// Assembles one process's contribution to the fleet cost view (the admin
+/// `cost-snapshot` payload): per-method counters + histograms + cost
+/// bills from the service snapshot, replica-routing health when a replica
+/// snapshot is supplied (frontends; null on shard servers), and the
+/// top-cost queries mined from the slow log (null when disabled). The
+/// caller fills the mutation/WAL counters afterwards — they live in the
+/// mutation engine, outside the metrics layer.
+obs::FleetSnapshot BuildFleetSnapshot(const MetricsSnapshot& service,
+                                      const ReplicaMetricsSnapshot* replicas,
+                                      const obs::SlowQueryLog* slow_log);
 
 }  // namespace service
 }  // namespace tsb

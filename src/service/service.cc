@@ -514,15 +514,23 @@ ServiceResponse TopologyService::RunQuery(
       Evaluate(query, method, options, trace);
   const bool ok = result.ok();
   if (trace != nullptr) {
-    std::string tags = ok ? wire::ExecStatsTraceTags(result->stats)
-                          : std::string("ok=0");
+    std::string tags =
+        ok ? wire::ExecStatsTraceTags(result->stats)
+           : "ok=0,error=" + obs::TagValueSafe(result.status().message());
     trace->AddSpan("execute", trace->root_span_id(), exec_start_unix,
-                   exec_watch.ElapsedSeconds(), std::move(tags));
+                   exec_watch.ElapsedSeconds(), std::move(tags),
+                   ok ? result->stats.cpu_ns : 0);
   }
   if (ok) {
     metrics_.RecordScanStats(result->stats.rows_scanned,
                              result->stats.blocks_total,
                              result->stats.blocks_skipped);
+    obs::CostCounters cost;
+    cost.cpu_ns = result->stats.cpu_ns;
+    cost.bytes_deserialized = result->stats.bytes_deserialized;
+    cost.catalog_interns = result->stats.catalog_interns;
+    cost.heap_bytes = result->stats.heap_bytes;
+    metrics_.RecordCost(ServiceMetrics::SlotOf(method), cost);
   }
   // Degraded answers (a shard failed or timed out; partial=true) are
   // never cached: the blip is transient, but a cached partial would keep
@@ -573,6 +581,9 @@ void TopologyService::FinishQueryObservation(
     record.rows_out = stats.rows_out;
     record.blocks_total = stats.blocks_total;
     record.blocks_skipped = stats.blocks_skipped;
+    record.cpu_ns = stats.cpu_ns;
+    record.bytes_deserialized = stats.bytes_deserialized;
+    record.heap_bytes = stats.heap_bytes;
   }
   if (trace != nullptr) {
     record.trace_id = trace->trace_id();

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "engine/nquery.h"
+#include "obs/cost.h"
 #include "service/metrics.h"
 #include "service/request_parser.h"
 #include "wire/codec.h"
@@ -45,6 +46,11 @@ Result<std::string> ShardFrameHandler::Handle(
       if (result.ok()) {
         response.result = std::move(*result);
         response.service_seconds = response.result.stats.seconds;
+        if (obs::CostTracker::enabled()) {
+          // Bill the decoded request frame to this sub-query: the engine
+          // section cannot see wire work that happened before it started.
+          response.result.stats.bytes_deserialized += request.size();
+        }
       } else {
         // Engine-level failures are a *response* (the request reached the
         // shard and was understood); only transport-level problems surface
@@ -61,6 +67,8 @@ Result<std::string> ShardFrameHandler::Handle(
         span.name = "shard.exec";
         span.start_unix_seconds = start_unix;
         span.duration_seconds = seconds;
+        span.cpu_ns =
+            response.error.ok() ? response.result.stats.cpu_ns : 0;
         span.tags = "method=";
         span.tags += engine::MethodKindToString(decoded.method);
         if (response.error.ok()) {
@@ -88,6 +96,15 @@ Result<std::string> ShardFrameHandler::Handle(
         observability_.metrics->RecordRequest(
             service::ServiceMetrics::SlotOf(decoded.method), seconds,
             /*cache_hit=*/false, response.error.ok());
+        if (response.error.ok()) {
+          obs::CostCounters cost;
+          cost.cpu_ns = response.result.stats.cpu_ns;
+          cost.bytes_deserialized = response.result.stats.bytes_deserialized;
+          cost.catalog_interns = response.result.stats.catalog_interns;
+          cost.heap_bytes = response.result.stats.heap_bytes;
+          observability_.metrics->RecordCost(
+              service::ServiceMetrics::SlotOf(decoded.method), cost);
+        }
       }
       if (observability_.slow_log != nullptr &&
           observability_.slow_log->enabled() &&
@@ -112,6 +129,10 @@ Result<std::string> ShardFrameHandler::Handle(
           record.rows_out = response.result.stats.rows_out;
           record.blocks_total = response.result.stats.blocks_total;
           record.blocks_skipped = response.result.stats.blocks_skipped;
+          record.cpu_ns = response.result.stats.cpu_ns;
+          record.bytes_deserialized =
+              response.result.stats.bytes_deserialized;
+          record.heap_bytes = response.result.stats.heap_bytes;
         }
         record.trace_id = decoded.trace.trace_id;
         if (!response.spans.empty()) {

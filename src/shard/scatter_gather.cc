@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/cost.h"
 #include "wire/codec.h"
 
 namespace tsb {
@@ -161,10 +162,12 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
       if (result.ok()) {
         tags += "," + wire::ExecStatsTraceTags(result->stats);
       } else {
-        tags += ",ok=0";
+        tags += ",ok=0,error=" +
+                obs::TagValueSafe(result.status().message());
       }
       trace->AddSpan("designated.exec", trace->root_span_id(), start_unix,
-                     watch.ElapsedSeconds(), std::move(tags));
+                     watch.ElapsedSeconds(), std::move(tags),
+                     result.ok() ? result->stats.cpu_ns : 0);
     }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -229,11 +232,13 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
     if (designated.ok()) {
       tags += "," + wire::ExecStatsTraceTags(designated->stats);
     } else {
-      tags += ",ok=0";
+      tags += ",ok=0,error=" +
+              obs::TagValueSafe(designated.status().message());
     }
     trace->AddSpan("designated.exec", scatter_span_id,
                    designated_start_unix, designated_watch.ElapsedSeconds(),
-                   std::move(tags));
+                   std::move(tags),
+                   designated.ok() ? designated->stats.cpu_ns : 0);
   }
 
   // Gather every partial (drain even after an error so no future leaks).
@@ -296,6 +301,11 @@ Result<engine::QueryResult> ScatterGatherExecutor::Execute(
       continue;
     }
     total += partial->stats;
+    // The router paid to deserialize this shard's response frame; bill it
+    // to the query alongside the shard-side charges the stats carry.
+    if (obs::CostTracker::enabled()) {
+      total.bytes_deserialized += frame->size();
+    }
     subquery_seconds += partial->stats.seconds;
     partials.push_back(std::move(partial->entries));
   }

@@ -295,8 +295,14 @@ void EncodeQueryResponse(const WireResponse& response, std::string* out) {
   engine::EncodeQueryResult(response.result, out);
   PutBool(out, response.from_cache);
   PutF64(out, response.service_seconds);
-  // v4 tail: piggybacked responder spans.
+  // v4 tail: piggybacked responder spans (v6 span records carry cpu_ns).
   obs::EncodeSpans(response.spans, out);
+  // v6 tail: the result's resource bill. Encoded after the span list so a
+  // v5 payload is a strict prefix of a v6 one (minus per-span cpu).
+  PutU64(out, response.result.stats.cpu_ns);
+  PutU64(out, response.result.stats.bytes_deserialized);
+  PutU64(out, response.result.stats.catalog_interns);
+  PutU64(out, response.result.stats.heap_bytes);
   EndFrame(frame, out);
 }
 
@@ -320,7 +326,14 @@ Result<WireResponse> DecodeQueryResponse(std::string_view frame) {
   response.from_cache = in.Bool();
   response.service_seconds = in.F64();
   if (version >= 4) {
-    TSB_RETURN_IF_ERROR(obs::DecodeSpans(&in, &response.spans));
+    TSB_RETURN_IF_ERROR(
+        obs::DecodeSpans(&in, &response.spans, /*with_cpu=*/version >= 6));
+  }
+  if (version >= 6) {
+    response.result.stats.cpu_ns = in.U64();
+    response.result.stats.bytes_deserialized = in.U64();
+    response.result.stats.catalog_interns = in.U64();
+    response.result.stats.heap_bytes = in.U64();
   }
   if (!in.AtEnd()) return in.status("query response payload");
   return response;

@@ -15,6 +15,16 @@ std::string ExecStatsTraceTags(const engine::ExecStats& stats) {
     tags += ",blocks=" + std::to_string(stats.blocks_skipped) + "/" +
             std::to_string(stats.blocks_total);
   }
+  tags += ",cpu_us=" + std::to_string(stats.cpu_ns / 1000);
+  if (stats.bytes_deserialized > 0) {
+    tags += ",deser_bytes=" + std::to_string(stats.bytes_deserialized);
+  }
+  if (stats.catalog_interns > 0) {
+    tags += ",interns=" + std::to_string(stats.catalog_interns);
+  }
+  if (stats.heap_bytes > 0) {
+    tags += ",heap_bytes=" + std::to_string(stats.heap_bytes);
+  }
   return tags;
 }
 
@@ -67,6 +77,8 @@ const char* AdminCommandToString(AdminCommand command) {
       return "slowlog";
     case AdminCommand::kCompaction:
       return "compaction";
+    case AdminCommand::kCostSnapshot:
+      return "cost-snapshot";
   }
   return "unknown";
 }

@@ -50,8 +50,18 @@ namespace wire {
 ///       without a full rebuild. New AdminCommand::kCompaction pulls the
 ///       mutation engine's delta/overlay/compaction status. Query frames
 ///       are unchanged from v4.
+///   6 — cost accounting: every encoded span carries its thread-CPU bill
+///       (cpu_ns after duration in the span record), and query responses
+///       append the result's resource counters (cpu_ns,
+///       bytes_deserialized, catalog_interns, heap_bytes — 4×u64) at the
+///       payload tail after the span list, so the shard-side bill merges
+///       into the router's ExecStats. New AdminCommand::kCostSnapshot
+///       streams an obs::FleetSnapshot (mergeable histograms + cost
+///       counters + top-cost queries) for `topctl top`. Query requests
+///       are unchanged from v4; v5 and older frames still decode (spans
+///       without cpu, zero cost counters).
 
-inline constexpr uint8_t kWireVersion = 5;
+inline constexpr uint8_t kWireVersion = 6;
 
 /// Oldest version this build still decodes. Encoders always emit
 /// kWireVersion; decoders branch on the received header version.
@@ -177,10 +187,12 @@ enum class AdminCommand : uint8_t {
   kSlowQueries = 5,        // Recent slow-query records.
   kCompaction = 6,         // Mutation engine status (v5+): generation,
                            // pending pairs, last fold, WAL counters.
+  kCostSnapshot = 7,       // Binary obs::FleetSnapshot (v6+): mergeable
+                           // histograms + cost counters for `topctl top`.
 };
 
 inline constexpr uint8_t kMaxAdminCommand =
-    static_cast<uint8_t>(AdminCommand::kCompaction);
+    static_cast<uint8_t>(AdminCommand::kCostSnapshot);
 
 const char* AdminCommandToString(AdminCommand command);
 

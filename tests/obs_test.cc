@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -14,6 +17,9 @@
 
 #include "common/binary_io.h"
 #include "obs/admin.h"
+#include "obs/cost.h"
+#include "obs/fleet.h"
+#include "obs/histogram.h"
 #include "obs/registry.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
@@ -535,6 +541,546 @@ TEST(AdminHandlerTest, FrameEntryPointAnswersInBandOnGarbage) {
   response = wire::DecodeAdminResponse(obs::HandleAdminFrame(state, "junk"));
   ASSERT_TRUE(response.ok());
   EXPECT_FALSE(response->error.ok());
+}
+
+// ---------------------------------------------------------------------------
+// CostTracker
+// ---------------------------------------------------------------------------
+
+TEST(CostTrackerTest, SectionDrainsOnlyItsOwnCharges) {
+  ASSERT_TRUE(obs::CostTracker::enabled());
+
+  obs::CostTracker::Section outer;
+  obs::CostTracker::ChargeBytesDeserialized(100);
+  obs::CostTracker::ChargeCatalogInterns(2);
+
+  {
+    obs::CostTracker::Section inner;
+    obs::CostTracker::ChargeBytesDeserialized(30);
+    obs::CostTracker::ChargeHeapBytes(64);
+    obs::CostCounters bill = inner.Drain();
+    EXPECT_EQ(bill.bytes_deserialized, 30u);
+    EXPECT_EQ(bill.heap_bytes, 64u);
+    EXPECT_EQ(bill.catalog_interns, 0u);
+  }
+
+  // The outer section bills only what was charged outside the inner one —
+  // the inner Drain rewound its charges off the thread counters.
+  obs::CostCounters bill = outer.Drain();
+  EXPECT_EQ(bill.bytes_deserialized, 100u);
+  EXPECT_EQ(bill.catalog_interns, 2u);
+  EXPECT_EQ(bill.heap_bytes, 0u);
+
+  // Drain is idempotent: a second call returns only post-drain charges.
+  obs::CostCounters again = outer.Drain();
+  EXPECT_EQ(again.bytes_deserialized, 0u);
+  EXPECT_EQ(again.catalog_interns, 0u);
+}
+
+TEST(CostTrackerTest, DisabledTrackerDropsChargesAndDrainsZero) {
+  obs::CostTracker::set_enabled(false);
+  obs::CostTracker::Section section;
+  obs::CostTracker::ChargeBytesDeserialized(1000);
+  obs::CostTracker::ChargeCatalogInterns(5);
+  obs::CostTracker::ChargeHeapBytes(4096);
+  const obs::CostCounters bill = section.Drain();
+  obs::CostTracker::set_enabled(true);
+  EXPECT_TRUE(bill.IsZero());
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+// Deterministic stream generator (SplitMix64): tests must not depend on
+// random_device, and the same stream must be reproducible on failure.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Latencies spread over ~6 decades (0.1µs .. 0.1s) so the stream exercises
+// many distinct buckets including sub-first-bound values.
+double LatencyAt(uint64_t* state) {
+  const double u =
+      static_cast<double>(SplitMix64(state) >> 11) / 9007199254740992.0;
+  return 1e-7 * std::pow(10.0, 6.0 * u);
+}
+
+TEST(LatencyHistogramTest, CountsSumsAndBucketResolutionQuantiles) {
+  obs::LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);  // Empty: 0, not NaN.
+
+  hist.Record(0.0005);
+  hist.Record(0.0005);
+  hist.Record(0.0005);
+  hist.Record(0.010);
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0115);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.010);
+
+  // Quantiles are the upper bound of the bucket holding the rank: p50 sits
+  // in the 0.5ms bucket, p99 in the 10ms bucket, never below the sample.
+  EXPECT_GE(hist.Quantile(0.5), 0.0005);
+  EXPECT_LT(hist.Quantile(0.5), 0.0007);
+  EXPECT_GE(hist.Quantile(0.99), 0.010);
+  EXPECT_LT(hist.Quantile(0.99), 0.013);
+}
+
+TEST(LatencyHistogramTest, OverflowBucketResolvesToExactMax) {
+  obs::LatencyHistogram hist;
+  hist.Record(1e-3);
+  hist.Record(1e7);  // Far past the last finite bound (~4295s).
+  EXPECT_EQ(hist.buckets()[obs::LatencyHistogram::kNumBuckets], 1u);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 1e7);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsRecordingTheUnionStream) {
+  // The tentpole's correctness claim: per-process histograms merged at the
+  // topctl side must be bucket-for-bucket identical to one histogram that
+  // saw the union stream — which makes every derived quantile identical
+  // too. Exercise it over a deterministic 1000-sample stream split 4 ways.
+  uint64_t state = 0x1234abcdULL;
+  std::vector<double> stream;
+  for (int i = 0; i < 1000; ++i) stream.push_back(LatencyAt(&state));
+
+  obs::LatencyHistogram union_hist;
+  obs::LatencyHistogram parts[4];
+  for (size_t i = 0; i < stream.size(); ++i) {
+    union_hist.Record(stream[i]);
+    parts[i % 4].Record(stream[i]);
+  }
+
+  // Merge in two different orders; both must equal the union histogram.
+  obs::LatencyHistogram forward;
+  for (const auto& part : parts) forward.Merge(part);
+  obs::LatencyHistogram backward;
+  for (int i = 3; i >= 0; --i) backward.Merge(parts[i]);
+
+  EXPECT_TRUE(forward == union_hist);
+  EXPECT_TRUE(backward == union_hist);
+  EXPECT_EQ(forward.count(), union_hist.count());
+  for (const double q : {0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(forward.Quantile(q), union_hist.Quantile(q)) << q;
+    EXPECT_EQ(backward.Quantile(q), union_hist.Quantile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociative) {
+  uint64_t state = 0xfeedULL;
+  obs::LatencyHistogram a, b, c;
+  for (int i = 0; i < 200; ++i) a.Record(LatencyAt(&state));
+  for (int i = 0; i < 150; ++i) b.Record(LatencyAt(&state));
+  for (int i = 0; i < 250; ++i) c.Record(LatencyAt(&state));
+
+  obs::LatencyHistogram left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  obs::LatencyHistogram bc = b;     // a + (b + c)
+  bc.Merge(c);
+  obs::LatencyHistogram right = a;
+  right.Merge(bc);
+
+  EXPECT_TRUE(left == right);
+  EXPECT_EQ(left.count(), 600u);
+  EXPECT_EQ(left.buckets(), right.buckets());
+}
+
+TEST(LatencyHistogramTest, CumulativeBucketsEndAtInfinityWithTotalCount) {
+  obs::LatencyHistogram hist;
+  hist.Record(2e-6);
+  hist.Record(3e-3);
+  hist.Record(3e-3);
+  const auto cumulative = hist.CumulativeBuckets();
+  ASSERT_GE(cumulative.size(), 2u);
+  // Running counts are nondecreasing and the +Inf entry closes at count.
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_LE(cumulative[i - 1].second, cumulative[i].second);
+    EXPECT_LT(cumulative[i - 1].first, cumulative[i].first);
+  }
+  EXPECT_TRUE(std::isinf(cumulative.back().first));
+  EXPECT_EQ(cumulative.back().second, 3u);
+}
+
+TEST(LatencyHistogramTest, CodecRoundTripsAndRejectsEveryTruncation) {
+  uint64_t state = 0xc0ffeeULL;
+  obs::LatencyHistogram hist;
+  for (int i = 0; i < 300; ++i) hist.Record(LatencyAt(&state));
+  hist.Record(1e7);  // Populate the overflow bucket too.
+
+  std::string bytes;
+  hist.EncodeTo(&bytes);
+  BinaryReader in(bytes);
+  auto decoded = obs::LatencyHistogram::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(in.AtEnd());
+  EXPECT_TRUE(*decoded == hist);
+  EXPECT_DOUBLE_EQ(decoded->sum(), hist.sum());
+  EXPECT_DOUBLE_EQ(decoded->max(), hist.max());
+
+  // Re-encode is byte-identical (the sparse layout is canonical).
+  std::string again;
+  decoded->EncodeTo(&again);
+  EXPECT_EQ(bytes, again);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    BinaryReader truncated(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(obs::LatencyHistogram::DecodeFrom(&truncated).ok()) << len;
+  }
+}
+
+TEST(LatencyHistogramTest, DecodeRejectsMalformedBucketLists) {
+  // Bucket counts that do not sum to the header count.
+  std::string bytes;
+  PutU64(&bytes, 10);  // count claims 10...
+  PutF64(&bytes, 1.0);
+  PutF64(&bytes, 0.5);
+  PutU32(&bytes, 1);
+  PutU16(&bytes, 3);
+  PutU64(&bytes, 7);  // ...but the only bucket holds 7.
+  BinaryReader in(bytes);
+  EXPECT_FALSE(obs::LatencyHistogram::DecodeFrom(&in).ok());
+
+  // Out-of-order bucket indexes.
+  bytes.clear();
+  PutU64(&bytes, 4);
+  PutF64(&bytes, 1.0);
+  PutF64(&bytes, 0.5);
+  PutU32(&bytes, 2);
+  PutU16(&bytes, 9);
+  PutU64(&bytes, 2);
+  PutU16(&bytes, 4);  // Decreasing index: invalid.
+  PutU64(&bytes, 2);
+  BinaryReader in2(bytes);
+  EXPECT_FALSE(obs::LatencyHistogram::DecodeFrom(&in2).ok());
+
+  // Index beyond the overflow bucket.
+  bytes.clear();
+  PutU64(&bytes, 1);
+  PutF64(&bytes, 1.0);
+  PutF64(&bytes, 0.5);
+  PutU32(&bytes, 1);
+  PutU16(&bytes, obs::LatencyHistogram::kNumBuckets + 1);
+  PutU64(&bytes, 1);
+  BinaryReader in3(bytes);
+  EXPECT_FALSE(obs::LatencyHistogram::DecodeFrom(&in3).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Span cpu attribution (wire v6 piggyback, v5 downgrade)
+// ---------------------------------------------------------------------------
+
+TEST(SpanCodecTest, CpuFieldRoundTripsThroughTheSpanCodec) {
+  std::vector<obs::Span> spans(1);
+  spans[0].name = "shard.exec";
+  spans[0].cpu_ns = 1234567890ULL;
+  std::string bytes;
+  obs::EncodeSpans(spans, &bytes);
+  BinaryReader in(bytes);
+  std::vector<obs::Span> decoded;
+  ASSERT_TRUE(obs::DecodeSpans(&in, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].cpu_ns, 1234567890ULL);
+}
+
+TEST(SpanCodecTest, WithCpuFalseDecodesPreV6SpanRecords) {
+  // A v4/v5 frame's span record ends at the duration; the decoder must
+  // consume exactly that and report cpu_ns = 0.
+  std::string bytes;
+  PutU32(&bytes, 1);
+  PutU64(&bytes, 11);   // span_id
+  PutU64(&bytes, 0);    // parent
+  PutString(&bytes, "execute");
+  PutString(&bytes, "ok=1");
+  PutF64(&bytes, 1723100000.0);
+  PutF64(&bytes, 0.125);
+  BinaryReader in(bytes);
+  std::vector<obs::Span> decoded;
+  ASSERT_TRUE(obs::DecodeSpans(&in, &decoded, /*with_cpu=*/false).ok());
+  EXPECT_TRUE(in.AtEnd());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].name, "execute");
+  EXPECT_EQ(decoded[0].cpu_ns, 0u);
+
+  // The same body at v6 framing is short by the cpu field and must fail.
+  BinaryReader in_v6(bytes);
+  std::vector<obs::Span> rejected;
+  EXPECT_FALSE(obs::DecodeSpans(&in_v6, &rejected, /*with_cpu=*/true).ok());
+}
+
+TEST(FormatSpanTreeTest, CpuAttributionRendersWhenPresent) {
+  std::vector<obs::Span> spans(1);
+  spans[0].span_id = 1;
+  spans[0].name = "execute";
+  spans[0].duration_seconds = 0.010;
+  spans[0].cpu_ns = 4250000;  // 4.25ms of CPU inside 10ms of wall.
+  const std::string tree = obs::FormatSpanTree(spans);
+  EXPECT_NE(tree.find("cpu 4.250ms"), std::string::npos) << tree;
+}
+
+// ---------------------------------------------------------------------------
+// FleetSnapshot: codec, merge semantics, rendering
+// ---------------------------------------------------------------------------
+
+obs::FleetSnapshot MakeSnapshot(uint64_t seed, uint64_t shard0_rows) {
+  uint64_t state = seed;
+  obs::FleetSnapshot snap;
+  obs::FleetMethodStats method;
+  method.method = "full-topk";
+  method.requests = 100 + seed;
+  method.cache_hits = 40;
+  method.errors = 1;
+  for (int i = 0; i < 50; ++i) method.latency.Record(LatencyAt(&state));
+  method.cost.cpu_ns = 5000000 * (seed + 1);
+  method.cost.bytes_deserialized = 1 << 20;
+  method.cost.catalog_interns = 12;
+  method.cost.heap_bytes = 1 << 16;
+  snap.methods.push_back(std::move(method));
+  snap.total_requests = 100 + seed;
+  snap.total_cache_hits = 40;
+  snap.total_errors = 1;
+  snap.total_rejected = 2;
+  snap.scan_rows = 5000;
+  snap.scan_blocks_total = 80;
+  snap.scan_blocks_skipped = 30;
+  snap.shard_rows = {shard0_rows, 900};
+  snap.mutation_batches = 3;
+  snap.mutation_ops = 17;
+  snap.wal_records = 3;
+  snap.wal_bytes = 4096;
+  obs::FleetTopQuery query;
+  query.request = "TOPK set1=Protein set2=DNA k=10";
+  query.method = "full-topk";
+  query.service_seconds = 0.25;
+  query.cpu_ns = 1000000 * (seed + 1);
+  query.bytes = 65536;
+  snap.top_queries.push_back(std::move(query));
+  return snap;
+}
+
+TEST(FleetSnapshotTest, CodecRoundTripsEveryField) {
+  obs::FleetSnapshot snap = MakeSnapshot(/*seed=*/1, /*shard0_rows=*/1000);
+  snap.hedges_launched = 4;
+  snap.failovers = 2;
+  snap.exhausted = 1;
+  snap.overlay_generations = 2;
+  snap.compaction_folds = 1;
+
+  std::string bytes;
+  obs::EncodeFleetSnapshot(snap, &bytes);
+  auto decoded = obs::DecodeFleetSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+
+  EXPECT_EQ(decoded->processes, 1u);
+  ASSERT_EQ(decoded->methods.size(), 1u);
+  EXPECT_EQ(decoded->methods[0].method, "full-topk");
+  EXPECT_EQ(decoded->methods[0].requests, snap.methods[0].requests);
+  EXPECT_TRUE(decoded->methods[0].latency == snap.methods[0].latency);
+  EXPECT_EQ(decoded->methods[0].cost.cpu_ns, snap.methods[0].cost.cpu_ns);
+  EXPECT_EQ(decoded->methods[0].cost.heap_bytes,
+            snap.methods[0].cost.heap_bytes);
+  EXPECT_EQ(decoded->total_requests, snap.total_requests);
+  EXPECT_EQ(decoded->total_rejected, snap.total_rejected);
+  EXPECT_EQ(decoded->scan_blocks_skipped, snap.scan_blocks_skipped);
+  EXPECT_EQ(decoded->shard_rows, snap.shard_rows);
+  EXPECT_EQ(decoded->hedges_launched, 4u);
+  EXPECT_EQ(decoded->failovers, 2u);
+  EXPECT_EQ(decoded->exhausted, 1u);
+  EXPECT_EQ(decoded->mutation_batches, snap.mutation_batches);
+  EXPECT_EQ(decoded->mutation_ops, snap.mutation_ops);
+  EXPECT_EQ(decoded->overlay_generations, 2u);
+  EXPECT_EQ(decoded->compaction_folds, 1u);
+  EXPECT_EQ(decoded->wal_records, snap.wal_records);
+  EXPECT_EQ(decoded->wal_bytes, snap.wal_bytes);
+  ASSERT_EQ(decoded->top_queries.size(), 1u);
+  EXPECT_EQ(decoded->top_queries[0].request, snap.top_queries[0].request);
+  EXPECT_EQ(decoded->top_queries[0].cpu_ns, snap.top_queries[0].cpu_ns);
+
+  // Re-encode of the decoded snapshot is byte-identical: the encoding is
+  // canonical, so snapshots can be compared as strings.
+  std::string again;
+  obs::EncodeFleetSnapshot(*decoded, &again);
+  EXPECT_EQ(bytes, again);
+}
+
+TEST(FleetSnapshotTest, DecodeRejectsTruncationAndTrailingGarbage) {
+  obs::FleetSnapshot snap = MakeSnapshot(/*seed=*/2, /*shard0_rows=*/10);
+  std::string bytes;
+  obs::EncodeFleetSnapshot(snap, &bytes);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        obs::DecodeFleetSnapshot(std::string_view(bytes).substr(0, len)).ok())
+        << len;
+  }
+  EXPECT_FALSE(obs::DecodeFleetSnapshot(bytes + "x").ok());
+}
+
+TEST(FleetSnapshotTest, MergeSumsCountersAndMaxesShardRows) {
+  obs::FleetSnapshot a = MakeSnapshot(/*seed=*/0, /*shard0_rows=*/1000);
+  obs::FleetSnapshot b = MakeSnapshot(/*seed=*/5, /*shard0_rows=*/800);
+  b.shard_rows.push_back(300);  // b knows one more shard than a.
+
+  obs::LatencyHistogram union_latency = a.methods[0].latency;
+  union_latency.Merge(b.methods[0].latency);
+
+  obs::FleetSnapshot merged = a;
+  merged.Merge(b);
+
+  EXPECT_EQ(merged.processes, 2u);
+  ASSERT_EQ(merged.methods.size(), 1u);  // Same method name: one row.
+  EXPECT_EQ(merged.methods[0].requests,
+            a.methods[0].requests + b.methods[0].requests);
+  EXPECT_EQ(merged.methods[0].cost.cpu_ns,
+            a.methods[0].cost.cpu_ns + b.methods[0].cost.cpu_ns);
+  EXPECT_TRUE(merged.methods[0].latency == union_latency);
+  EXPECT_EQ(merged.total_requests, a.total_requests + b.total_requests);
+  // Replicas of the same shard: elementwise max, never a double count.
+  ASSERT_EQ(merged.shard_rows.size(), 3u);
+  EXPECT_EQ(merged.shard_rows[0], 1000u);
+  EXPECT_EQ(merged.shard_rows[1], 900u);
+  EXPECT_EQ(merged.shard_rows[2], 300u);
+  EXPECT_EQ(merged.mutation_ops, a.mutation_ops + b.mutation_ops);
+  EXPECT_EQ(merged.wal_bytes, a.wal_bytes + b.wal_bytes);
+}
+
+TEST(FleetSnapshotTest, NormalizeRanksTopQueriesByScoreAndCaps) {
+  obs::FleetSnapshot snap;
+  for (uint64_t i = 0; i < obs::FleetSnapshot::kMaxTopQueries + 4; ++i) {
+    obs::FleetTopQuery query;
+    query.request = "q" + std::to_string(i);
+    query.method = "full-topk";
+    query.cpu_ns = 1000 * (i + 1);  // Score grows with i.
+    query.bytes = 10;
+    snap.top_queries.push_back(std::move(query));
+  }
+  snap.Normalize();
+  ASSERT_EQ(snap.top_queries.size(), obs::FleetSnapshot::kMaxTopQueries);
+  for (size_t i = 1; i < snap.top_queries.size(); ++i) {
+    EXPECT_GE(snap.top_queries[i - 1].Score(), snap.top_queries[i].Score());
+  }
+  // The cheapest entries fell off the back.
+  EXPECT_EQ(snap.top_queries.front().request, "q11");
+  EXPECT_EQ(snap.top_queries.back().request, "q4");
+}
+
+TEST(FleetSnapshotTest, MergeIsOrderIndependentAfterEncoding) {
+  // topctl polls endpoints in whatever order the flag listed them; the
+  // rendered dashboard must not depend on it. Canonical encodings of the
+  // two merge orders must be byte-identical.
+  obs::FleetSnapshot a = MakeSnapshot(/*seed=*/3, /*shard0_rows=*/500);
+  obs::FleetSnapshot b = MakeSnapshot(/*seed=*/8, /*shard0_rows=*/700);
+  obs::FleetMethodStats fast;
+  fast.method = "fast-topk";
+  fast.requests = 9;
+  fast.latency.Record(1e-3);
+  b.methods.push_back(std::move(fast));
+
+  obs::FleetSnapshot ab = a;
+  ab.Merge(b);
+  obs::FleetSnapshot ba = b;
+  ba.Merge(a);
+
+  std::string ab_bytes, ba_bytes;
+  obs::EncodeFleetSnapshot(ab, &ab_bytes);
+  obs::EncodeFleetSnapshot(ba, &ba_bytes);
+  EXPECT_EQ(ab_bytes, ba_bytes);
+  EXPECT_EQ(ab.Render(), ba.Render());
+}
+
+TEST(FleetSnapshotTest, RenderShowsTheDashboardSections) {
+  obs::FleetSnapshot a = MakeSnapshot(/*seed=*/1, /*shard0_rows=*/1200);
+  obs::FleetSnapshot merged = a;
+  merged.Merge(MakeSnapshot(/*seed=*/2, /*shard0_rows=*/1100));
+  const std::string text = merged.Render();
+  EXPECT_NE(text.find("fleet cost snapshot (2 processes)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("full-topk"), std::string::npos);
+  EXPECT_NE(text.find("zone-skipped"), std::string::npos);
+  EXPECT_NE(text.find("s0=1200"), std::string::npos) << text;
+  EXPECT_NE(text.find("mutation: batches 6"), std::string::npos) << text;
+  EXPECT_NE(text.find("top-cost queries"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry: histogram families
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RendersHistogramBucketFamilies) {
+  obs::CallbackSource source([](obs::MetricsSink* sink) {
+    obs::HistogramValue value;
+    value.count = 7;
+    value.sum = 0.042;
+    value.buckets = {{0.001, 3}, {0.004, 6},
+                     {std::numeric_limits<double>::infinity(), 7}};
+    sink->Histogram("tsb_latency_hist_seconds", "Latency histogram.",
+                    {{"method", "full-topk"}}, value);
+  });
+  obs::MetricsRegistry registry;
+  registry.Register(&source);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE tsb_latency_hist_seconds histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tsb_latency_hist_seconds_bucket{method=\"full-topk\","
+                      "le=\"0.001\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tsb_latency_hist_seconds_bucket{method=\"full-topk\","
+                      "le=\"+Inf\"} 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tsb_latency_hist_seconds_count{method=\"full-topk\"}"
+                      " 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tsb_latency_hist_seconds_sum{method=\"full-topk\"} "
+                      "0.042"),
+            std::string::npos)
+      << text;
+
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\":[[\"0.001\",3],[\"0.004\",6],"
+                      "[\"+Inf\",7]]"),
+            std::string::npos)
+      << json;
+}
+
+// ---------------------------------------------------------------------------
+// Admin channel: cost snapshot
+// ---------------------------------------------------------------------------
+
+TEST(AdminHandlerTest, CostSnapshotStreamsADecodableFleetSnapshot) {
+  obs::AdminState state;
+  state.cost_snapshot = []() {
+    return MakeSnapshot(/*seed=*/4, /*shard0_rows=*/4242);
+  };
+  wire::AdminRequest request;
+  request.command = wire::AdminCommand::kCostSnapshot;
+  wire::AdminResponse response = obs::HandleAdmin(state, request);
+  ASSERT_TRUE(response.error.ok());
+  auto decoded = obs::DecodeFleetSnapshot(response.body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->shard_rows[0], 4242u);
+  ASSERT_EQ(decoded->methods.size(), 1u);
+  EXPECT_EQ(decoded->methods[0].method, "full-topk");
+  EXPECT_EQ(decoded->total_requests, 104u);
+
+  // The full frame path works too: encode the request, hand the raw frame
+  // to HandleAdminFrame, decode the response envelope and then the body.
+  std::string frame;
+  wire::EncodeAdminRequest(request, &frame);
+  auto envelope =
+      wire::DecodeAdminResponse(obs::HandleAdminFrame(state, frame));
+  ASSERT_TRUE(envelope.ok());
+  ASSERT_TRUE(envelope->error.ok());
+  EXPECT_EQ(envelope->body, response.body);
 }
 
 }  // namespace

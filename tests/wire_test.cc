@@ -523,28 +523,37 @@ TEST_F(WireFig3Test, InspectFrameClassifiesPrefixesAndCorruption) {
 
 namespace {
 
-/// Rewrites a v4 frame into its v3 twin: drops `tail_bytes` from the end
-/// of the payload (the v4 trailing fields), patches the version byte and
-/// the little-endian payload length.
-std::string StripToV3(const std::string& frame, size_t tail_bytes) {
-  std::string v3 = frame.substr(0, frame.size() - tail_bytes);
-  v3[2] = 3;  // Version byte.
-  uint32_t len = static_cast<uint8_t>(v3[4]) |
-                 (static_cast<uint8_t>(v3[5]) << 8) |
-                 (static_cast<uint8_t>(v3[6]) << 16) |
-                 (static_cast<uint32_t>(static_cast<uint8_t>(v3[7])) << 24);
+/// Rewrites a current-version frame into an older twin: drops
+/// `tail_bytes` from the end of the payload (the newer trailing fields),
+/// patches the version byte to `version` and the little-endian payload
+/// length.
+std::string StripToVersion(const std::string& frame, size_t tail_bytes,
+                           uint8_t version) {
+  std::string old = frame.substr(0, frame.size() - tail_bytes);
+  old[2] = static_cast<char>(version);
+  uint32_t len = static_cast<uint8_t>(old[4]) |
+                 (static_cast<uint8_t>(old[5]) << 8) |
+                 (static_cast<uint8_t>(old[6]) << 16) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(old[7])) << 24);
   len -= static_cast<uint32_t>(tail_bytes);
-  v3[4] = static_cast<char>(len & 0xff);
-  v3[5] = static_cast<char>((len >> 8) & 0xff);
-  v3[6] = static_cast<char>((len >> 16) & 0xff);
-  v3[7] = static_cast<char>((len >> 24) & 0xff);
-  return v3;
+  old[4] = static_cast<char>(len & 0xff);
+  old[5] = static_cast<char>((len >> 8) & 0xff);
+  old[6] = static_cast<char>((len >> 16) & 0xff);
+  old[7] = static_cast<char>((len >> 24) & 0xff);
+  return old;
+}
+
+std::string StripToV3(const std::string& frame, size_t tail_bytes) {
+  return StripToVersion(frame, tail_bytes, 3);
 }
 
 // v4 request tail: trace_id u64 + parent_span_id u64 + sampled bool.
 constexpr size_t kRequestTraceTailBytes = 8 + 8 + 1;
 // v4 response tail when no spans piggyback: the u32 span count alone.
 constexpr size_t kEmptySpanListBytes = 4;
+// v6 response cost tail: cpu_ns + bytes_deserialized + catalog_interns +
+// heap_bytes, one u64 each, written after the span list.
+constexpr size_t kCostTailBytes = 4 * 8;
 
 }  // namespace
 
@@ -591,13 +600,84 @@ TEST_F(WireFig3Test, V3ResponseFramesDecodeWithNoSpans) {
   std::string v4_frame;
   wire::EncodeQueryResponse(response, &v4_frame);
 
-  const std::string v3_frame = StripToV3(v4_frame, kEmptySpanListBytes);
+  const std::string v3_frame =
+      StripToV3(v4_frame, kEmptySpanListBytes + kCostTailBytes);
   auto decoded = wire::DecodeQueryResponse(v3_frame);
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_TRUE(decoded->spans.empty());
   EXPECT_EQ(decoded->result.entries, response.result.entries);
   EXPECT_EQ(decoded->serving_stamp, "r1:e2");
   EXPECT_DOUBLE_EQ(decoded->service_seconds, 0.125);
+}
+
+TEST_F(WireFig3Test, V5ResponseFramesDecodeWithoutCostFields) {
+  // A v5 peer's response is a strict prefix of the v6 layout: span records
+  // without the per-span cpu_ns, no cost tail. Stripping the v6 tail off
+  // an empty-span response and re-versioning it as v5 must decode clean,
+  // with every cost field zero.
+  wire::WireResponse response;
+  response.request_id = 21;
+  response.serving_stamp = "r0:e1";
+  response.result.entries = {{5, 9.0}};
+  response.result.stats.plan = "scan";
+  response.result.stats.cpu_ns = 123456;
+  response.result.stats.bytes_deserialized = 789;
+  response.result.stats.heap_bytes = 1024;
+  std::string v6_frame;
+  wire::EncodeQueryResponse(response, &v6_frame);
+
+  const std::string v5_frame =
+      StripToVersion(v6_frame, kCostTailBytes, 5);
+  auto decoded = wire::DecodeQueryResponse(v5_frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->spans.empty());
+  EXPECT_EQ(decoded->result.entries, response.result.entries);
+  EXPECT_EQ(decoded->result.stats.cpu_ns, 0u);
+  EXPECT_EQ(decoded->result.stats.bytes_deserialized, 0u);
+  EXPECT_EQ(decoded->result.stats.catalog_interns, 0u);
+  EXPECT_EQ(decoded->result.stats.heap_bytes, 0u);
+
+  // A v6 frame truncated anywhere inside the cost tail is a typed decode
+  // error, never a silent zero.
+  for (size_t strip = 1; strip < kCostTailBytes; ++strip) {
+    const std::string bad = StripToVersion(v6_frame, strip, 6);
+    EXPECT_FALSE(wire::DecodeQueryResponse(bad).ok()) << strip;
+  }
+}
+
+TEST_F(WireFig3Test, ResponseCostFieldsAndSpanCpuRoundTrip) {
+  wire::WireResponse response;
+  response.request_id = 33;
+  response.result.entries = {{2, 4.0}, {7, 1.5}};
+  response.result.stats.plan = "columnar";
+  response.result.stats.cpu_ns = 0xdeadbeefULL;
+  response.result.stats.bytes_deserialized = 55555;
+  response.result.stats.catalog_interns = 17;
+  response.result.stats.heap_bytes = 1 << 20;
+  obs::Span span;
+  span.span_id = obs::NewSpanId();
+  span.parent_span_id = obs::NewSpanId();
+  span.name = "shard.exec";
+  span.cpu_ns = 424242;
+  response.spans.push_back(span);
+  std::string frame;
+  wire::EncodeQueryResponse(response, &frame);
+
+  auto decoded = wire::DecodeQueryResponse(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->result.stats.cpu_ns, response.result.stats.cpu_ns);
+  EXPECT_EQ(decoded->result.stats.bytes_deserialized,
+            response.result.stats.bytes_deserialized);
+  EXPECT_EQ(decoded->result.stats.catalog_interns,
+            response.result.stats.catalog_interns);
+  EXPECT_EQ(decoded->result.stats.heap_bytes,
+            response.result.stats.heap_bytes);
+  ASSERT_EQ(decoded->spans.size(), 1u);
+  EXPECT_EQ(decoded->spans[0].cpu_ns, 424242u);
+
+  std::string again;
+  wire::EncodeQueryResponse(*decoded, &again);
+  EXPECT_EQ(frame, again);
 }
 
 TEST_F(WireFig3Test, CorruptedTraceFieldsErrorWithoutOverread) {
@@ -621,8 +701,9 @@ TEST_F(WireFig3Test, CorruptedTraceFieldsErrorWithoutOverread) {
   response.request_id = 1;
   std::string resp_frame;
   wire::EncodeQueryResponse(response, &resp_frame);
-  // The empty span list (count=0) is the last 4 payload bytes.
-  for (size_t i = resp_frame.size() - 4; i < resp_frame.size(); ++i) {
+  // The empty span list (count=0) sits just before the 32-byte cost tail.
+  const size_t count_at = resp_frame.size() - kCostTailBytes - 4;
+  for (size_t i = count_at; i < count_at + 4; ++i) {
     resp_frame[i] = static_cast<char>(0xff);
   }
   EXPECT_FALSE(wire::DecodeQueryResponse(resp_frame).ok());
@@ -675,13 +756,13 @@ TEST_F(WireFig3Test, InspectFrameAcceptsBothLiveVersions) {
   EXPECT_EQ(static_cast<uint8_t>(frame[2]), wire::kWireVersion);
 
   // Version 3 headers pass inspection (the payload length is not v3-sized
-  // here, but InspectFrame only validates the header); 2 and 6 sit
+  // here, but InspectFrame only validates the header); 2 and 7 sit
   // outside [kMinWireVersion, kWireVersion].
   std::string v3 = frame;
   v3[2] = 3;
   EXPECT_EQ(wire::InspectFrame(v3, wire::kDefaultMaxFramePayload, nullptr),
             wire::FrameError::kOk);
-  for (uint8_t version : {2, 6}) {
+  for (uint8_t version : {2, 7}) {
     std::string bad = frame;
     bad[2] = static_cast<char>(version);
     EXPECT_EQ(wire::InspectFrame(bad, wire::kDefaultMaxFramePayload,

@@ -265,6 +265,17 @@ int main(int argc, char** argv) {
   admin.compaction_renderer = [&mutation_engine]() {
     return mutation_engine.StatusString();
   };
+  admin.cost_snapshot = [&metrics, &slow_log, &mutation_engine, &wal]() {
+    obs::FleetSnapshot snap = service::BuildFleetSnapshot(
+        metrics.Snapshot(), /*replicas=*/nullptr, &slow_log);
+    snap.mutation_batches = mutation_engine.batches_applied();
+    snap.mutation_ops = mutation_engine.ops_applied();
+    snap.overlay_generations = mutation_engine.uncompacted_generations();
+    snap.compaction_folds = mutation_engine.compaction_rounds();
+    snap.wal_records = wal.appended_records();
+    snap.wal_bytes = wal.appended_bytes();
+    return snap;
+  };
   shard::ShardObservability observability;
   observability.metrics = &metrics;
   observability.tracer = &tracer;
@@ -275,9 +286,11 @@ int main(int argc, char** argv) {
   const auto dump_snapshot = [&](const char* reason) {
     std::fprintf(stderr,
                  "shard_server: --- observability dump (%s) ---\n%s\n%s%s"
+                 "%s\n"
                  "shard_server: --- end dump ---\n",
                  reason, metrics.Snapshot().ToString().c_str(),
-                 tracer.RenderRecent().c_str(), slow_log.ToString().c_str());
+                 tracer.RenderRecent().c_str(), slow_log.ToString().c_str(),
+                 mutation_engine.StatusString().c_str());
     std::fflush(stderr);
   };
 
